@@ -1,0 +1,154 @@
+// EXP-ABL — ablations of the design choices DESIGN.md calls out:
+//
+//  (a) ordering: the paper's WFTB falsifies unfounded sets BEFORE breaking
+//      ties. The kTieFirst ablation flips the order: success rates match,
+//      but the stability guarantee (Lemma 3) is lost — measured here as the
+//      fraction of total models that are stable.
+//  (b) WFS implementation: the unfounded-set interpreter (persistent close)
+//      vs Van Gelder's alternating fixpoint (independent, naive): identical
+//      models, very different cost curves.
+//  (c) choice policy: deterministic-first vs seeded-random tie selection —
+//      success rates are choice-invariant on call-consistent inputs
+//      (Theorem 1) and noisy beyond them.
+#include <cstdio>
+#include <string>
+
+#include "core/alternating.h"
+#include "core/stable.h"
+#include "core/stratification.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "core/tie_breaking.h"
+#include "core/well_founded.h"
+#include "ground/grounder.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+using namespace tiebreak;
+
+namespace {
+
+struct ModeTally {
+  int64_t runs = 0, totals = 0, stable = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-ABL(a): unfounded-first (paper) vs tie-first ordering\n\n");
+  {
+    ModeTally wftb, tie_first;
+    Rng rng(0xAB1);
+    for (int round = 0; round < 250; ++round) {
+      RandomProgramOptions options;
+      options.num_idb = 4;
+      options.num_edb = 2;
+      options.num_rules = 3 + static_cast<int>(rng.Below(7));
+      options.negation_probability = 0.45;
+      Program base = RandomProgram(&rng, options);
+      // Half the instances get a guarded-loop pair spliced in — the shape
+      // (p <- p, not q ; q <- q, not p) where the two orderings genuinely
+      // diverge: the component is a tie AND an unfounded set.
+      std::string text = ProgramToString(base);
+      if (round % 2 == 0) {
+        text += "gA :- gA, not gB.\ngB :- gB, not gA.\n";
+      }
+      Program program = ParseProgram(text).value();
+      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      const GroundingResult g = Ground(program, database).value();
+      for (auto [mode, tally] :
+           {std::pair{TieBreakingMode::kWellFounded, &wftb},
+            std::pair{TieBreakingMode::kTieFirst, &tie_first}}) {
+        RandomChoicePolicy policy(round);
+        const InterpreterResult result =
+            TieBreaking(program, database, g.graph, mode, &policy);
+        ++tally->runs;
+        if (!result.total) continue;
+        ++tally->totals;
+        if (IsStable(program, database, g.graph, result.values)) {
+          ++tally->stable;
+        }
+      }
+    }
+    std::printf("%-24s %8s %10s %16s\n", "ordering", "runs", "%total",
+                "%stable-of-total");
+    std::printf("%s\n", std::string(62, '-').c_str());
+    for (auto [name, t] : {std::pair{"unfounded-first (paper)", &wftb},
+                           std::pair{"tie-first (ablation)", &tie_first}}) {
+      std::printf("%-24s %8lld %9.1f%% %15.1f%%\n", name,
+                  static_cast<long long>(t->runs),
+                  100.0 * t->totals / t->runs,
+                  t->totals ? 100.0 * t->stable / t->totals : 0.0);
+    }
+    std::printf("\nExpected: the paper's ordering reaches 100%% stable; the "
+                "ablation does not\n(it can certify guarded loops true, as "
+                "pure tie-breaking does).\n\n");
+  }
+
+  std::printf("EXP-ABL(b): WFS implementations (identical models)\n\n");
+  std::printf("%-10s %14s %18s %10s\n", "board n", "unfounded ms",
+              "alternating ms", "agree");
+  std::printf("%s\n", std::string(56, '-').c_str());
+  for (int n : {16, 32, 64, 128, 256}) {
+    Program program = WinMoveProgram();
+    Rng rng(n);
+    Database database =
+        RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+    const GroundingResult g = Ground(program, database).value();
+    WallTimer t1;
+    const InterpreterResult wf = WellFounded(program, database, g.graph);
+    const double ms1 = 1e3 * t1.Seconds();
+    WallTimer t2;
+    const InterpreterResult alt =
+        AlternatingFixpointWellFounded(program, database, g.graph);
+    const double ms2 = 1e3 * t2.Seconds();
+    std::printf("%-10d %14.2f %18.2f %10s\n", n, ms1, ms2,
+                wf.values == alt.values ? "yes" : "NO !!");
+  }
+  std::printf("\nExpected: agreement on every row; the alternating fixpoint "
+              "grows much faster\n(naive quadratic inner fixpoints vs "
+              "amortized-linear persistent close).\n\n");
+
+  std::printf("EXP-ABL(c): choice policies on call-consistent programs\n\n");
+  {
+    Rng rng(0xAB3);
+    int64_t first_totals = 0, random_totals = 0, runs = 0;
+    int accepted = 0;
+    while (accepted < 120) {
+      RandomProgramOptions options;
+      options.num_idb = 4;
+      options.num_edb = 2;
+      options.num_rules = 3 + static_cast<int>(rng.Below(7));
+      options.negation_probability = 0.45;
+      Program program = RandomProgram(&rng, options);
+      if (!IsCallConsistent(program)) continue;
+      ++accepted;
+      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      const GroundingResult g = Ground(program, database).value();
+      ++runs;
+      FirstChoicePolicy first;
+      if (TieBreaking(program, database, g.graph,
+                      TieBreakingMode::kWellFounded, &first)
+              .total) {
+        ++first_totals;
+      }
+      RandomChoicePolicy random(accepted);
+      if (TieBreaking(program, database, g.graph,
+                      TieBreakingMode::kWellFounded, &random)
+              .total) {
+        ++random_totals;
+      }
+    }
+    std::printf("deterministic-first policy: %lld/%lld total;  random "
+                "policy: %lld/%lld total\n",
+                static_cast<long long>(first_totals),
+                static_cast<long long>(runs),
+                static_cast<long long>(random_totals),
+                static_cast<long long>(runs));
+    std::printf("Expected: both at 100%% — Theorem 1 holds for ALL "
+                "choices.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// EXP-GRD — grounder comparison: the paper-faithful |U|^k grounder vs the
+// EDB-reduced grounder (equivalence is tested in ground_test.cc; here we
+// measure the cost gap) and the reduced grounder's scaling on the Theorem 6
+// machine programs, whose [S=s] chains make faithful grounding hopeless.
+#include <benchmark/benchmark.h>
+
+#include "ground/grounder.h"
+#include "reductions/cm_reduction.h"
+#include "reductions/counter_machine.h"
+#include "util/random.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+namespace tiebreak {
+namespace {
+
+void BM_Ground_Faithful_WinMove(benchmark::State& state) {
+  Program program = WinMoveProgram();
+  Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+  GroundingOptions options;
+  options.reduce_edb = false;
+  for (auto _ : state) {
+    Result<GroundingResult> g = Ground(program, db, options);
+    benchmark::DoNotOptimize(g->graph.num_rules());
+  }
+}
+BENCHMARK(BM_Ground_Faithful_WinMove)->Range(8, 128);
+
+void BM_Ground_Reduced_WinMove(benchmark::State& state) {
+  Program program = WinMoveProgram();
+  Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+  for (auto _ : state) {
+    Result<GroundingResult> g = Ground(program, db);
+    benchmark::DoNotOptimize(g->graph.num_rules());
+  }
+}
+BENCHMARK(BM_Ground_Reduced_WinMove)->Range(8, 128);
+
+void BM_Ground_Theorem6Program(benchmark::State& state) {
+  const CounterMachine machine = MakeTransferMachine(3);
+  const int t = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CmReduction reduction = CounterMachineToProgram(machine);
+    const Database db = NaturalDatabase(&reduction, t);
+    Result<GroundingResult> g = Ground(reduction.program, db);
+    benchmark::DoNotOptimize(g->graph.num_rules());
+  }
+}
+BENCHMARK(BM_Ground_Theorem6Program)->DenseRange(4, 20, 4);
+
+void BM_Ground_TernaryRandom(benchmark::State& state) {
+  // Unary random programs over growing universes: grounding is the
+  // bottleneck the reduction attacks.
+  Rng rng(9);
+  RandomProgramOptions options;
+  options.arity = 1;
+  options.num_rules = 10;
+  Program program = RandomProgram(&rng, options);
+  const int n = static_cast<int>(state.range(0));
+  Database db = RandomEdbDatabase(&program, n, 0.4, &rng);
+  for (auto _ : state) {
+    Result<GroundingResult> g = Ground(program, db);
+    benchmark::DoNotOptimize(g->graph.num_atoms());
+  }
+}
+BENCHMARK(BM_Ground_TernaryRandom)->Range(4, 64);
+
+}  // namespace
+}  // namespace tiebreak
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// EXP-WF — Section 2/3: the close() procedure and all three interpreters
+// run in polynomial (near-linear here) time in the ground graph. Benchmarks
+// grounding, close-only resolution (win-move chains resolve fully during the
+// initial close), the well-founded interpreter, and both tie-breaking
+// interpreters on random boards with draw cycles.
+#include <benchmark/benchmark.h>
+
+#include "core/tie_breaking.h"
+#include "core/well_founded.h"
+#include "ground/close.h"
+#include "ground/grounder.h"
+#include "lang/database.h"
+#include "util/random.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+namespace tiebreak {
+namespace {
+
+struct Board {
+  Program program;
+  Database database;
+  GroundingResult ground;
+};
+
+Board MakeChainBoard(int n) {
+  Program program = WinMoveProgram();
+  Database database = ChainDatabase(&program, "move", n);
+  GroundingResult ground = Ground(program, database).value();
+  return Board{std::move(program), std::move(database), std::move(ground)};
+}
+
+Board MakeRandomBoard(int n, uint64_t seed) {
+  Program program = WinMoveProgram();
+  Rng rng(seed);
+  Database database =
+      RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+  GroundingResult ground = Ground(program, database).value();
+  return Board{std::move(program), std::move(database), std::move(ground)};
+}
+
+void BM_Ground_WinMoveRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Program program = WinMoveProgram();
+  Rng rng(3);
+  Database database =
+      RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ground(program, database)->graph.num_rules());
+  }
+  state.SetItemsProcessed(state.iterations() * database.TotalFacts());
+}
+BENCHMARK(BM_Ground_WinMoveRandom)->Range(1 << 6, 1 << 14);
+
+void BM_Close_WinMoveChain(benchmark::State& state) {
+  const Board board = MakeChainBoard(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    CloseState close(board.program, board.database, board.ground.graph);
+    benchmark::DoNotOptimize(close.IsTotal());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          board.ground.graph.num_edges());
+}
+BENCHMARK(BM_Close_WinMoveChain)->Range(1 << 6, 1 << 15);
+
+void BM_WellFounded_WinMoveRandom(benchmark::State& state) {
+  const Board board = MakeRandomBoard(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WellFounded(board.program, board.database, board.ground.graph).total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          board.ground.graph.num_edges());
+}
+BENCHMARK(BM_WellFounded_WinMoveRandom)->Range(1 << 6, 1 << 13);
+
+void BM_PureTieBreaking_WinMoveRandom(benchmark::State& state) {
+  const Board board = MakeRandomBoard(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TieBreaking(board.program, board.database,
+                                         board.ground.graph,
+                                         TieBreakingMode::kPure)
+                                 .total);
+  }
+}
+BENCHMARK(BM_PureTieBreaking_WinMoveRandom)->Range(1 << 6, 1 << 13);
+
+void BM_WFTB_WinMoveRandom(benchmark::State& state) {
+  const Board board = MakeRandomBoard(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TieBreaking(board.program, board.database,
+                                         board.ground.graph,
+                                         TieBreakingMode::kWellFounded)
+                                 .total);
+  }
+}
+BENCHMARK(BM_WFTB_WinMoveRandom)->Range(1 << 6, 1 << 13);
+
+void BM_WFTB_NegationRing(benchmark::State& state) {
+  // A single giant even ring: one tie spanning the whole graph.
+  const int k = static_cast<int>(state.range(0));
+  Program program = NegationRingProgram(2 * k);
+  Database database(program);
+  GroundingResult ground = Ground(program, database).value();
+  for (auto _ : state) {
+    const InterpreterResult result = TieBreaking(
+        program, database, ground.graph, TieBreakingMode::kWellFounded);
+    benchmark::DoNotOptimize(result.total);
+  }
+}
+BENCHMARK(BM_WFTB_NegationRing)->Range(1 << 4, 1 << 11);
+
+}  // namespace
+}  // namespace tiebreak
+
+BENCHMARK_MAIN();

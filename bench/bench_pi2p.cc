@@ -1,0 +1,84 @@
+// EXP-P — Section 5 Proposition: propositional totality is Π₂ᵖ-complete.
+// (a) the reduction from ∀∃-CNF agrees with brute-force evaluation on every
+// random formula, in both the uniform and nonuniform senses; (b) the cost
+// contrast: deciding totality by database enumeration grows exponentially
+// with the number of EDB propositions, while the *structural* check of
+// Theorem 4 stays linear — the price of exactness beyond structure.
+#include <cstdio>
+#include <string>
+
+#include "core/structural_totality.h"
+#include "core/totality.h"
+#include "reductions/qbf.h"
+#include "reductions/qbf_reduction.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace tiebreak;
+
+int main() {
+  std::printf("EXP-P: the Pi2p reduction (totality <-> forall-exists CNF)\n\n");
+  Rng rng(0x9B);
+
+  int64_t instances = 0, agree_nonuniform = 0, agree_uniform = 0,
+          holds_count = 0;
+  for (int round = 0; round < 60; ++round) {
+    const int nx = 1 + static_cast<int>(rng.Below(3));
+    const int ny = 1 + static_cast<int>(rng.Below(2));
+    const int clauses = 1 + static_cast<int>(rng.Below(5));
+    const ForAllExistsCnf formula =
+        RandomForAllExistsCnf(&rng, nx, ny, clauses);
+    const bool expected = ForAllExistsHolds(formula);
+    holds_count += expected ? 1 : 0;
+    const Program program = QbfToProgram(formula);
+    ++instances;
+    Result<TotalityReport> nonuniform =
+        CheckTotality(program, /*uniform=*/false);
+    Result<TotalityReport> uniform = CheckTotality(program, /*uniform=*/true);
+    if (nonuniform.ok() && nonuniform->total == expected) ++agree_nonuniform;
+    if (uniform.ok() && uniform->total == expected) ++agree_uniform;
+  }
+  std::printf("formulas: %lld (forall-exists holds on %lld)\n",
+              static_cast<long long>(instances),
+              static_cast<long long>(holds_count));
+  std::printf("agreement nonuniform: %lld/%lld   uniform: %lld/%lld   "
+              "(expected: all)\n\n",
+              static_cast<long long>(agree_nonuniform),
+              static_cast<long long>(instances),
+              static_cast<long long>(agree_uniform),
+              static_cast<long long>(instances));
+
+  std::printf("cost contrast: brute-force totality vs structural check\n");
+  std::printf("%-6s %-10s %16s %18s\n", "n_x", "databases",
+              "brute-force ms", "structural us");
+  std::printf("%s\n", std::string(54, '-').c_str());
+  for (int nx = 2; nx <= 7; ++nx) {
+    // Use a *valid* formula so the enumeration cannot exit early on a
+    // counterexample: all 2^n_x databases must be checked.
+    ForAllExistsCnf formula = RandomForAllExistsCnf(&rng, nx, 2, 6);
+    while (!ForAllExistsHolds(formula)) {
+      formula = RandomForAllExistsCnf(&rng, nx, 2, 6);
+    }
+    const Program program = QbfToProgram(formula);
+    WallTimer brute_timer;
+    Result<TotalityReport> report =
+        CheckTotality(program, /*uniform=*/false);
+    const double brute_ms = 1e3 * brute_timer.Seconds();
+    WallTimer structural_timer;
+    bool structural = false;
+    for (int rep = 0; rep < 100; ++rep) {
+      structural = IsStructurallyNonuniformlyTotal(program);
+    }
+    (void)structural;
+    const double structural_us = 1e4 * structural_timer.Seconds();
+    std::printf("%-6d %-10lld %16.2f %18.2f\n", nx,
+                report.ok() ? static_cast<long long>(report->databases_checked)
+                            : -1,
+                brute_ms, structural_us / 100 * 100);
+  }
+  std::printf(
+      "\nExpected shape: brute-force column doubles per added universal "
+      "variable (Pi2p);\nthe structural column stays flat (but answers a "
+      "weaker, structural question).\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// EXP-CMP — the headline comparison table (the paper's Section 3 narrative
+// quantified): for several program/database families, the fraction of
+// instances on which each semantics produces a total model, and how often
+// fixpoints / stable models exist at all. Invariants that must hold row by
+// row:
+//
+//   %WF-total  <=  %WFTB-total  <=  %stable-exists  <=  %fixpoint-exists
+//
+// with the gaps showing (i) what tie-breaking adds over the well-founded
+// semantics, and (ii) what it still cannot reach (non-tie components with
+// stable models, e.g. the three-rule example).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/completion.h"
+#include "core/tie_breaking.h"
+#include "core/well_founded.h"
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "util/random.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+using namespace tiebreak;
+
+namespace {
+
+struct Row {
+  std::string name;
+  int64_t instances = 0;
+  int64_t wf_total = 0;
+  int64_t pure_total = 0;
+  int64_t wftb_total = 0;
+  int64_t stable_exists = 0;
+  int64_t fixpoint_exists = 0;
+};
+
+void Account(const Program& program, const Database& database, Row* row) {
+  const GroundingResult ground = Ground(program, database).value();
+  ++row->instances;
+  if (WellFounded(program, database, ground.graph).total) ++row->wf_total;
+  RandomChoicePolicy pure_policy(row->instances);
+  if (TieBreaking(program, database, ground.graph, TieBreakingMode::kPure,
+                  &pure_policy)
+          .total) {
+    ++row->pure_total;
+  }
+  RandomChoicePolicy wftb_policy(row->instances * 31);
+  if (TieBreaking(program, database, ground.graph,
+                  TieBreakingMode::kWellFounded, &wftb_policy)
+          .total) {
+    ++row->wftb_total;
+  }
+  if (HasFixpoint(program, database, ground.graph)) ++row->fixpoint_exists;
+  if (HasStableModel(program, database, ground.graph, /*limit=*/2000)) {
+    ++row->stable_exists;
+  }
+}
+
+void Print(const Row& row) {
+  auto pct = [&](int64_t x) { return 100.0 * x / row.instances; };
+  std::printf("%-30s %5lld %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+              row.name.c_str(), static_cast<long long>(row.instances),
+              pct(row.wf_total), pct(row.pure_total), pct(row.wftb_total),
+              pct(row.stable_exists), pct(row.fixpoint_exists));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-CMP: which semantics produces a total model (%% of "
+              "instances)\n\n");
+  std::printf("%-30s %5s %8s %8s %8s %8s %8s\n", "family", "n", "WF",
+              "pureTB", "WFTB", "stable", "fixpt");
+  std::printf("%s\n", std::string(82, '-').c_str());
+
+  Rng rng(271828);
+
+  // Win-move boards by edge density.
+  for (double density : {0.8, 1.2, 1.6, 2.2}) {
+    Row row;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "win-move d=%.1f (12 nodes)", density);
+    row.name = buf;
+    for (int i = 0; i < 40; ++i) {
+      Program program = WinMoveProgram();
+      Database board = RandomDigraphDatabase(
+          &program, "move", 12, static_cast<int>(12 * density), &rng);
+      Account(program, board, &row);
+    }
+    Print(row);
+  }
+
+  // Negation rings: even = tie, odd = dead end.
+  for (int k : {2, 3, 4, 5, 6, 7}) {
+    Row row;
+    row.name = "negation ring k=" + std::to_string(k);
+    Program program = NegationRingProgram(k);
+    Database database(program);
+    Account(program, database, &row);
+    Print(row);
+  }
+
+  // The paper's named examples.
+  {
+    Row row;
+    row.name = "paper: p<-p,!q ; q<-q,!p";
+    Program program =
+        ParseProgram("p :- p, not q.\nq :- q, not p.").value();
+    Database database(program);
+    Account(program, database, &row);
+    Print(row);
+  }
+  {
+    Row row;
+    row.name = "paper: three-rule example";
+    Program program = ParseProgram(
+                          "p1 :- not p2, not p3.\n"
+                          "p2 :- not p1, not p3.\n"
+                          "p3 :- not p1, not p2.")
+                          .value();
+    Database database(program);
+    Account(program, database, &row);
+    Print(row);
+  }
+
+  // Random propositional programs by negation density.
+  for (double neg : {0.2, 0.4, 0.6, 0.8}) {
+    Row row;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "random prop neg=%.1f", neg);
+    row.name = buf;
+    for (int i = 0; i < 60; ++i) {
+      RandomProgramOptions options;
+      options.num_idb = 4;
+      options.num_edb = 2;
+      options.num_rules = 7;
+      options.negation_probability = neg;
+      Program program = RandomProgram(&rng, options);
+      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      Account(program, database, &row);
+    }
+    Print(row);
+  }
+
+  std::printf(
+      "\nExpected shape per row: WF <= WFTB <= stable <= fixpt. Pure TB is "
+      "incomparable with\nboth (the paper: \"one version succeeds ... but "
+      "not the other\"): it can resolve ties WF\ncannot, yet gets stuck on "
+      "non-tie bottoms WF dissolves as unfounded sets, and it may\nreach "
+      "non-stable fixpoints. Three-rule-style components keep stable/fixpt "
+      "above WFTB.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// EXP-T1 / EXP-L23 — Theorem 1 and Lemmas 2-3, empirically: on programs
+// whose program graph has no odd cycle (call-consistent), BOTH tie-breaking
+// interpreters produce a total model for every database and every random
+// choice sequence, the model is a fixpoint, and the WFTB model is stable.
+// Non-call-consistent programs are included as the contrast row: their
+// success rate drops below 100%, exactly as the theory allows.
+//
+// Output: one row per program family with success/validity percentages.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fixpoint.h"
+#include "core/stable.h"
+#include "core/stratification.h"
+#include "core/tie_breaking.h"
+#include "ground/grounder.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+using namespace tiebreak;
+
+namespace {
+
+struct Tally {
+  int64_t runs = 0;
+  int64_t total_models = 0;
+  int64_t fixpoints = 0;
+  int64_t wftb_totals = 0;
+  int64_t wftb_stable = 0;
+};
+
+void RunFamily(const char* name, bool want_call_consistent, double neg_prob,
+               int num_programs, Tally* tally) {
+  Rng rng(0xC0FFEE ^ static_cast<uint64_t>(neg_prob * 1000));
+  int accepted = 0;
+  while (accepted < num_programs) {
+    RandomProgramOptions options;
+    options.num_idb = 3 + static_cast<int>(rng.Below(3));
+    options.num_edb = 2;
+    options.num_rules = 3 + static_cast<int>(rng.Below(8));
+    options.negation_probability = neg_prob;
+    Program program = RandomProgram(&rng, options);
+    if (IsCallConsistent(program) != want_call_consistent) continue;
+    ++accepted;
+    for (int db_round = 0; db_round < 4; ++db_round) {
+      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      GroundingResult ground = Ground(program, database).value();
+      for (int seed = 0; seed < 4; ++seed) {
+        for (TieBreakingMode mode :
+             {TieBreakingMode::kPure, TieBreakingMode::kWellFounded}) {
+          RandomChoicePolicy policy(seed * 977 + db_round);
+          const InterpreterResult result = TieBreaking(
+              program, database, ground.graph, mode, &policy);
+          ++tally->runs;
+          if (!result.total) continue;
+          ++tally->total_models;
+          if (IsFixpoint(program, database, ground.graph, result.values)) {
+            ++tally->fixpoints;
+          }
+          if (mode == TieBreakingMode::kWellFounded) {
+            ++tally->wftb_totals;
+            if (IsStable(program, database, ground.graph, result.values)) {
+              ++tally->wftb_stable;
+            }
+          }
+        }
+      }
+    }
+  }
+  (void)name;
+}
+
+void PrintRow(const char* name, const Tally& t) {
+  std::printf(
+      "%-34s %7lld %9.1f%% %11.1f%% %9.1f%%\n", name,
+      static_cast<long long>(t.runs), 100.0 * t.total_models / t.runs,
+      t.total_models > 0 ? 100.0 * t.fixpoints / t.total_models : 0.0,
+      t.wftb_totals > 0 ? 100.0 * t.wftb_stable / t.wftb_totals : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-T1: Theorem 1 / Lemmas 2-3 on random programs\n");
+  std::printf("(4 databases x 4 choice seeds x {pure, wftb} per program)\n\n");
+  std::printf("%-34s %7s %10s %12s %10s\n", "family", "runs", "%total",
+              "%fixpoint", "%stable");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  for (double neg : {0.25, 0.45, 0.65}) {
+    Tally cc;
+    char name[64];
+    std::snprintf(name, sizeof(name), "call-consistent, neg=%.2f", neg);
+    RunFamily(name, /*want_call_consistent=*/true, neg, 40, &cc);
+    PrintRow(name, cc);
+    if (cc.total_models != cc.runs) {
+      std::printf("  !! THEOREM 1 VIOLATION: %lld/%lld runs not total\n",
+                  static_cast<long long>(cc.runs - cc.total_models),
+                  static_cast<long long>(cc.runs));
+    }
+  }
+  for (double neg : {0.45, 0.65}) {
+    Tally odd;
+    char name[64];
+    std::snprintf(name, sizeof(name), "has odd cycle, neg=%.2f", neg);
+    RunFamily(name, /*want_call_consistent=*/false, neg, 40, &odd);
+    PrintRow(name, odd);
+  }
+  std::printf(
+      "\nExpected shape: call-consistent rows at 100%% total / 100%% "
+      "fixpoint / 100%% stable;\nodd-cycle rows strictly below 100%% total "
+      "(Lemma 2 still holds: every total model is a fixpoint).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// EXP-T2 — Theorem 2 (only-if direction), empirically: for every random
+// program whose program graph has an odd cycle, the unary and constant-free
+// ternary alphabetic-variant witnesses admit NO fixpoint (UNSAT Clark
+// completion). The expected UNSAT rate is exactly 100%.
+#include <cstdio>
+#include <string>
+
+#include "core/completion.h"
+#include "core/structural_totality.h"
+#include "core/witness.h"
+#include "ground/grounder.h"
+#include "lang/skeleton.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "workload/programs.h"
+
+using namespace tiebreak;
+
+namespace {
+
+struct WitnessTally {
+  int64_t built = 0;
+  int64_t unsat = 0;
+  int64_t skeleton_ok = 0;
+  int64_t atoms = 0;
+  double seconds = 0;
+};
+
+void Check(const Program& program,
+           Result<WitnessInstance> (*builder)(const Program&),
+           WitnessTally* tally) {
+  WallTimer timer;
+  Result<WitnessInstance> witness = builder(program);
+  if (!witness.ok()) return;
+  ++tally->built;
+  if (SameSkeleton(witness->program, program)) ++tally->skeleton_ok;
+  GroundingResult ground = Ground(witness->program, witness->database).value();
+  tally->atoms += ground.graph.num_atoms();
+  if (!HasFixpoint(witness->program, witness->database, ground.graph)) {
+    ++tally->unsat;
+  }
+  tally->seconds += timer.Seconds();
+}
+
+void PrintRow(const char* name, const WitnessTally& t) {
+  std::printf("%-26s %8lld %10.1f%% %12.1f%% %10.1f %12.2f\n", name,
+              static_cast<long long>(t.built),
+              t.built ? 100.0 * t.unsat / t.built : 0.0,
+              t.built ? 100.0 * t.skeleton_ok / t.built : 0.0,
+              t.built ? static_cast<double>(t.atoms) / t.built : 0.0,
+              t.built ? 1e3 * t.seconds / t.built : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-T2: Theorem 2 witnesses on random odd-cycle programs\n\n");
+  WitnessTally unary, ternary;
+  Rng rng(0xBADC0DE);
+  int programs_with_odd_cycle = 0;
+  int examined = 0;
+  while (programs_with_odd_cycle < 150 && examined < 5000) {
+    ++examined;
+    RandomProgramOptions options;
+    options.num_idb = 2 + static_cast<int>(rng.Below(5));
+    options.num_edb = 2;
+    options.num_rules = 2 + static_cast<int>(rng.Below(9));
+    options.negation_probability = 0.45;
+    const Program program = RandomProgram(&rng, options);
+    if (IsStructurallyTotal(program)) continue;
+    ++programs_with_odd_cycle;
+    Check(program, &BuildTheorem2UnaryWitness, &unary);
+    Check(program, &BuildTheorem2TernaryWitness, &ternary);
+  }
+  // Named classics.
+  WitnessTally classics;
+  Check(WinMoveProgram(), &BuildTheorem2UnaryWitness, &classics);
+  Check(NegationRingProgram(3), &BuildTheorem2UnaryWitness, &classics);
+  Check(NegationRingProgram(5), &BuildTheorem2UnaryWitness, &classics);
+
+  std::printf("%-26s %8s %11s %13s %10s %12s\n", "witness", "built", "%unsat",
+              "%same-skel", "atoms/wit", "ms/witness");
+  std::printf("%s\n", std::string(86, '-').c_str());
+  PrintRow("unary (a,b,c)", unary);
+  PrintRow("ternary constant-free", ternary);
+  PrintRow("classics (win-move,rings)", classics);
+  std::printf(
+      "\nExpected shape: every column-2 entry at 100.0%% — an odd cycle "
+      "always yields a\nnon-total alphabetic variant (Theorem 2); skeletons "
+      "must match by construction.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// EXP-T5 — Theorem 5: the well-founded semantics is structurally total
+// exactly on stratified programs. Two directions, empirically:
+//   (if)      stratified random programs: WF totals every sampled database;
+//   (only-if) unstratified programs: the Theorem 5 witness (unary variant
+//             from a negative cycle) defeats WF every time — and when the
+//             chosen cycle is even, a fixpoint nevertheless EXISTS and WFTB
+//             finds it (the gap between WF and tie-breaking).
+#include <cstdio>
+#include <string>
+
+#include "core/completion.h"
+#include "core/stratification.h"
+#include "core/tie_breaking.h"
+#include "core/well_founded.h"
+#include "core/witness.h"
+#include "ground/grounder.h"
+#include "util/random.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+using namespace tiebreak;
+
+int main() {
+  std::printf("EXP-T5: Theorem 5 — WF-totality vs stratification\n\n");
+  Rng rng(0x5EED);
+
+  // (if) direction.
+  int64_t stratified_runs = 0, stratified_totals = 0;
+  int stratified_programs = 0;
+  while (stratified_programs < 60) {
+    RandomProgramOptions options;
+    options.num_idb = 3 + static_cast<int>(rng.Below(3));
+    options.num_edb = 2;
+    options.num_rules = 3 + static_cast<int>(rng.Below(7));
+    options.negation_probability = 0.3;
+    Program program = RandomProgram(&rng, options);
+    if (!IsStratified(program)) continue;
+    ++stratified_programs;
+    for (int db = 0; db < 6; ++db) {
+      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      const GroundingResult ground = Ground(program, database).value();
+      ++stratified_runs;
+      if (WellFounded(program, database, ground.graph).total) {
+        ++stratified_totals;
+      }
+    }
+  }
+  std::printf("stratified programs:   %d, WF total on %lld/%lld sampled "
+              "databases (%.1f%%)\n",
+              stratified_programs, static_cast<long long>(stratified_totals),
+              static_cast<long long>(stratified_runs),
+              100.0 * stratified_totals / stratified_runs);
+
+  // (only-if) direction.
+  int unstratified_programs = 0;
+  int64_t wf_stuck = 0, even_cycles = 0, even_rescued = 0, odd_cycles = 0,
+          odd_unsat = 0;
+  while (unstratified_programs < 60) {
+    RandomProgramOptions options;
+    options.num_idb = 3 + static_cast<int>(rng.Below(3));
+    options.num_edb = 2;
+    options.num_rules = 3 + static_cast<int>(rng.Below(7));
+    options.negation_probability = 0.5;
+    Program program = RandomProgram(&rng, options);
+    if (IsStratified(program)) continue;
+    ++unstratified_programs;
+    Result<WitnessInstance> witness = BuildTheorem5Witness(program);
+    if (!witness.ok()) continue;
+    const GroundingResult ground =
+        Ground(witness->program, witness->database).value();
+    const InterpreterResult wf =
+        WellFounded(witness->program, witness->database, ground.graph);
+    if (!wf.total) ++wf_stuck;
+    if (witness->cycle_is_odd) {
+      ++odd_cycles;
+      if (!HasFixpoint(witness->program, witness->database, ground.graph)) {
+        ++odd_unsat;
+      }
+    } else {
+      ++even_cycles;
+      const InterpreterResult wftb =
+          TieBreaking(witness->program, witness->database, ground.graph,
+                      TieBreakingMode::kWellFounded);
+      if (wftb.total) ++even_rescued;
+    }
+  }
+  std::printf("unstratified programs: %d, Theorem-5 witness defeats WF on "
+              "%lld (%.1f%%)\n",
+              unstratified_programs, static_cast<long long>(wf_stuck),
+              100.0 * wf_stuck / unstratified_programs);
+  std::printf("  even-cycle witnesses: %lld, WFTB rescues %lld (%.1f%%)\n",
+              static_cast<long long>(even_cycles),
+              static_cast<long long>(even_rescued),
+              even_cycles ? 100.0 * even_rescued / even_cycles : 0.0);
+  std::printf("  odd-cycle witnesses:  %lld, no fixpoint at all on %lld "
+              "(%.1f%%)\n",
+              static_cast<long long>(odd_cycles),
+              static_cast<long long>(odd_unsat),
+              odd_cycles ? 100.0 * odd_unsat / odd_cycles : 0.0);
+  std::printf(
+      "\nExpected shape: 100%% / 100%% / 100%% / 100%% — WF-totality "
+      "collapses to stratification\n(Theorem 5), while tie-breaking survives "
+      "every even negative cycle (Theorem 1).\n");
+  return 0;
+}

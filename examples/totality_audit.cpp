@@ -1,0 +1,87 @@
+// Structural totality audit: run the paper's linear-time analyses over a
+// batch of programs. For each program report stratification,
+// call-consistency (= structural totality, Theorem 2), nonuniform structural
+// totality (Theorem 3), and — when a program fails — construct the explicit
+// alphabetic-variant witness from the proof and verify with the SAT-backed
+// fixpoint search that it really has no fixpoint.
+//
+//   $ example_totality_audit
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/completion.h"
+#include "core/stratification.h"
+#include "core/structural_totality.h"
+#include "core/witness.h"
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "util/strings.h"
+
+using namespace tiebreak;
+
+int main() {
+  const std::vector<std::pair<const char*, const char*>> suite = {
+      {"transitive closure",
+       "t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z)."},
+      {"stratified difference",
+       "only_a(X) :- a(X), not b(X)."},
+      {"even negation ring",
+       "p :- not q.\nq :- not p."},
+      {"win-move",
+       "win(X) :- move(X, Y), not win(Y)."},
+      {"paper program (1)",
+       "P(a) :- not P(X), E(b)."},
+      {"odd cycle through useless predicate",
+       "g :- g.\np :- not p, g."},
+      {"three-rule stable example",
+       "p1 :- not p2, not p3.\np2 :- not p1, not p3.\np3 :- not p1, not p2."},
+  };
+
+  std::printf("%-36s %-10s %-10s %-12s %-12s\n", "program", "stratified",
+              "call-cons", "struct.total", "nonunif.tot");
+  std::printf("%s\n", std::string(84, '-').c_str());
+  std::vector<Program> failing;
+  std::vector<std::string> failing_names;
+  for (const auto& [name, text] : suite) {
+    Program program = ParseProgram(text).value();
+    const bool stratified = IsStratified(program);
+    const bool cc = IsCallConsistent(program);
+    const bool st = IsStructurallyTotal(program);
+    const bool nut = IsStructurallyNonuniformlyTotal(program);
+    std::printf("%-36s %-10s %-10s %-12s %-12s\n", name,
+                stratified ? "yes" : "no", cc ? "yes" : "no",
+                st ? "yes" : "no", nut ? "yes" : "no");
+    if (!st) {
+      failing.push_back(std::move(program));
+      failing_names.push_back(name);
+    }
+  }
+
+  std::printf("\nWitnesses for the structurally non-total programs "
+              "(Theorem 2 construction):\n");
+  for (size_t i = 0; i < failing.size(); ++i) {
+    Result<WitnessInstance> witness = BuildTheorem2UnaryWitness(failing[i]);
+    if (!witness.ok()) {
+      std::printf("  %s: %s\n", failing_names[i].c_str(),
+                  witness.status().ToString().c_str());
+      continue;
+    }
+    GroundingResult ground =
+        Ground(witness->program, witness->database).value();
+    const bool has_fixpoint =
+        HasFixpoint(witness->program, witness->database, ground.graph);
+    std::printf("\n  %s  — odd cycle through [%s]\n", failing_names[i].c_str(),
+                Join(witness->cycle_predicates, " -> ").c_str());
+    std::printf("  variant (all predicates unary, Δ = {Q(b) for all Q}):\n");
+    for (const std::string& line :
+         Split(ProgramToString(witness->program), '\n')) {
+      if (!line.empty()) std::printf("    %s\n", line.c_str());
+    }
+    std::printf("  SAT check over the Clark completion: %s\n",
+                has_fixpoint ? "fixpoint found (UNEXPECTED!)"
+                             : "no fixpoint — witness confirmed");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "core/alternating.h"
+
+#include <vector>
+
+namespace tiebreak {
+
+namespace {
+
+// Least fixpoint of the positive immediate-consequence operator with
+// negative literals read against `anti` (¬b holds iff !anti[b]).
+// `base` marks the atoms true outright (Δ atoms; EDB atoms per Δ).
+std::vector<char> LeastModelAgainst(const GroundGraph& graph,
+                                    const std::vector<char>& base,
+                                    const std::vector<char>& anti) {
+  std::vector<char> in(base);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const RuleInstance& inst : graph.rules()) {
+      if (in[inst.head]) continue;
+      bool body = true;
+      for (AtomId a : inst.positive_body) {
+        if (!in[a]) {
+          body = false;
+          break;
+        }
+      }
+      if (body) {
+        for (AtomId a : inst.negative_body) {
+          if (anti[a]) {
+            body = false;
+            break;
+          }
+        }
+      }
+      if (body) {
+        in[inst.head] = 1;
+        changed = true;
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+InterpreterResult AlternatingFixpointWellFounded(const Program& program,
+                                                 const Database& database,
+                                                 const GroundGraph& graph) {
+  // `program` is part of the interpreter signature for symmetry; the
+  // alternating fixpoint needs only Δ (EDB atoms without rules can never be
+  // derived, so the base covers them).
+  (void)program;
+  const int32_t n = graph.num_atoms();
+  // Base facts: Δ atoms are unconditionally true. EDB atoms not in Δ can
+  // never be derived (no rules), so the base covers all their truth.
+  std::vector<char> base(n, 0);
+  for (AtomId a = 0; a < n; ++a) {
+    if (database.Contains(graph.atoms().PredicateOf(a),
+                          graph.atoms().TupleOf(a))) {
+      base[a] = 1;
+    }
+  }
+
+  InterpreterResult result;
+  std::vector<char> under(base);              // A_0: only certain facts
+  std::vector<char> over;                     // B_k
+  while (true) {
+    ++result.iterations;
+    over = LeastModelAgainst(graph, base, under);
+    std::vector<char> next_under = LeastModelAgainst(graph, base, over);
+    if (next_under == under) break;
+    under = std::move(next_under);
+  }
+
+  result.values.assign(n, Truth::kUndef);
+  for (AtomId a = 0; a < n; ++a) {
+    if (under[a]) {
+      result.values[a] = Truth::kTrue;
+    } else if (!over[a]) {
+      result.values[a] = Truth::kFalse;
+    }
+  }
+  result.total = result.CountUndefined() == 0;
+  return result;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,30 @@
+// Van Gelder's alternating fixpoint characterization of the well-founded
+// semantics — implemented as an *independent second computation* of the
+// well-founded model, used to cross-validate the unfounded-set interpreter
+// of core/well_founded.h (the two must agree on every instance; tested).
+//
+// T_J is the immediate-consequence least fixpoint where negated literals are
+// evaluated against a fixed set J (¬b holds iff b ∉ J). The sequence
+//   A_0 = ∅,  B_k = T(A_k),  A_{k+1} = T(B_k)
+// has A ascending (underestimates of true) and B descending (overestimates);
+// at the limit: true = A_∞, false = complement of B_∞, undefined = B_∞ \ A_∞.
+#ifndef TIEBREAK_CORE_ALTERNATING_H_
+#define TIEBREAK_CORE_ALTERNATING_H_
+
+#include "core/interpreter_result.h"
+#include "ground/ground_graph.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// Computes the well-founded model by alternating fixpoints. Semantically
+/// identical to WellFounded(); asymptotically slower (naive inner fixpoints)
+/// but completely independent code.
+InterpreterResult AlternatingFixpointWellFounded(const Program& program,
+                                                 const Database& database,
+                                                 const GroundGraph& graph);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_ALTERNATING_H_

@@ -1,0 +1,99 @@
+// Choice policies for the nondeterminism of the tie-breaking interpreters
+// (Section 3): when a bottom tie with two nonempty sides is found, "the
+// roles of K and L ... are chosen arbitrarily". A ChoicePolicy decides
+// (a) which bottom tie to break when several exist, and (b) which side of
+// the chosen tie becomes K (true).
+//
+// The scripted policy drives the exhaustive exploration used to validate
+// "for all choices" statements (core/exploration.h); the seeded random
+// policy samples the full choice space for the larger experiments.
+#ifndef TIEBREAK_CORE_CHOICE_POLICY_H_
+#define TIEBREAK_CORE_CHOICE_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "util/random.h"
+
+namespace tiebreak {
+
+/// A bottom tie presented to the policy: the atoms of its two Lemma-1
+/// partition sides (rule nodes are not shown; they follow their side).
+/// Both sides are nonempty when the policy is consulted.
+struct TieView {
+  std::vector<AtomId> side0;
+  std::vector<AtomId> side1;
+};
+
+/// Strategy interface. Implementations may be stateful (random streams,
+/// scripts); one policy instance drives one interpreter run.
+class ChoicePolicy {
+ public:
+  virtual ~ChoicePolicy() = default;
+
+  /// Picks which of `num_ties` bottom ties to break next (default: first).
+  virtual size_t ChooseTie(size_t num_ties) {
+    (void)num_ties;
+    return 0;
+  }
+
+  /// Returns true to make side0 the true side K (side1 becomes L/false),
+  /// false for the opposite orientation.
+  virtual bool Side0True(const TieView& tie) = 0;
+};
+
+/// Deterministic default: always the first tie, side0 true. With the
+/// deterministic live-graph construction this makes runs reproducible.
+class FirstChoicePolicy : public ChoicePolicy {
+ public:
+  bool Side0True(const TieView& tie) override {
+    (void)tie;
+    return true;
+  }
+};
+
+/// Seeded random choices over both tie selection and orientation.
+class RandomChoicePolicy : public ChoicePolicy {
+ public:
+  explicit RandomChoicePolicy(uint64_t seed) : rng_(seed) {}
+
+  size_t ChooseTie(size_t num_ties) override {
+    return static_cast<size_t>(rng_.Below(num_ties));
+  }
+  bool Side0True(const TieView& tie) override {
+    (void)tie;
+    return rng_.Chance(0.5);
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Follows a pre-recorded orientation script; choices beyond the script
+/// default to "side0 true" and are counted, which lets an exploration driver
+/// grow the script tree (see core/exploration.h). Tie selection stays
+/// deterministic (first) so that scripts replay.
+class ScriptedChoicePolicy : public ChoicePolicy {
+ public:
+  explicit ScriptedChoicePolicy(std::vector<bool> script)
+      : script_(std::move(script)) {}
+
+  bool Side0True(const TieView& tie) override {
+    (void)tie;
+    const size_t index = choices_made_++;
+    if (index < script_.size()) return script_[index];
+    return true;
+  }
+
+  /// Total orientation choices the interpreter asked for.
+  size_t choices_made() const { return choices_made_; }
+
+ private:
+  std::vector<bool> script_;
+  size_t choices_made_ = 0;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_CHOICE_POLICY_H_

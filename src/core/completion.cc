@@ -1,0 +1,132 @@
+#include "core/completion.h"
+
+#include "core/stable.h"
+
+namespace tiebreak {
+
+FixpointSearch::FixpointSearch(const Program& program,
+                               const Database& database,
+                               const GroundGraph& graph)
+    : graph_(&graph) {
+  TIEBREAK_CHECK(graph.finalized());
+  atom_var_.resize(graph.num_atoms());
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    atom_var_[a] = solver_.NewVar();
+  }
+  // One auxiliary "body" variable per rule instance:
+  //   d_r <-> conjunction of body literals.
+  std::vector<int32_t> body_var(graph.num_rules());
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    const RuleInstance& inst = graph.rule(r);
+    const int32_t d = solver_.NewVar();
+    body_var[r] = d;
+    std::vector<SatLit> back{PosLit(d)};  // (l1 & ... & lk) -> d
+    for (AtomId a : inst.positive_body) {
+      solver_.AddBinary(NegLit(d), PosLit(atom_var_[a]));  // d -> a
+      back.push_back(NegLit(atom_var_[a]));
+    }
+    for (AtomId a : inst.negative_body) {
+      solver_.AddBinary(NegLit(d), NegLit(atom_var_[a]));  // d -> !a
+      back.push_back(PosLit(atom_var_[a]));
+    }
+    solver_.AddClause(std::move(back));
+  }
+  // Per-atom completion.
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    const PredId pred = graph.atoms().PredicateOf(a);
+    const bool in_delta = database.Contains(pred, graph.atoms().TupleOf(a));
+    if (in_delta) {
+      solver_.AddUnit(PosLit(atom_var_[a]));  // Δ atoms are true, supported
+      continue;
+    }
+    if (program.IsEdb(pred)) {
+      // EDB atoms exist as nodes only in faithful graphs; not in Δ => false.
+      solver_.AddUnit(NegLit(atom_var_[a]));
+      continue;
+    }
+    // a <-> ⋁ d_r over supporters.
+    std::vector<SatLit> forward{NegLit(atom_var_[a])};
+    for (int32_t r : graph.Supporters(a)) {
+      solver_.AddBinary(NegLit(body_var[r]), PosLit(atom_var_[a]));  // d -> a
+      forward.push_back(PosLit(body_var[r]));
+    }
+    solver_.AddClause(std::move(forward));  // a -> some body
+  }
+}
+
+std::optional<std::vector<Truth>> FixpointSearch::SolveOne() {
+  if (exhausted_) return std::nullopt;
+  const SatResult result = solver_.Solve();
+  TIEBREAK_CHECK(result != SatResult::kUnknown);
+  if (result == SatResult::kUnsat) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  std::vector<Truth> values(graph_->num_atoms(), Truth::kUndef);
+  for (AtomId a = 0; a < graph_->num_atoms(); ++a) {
+    values[a] = solver_.ModelValue(atom_var_[a]) ? Truth::kTrue : Truth::kFalse;
+  }
+  solver_.BlockModel(atom_var_);
+  return values;
+}
+
+std::optional<std::vector<Truth>> FixpointSearch::Next() {
+  if (cached_.has_value()) {
+    std::optional<std::vector<Truth>> out = std::move(cached_);
+    cached_.reset();
+    return out;
+  }
+  return SolveOne();
+}
+
+bool FixpointSearch::HasFixpoint() {
+  if (cached_.has_value()) return true;
+  cached_ = SolveOne();
+  return cached_.has_value();
+}
+
+int64_t FixpointSearch::Count(int64_t limit) {
+  int64_t count = 0;
+  while ((limit == 0 || count < limit) && Next().has_value()) ++count;
+  return count;
+}
+
+bool HasFixpoint(const Program& program, const Database& database,
+                 const GroundGraph& graph) {
+  FixpointSearch search(program, database, graph);
+  return search.HasFixpoint();
+}
+
+bool HasStableModel(const Program& program, const Database& database,
+                    const GroundGraph& graph, int64_t limit) {
+  FixpointSearch search(program, database, graph);
+  int64_t inspected = 0;
+  while (limit == 0 || inspected < limit) {
+    std::optional<std::vector<Truth>> model = search.Next();
+    if (!model.has_value()) return false;
+    ++inspected;
+    if (IsStable(program, database, graph, *model)) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<Truth>> EnumerateStableModels(
+    const Program& program, const Database& database, const GroundGraph& graph,
+    int64_t limit) {
+  std::vector<std::vector<Truth>> stable_models;
+  FixpointSearch search(program, database, graph);
+  while (true) {
+    std::optional<std::vector<Truth>> model = search.Next();
+    if (!model.has_value()) break;
+    if (IsStable(program, database, graph, *model)) {
+      stable_models.push_back(std::move(*model));
+      if (limit > 0 &&
+          static_cast<int64_t>(stable_models.size()) >= limit) {
+        break;
+      }
+    }
+  }
+  return stable_models;
+}
+
+}  // namespace tiebreak

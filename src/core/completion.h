@@ -1,0 +1,74 @@
+// Clark completion of a ground instance, encoded into CNF: fixpoints of Π on
+// Δ are exactly the models of
+//
+//     a  <->  (a ∈ Δ)  ∨  ⋁ { body(r) : rule instance r with head a }
+//
+// over the ground graph's atoms ([KP]'s "models of the Clark extension").
+// FixpointSearch wraps the encoding behind a searcher: existence queries,
+// model enumeration (with blocking clauses) and counting. This is the
+// workhorse behind the paper's negative results — Theorems 2/3/6 all claim
+// "no fixpoint whatsoever", which we verify as UNSAT answers.
+#ifndef TIEBREAK_CORE_COMPLETION_H_
+#define TIEBREAK_CORE_COMPLETION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/truth.h"
+#include "lang/database.h"
+#include "lang/program.h"
+#include "sat/solver.h"
+
+namespace tiebreak {
+
+/// SAT-backed search over the fixpoints of one ground instance.
+class FixpointSearch {
+ public:
+  /// Builds the completion encoding. Works on reduced or faithful graphs.
+  FixpointSearch(const Program& program, const Database& database,
+                 const GroundGraph& graph);
+
+  /// Returns the next fixpoint (total model, Truth per AtomId) or nullopt
+  /// when all fixpoints have been enumerated. Each call adds a blocking
+  /// clause, so successive calls yield distinct models.
+  std::optional<std::vector<Truth>> Next();
+
+  /// True iff at least one (more) fixpoint exists. Does not consume it: the
+  /// following Next() returns the witnessing model.
+  bool HasFixpoint();
+
+  /// Counts fixpoints up to `limit` (enumeration with blocking clauses).
+  int64_t Count(int64_t limit);
+
+ private:
+  /// Solves for one more model and immediately blocks it; nullopt when the
+  /// space is exhausted.
+  std::optional<std::vector<Truth>> SolveOne();
+
+  const GroundGraph* graph_;
+  SatSolver solver_;
+  std::vector<int32_t> atom_var_;  // AtomId -> SAT var
+  bool exhausted_ = false;
+  std::optional<std::vector<Truth>> cached_;  // found but not yet returned
+};
+
+/// One-shot convenience: does (program, database, graph) admit a fixpoint?
+bool HasFixpoint(const Program& program, const Database& database,
+                 const GroundGraph& graph);
+
+/// One-shot convenience: is there a *stable* model? Enumerates fixpoints and
+/// filters through the stability check; `limit` caps the number of fixpoint
+/// candidates inspected (0 = unbounded).
+bool HasStableModel(const Program& program, const Database& database,
+                    const GroundGraph& graph, int64_t limit = 0);
+
+/// Enumerates up to `limit` stable models (0 = all).
+std::vector<std::vector<Truth>> EnumerateStableModels(
+    const Program& program, const Database& database, const GroundGraph& graph,
+    int64_t limit = 0);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_COMPLETION_H_

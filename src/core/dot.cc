@@ -1,0 +1,69 @@
+#include "core/dot.h"
+
+#include <sstream>
+
+#include "lang/printer.h"
+#include "lang/program_graph.h"
+
+namespace tiebreak {
+
+std::string ProgramGraphToDot(const Program& program) {
+  const ProgramGraph pg = BuildProgramGraph(program);
+  std::ostringstream out;
+  out << "digraph program_graph {\n";
+  out << "  rankdir=LR;\n";
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    out << "  p" << p << " [label=\"" << program.predicate_name(p) << "\""
+        << (program.IsEdb(p) ? ", shape=box" : ", shape=ellipse") << "];\n";
+  }
+  for (int32_t e = 0; e < pg.graph.num_edges(); ++e) {
+    const SignedEdge& edge = pg.graph.edge(e);
+    out << "  p" << edge.from << " -> p" << edge.to;
+    if (edge.negative) out << " [style=dashed, color=red, label=\"not\"]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string GroundGraphToDot(const Program& program, const GroundGraph& graph,
+                             const std::vector<Truth>* values) {
+  std::ostringstream out;
+  out << "digraph ground_graph {\n";
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    out << "  a" << a << " [label=\""
+        << GroundAtomToString(program, graph.atoms().PredicateOf(a),
+                              graph.atoms().TupleOf(a))
+        << "\"";
+    if (values != nullptr) {
+      switch ((*values)[a]) {
+        case Truth::kTrue:
+          out << ", style=filled, fillcolor=palegreen";
+          break;
+        case Truth::kFalse:
+          out << ", style=filled, fillcolor=lightgray";
+          break;
+        case Truth::kUndef:
+          out << ", style=filled, fillcolor=khaki";
+          break;
+      }
+    }
+    out << "];\n";
+  }
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    const RuleInstance& inst = graph.rule(r);
+    out << "  r" << r << " [shape=point, label=\"\"];\n";
+    out << "  r" << r << " -> a" << inst.head << ";\n";
+    for (AtomId a : inst.positive_body) {
+      out << "  a" << a << " -> r" << r << ";\n";
+    }
+    for (AtomId a : inst.negative_body) {
+      out << "  a" << a << " -> r" << r
+          << " [style=dashed, color=red];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tiebreak

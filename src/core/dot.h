@@ -1,0 +1,28 @@
+// Graphviz (DOT) export of the paper's two graphs: the program graph G(Π)
+// and the ground graph G(Π, Δ). Negative edges are dashed/red; when a model
+// is supplied, ground atoms are colored by truth value (green true, gray
+// false, yellow undefined). Handy for papers, debugging and the CLI.
+#ifndef TIEBREAK_CORE_DOT_H_
+#define TIEBREAK_CORE_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/truth.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// DOT rendering of G(Π). EDB predicates are boxes, IDB ellipses.
+std::string ProgramGraphToDot(const Program& program);
+
+/// DOT rendering of G(Π, Δ): atom nodes (ellipses) and rule nodes (points),
+/// with the optional `values` coloring atoms by truth.
+std::string GroundGraphToDot(const Program& program, const GroundGraph& graph,
+                             const std::vector<Truth>* values = nullptr);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_DOT_H_

@@ -1,0 +1,43 @@
+#include "core/exploration.h"
+
+#include <utility>
+
+namespace tiebreak {
+
+std::vector<ExploredRun> ExploreAllChoices(const Program& program,
+                                           const Database& database,
+                                           const GroundGraph& graph,
+                                           TieBreakingMode mode,
+                                           int64_t max_runs) {
+  std::vector<ExploredRun> runs;
+  // Depth-first over binary orientation scripts. A script is a *leaf* when
+  // the interpreter consulted no choices beyond it; otherwise both
+  // extensions at the first unscripted position are explored.
+  std::vector<std::vector<bool>> stack{{}};
+  while (!stack.empty()) {
+    std::vector<bool> script = std::move(stack.back());
+    stack.pop_back();
+    TIEBREAK_CHECK_LT(static_cast<int64_t>(runs.size()), max_runs)
+        << "choice-space exploration exceeded max_runs";
+    ScriptedChoicePolicy policy(script);
+    InterpreterResult result =
+        TieBreaking(program, database, graph, mode, &policy);
+    if (policy.choices_made() > script.size()) {
+      // The run improvised at position script.size(); branch there. The
+      // default improvisation is `true`, so this run covered the `true`
+      // branch prefix — but deeper improvisations may exist, so re-run both
+      // extensions explicitly for a clean tree.
+      std::vector<bool> with_true = script;
+      with_true.push_back(true);
+      std::vector<bool> with_false = script;
+      with_false.push_back(false);
+      stack.push_back(std::move(with_false));
+      stack.push_back(std::move(with_true));
+      continue;
+    }
+    runs.push_back(ExploredRun{std::move(script), std::move(result)});
+  }
+  return runs;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,41 @@
+// Exhaustive exploration of the tie-breaking interpreters' choice space.
+// The paper's guarantees ("for all choices", Theorem 1; "both ways lead to
+// (different) stable models", Section 3) quantify over every run of the
+// nondeterministic algorithm; this driver enumerates all orientation
+// scripts (with deterministic first-tie selection) via depth-first growth
+// of a ScriptedChoicePolicy and returns every leaf outcome.
+//
+// Orientation choices are the paper's K/L nondeterminism; tie *selection*
+// order is kept deterministic here (the randomized policies sample that
+// dimension in the experiments).
+#ifndef TIEBREAK_CORE_EXPLORATION_H_
+#define TIEBREAK_CORE_EXPLORATION_H_
+
+#include <vector>
+
+#include "core/interpreter_result.h"
+#include "core/tie_breaking.h"
+#include "ground/ground_graph.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// One explored run: the orientation script that produced it and the result.
+struct ExploredRun {
+  std::vector<bool> script;
+  InterpreterResult result;
+};
+
+/// Runs the chosen interpreter once per orientation script, exhaustively.
+/// `max_runs` caps the exploration (CHECK-fails if exceeded, so tests fail
+/// loudly rather than silently truncating).
+std::vector<ExploredRun> ExploreAllChoices(const Program& program,
+                                           const Database& database,
+                                           const GroundGraph& graph,
+                                           TieBreakingMode mode,
+                                           int64_t max_runs = 4096);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_EXPLORATION_H_

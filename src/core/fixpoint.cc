@@ -1,0 +1,77 @@
+#include "core/fixpoint.h"
+
+namespace tiebreak {
+
+bool BodyTrue(const RuleInstance& inst, const std::vector<Truth>& values) {
+  for (AtomId a : inst.positive_body) {
+    if (values[a] != Truth::kTrue) return false;
+  }
+  for (AtomId a : inst.negative_body) {
+    if (values[a] != Truth::kFalse) return false;
+  }
+  return true;
+}
+
+bool IsFixpoint(const Program& program, const Database& database,
+                const GroundGraph& graph, const std::vector<Truth>& values) {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(values.size()), graph.num_atoms());
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (values[a] == Truth::kUndef) return false;  // not total
+    const PredId pred = graph.atoms().PredicateOf(a);
+    bool expected = database.Contains(pred, graph.atoms().TupleOf(a));
+    if (!expected && !program.IsEdb(pred)) {
+      for (int32_t r : graph.Supporters(a)) {
+        if (BodyTrue(graph.rule(r), values)) {
+          expected = true;
+          break;
+        }
+      }
+    }
+    if ((values[a] == Truth::kTrue) != expected) return false;
+  }
+  return true;
+}
+
+bool IsConsistent(const Program& program, const Database& database,
+                  const GroundGraph& graph, const std::vector<Truth>& values) {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(values.size()), graph.num_atoms());
+  // Extends M0(Δ): Δ atoms true; EDB atoms (present only in faithful
+  // graphs) match Δ exactly.
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    const PredId pred = graph.atoms().PredicateOf(a);
+    const bool in_delta = database.Contains(pred, graph.atoms().TupleOf(a));
+    if (in_delta && values[a] != Truth::kTrue) return false;
+    if (!in_delta && program.IsEdb(pred) && values[a] != Truth::kFalse) {
+      return false;
+    }
+  }
+  // Every instantiated rule with a true body has a true head.
+  for (const RuleInstance& inst : graph.rules()) {
+    if (BodyTrue(inst, values) && values[inst.head] != Truth::kTrue) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TrueAtomsSupported(const Program& program, const Database& database,
+                        const GroundGraph& graph,
+                        const std::vector<Truth>& values) {
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (values[a] != Truth::kTrue) continue;
+    const PredId pred = graph.atoms().PredicateOf(a);
+    if (program.IsEdb(pred)) continue;
+    if (database.Contains(pred, graph.atoms().TupleOf(a))) continue;
+    bool supported = false;
+    for (int32_t r : graph.Supporters(a)) {
+      if (BodyTrue(graph.rule(r), values)) {
+        supported = true;
+        break;
+      }
+    }
+    if (!supported) return false;
+  }
+  return true;
+}
+
+}  // namespace tiebreak

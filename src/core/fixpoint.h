@@ -1,0 +1,42 @@
+// Fixpoint (supported-model) and consistency checkers over ground graphs
+// (Section 2). A fixpoint is a total model in which an atom is true iff it
+// is in Δ or is the head of a rule instance whose body is true; consistency
+// is the one-directional version for partial models (Lemma 2's guarantee).
+#ifndef TIEBREAK_CORE_FIXPOINT_H_
+#define TIEBREAK_CORE_FIXPOINT_H_
+
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/truth.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// True iff every literal of rule instance `inst` is true under `values`
+/// (positive body atoms true, negated body atoms false).
+bool BodyTrue(const RuleInstance& inst, const std::vector<Truth>& values);
+
+/// True iff `values` is total over the graph's atoms and is a fixpoint of
+/// (program, database). Works on both faithful and reduced graphs (for
+/// reduced graphs, EDB-dead instances and EDB-resolved literals were removed
+/// by construction, which preserves the check exactly).
+bool IsFixpoint(const Program& program, const Database& database,
+                const GroundGraph& graph, const std::vector<Truth>& values);
+
+/// True iff the (possibly partial) model extends M0(Δ) and satisfies every
+/// rule instance whose body is fully true (consistent model, Section 2).
+bool IsConsistent(const Program& program, const Database& database,
+                  const GroundGraph& graph, const std::vector<Truth>& values);
+
+/// True iff every true IDB atom not in Δ is *supported*: it heads a rule
+/// instance whose body is true. Part of Lemma 2's proof obligation; exposed
+/// separately so tests can check it on partial models.
+bool TrueAtomsSupported(const Program& program, const Database& database,
+                        const GroundGraph& graph,
+                        const std::vector<Truth>& values);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_FIXPOINT_H_

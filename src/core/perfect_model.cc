@@ -1,0 +1,101 @@
+#include "core/perfect_model.h"
+
+#include "core/fixpoint.h"
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "graph/tie.h"
+
+namespace tiebreak {
+
+namespace {
+
+// Full (not live) ground graph as a SignedDigraph: atoms get node ids
+// [0, num_atoms), rule nodes follow.
+SignedDigraph FullGraph(const GroundGraph& graph) {
+  SignedDigraph g(graph.num_atoms() + graph.num_rules());
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    const RuleInstance& inst = graph.rule(r);
+    const int32_t rule_node = graph.num_atoms() + r;
+    for (AtomId a : inst.positive_body) g.AddEdge(a, rule_node, false);
+    for (AtomId a : inst.negative_body) g.AddEdge(a, rule_node, true);
+    g.AddEdge(rule_node, inst.head, false);
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace
+
+bool IsLocallyStratified(const Program& program, const Database& database,
+                         const GroundGraph& graph) {
+  (void)program;
+  (void)database;
+  const SignedDigraph g = FullGraph(graph);
+  const SccResult scc = ComputeScc(g);
+  for (int32_t e = 0; e < g.num_edges(); ++e) {
+    const SignedEdge& edge = g.edge(e);
+    if (edge.negative && scc.component[edge.from] == scc.component[edge.to]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsGroundCallConsistent(const GroundGraph& graph) {
+  return !HasOddCycle(FullGraph(graph));
+}
+
+std::optional<std::vector<Truth>> PerfectModel(const Program& program,
+                                               const Database& database,
+                                               const GroundGraph& graph) {
+  const SignedDigraph g = FullGraph(graph);
+  const SccResult scc = ComputeScc(g);
+  for (int32_t e = 0; e < g.num_edges(); ++e) {
+    const SignedEdge& edge = g.edge(e);
+    if (edge.negative && scc.component[edge.from] == scc.component[edge.to]) {
+      return std::nullopt;  // not locally stratified
+    }
+  }
+
+  // Base: everything false except Δ (EDB atoms exist as nodes only in
+  // faithful graphs; those not in Δ are already false).
+  std::vector<Truth> values(graph.num_atoms(), Truth::kFalse);
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (database.Contains(graph.atoms().PredicateOf(a),
+                          graph.atoms().TupleOf(a))) {
+      values[a] = Truth::kTrue;
+    }
+  }
+  (void)program;
+
+  // Group rule instances by the component of their head. Tarjan ids are
+  // reverse-topological (edge u -> v implies comp(v) < comp(u)), and body
+  // atoms point *toward* heads, so dependencies have larger component ids:
+  // processing components in descending order sees dependencies first.
+  std::vector<std::vector<int32_t>> rules_by_comp(scc.num_components);
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    rules_by_comp[scc.component[graph.rule(r).head]].push_back(r);
+  }
+  for (int32_t comp = scc.num_components - 1; comp >= 0; --comp) {
+    const std::vector<int32_t>& rules = rules_by_comp[comp];
+    if (rules.empty()) continue;
+    // Least fixpoint within the component: negated atoms are in strictly
+    // earlier-processed components (local stratification), positive
+    // same-component atoms converge by iteration.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int32_t r : rules) {
+        const RuleInstance& inst = graph.rule(r);
+        if (values[inst.head] == Truth::kTrue) continue;
+        if (BodyTrue(inst, values)) {
+          values[inst.head] = Truth::kTrue;
+          changed = true;
+        }
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace tiebreak

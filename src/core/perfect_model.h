@@ -1,0 +1,44 @@
+// Local stratification and the perfect model [Pr], Section 3: a program/
+// database pair is locally stratified when no SCC of the ground graph
+// contains a negative edge; the perfect model evaluates the ground SCCs
+// bottom-up, minimizing lower levels first. The paper observes that both
+// tie-breaking interpreters compute exactly the perfect model on locally
+// stratified inputs (an SCC with no negative edges is a tie with one empty
+// side) — tested in core_test.cc.
+#ifndef TIEBREAK_CORE_PERFECT_MODEL_H_
+#define TIEBREAK_CORE_PERFECT_MODEL_H_
+
+#include <optional>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/truth.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// True iff no SCC of the ground graph contains a negative edge. (On
+/// reduced graphs this judges the *relevant* instantiations — EDB-dead rule
+/// nodes cannot resurrect a negative cycle semantically.)
+bool IsLocallyStratified(const Program& program, const Database& database,
+                         const GroundGraph& graph);
+
+/// Instance-level Theorem 1: true iff the ground graph has no cycle with an
+/// odd number of negative edges. When it holds, every bottom component the
+/// interpreters ever see is a tie, so the tie-breaking interpreters produce
+/// a total model for *this* instance under every choice — even when the
+/// program itself is not call-consistent (e.g. win-move on a board whose
+/// draw cycles are all even).
+bool IsGroundCallConsistent(const GroundGraph& graph);
+
+/// The perfect model of a locally stratified instance: per-SCC bottom-up
+/// least fixpoints in topological order. nullopt when the instance is not
+/// locally stratified.
+std::optional<std::vector<Truth>> PerfectModel(const Program& program,
+                                               const Database& database,
+                                               const GroundGraph& graph);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_PERFECT_MODEL_H_

@@ -1,0 +1,47 @@
+#include "core/query.h"
+
+#include "lang/parser.h"
+
+namespace tiebreak {
+
+Result<QueryResult> EvaluateQuery(Program* program, const GroundGraph& graph,
+                                  const std::vector<Truth>& values,
+                                  std::string_view pattern_text) {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(values.size()), graph.num_atoms());
+  Result<AtomPattern> pattern = ParseAtomPattern(pattern_text, program);
+  if (!pattern.ok()) return pattern.status();
+  const Atom& atom = pattern->atom;
+  const int32_t num_vars =
+      static_cast<int32_t>(pattern->variable_names.size());
+
+  QueryResult result;
+  result.variables = pattern->variable_names;
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (graph.atoms().PredicateOf(a) != atom.predicate) continue;
+    if (values[a] == Truth::kFalse) continue;
+    const Tuple& tuple = graph.atoms().TupleOf(a);
+    Tuple binding(num_vars, -1);
+    bool match = true;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& term = atom.args[i];
+      if (term.is_constant()) {
+        if (term.index != tuple[i]) {
+          match = false;
+          break;
+        }
+      } else if (binding[term.index] < 0) {
+        binding[term.index] = tuple[i];
+      } else if (binding[term.index] != tuple[i]) {
+        match = false;  // repeated variable bound to different constants
+        break;
+      }
+    }
+    if (!match) continue;
+    (values[a] == Truth::kTrue ? result.true_bindings
+                               : result.undefined_bindings)
+        .push_back(std::move(binding));
+  }
+  return result;
+}
+
+}  // namespace tiebreak

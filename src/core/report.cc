@@ -1,0 +1,68 @@
+#include "core/report.h"
+
+#include <map>
+#include <sstream>
+
+#include "lang/printer.h"
+
+namespace tiebreak {
+
+std::string ModelSummary(const Program& program, const GroundGraph& graph,
+                         const std::vector<Truth>& values) {
+  struct Counts {
+    int64_t true_count = 0, false_count = 0, undef_count = 0;
+  };
+  std::map<PredId, Counts> by_pred;
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    Counts& c = by_pred[graph.atoms().PredicateOf(a)];
+    switch (values[a]) {
+      case Truth::kTrue:
+        ++c.true_count;
+        break;
+      case Truth::kFalse:
+        ++c.false_count;
+        break;
+      case Truth::kUndef:
+        ++c.undef_count;
+        break;
+    }
+  }
+  std::ostringstream out;
+  for (const auto& [pred, c] : by_pred) {
+    out << program.predicate_name(pred) << ": " << c.true_count << " true, "
+        << c.false_count << " false";
+    if (c.undef_count > 0) out << ", " << c.undef_count << " undefined";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> TrueAtomNames(const Program& program,
+                                       const GroundGraph& graph,
+                                       const std::vector<Truth>& values) {
+  std::vector<std::string> names;
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (values[a] == Truth::kTrue) {
+      names.push_back(GroundAtomToString(program,
+                                         graph.atoms().PredicateOf(a),
+                                         graph.atoms().TupleOf(a)));
+    }
+  }
+  return names;
+}
+
+std::string DiffModels(const Program& program, const GroundGraph& graph,
+                       const std::vector<Truth>& before,
+                       const std::vector<Truth>& after) {
+  std::ostringstream out;
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (before[a] == after[a]) continue;
+    out << GroundAtomToString(program, graph.atoms().PredicateOf(a),
+                              graph.atoms().TupleOf(a))
+        << ": " << TruthName(before[a]) << " -> " << TruthName(after[a])
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tiebreak

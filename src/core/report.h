@@ -1,0 +1,32 @@
+// Human-readable model reporting: per-predicate summaries, true-atom
+// listings, and model diffs. Shared by the CLI and the examples.
+#ifndef TIEBREAK_CORE_REPORT_H_
+#define TIEBREAK_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/truth.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// One line per predicate: counts of true/false/undefined ground atoms.
+std::string ModelSummary(const Program& program, const GroundGraph& graph,
+                         const std::vector<Truth>& values);
+
+/// The true atoms of `values`, rendered, ascending by AtomId.
+std::vector<std::string> TrueAtomNames(const Program& program,
+                                       const GroundGraph& graph,
+                                       const std::vector<Truth>& values);
+
+/// Differences between two models over the same graph, one line per atom
+/// ("win(a): true -> false"). Empty string when the models agree.
+std::string DiffModels(const Program& program, const GroundGraph& graph,
+                       const std::vector<Truth>& before,
+                       const std::vector<Truth>& after);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_REPORT_H_

@@ -1,0 +1,33 @@
+#include "core/stable.h"
+
+#include "core/fixpoint.h"
+#include "ground/close.h"
+
+namespace tiebreak {
+
+bool IsStable(const Program& program, const Database& database,
+              const GroundGraph& graph, const std::vector<Truth>& values) {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(values.size()), graph.num_atoms());
+  // Every stable model is a fixpoint; rejecting non-fixpoints first also
+  // guarantees close(M⁻, G) can never contradict a pre-assigned value (an
+  // induction on closure steps shows the closure of M⁻ always agrees with a
+  // fixpoint M on the atoms it defines).
+  if (!IsFixpoint(program, database, graph, values)) return false;
+  // Build M⁻: true IDB atoms outside Δ become undefined; everything else
+  // keeps its value.
+  std::vector<Truth> m_minus(values);
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    TIEBREAK_CHECK(values[a] != Truth::kUndef) << "IsStable needs a total model";
+    if (values[a] != Truth::kTrue) continue;
+    const PredId pred = graph.atoms().PredicateOf(a);
+    if (program.IsEdb(pred)) continue;
+    if (database.Contains(pred, graph.atoms().TupleOf(a))) continue;
+    m_minus[a] = Truth::kUndef;
+  }
+  CloseState closed(graph, m_minus);
+  // Reconstruction: every previously undefined atom must come back true (and
+  // nothing may flip); equivalently the closure equals M.
+  return closed.values() == values;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,23 @@
+// Stable (default) model checking, Section 2 [BF1, GL], via the ground
+// graph: a total model M extending M0(Δ) is stable iff close(M⁻, G)
+// reconstructs M, where M⁻ un-defines the true IDB atoms that are not in Δ.
+#ifndef TIEBREAK_CORE_STABLE_H_
+#define TIEBREAK_CORE_STABLE_H_
+
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/truth.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// True iff the total model `values` is a stable model of (program,
+/// database) over `graph`. CHECK-fails if `values` is not total.
+bool IsStable(const Program& program, const Database& database,
+              const GroundGraph& graph, const std::vector<Truth>& values);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_STABLE_H_

@@ -1,0 +1,63 @@
+#include "core/stratification.h"
+
+#include <algorithm>
+
+#include "graph/scc.h"
+#include "graph/tie.h"
+
+namespace tiebreak {
+
+bool IsStratified(const Program& program) {
+  const ProgramGraph pg = BuildProgramGraph(program);
+  const SccResult scc = ComputeScc(pg.graph);
+  for (int32_t e = 0; e < pg.graph.num_edges(); ++e) {
+    const SignedEdge& edge = pg.graph.edge(e);
+    if (edge.negative &&
+        scc.component[edge.from] == scc.component[edge.to]) {
+      return false;  // negative edge inside an SCC closes a negative cycle
+    }
+  }
+  return true;
+}
+
+bool IsCallConsistent(const Program& program) {
+  const ProgramGraph pg = BuildProgramGraph(program);
+  return !HasOddCycle(pg.graph);
+}
+
+std::optional<std::vector<int32_t>> ComputeStrata(const Program& program) {
+  if (!IsStratified(program)) return std::nullopt;
+  const ProgramGraph pg = BuildProgramGraph(program);
+  const SccResult scc = ComputeScc(pg.graph);
+
+  // Tarjan numbers components in reverse topological order: for an edge
+  // u -> v across components, component(v) < component(u). Dependencies of a
+  // head are edge *sources*, so they live in higher-numbered components;
+  // process components descending to see dependencies first.
+  std::vector<int32_t> comp_stratum(scc.num_components, 0);
+  // Collect cross-component edges grouped by target component.
+  std::vector<std::vector<int32_t>> incoming(scc.num_components);
+  for (int32_t e = 0; e < pg.graph.num_edges(); ++e) {
+    const SignedEdge& edge = pg.graph.edge(e);
+    if (scc.component[edge.from] != scc.component[edge.to]) {
+      incoming[scc.component[edge.to]].push_back(e);
+    }
+  }
+  for (int32_t comp = scc.num_components - 1; comp >= 0; --comp) {
+    int32_t stratum = 0;
+    for (int32_t e : incoming[comp]) {
+      const SignedEdge& edge = pg.graph.edge(e);
+      const int32_t source = comp_stratum[scc.component[edge.from]];
+      stratum = std::max(stratum, source + (edge.negative ? 1 : 0));
+    }
+    comp_stratum[comp] = stratum;
+  }
+
+  std::vector<int32_t> strata(program.num_predicates());
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    strata[p] = comp_stratum[scc.component[p]];
+  }
+  return strata;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,38 @@
+// Program-level structural classes from the paper:
+//
+//  * stratified [CH, ABW]: G(Π) has no cycle containing a negative edge.
+//  * call-consistent [Ku] (= semi-strict [Gi]): G(Π) has no cycle with an
+//    odd number of negative edges. By Theorem 2 this is exactly structural
+//    totality; by Theorem 1 it guarantees the tie-breaking interpreters
+//    always produce a fixpoint.
+//
+// Both tests are linear time (SCC + Lemma 1 / negative-edge scan). For
+// stratified programs ComputeStrata assigns the level-by-level strata used
+// by the relational engine's stratified evaluation.
+#ifndef TIEBREAK_CORE_STRATIFICATION_H_
+#define TIEBREAK_CORE_STRATIFICATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "lang/program.h"
+#include "lang/program_graph.h"
+
+namespace tiebreak {
+
+/// True iff no cycle of G(Π) contains a negative edge.
+bool IsStratified(const Program& program);
+
+/// True iff no cycle of G(Π) has an odd number of negative edges (Kunen's
+/// call-consistency; the paper's structural-totality criterion).
+bool IsCallConsistent(const Program& program);
+
+/// For stratified programs: a stratum per predicate such that each rule's
+/// head stratum is >= every positive body predicate's stratum and > every
+/// negated body predicate's stratum (EDB predicates land in stratum 0).
+/// nullopt when the program is not stratified.
+std::optional<std::vector<int32_t>> ComputeStrata(const Program& program);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_STRATIFICATION_H_

@@ -1,0 +1,76 @@
+// Structural totality (Section 4). A program Π is *total* if it has a
+// fixpoint for every database; *structurally total* if every alphabetic
+// variant (same skeleton) is total. Theorem 2: structurally total iff G(Π)
+// has no odd cycle. In the nonuniform case (IDBs start empty), Theorem 3
+// first removes the *useless* predicates — the largest set D of IDB
+// predicates such that every rule with head in D has a positive body
+// occurrence of a D-predicate (they can never derive anything from empty
+// IDBs) — producing the reduced program Π′; then: structurally nonuniformly
+// total iff G(Π′) has no odd cycle. Both checks are linear time (Theorem 4).
+//
+// Theorem 5's characterization of well-founded totality (stratification) is
+// also exposed here.
+#ifndef TIEBREAK_CORE_STRUCTURAL_TOTALITY_H_
+#define TIEBREAK_CORE_STRUCTURAL_TOTALITY_H_
+
+#include <vector>
+
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// Marks the useless predicates (true entry per PredId). EDB predicates are
+/// never useless. Equivalently (see the paper): the complement of the
+/// predicates with an expansion whose leaves are negative literals or EDB
+/// predicates — computed by the CFG-style worklist procedure from the proof
+/// of Theorem 3.
+std::vector<bool> UselessPredicates(const Program& program);
+
+/// The reduced program Π′ plus provenance back to Π.
+struct ReducedProgram {
+  Program program;
+  /// Original rule index per reduced rule.
+  std::vector<int32_t> original_rule_index;
+  /// For each reduced rule, the original body position of each literal
+  /// (negative occurrences of useless predicates were dropped).
+  std::vector<std::vector<int32_t>> original_body_index;
+};
+
+/// Drops rules with positive useless body occurrences and removes negative
+/// occurrences of useless predicates (treating useless predicates as empty).
+/// Predicate and constant ids are preserved.
+ReducedProgram ReduceProgram(const Program& program);
+
+/// Theorem 2: G(Π) has no cycle with an odd number of negative edges.
+bool IsStructurallyTotal(const Program& program);
+
+/// Theorem 3: G(Π′) has no cycle with an odd number of negative edges.
+bool IsStructurallyNonuniformlyTotal(const Program& program);
+
+/// Theorem 5: structurally well-founded total iff stratified.
+bool IsStructurallyWellFoundedTotal(const Program& program);
+
+/// Theorem 5, nonuniform: iff the reduced program is stratified.
+bool IsStructurallyNonuniformlyWellFoundedTotal(const Program& program);
+
+/// Per-SCC structural classification of G(Π): the diagnostic behind all the
+/// theorems. Each component is one of
+///   kPositive — no internal negative edge (stratified within itself),
+///   kTie      — negative edges but no odd cycle (tie-breakable),
+///   kOdd      — contains an odd cycle (the structural-totality blocker).
+struct ComponentReport {
+  enum class Kind { kPositive, kTie, kOdd };
+  Kind kind = Kind::kPositive;
+  std::vector<PredId> predicates;       // members, ascending
+  int32_t internal_negative_edges = 0;
+};
+
+/// Classifies every SCC of G(Π) with at least one internal edge (singleton
+/// predicates without self-dependencies are omitted). A program is
+/// stratified iff all components are kPositive, call-consistent iff none is
+/// kOdd.
+std::vector<ComponentReport> AnalyzeComponents(const Program& program);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_STRUCTURAL_TOTALITY_H_

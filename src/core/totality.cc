@@ -1,0 +1,117 @@
+#include "core/totality.h"
+
+#include <algorithm>
+
+#include "core/completion.h"
+#include "ground/grounder.h"
+
+namespace tiebreak {
+
+namespace {
+
+// Enumerates the fact space: all (predicate, tuple) pairs over the universe,
+// for the relations the case quantifies over.
+std::vector<std::pair<PredId, Tuple>> FactSpace(
+    const Program& program, const std::vector<ConstId>& universe,
+    bool uniform) {
+  std::vector<std::pair<PredId, Tuple>> facts;
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    if (!uniform && !program.IsEdb(p)) continue;
+    const int32_t arity = program.predicate(p).arity;
+    if (arity == 0) {
+      facts.emplace_back(p, Tuple{});
+      continue;
+    }
+    if (universe.empty()) continue;
+    Tuple tuple(arity, universe.front());
+    std::vector<size_t> odo(arity, 0);
+    while (true) {
+      facts.emplace_back(p, tuple);
+      int32_t pos = arity - 1;
+      while (pos >= 0) {
+        if (++odo[pos] < universe.size()) {
+          tuple[pos] = universe[odo[pos]];
+          break;
+        }
+        odo[pos] = 0;
+        tuple[pos] = universe.front();
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+  return facts;
+}
+
+bool DatabaseHasFixpoint(const Program& program, const Database& database) {
+  Result<GroundingResult> ground = Ground(program, database);
+  TIEBREAK_CHECK(ground.ok()) << ground.status().ToString();
+  return HasFixpoint(program, database, ground->graph);
+}
+
+}  // namespace
+
+Result<TotalityReport> CheckTotality(const Program& program, bool uniform,
+                                     const TotalityOptions& options) {
+  TotalityReport report;
+  // Work on a copy: the enumeration universe may intern extra constants.
+  report.program_used = program;
+  Program& working = report.program_used;
+
+  bool has_positive_arity = false;
+  for (PredId p = 0; p < working.num_predicates(); ++p) {
+    if (working.predicate(p).arity > 0) has_positive_arity = true;
+  }
+  std::vector<ConstId> universe =
+      ComputeUniverse(working, Database(working));
+  if (has_positive_arity) {
+    for (const std::string& name : options.extra_constants) {
+      const ConstId c = working.InternConstant(name);
+      if (std::find(universe.begin(), universe.end(), c) == universe.end()) {
+        universe.push_back(c);
+      }
+    }
+  }
+
+  const std::vector<std::pair<PredId, Tuple>> facts =
+      FactSpace(working, universe, uniform);
+
+  if (options.random_samples > 0) {
+    Rng rng(options.seed);
+    for (int64_t s = 0; s < options.random_samples; ++s) {
+      Database database(working);
+      for (const auto& [pred, tuple] : facts) {
+        if (rng.Chance(0.5)) database.Insert(pred, tuple);
+      }
+      ++report.databases_checked;
+      if (!DatabaseHasFixpoint(working, database)) {
+        report.total = false;
+        report.counterexample = database;
+        return report;
+      }
+    }
+    return report;
+  }
+
+  if (static_cast<int32_t>(facts.size()) > options.max_fact_space) {
+    return Status::ResourceExhausted(
+        "fact space too large for exhaustive totality checking (" +
+        std::to_string(facts.size()) + " facts); use random_samples");
+  }
+  const uint64_t limit = uint64_t{1} << facts.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    Database database(working);
+    for (size_t i = 0; i < facts.size(); ++i) {
+      if ((mask >> i) & 1) database.Insert(facts[i].first, facts[i].second);
+    }
+    ++report.databases_checked;
+    if (!DatabaseHasFixpoint(working, database)) {
+      report.total = false;
+      report.counterexample = database;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace tiebreak

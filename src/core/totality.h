@@ -1,0 +1,63 @@
+// Totality checking by exhaustive database enumeration (Section 5). The
+// paper proves totality is Π₂ᵖ-complete propositionally and undecidable in
+// general, so no complete algorithm exists; what *is* executable is
+// bounded-universe totality: enumerate every database over a fixed universe
+// (all relations in the uniform case, EDB relations in the nonuniform case)
+// and decide fixpoint existence per database with the SAT-backed search.
+// This is the oracle against which the Π₂ᵖ reduction and the structural
+// characterizations are cross-validated.
+#ifndef TIEBREAK_CORE_TOTALITY_H_
+#define TIEBREAK_CORE_TOTALITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/database.h"
+#include "lang/program.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tiebreak {
+
+/// Knobs for the brute-force totality check.
+struct TotalityOptions {
+  /// Extra constants added to the enumeration universe (beyond the
+  /// constants already appearing in the program). Ignored for programs
+  /// whose predicates are all zero-ary.
+  std::vector<std::string> extra_constants = {"u1", "u2"};
+  /// Hard cap on the size of the fact space (#possible ground facts). The
+  /// exhaustive check enumerates 2^|fact space| databases, so this must stay
+  /// tiny; beyond it the check fails with RESOURCE_EXHAUSTED unless
+  /// `random_samples` is set.
+  int32_t max_fact_space = 24;
+  /// When > 0: sample this many random databases instead of exhausting
+  /// (used when the fact space is too large).
+  int64_t random_samples = 0;
+  /// Seed for the sampling mode.
+  uint64_t seed = 1;
+};
+
+/// Outcome of a (bounded) totality check.
+struct TotalityReport {
+  /// True when every enumerated database admitted a fixpoint.
+  bool total = true;
+  /// A database with no fixpoint, when one was found. Its constant ids refer
+  /// to `program_used`.
+  std::optional<Database> counterexample;
+  int64_t databases_checked = 0;
+  /// Working copy of the program with the enumeration constants interned;
+  /// use it to print/re-check the counterexample.
+  Program program_used;
+};
+
+/// Checks totality over all databases on the bounded universe. `uniform`
+/// enumerates initial values for IDB relations too; otherwise IDBs start
+/// empty (the paper's nonuniform case).
+Result<TotalityReport> CheckTotality(const Program& program, bool uniform,
+                                     const TotalityOptions& options = {});
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_TOTALITY_H_

@@ -1,0 +1,36 @@
+#include "core/well_founded.h"
+
+#include <utility>
+#include <vector>
+
+#include "ground/close.h"
+
+namespace tiebreak {
+
+InterpreterResult WellFounded(const Program& program, const Database& database,
+                              const GroundGraph& graph) {
+  CloseState state(program, database, graph);
+  InterpreterResult result;
+  while (true) {
+    ++result.iterations;
+    const std::vector<AtomId> unfounded = state.LargestUnfoundedSet();
+    if (unfounded.empty()) break;
+    ++result.unfounded_rounds;
+    std::vector<std::pair<AtomId, bool>> assignments;
+    assignments.reserve(unfounded.size());
+    for (AtomId a : unfounded) assignments.emplace_back(a, false);
+    state.SetAndClose(assignments);
+  }
+  result.values = state.values();
+  result.total = state.IsTotal();
+  return result;
+}
+
+Result<InterpreterResult> WellFounded(const Program& program,
+                                      const Database& database) {
+  Result<GroundingResult> ground = Ground(program, database);
+  if (!ground.ok()) return ground.status();
+  return WellFounded(program, database, ground->graph);
+}
+
+}  // namespace tiebreak

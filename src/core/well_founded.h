@@ -1,0 +1,24 @@
+// Algorithm Well-Founded of Section 2 [VRS]: repeatedly falsify the largest
+// unfounded set and close, until no nonempty unfounded set remains. When the
+// computed model is total it is a fixpoint and the unique stable model.
+#ifndef TIEBREAK_CORE_WELL_FOUNDED_H_
+#define TIEBREAK_CORE_WELL_FOUNDED_H_
+
+#include "core/interpreter_result.h"
+#include "ground/grounder.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// Runs the well-founded interpreter on a previously grounded instance.
+InterpreterResult WellFounded(const Program& program, const Database& database,
+                              const GroundGraph& graph);
+
+/// Convenience overload: grounds (reduced mode) and interprets.
+Result<InterpreterResult> WellFounded(const Program& program,
+                                      const Database& database);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_WELL_FOUNDED_H_

@@ -1,0 +1,304 @@
+#include "core/witness.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "core/structural_totality.h"
+#include "graph/tie.h"
+#include "lang/program_graph.h"
+
+namespace tiebreak {
+
+namespace {
+
+// The cycle C = (P0, ..., Pk): for every arc, the concrete (rule, body
+// occurrence) behind it, plus reporting metadata.
+struct CycleSelection {
+  // original-rule index -> body literal index of the cycle occurrence.
+  std::unordered_map<int32_t, int32_t> occurrence_by_rule;
+  std::vector<std::string> cycle_predicates;
+  bool is_odd = false;
+};
+
+// Maps a cycle (edge ids of a program graph) to rule/occurrence selections.
+// `rule_map` / `body_map` translate the graph's provenance (e.g. from a
+// reduced program) back to the source program; pass nullptr for identity.
+CycleSelection SelectFromCycle(const ProgramGraph& pg,
+                               const Program& graph_program,
+                               const std::vector<int32_t>& cycle,
+                               const std::vector<int32_t>* rule_map,
+                               const std::vector<std::vector<int32_t>>*
+                                   body_map) {
+  CycleSelection selection;
+  int negatives = 0;
+  for (int32_t e : cycle) {
+    const auto& occ = pg.provenance[e];
+    int32_t rule = occ.rule_index;
+    int32_t body = occ.body_index;
+    if (rule_map != nullptr) {
+      body = (*body_map)[rule][body];
+      rule = (*rule_map)[rule];
+    }
+    const bool inserted =
+        selection.occurrence_by_rule.emplace(rule, body).second;
+    TIEBREAK_CHECK(inserted) << "simple cycle selected one rule twice";
+    selection.cycle_predicates.push_back(
+        graph_program.predicate_name(pg.graph.edge(e).from));
+    negatives += pg.graph.edge(e).negative ? 1 : 0;
+  }
+  selection.is_odd = (negatives % 2) == 1;
+  return selection;
+}
+
+// Argument patterns of one variant construction. All rules of the variant
+// share the same variable frame.
+struct VariantPatterns {
+  int32_t arity = 1;
+  int32_t num_vars = 0;
+  std::vector<std::string> var_names;
+  std::vector<Term> cycle_head;     // head of a cycle rule
+  std::vector<Term> cycle_occ_pos;  // selected occurrence, positive arc
+  std::vector<Term> cycle_occ_neg;  // selected occurrence, negative arc
+  std::vector<Term> other_pos;      // any other positive occurrence / head
+  std::vector<Term> other_neg;      // any other negative occurrence
+};
+
+// Builds Π̂: same skeleton as `source`, arguments per `patterns`.
+Program BuildVariantProgram(const Program& source,
+                            const CycleSelection& selection,
+                            const VariantPatterns& pat,
+                            const std::vector<std::pair<std::string, ConstId*>>&
+                                constants_to_intern) {
+  Program variant;
+  for (PredId p = 0; p < source.num_predicates(); ++p) {
+    variant.DeclarePredicate(source.predicate(p).name, pat.arity);
+  }
+  for (const auto& [name, slot] : constants_to_intern) {
+    *slot = variant.InternConstant(name);
+  }
+  // Constant slots were filled by the caller *lambda-style*: patterns may
+  // reference them, so the caller builds `pat` after interning. Here we just
+  // emit rules.
+  for (int32_t r = 0; r < source.num_rules(); ++r) {
+    const Rule& rule = source.rule(r);
+    auto it = selection.occurrence_by_rule.find(r);
+    const bool on_cycle = it != selection.occurrence_by_rule.end();
+    Rule out;
+    out.num_variables = pat.num_vars;
+    out.variable_names = pat.var_names;
+    out.head.predicate = rule.head.predicate;
+    out.head.args = on_cycle ? pat.cycle_head : pat.other_pos;
+    for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
+      const Literal& lit = rule.body[b];
+      Literal out_lit;
+      out_lit.positive = lit.positive;
+      out_lit.atom.predicate = lit.atom.predicate;
+      if (on_cycle && b == it->second) {
+        out_lit.atom.args = lit.positive ? pat.cycle_occ_pos
+                                         : pat.cycle_occ_neg;
+      } else {
+        out_lit.atom.args = lit.positive ? pat.other_pos : pat.other_neg;
+      }
+      out.body.push_back(std::move(out_lit));
+    }
+    variant.AddRule(std::move(out));
+  }
+  TIEBREAK_CHECK(variant.Validate().ok());
+  return variant;
+}
+
+Result<CycleSelection> OddCycleOfProgram(const Program& program) {
+  const ProgramGraph pg = BuildProgramGraph(program);
+  const std::vector<int32_t> cycle = FindOddCycle(pg.graph);
+  if (cycle.empty()) {
+    return Status::FailedPrecondition(
+        "program graph has no cycle with an odd number of negative edges");
+  }
+  return SelectFromCycle(pg, program, cycle, nullptr, nullptr);
+}
+
+Result<CycleSelection> OddCycleOfReducedProgram(const Program& program) {
+  const ReducedProgram reduced = ReduceProgram(program);
+  const ProgramGraph pg = BuildProgramGraph(reduced.program);
+  const std::vector<int32_t> cycle = FindOddCycle(pg.graph);
+  if (cycle.empty()) {
+    return Status::FailedPrecondition(
+        "reduced program graph has no cycle with an odd number of negative "
+        "edges");
+  }
+  return SelectFromCycle(pg, reduced.program, cycle,
+                         &reduced.original_rule_index,
+                         &reduced.original_body_index);
+}
+
+}  // namespace
+
+Result<WitnessInstance> BuildTheorem2UnaryWitness(const Program& program) {
+  Result<CycleSelection> selection = OddCycleOfProgram(program);
+  if (!selection.ok()) return selection.status();
+
+  // Patterns are pure constants; intern them first via a scratch program so
+  // the Term constants reference the final ids.
+  ConstId a = -1, b = -1, c = -1;
+  VariantPatterns pat;
+  pat.arity = 1;
+  pat.num_vars = 0;
+  Program variant = BuildVariantProgram(
+      program, *selection,
+      [&] {
+        // Ids are deterministic (first interned = 0 ...), so we can set the
+        // patterns before BuildVariantProgram actually interns them — but
+        // keeping it explicit: a=0, b=1, c=2.
+        pat.cycle_head = {Term::Constant(0)};
+        pat.cycle_occ_pos = {Term::Constant(0)};
+        pat.cycle_occ_neg = {Term::Constant(0)};
+        pat.other_pos = {Term::Constant(1)};
+        pat.other_neg = {Term::Constant(2)};
+        return pat;
+      }(),
+      {{"a", &a}, {"b", &b}, {"c", &c}});
+  TIEBREAK_CHECK_EQ(a, 0);
+  TIEBREAK_CHECK_EQ(b, 1);
+  TIEBREAK_CHECK_EQ(c, 2);
+
+  WitnessInstance witness{std::move(variant), Database(Program()), {}, true};
+  witness.database = Database(witness.program);
+  for (PredId p = 0; p < witness.program.num_predicates(); ++p) {
+    witness.database.Insert(p, {b});  // Δ = { Q(b) : all predicates }
+  }
+  witness.cycle_predicates = std::move(selection->cycle_predicates);
+  witness.cycle_is_odd = true;
+  return witness;
+}
+
+Result<WitnessInstance> BuildTheorem2TernaryWitness(const Program& program) {
+  Result<CycleSelection> selection = OddCycleOfProgram(program);
+  if (!selection.ok()) return selection.status();
+
+  const Term x = Term::Variable(0);
+  const Term y = Term::Variable(1);
+  VariantPatterns pat;
+  pat.arity = 3;
+  pat.num_vars = 2;
+  pat.var_names = {"X", "Y"};
+  pat.cycle_head = {x, y, y};     // the "a" role
+  pat.cycle_occ_pos = {x, y, y};
+  pat.cycle_occ_neg = {x, y, y};
+  pat.other_pos = {y, y, y};      // the "b" role
+  pat.other_neg = {x, x, y};      // the "c" role
+  Program variant = BuildVariantProgram(program, *selection, pat, {});
+
+  const ConstId one = variant.InternConstant("1");
+  const ConstId two = variant.InternConstant("2");
+  WitnessInstance witness{std::move(variant), Database(Program()), {}, true};
+  witness.database = Database(witness.program);
+  for (PredId p = 0; p < witness.program.num_predicates(); ++p) {
+    witness.database.Insert(p, {one, one, one});
+    witness.database.Insert(p, {two, two, two});
+  }
+  witness.cycle_predicates = std::move(selection->cycle_predicates);
+  return witness;
+}
+
+Result<WitnessInstance> BuildTheorem3BinaryWitness(const Program& program) {
+  Result<CycleSelection> selection = OddCycleOfReducedProgram(program);
+  if (!selection.ok()) return selection.status();
+
+  ConstId a = -1, b = -1;
+  const Term x = Term::Variable(0);
+  VariantPatterns pat;
+  pat.arity = 2;
+  pat.num_vars = 1;
+  pat.var_names = {"X"};
+  pat.cycle_head = {Term::Constant(0), x};     // P_{i+1}(a, x)
+  pat.cycle_occ_pos = {Term::Constant(0), x};  // P_i(a, x)
+  pat.cycle_occ_neg = {x, Term::Constant(0)};  // ¬P_i(x, a)
+  pat.other_pos = {Term::Constant(0), Term::Constant(1)};  // Q(a, b)
+  pat.other_neg = {Term::Constant(1), Term::Constant(0)};  // ¬Q(b, a)
+  Program variant = BuildVariantProgram(program, *selection, pat,
+                                        {{"a", &a}, {"b", &b}});
+  TIEBREAK_CHECK_EQ(a, 0);
+  TIEBREAK_CHECK_EQ(b, 1);
+
+  WitnessInstance witness{std::move(variant), Database(Program()), {}, true};
+  witness.database = Database(witness.program);
+  for (PredId p = 0; p < witness.program.num_predicates(); ++p) {
+    if (witness.program.IsEdb(p)) {
+      witness.database.Insert(p, {a, b});  // EDB relations = {(a, b)}
+    }
+  }
+  witness.cycle_predicates = std::move(selection->cycle_predicates);
+  return witness;
+}
+
+Result<WitnessInstance> BuildTheorem3QuaternaryWitness(
+    const Program& program) {
+  if (program.EdbPredicates().empty()) {
+    return Status::FailedPrecondition(
+        "the constant-free nonuniform witness needs an EDB predicate to seed "
+        "the universe through Δ");
+  }
+  Result<CycleSelection> selection = OddCycleOfReducedProgram(program);
+  if (!selection.ok()) return selection.status();
+
+  const Term x = Term::Variable(0);
+  const Term y = Term::Variable(1);
+  const Term z = Term::Variable(2);
+  VariantPatterns pat;
+  pat.arity = 4;
+  pat.num_vars = 3;
+  pat.var_names = {"X", "Y", "Z"};
+  pat.cycle_head = {x, y, y, z};     // P_{i+1}(x, y, y, z)
+  pat.cycle_occ_pos = {x, y, y, z};  // P_i(x, y, y, z)
+  pat.cycle_occ_neg = {y, x, y, z};  // ¬P_i(y, x, y, z)
+  pat.other_pos = {x, z, z, z};      // Q(x, z, z, z)
+  pat.other_neg = {z, x, z, z};      // ¬Q(z, x, z, z)
+  Program variant = BuildVariantProgram(program, *selection, pat, {});
+
+  const ConstId one = variant.InternConstant("1");
+  const ConstId two = variant.InternConstant("2");
+  WitnessInstance witness{std::move(variant), Database(Program()), {}, true};
+  witness.database = Database(witness.program);
+  for (PredId p = 0; p < witness.program.num_predicates(); ++p) {
+    if (witness.program.IsEdb(p)) {
+      witness.database.Insert(p, {one, two, two, two});
+    }
+  }
+  witness.cycle_predicates = std::move(selection->cycle_predicates);
+  return witness;
+}
+
+Result<WitnessInstance> BuildTheorem5Witness(const Program& program) {
+  const ProgramGraph pg = BuildProgramGraph(program);
+  const std::vector<int32_t> cycle = FindNegativeCycle(pg.graph);
+  if (cycle.empty()) {
+    return Status::FailedPrecondition(
+        "program graph has no cycle containing a negative edge (program is "
+        "stratified)");
+  }
+  const CycleSelection selection =
+      SelectFromCycle(pg, program, cycle, nullptr, nullptr);
+
+  ConstId a = -1, b = -1, c = -1;
+  VariantPatterns pat;
+  pat.arity = 1;
+  pat.num_vars = 0;
+  pat.cycle_head = {Term::Constant(0)};
+  pat.cycle_occ_pos = {Term::Constant(0)};
+  pat.cycle_occ_neg = {Term::Constant(0)};
+  pat.other_pos = {Term::Constant(1)};
+  pat.other_neg = {Term::Constant(2)};
+  Program variant = BuildVariantProgram(program, selection, pat,
+                                        {{"a", &a}, {"b", &b}, {"c", &c}});
+
+  WitnessInstance witness{std::move(variant), Database(Program()), {},
+                          selection.is_odd};
+  witness.database = Database(witness.program);
+  for (PredId p = 0; p < witness.program.num_predicates(); ++p) {
+    witness.database.Insert(p, {b});
+  }
+  witness.cycle_predicates = selection.cycle_predicates;
+  return witness;
+}
+
+}  // namespace tiebreak

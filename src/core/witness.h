@@ -1,0 +1,63 @@
+// The explicit witness constructions from the proofs of Theorems 2, 3 and 5:
+// given a program whose (reduced) program graph contains an odd (negative)
+// cycle, build an alphabetic variant Π̂ and a database Δ on which Π̂ has no
+// fixpoint (Theorems 2/3) or on which the well-founded interpreter cannot
+// produce a total model (Theorem 5).
+//
+// These constructions are the paper's "only if" directions made executable;
+// witness_test.cc validates each one empirically (UNSAT Clark completions /
+// stuck interpreters) across program families.
+#ifndef TIEBREAK_CORE_WITNESS_H_
+#define TIEBREAK_CORE_WITNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/database.h"
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace tiebreak {
+
+/// An alphabetic variant plus the database that defeats it.
+struct WitnessInstance {
+  Program program;   ///< Π̂: same skeleton as the source program.
+  Database database; ///< The Δ from the construction.
+  /// Predicate names along the cycle used (P0, ..., Pk in paper order).
+  std::vector<std::string> cycle_predicates;
+  /// Number of negative arcs on the cycle is odd (always true for the
+  /// Theorem 2/3 witnesses; informative for Theorem 5).
+  bool cycle_is_odd = false;
+};
+
+/// Theorem 2 (uniform), unary variant: all predicates become unary over
+/// constants {a, b, c}; Δ = {Q(b) : all predicates Q}. Fails with
+/// FAILED_PRECONDITION when G(Π) has no odd cycle.
+Result<WitnessInstance> BuildTheorem2UnaryWitness(const Program& program);
+
+/// Theorem 2, constant-free ternary variant: patterns (x,y,y) / (y,y,y) /
+/// (x,x,y) over universe {1, 2}; Δ = {Q(d,d,d) : all Q, d ∈ {1,2}}.
+Result<WitnessInstance> BuildTheorem2TernaryWitness(const Program& program);
+
+/// Theorem 3 (nonuniform), binary variant: cycle rules become
+/// P_{i+1}(a,x) <- P_i(a,x), ... or P_{i+1}(a,x) <- ¬P_i(x,a), ...; other
+/// occurrences Q(a,b) / ¬Q(b,a); Δ sets every EDB relation to {(a,b)} and
+/// every IDB relation empty. Fails with FAILED_PRECONDITION when G(Π′) has
+/// no odd cycle.
+Result<WitnessInstance> BuildTheorem3BinaryWitness(const Program& program);
+
+/// Theorem 3, constant-free 4-ary variant: patterns (x,y,y,z) /
+/// ¬(y,x,y,z) on the cycle, (x,z,z,z) / ¬(z,x,z,z) elsewhere, universe
+/// {1, 2}, Δ = {Q(1,2,2,2) : EDB Q}. Additionally requires at least one EDB
+/// predicate (the constant-free construction needs Δ to seed the universe).
+Result<WitnessInstance> BuildTheorem3QuaternaryWitness(const Program& program);
+
+/// Theorem 5 (uniform): from a cycle with at least one negative edge, the
+/// same unary construction as Theorem 2; the well-founded interpreter can
+/// never total this instance. When the found cycle happens to be odd the
+/// instance also has no fixpoint at all (cycle_is_odd reports this).
+Result<WitnessInstance> BuildTheorem5Witness(const Program& program);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_WITNESS_H_

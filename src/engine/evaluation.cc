@@ -1,0 +1,292 @@
+#include "engine/evaluation.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "core/stratification.h"
+
+namespace tiebreak {
+
+Status CheckSafety(const Program& program) {
+  for (int32_t r = 0; r < program.num_rules(); ++r) {
+    const Rule& rule = program.rule(r);
+    std::vector<bool> bound(rule.num_variables, false);
+    for (const Literal& lit : rule.body) {
+      if (!lit.positive) continue;
+      for (const Term& t : lit.atom.args) {
+        if (t.is_variable()) bound[t.index] = true;
+      }
+    }
+    auto check_atom = [&](const Atom& atom, const char* where) -> Status {
+      for (const Term& t : atom.args) {
+        if (t.is_variable() && !bound[t.index]) {
+          return Status::InvalidArgument(
+              "rule " + std::to_string(r) + ": variable in " + where +
+              " does not occur in any positive body literal");
+        }
+      }
+      return Status::Ok();
+    };
+    Status s = check_atom(rule.head, "head");
+    if (!s.ok()) return s;
+    for (const Literal& lit : rule.body) {
+      if (lit.positive) continue;
+      s = check_atom(lit.atom, "negated literal");
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Backtracking join over one rule's body.
+class RuleEvaluator {
+ public:
+  RuleEvaluator(const Program& program, const std::vector<Relation>& relations)
+      : program_(program), relations_(relations) {}
+
+  /// Evaluates `rule`; `delta_literal` (or -1) restricts that body literal
+  /// to `delta_relation` instead of the full relation. Each derived head
+  /// tuple is passed to `sink`.
+  void Evaluate(const Rule& rule, int32_t delta_literal,
+                const Relation* delta_relation,
+                const std::function<void(Tuple)>& sink, int64_t* applications) {
+    rule_ = &rule;
+    delta_literal_ = delta_literal;
+    delta_relation_ = delta_relation;
+    sink_ = &sink;
+    applications_ = applications;
+    binding_.assign(rule.num_variables, -1);
+    positives_.clear();
+    for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
+      if (rule.body[b].positive) positives_.push_back(b);
+    }
+    Recurse(0);
+  }
+
+ private:
+  Tuple Substitute(const Atom& atom) const {
+    Tuple tuple;
+    tuple.reserve(atom.args.size());
+    for (const Term& t : atom.args) {
+      if (t.is_constant()) {
+        tuple.push_back(t.index);
+      } else {
+        TIEBREAK_CHECK_GE(binding_[t.index], 0);
+        tuple.push_back(binding_[t.index]);
+      }
+    }
+    return tuple;
+  }
+
+  void Recurse(size_t next) {
+    if (next == positives_.size()) {
+      ++*applications_;
+      // All positives matched: test the negated literals (safety guarantees
+      // they are ground now).
+      for (const Literal& lit : rule_->body) {
+        if (lit.positive) continue;
+        if (relations_[lit.atom.predicate].Contains(Substitute(lit.atom))) {
+          return;
+        }
+      }
+      (*sink_)(Substitute(rule_->head));
+      return;
+    }
+    const int32_t body_index = positives_[next];
+    const Atom& atom = rule_->body[body_index].atom;
+    const Relation& rel = (body_index == delta_literal_)
+                              ? *delta_relation_
+                              : relations_[atom.predicate];
+    // Build the bound-position mask and probe pattern.
+    uint32_t mask = 0;
+    Tuple pattern(atom.args.size(), 0);
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      if (t.is_constant()) {
+        mask |= 1u << i;
+        pattern[i] = t.index;
+      } else if (binding_[t.index] >= 0) {
+        mask |= 1u << i;
+        pattern[i] = binding_[t.index];
+      }
+    }
+    for (int32_t index : rel.Probe(mask, pattern)) {
+      const Tuple& tuple = rel.tuples()[index];
+      // Verify (hash buckets may collide) and bind.
+      bool match = true;
+      bound_here_.clear();
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_constant()) {
+          if (t.index != tuple[i]) {
+            match = false;
+            break;
+          }
+        } else if (binding_[t.index] >= 0) {
+          if (binding_[t.index] != tuple[i]) {
+            match = false;
+            break;
+          }
+        } else {
+          binding_[t.index] = tuple[i];
+          bound_here_.push_back(t.index);
+        }
+      }
+      if (match) {
+        // bound_here_ is reused across recursion levels; save a copy.
+        std::vector<int32_t> bound_saved = bound_here_;
+        Recurse(next + 1);
+        for (int32_t var : bound_saved) binding_[var] = -1;
+      } else {
+        for (int32_t var : bound_here_) binding_[var] = -1;
+      }
+    }
+  }
+
+  const Program& program_;
+  const std::vector<Relation>& relations_;
+  const Rule* rule_ = nullptr;
+  int32_t delta_literal_ = -1;
+  const Relation* delta_relation_ = nullptr;
+  const std::function<void(Tuple)>* sink_ = nullptr;
+  int64_t* applications_ = nullptr;
+  Tuple binding_;
+  std::vector<int32_t> positives_;
+  std::vector<int32_t> bound_here_;
+};
+
+}  // namespace
+
+Result<Database> EvaluateStratified(const Program& program,
+                                    const Database& database,
+                                    const EngineOptions& options,
+                                    EngineStats* stats) {
+  Status safety = CheckSafety(program);
+  if (!safety.ok()) return safety;
+  const auto strata = ComputeStrata(program);
+  if (!strata.has_value()) {
+    return Status::FailedPrecondition(
+        "program is not stratified; use the ground-graph interpreters");
+  }
+  EngineStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  const int32_t num_preds = program.num_predicates();
+  std::vector<Relation> relations;
+  relations.reserve(num_preds);
+  for (PredId p = 0; p < num_preds; ++p) {
+    relations.emplace_back(program.predicate(p).arity);
+  }
+  int64_t total_tuples = 0;
+  for (PredId p = 0; p < num_preds; ++p) {
+    for (const Tuple& tuple : database.Relation(p)) {
+      relations[p].Insert(tuple);
+      ++total_tuples;
+    }
+  }
+
+  int32_t max_stratum = 0;
+  for (PredId p = 0; p < num_preds; ++p) {
+    max_stratum = std::max(max_stratum, (*strata)[p]);
+  }
+  stats->strata = max_stratum + 1;
+
+  RuleEvaluator evaluator(program, relations);
+  for (int32_t stratum = 0; stratum <= max_stratum; ++stratum) {
+    std::vector<int32_t> stratum_rules;
+    for (int32_t r = 0; r < program.num_rules(); ++r) {
+      if ((*strata)[program.rule(r).head.predicate] == stratum) {
+        stratum_rules.push_back(r);
+      }
+    }
+    if (stratum_rules.empty()) continue;
+
+    // Which body literals are recursive (positive, IDB, same stratum)?
+    auto recursive_literals = [&](const Rule& rule) {
+      std::vector<int32_t> result;
+      for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
+        const Literal& lit = rule.body[b];
+        if (lit.positive && !program.IsEdb(lit.atom.predicate) &&
+            (*strata)[lit.atom.predicate] == stratum) {
+          result.push_back(b);
+        }
+      }
+      return result;
+    };
+
+    // Round 0: full evaluation of every stratum rule.
+    std::vector<Relation> delta;
+    delta.reserve(num_preds);
+    for (PredId p = 0; p < num_preds; ++p) {
+      delta.emplace_back(program.predicate(p).arity);
+    }
+    Status overflow = Status::Ok();
+    auto sink = [&](PredId head, std::vector<Relation>* deltas) {
+      return [&, head, deltas](Tuple tuple) {
+        if (relations[head].Insert(tuple)) {
+          ++stats->tuples_derived;
+          if (++total_tuples > options.max_tuples) {
+            overflow = Status::ResourceExhausted("tuple budget exceeded");
+          }
+          (*deltas)[head].Insert(std::move(tuple));
+        }
+      };
+    };
+    ++stats->iterations;
+    for (int32_t r : stratum_rules) {
+      const Rule& rule = program.rule(r);
+      evaluator.Evaluate(rule, -1, nullptr,
+                         sink(rule.head.predicate, &delta),
+                         &stats->rule_applications);
+      if (!overflow.ok()) return overflow;
+    }
+
+    // Fixpoint rounds.
+    while (true) {
+      bool delta_empty = true;
+      for (const Relation& d : delta) delta_empty = delta_empty && d.empty();
+      if (delta_empty) break;
+      ++stats->iterations;
+      std::vector<Relation> next_delta;
+      next_delta.reserve(num_preds);
+      for (PredId p = 0; p < num_preds; ++p) {
+        next_delta.emplace_back(program.predicate(p).arity);
+      }
+      for (int32_t r : stratum_rules) {
+        const Rule& rule = program.rule(r);
+        if (options.semi_naive) {
+          // One pass per recursive literal, that literal restricted to the
+          // delta of its predicate.
+          for (int32_t b : recursive_literals(rule)) {
+            const PredId pred = rule.body[b].atom.predicate;
+            if (delta[pred].empty()) continue;
+            evaluator.Evaluate(rule, b, &delta[pred],
+                               sink(rule.head.predicate, &next_delta),
+                               &stats->rule_applications);
+            if (!overflow.ok()) return overflow;
+          }
+        } else {
+          if (recursive_literals(rule).empty()) continue;
+          evaluator.Evaluate(rule, -1, nullptr,
+                             sink(rule.head.predicate, &next_delta),
+                             &stats->rule_applications);
+          if (!overflow.ok()) return overflow;
+        }
+      }
+      delta = std::move(next_delta);
+    }
+  }
+
+  Database result(program);
+  for (PredId p = 0; p < num_preds; ++p) {
+    for (const Tuple& tuple : relations[p].tuples()) {
+      result.Insert(p, tuple);
+    }
+  }
+  return result;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,69 @@
+#include "engine/relation.h"
+
+namespace tiebreak {
+
+namespace {
+const std::vector<int32_t> kEmptyMatch;
+}  // namespace
+
+uint64_t Relation::Fingerprint(const Tuple& tuple) {
+  uint64_t h = 14695981039346656037ULL;
+  for (ConstId c : tuple) {
+    h ^= static_cast<uint64_t>(c) + 0x9E3779B97F4A7C15ULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Relation::KeyHash(uint32_t mask, const Tuple& tuple) {
+  uint64_t h = 14695981039346656037ULL ^ mask;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if ((mask >> i) & 1) {
+      h ^= static_cast<uint64_t>(tuple[i]) + 0x9E3779B97F4A7C15ULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+bool Relation::ContainsExact(const Tuple& tuple) const {
+  auto it = dedupe_.find(Fingerprint(tuple));
+  if (it == dedupe_.end()) return false;
+  for (int32_t index : it->second) {
+    if (tuples_[index] == tuple) return true;
+  }
+  return false;
+}
+
+bool Relation::Insert(const Tuple& tuple) {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arity_);
+  const uint64_t fp = Fingerprint(tuple);
+  std::vector<int32_t>& bucket = dedupe_[fp];
+  for (int32_t index : bucket) {
+    if (tuples_[index] == tuple) return false;
+  }
+  bucket.push_back(static_cast<int32_t>(tuples_.size()));
+  tuples_.push_back(tuple);
+  indexes_dirty_ = true;
+  return true;
+}
+
+const std::vector<int32_t>& Relation::Probe(uint32_t mask,
+                                            const Tuple& pattern) const {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(pattern.size()), arity_);
+  if (indexes_dirty_) {
+    indexes_.clear();
+    indexes_dirty_ = false;
+  }
+  auto& index = indexes_[mask];
+  if (index.empty() && !tuples_.empty()) {
+    index.reserve(tuples_.size() * 2);
+    for (int32_t i = 0; i < static_cast<int32_t>(tuples_.size()); ++i) {
+      index[KeyHash(mask, tuples_[i])].push_back(i);
+    }
+  }
+  auto it = index.find(KeyHash(mask, pattern));
+  return it == index.end() ? kEmptyMatch : it->second;
+}
+
+}  // namespace tiebreak

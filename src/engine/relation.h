@@ -1,0 +1,61 @@
+// Relations for the bottom-up engine: deduplicated tuple sets with
+// on-demand hash indexes per bound-column mask. The ground-graph machinery
+// (ground/) is the paper-faithful semantic core; this engine is the
+// performance substrate for evaluating *stratified* programs at scale
+// (benchmarks, counter-machine trajectories, perfect-model cross-checks).
+#ifndef TIEBREAK_ENGINE_RELATION_H_
+#define TIEBREAK_ENGINE_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/symbols.h"
+#include "util/logging.h"
+
+namespace tiebreak {
+
+/// A set of same-arity tuples with probe indexes.
+class Relation {
+ public:
+  explicit Relation(int32_t arity) : arity_(arity) {
+    TIEBREAK_CHECK_GE(arity, 0);
+  }
+
+  int32_t arity() const { return arity_; }
+  int64_t size() const { return static_cast<int64_t>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple; returns true when it was new. Invalidates indexes.
+  bool Insert(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return dedupe_.contains(Fingerprint(tuple)) && ContainsExact(tuple);
+  }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Indices of tuples whose positions in `mask` (bit i = column i bound)
+  /// equal the corresponding entries of `pattern` (unbound entries of
+  /// `pattern` are ignored). Uses a cached per-mask hash index.
+  const std::vector<int32_t>& Probe(uint32_t mask, const Tuple& pattern) const;
+
+ private:
+  bool ContainsExact(const Tuple& tuple) const;
+  static uint64_t Fingerprint(const Tuple& tuple);
+  static uint64_t KeyHash(uint32_t mask, const Tuple& tuple);
+
+  int32_t arity_;
+  std::vector<Tuple> tuples_;
+  // Fingerprint multiset for O(1) membership (collisions re-checked).
+  std::unordered_map<uint64_t, std::vector<int32_t>> dedupe_;
+  // mask -> (key hash -> tuple indices). Rebuilt lazily after inserts.
+  mutable std::unordered_map<uint32_t,
+                             std::unordered_map<uint64_t, std::vector<int32_t>>>
+      indexes_;
+  mutable bool indexes_dirty_ = false;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_ENGINE_RELATION_H_

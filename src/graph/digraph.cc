@@ -1,0 +1,38 @@
+#include "graph/digraph.h"
+
+namespace tiebreak {
+
+void SignedDigraph::Finalize() {
+  if (finalized_) return;
+  const int32_t n = num_nodes_;
+  const int32_t m = num_edges();
+
+  // Counting sort of edge ids by source (and by target for the in-index).
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (const SignedEdge& e : edges_) {
+    ++out_offsets_[e.from + 1];
+    ++in_offsets_[e.to + 1];
+  }
+  for (int32_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_edge_ids_.resize(m);
+  in_edge_ids_.resize(m);
+  std::vector<int32_t> out_cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<int32_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (int32_t e = 0; e < m; ++e) {
+    out_edge_ids_[out_cursor[edges_[e].from]++] = e;
+    in_edge_ids_[in_cursor[edges_[e].to]++] = e;
+  }
+  finalized_ = true;
+}
+
+int32_t SignedDigraph::CountNegativeEdges() const {
+  int32_t count = 0;
+  for (const SignedEdge& e : edges_) count += e.negative ? 1 : 0;
+  return count;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,97 @@
+// Signed directed multigraphs. Both the program graph G(Π) (predicate nodes)
+// and the live part of the ground graph G(Π, Δ) (atom + rule nodes) are
+// represented with this structure when running graph algorithms: SCC,
+// condensation, tie checking, odd-cycle extraction.
+//
+// Parallel edges with different signs are meaningful (a predicate may occur
+// both positively and negatively in bodies of rules with the same head), so
+// this is a true multigraph: edges are first-class, identified by dense ids.
+#ifndef TIEBREAK_GRAPH_DIGRAPH_H_
+#define TIEBREAK_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tiebreak {
+
+/// One directed edge; `negative` carries the sign (true = negative edge).
+struct SignedEdge {
+  int32_t from = 0;
+  int32_t to = 0;
+  bool negative = false;
+};
+
+/// A signed directed multigraph over dense node ids [0, num_nodes).
+///
+/// Usage: add nodes and edges, call Finalize(), then query adjacency.
+/// Finalize() builds CSR out/in indexes; adding edges afterwards is a CHECK
+/// failure. All algorithm entry points (scc.h, tie.h) require a finalized
+/// graph.
+class SignedDigraph {
+ public:
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit SignedDigraph(int32_t num_nodes = 0) : num_nodes_(num_nodes) {
+    TIEBREAK_CHECK_GE(num_nodes, 0);
+  }
+
+  /// Adds an isolated node and returns its id.
+  int32_t AddNode() {
+    TIEBREAK_CHECK(!finalized_) << "AddNode after Finalize";
+    return num_nodes_++;
+  }
+
+  /// Adds an edge and returns its id. Self-loops and parallel edges allowed.
+  int32_t AddEdge(int32_t from, int32_t to, bool negative) {
+    TIEBREAK_CHECK(!finalized_) << "AddEdge after Finalize";
+    TIEBREAK_CHECK_GE(from, 0);
+    TIEBREAK_CHECK_LT(from, num_nodes_);
+    TIEBREAK_CHECK_GE(to, 0);
+    TIEBREAK_CHECK_LT(to, num_nodes_);
+    edges_.push_back(SignedEdge{from, to, negative});
+    return static_cast<int32_t>(edges_.size()) - 1;
+  }
+
+  /// Builds the CSR adjacency indexes. Idempotent.
+  void Finalize();
+
+  int32_t num_nodes() const { return num_nodes_; }
+  int32_t num_edges() const { return static_cast<int32_t>(edges_.size()); }
+  bool finalized() const { return finalized_; }
+
+  const SignedEdge& edge(int32_t e) const {
+    TIEBREAK_CHECK_GE(e, 0);
+    TIEBREAK_CHECK_LT(e, num_edges());
+    return edges_[e];
+  }
+
+  /// Ids of edges leaving `v`. Requires Finalize().
+  std::span<const int32_t> OutEdges(int32_t v) const {
+    TIEBREAK_CHECK(finalized_);
+    return {out_edge_ids_.data() + out_offsets_[v],
+            out_edge_ids_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Ids of edges entering `v`. Requires Finalize().
+  std::span<const int32_t> InEdges(int32_t v) const {
+    TIEBREAK_CHECK(finalized_);
+    return {in_edge_ids_.data() + in_offsets_[v],
+            in_edge_ids_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Number of negative edges (handy for generators and stats).
+  int32_t CountNegativeEdges() const;
+
+ private:
+  int32_t num_nodes_ = 0;
+  bool finalized_ = false;
+  std::vector<SignedEdge> edges_;
+  std::vector<int32_t> out_offsets_, out_edge_ids_;
+  std::vector<int32_t> in_offsets_, in_edge_ids_;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_GRAPH_DIGRAPH_H_

@@ -1,0 +1,43 @@
+// Strongly connected components (iterative Tarjan) and condensation
+// statistics. The tie-breaking interpreters use bottom components (no
+// incoming edges from other components) of the live ground graph; the
+// structural analyses use SCCs of the program graph.
+#ifndef TIEBREAK_GRAPH_SCC_H_
+#define TIEBREAK_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace tiebreak {
+
+/// Output of ComputeScc. Component ids are assigned in *reverse topological*
+/// order of the condensation: if some edge goes from component A to
+/// component B (A != B), then B's id is smaller than A's id.
+struct SccResult {
+  int32_t num_components = 0;
+  /// node id -> component id.
+  std::vector<int32_t> component;
+  /// component id -> member node ids.
+  std::vector<std::vector<int32_t>> members;
+};
+
+/// Computes strongly connected components of a finalized graph.
+SccResult ComputeScc(const SignedDigraph& graph);
+
+/// Per-component condensation facts needed by the interpreters.
+struct Condensation {
+  /// Number of edges entering the component from *other* components.
+  std::vector<int32_t> external_in_degree;
+  /// Whether the component contains at least one internal edge (size > 1
+  /// components always do; singletons only via self-loops).
+  std::vector<char> has_internal_edge;
+};
+
+/// Computes condensation facts for `scc` over `graph`.
+Condensation CondenseScc(const SignedDigraph& graph, const SccResult& scc);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_GRAPH_SCC_H_

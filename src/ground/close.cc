@@ -1,0 +1,225 @@
+#include "ground/close.h"
+
+namespace tiebreak {
+
+CloseState::CloseState(const Program& program, const Database& database,
+                       const GroundGraph& graph)
+    : graph_(&graph) {
+  TIEBREAK_CHECK(graph.finalized());
+  const int32_t n = graph.num_atoms();
+  value_.assign(n, Truth::kUndef);
+  num_live_atoms_ = n;
+  rule_dead_.assign(graph.num_rules(), 0);
+  rule_pending_.assign(graph.num_rules(), 0);
+  atom_support_.assign(n, 0);
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    const RuleInstance& inst = graph.rule(r);
+    rule_pending_[r] = static_cast<int32_t>(inst.positive_body.size() +
+                                            inst.negative_body.size());
+    ++atom_support_[inst.head];
+  }
+  // M0(Δ).
+  for (AtomId a = 0; a < n; ++a) {
+    const PredId pred = graph.atoms().PredicateOf(a);
+    const bool in_delta = database.Contains(pred, graph.atoms().TupleOf(a));
+    if (in_delta) {
+      Assign(a, Truth::kTrue);
+    } else if (program.IsEdb(pred)) {
+      Assign(a, Truth::kFalse);
+    }
+  }
+  InitialClose();
+}
+
+CloseState::CloseState(const GroundGraph& graph,
+                       const std::vector<Truth>& initial)
+    : graph_(&graph) {
+  TIEBREAK_CHECK(graph.finalized());
+  const int32_t n = graph.num_atoms();
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(initial.size()), n);
+  value_.assign(n, Truth::kUndef);
+  num_live_atoms_ = n;
+  rule_dead_.assign(graph.num_rules(), 0);
+  rule_pending_.assign(graph.num_rules(), 0);
+  atom_support_.assign(n, 0);
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    const RuleInstance& inst = graph.rule(r);
+    rule_pending_[r] = static_cast<int32_t>(inst.positive_body.size() +
+                                            inst.negative_body.size());
+    ++atom_support_[inst.head];
+  }
+  for (AtomId a = 0; a < n; ++a) {
+    if (initial[a] != Truth::kUndef) Assign(a, initial[a]);
+  }
+  InitialClose();
+}
+
+void CloseState::InitialClose() {
+  // Empty-body rule nodes have no incoming edges: they fire immediately.
+  for (int32_t r = 0; r < graph_->num_rules(); ++r) {
+    if (!rule_dead_[r] && rule_pending_[r] == 0) {
+      rule_dead_[r] = 1;
+      const AtomId head = graph_->rule(r).head;
+      if (value_[head] == Truth::kUndef) Assign(head, Truth::kTrue);
+      TIEBREAK_CHECK(value_[head] == Truth::kTrue)
+          << "empty-body rule with false head";
+      DecSupport(head);
+    }
+  }
+  // Atoms with no incoming edges are false.
+  for (AtomId a = 0; a < graph_->num_atoms(); ++a) {
+    if (atom_support_[a] == 0 && value_[a] == Truth::kUndef) {
+      Assign(a, Truth::kFalse);
+    }
+  }
+  Drain();
+}
+
+void CloseState::Assign(AtomId atom, Truth value) {
+  TIEBREAK_CHECK(value != Truth::kUndef);
+  TIEBREAK_CHECK(value_[atom] == Truth::kUndef)
+      << "atom " << atom << " assigned twice";
+  value_[atom] = value;
+  --num_live_atoms_;
+  worklist_.push_back(atom);
+}
+
+void CloseState::Drain() {
+  while (!worklist_.empty()) {
+    const AtomId atom = worklist_.back();
+    worklist_.pop_back();
+    const bool is_true = value_[atom] == Truth::kTrue;
+    // Deleting the atom removes its outgoing body arcs; arcs whose sign
+    // matches the value leave satisfied rules (pending--), the others kill
+    // their rule node.
+    for (int32_t r : graph_->PositiveConsumers(atom)) {
+      if (is_true) {
+        DecPending(r);
+      } else {
+        KillRule(r);
+      }
+    }
+    for (int32_t r : graph_->NegativeConsumers(atom)) {
+      if (is_true) {
+        KillRule(r);
+      } else {
+        DecPending(r);
+      }
+    }
+  }
+}
+
+void CloseState::KillRule(int32_t rule) {
+  if (rule_dead_[rule]) return;
+  rule_dead_[rule] = 1;
+  DecSupport(graph_->rule(rule).head);
+}
+
+void CloseState::DecPending(int32_t rule) {
+  if (rule_dead_[rule]) return;
+  if (--rule_pending_[rule] > 0) return;
+  // No incoming edges left: the rule fires and is deleted.
+  rule_dead_[rule] = 1;
+  const AtomId head = graph_->rule(rule).head;
+  if (value_[head] == Truth::kUndef) {
+    Assign(head, Truth::kTrue);
+  } else {
+    TIEBREAK_CHECK(value_[head] == Truth::kTrue)
+        << "fired rule for an atom already false";
+  }
+  DecSupport(head);
+}
+
+void CloseState::DecSupport(AtomId atom) {
+  if (--atom_support_[atom] > 0) return;
+  if (value_[atom] == Truth::kUndef) Assign(atom, Truth::kFalse);
+}
+
+std::vector<AtomId> CloseState::LiveAtoms() const {
+  std::vector<AtomId> live;
+  for (AtomId a = 0; a < graph_->num_atoms(); ++a) {
+    if (value_[a] == Truth::kUndef) live.push_back(a);
+  }
+  return live;
+}
+
+std::vector<int32_t> CloseState::LiveRules() const {
+  std::vector<int32_t> live;
+  for (int32_t r = 0; r < graph_->num_rules(); ++r) {
+    if (!rule_dead_[r]) live.push_back(r);
+  }
+  return live;
+}
+
+std::vector<AtomId> CloseState::LargestUnfoundedSet() const {
+  // Simulate close over the positive-edge subgraph of the live graph.
+  // States: 0 = open, 1 = "founded" (deleted as true), 2 = deleted as false.
+  const int32_t n = graph_->num_atoms();
+  std::vector<char> state(n, 0);
+  std::vector<char> dead(rule_dead_.begin(), rule_dead_.end());
+  std::vector<int32_t> pending(graph_->num_rules(), 0);
+  std::vector<int32_t> support(atom_support_.begin(), atom_support_.end());
+  std::vector<AtomId> queue;
+
+  auto mark = [&](AtomId a, char s) {
+    state[a] = s;
+    queue.push_back(a);
+  };
+
+  for (int32_t r = 0; r < graph_->num_rules(); ++r) {
+    if (dead[r]) continue;
+    int32_t live_pos = 0;
+    for (AtomId a : graph_->rule(r).positive_body) {
+      if (value_[a] == Truth::kUndef) ++live_pos;
+    }
+    pending[r] = live_pos;
+    if (live_pos == 0) {
+      // Source rule node in G+: its head is founded.
+      dead[r] = 1;
+      const AtomId head = graph_->rule(r).head;
+      if (value_[head] == Truth::kUndef && state[head] == 0) mark(head, 1);
+      --support[head];
+    }
+  }
+  for (AtomId a = 0; a < n; ++a) {
+    if (value_[a] == Truth::kUndef && state[a] == 0 && support[a] <= 0) {
+      mark(a, 2);
+    }
+  }
+
+  while (!queue.empty()) {
+    const AtomId atom = queue.back();
+    queue.pop_back();
+    const bool founded = state[atom] == 1;
+    for (int32_t r : graph_->PositiveConsumers(atom)) {
+      if (dead[r]) continue;
+      if (founded) {
+        if (--pending[r] > 0) continue;
+        dead[r] = 1;
+        const AtomId head = graph_->rule(r).head;
+        if (value_[head] == Truth::kUndef && state[head] == 0) mark(head, 1);
+        --support[head];
+        if (support[head] <= 0 && value_[head] == Truth::kUndef &&
+            state[head] == 0) {
+          mark(head, 2);
+        }
+      } else {
+        dead[r] = 1;
+        const AtomId head = graph_->rule(r).head;
+        --support[head];
+        if (support[head] <= 0 && value_[head] == Truth::kUndef &&
+            state[head] == 0) {
+          mark(head, 2);
+        }
+      }
+    }
+  }
+
+  std::vector<AtomId> unfounded;
+  for (AtomId a = 0; a < n; ++a) {
+    if (value_[a] == Truth::kUndef && state[a] == 0) unfounded.push_back(a);
+  }
+  return unfounded;
+}
+
+}  // namespace tiebreak

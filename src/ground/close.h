@@ -1,0 +1,104 @@
+// The close(M, G) procedure of Section 2, implemented as a *persistent*
+// propagation state: because close is monotone (atoms only gain truth
+// values, nodes are only ever deleted), one CloseState instance serves a
+// whole interpreter run — each SetAndClose() continues from the current
+// graph, and the total work over a run is O(edges).
+//
+// The four rewrite rules of the paper map to worklist events:
+//   atom a true   -> delete a; kill rules with a negative arc (a, r);
+//                    positive arcs (a, r) disappear (pending--).
+//   atom a false  -> delete a; kill rules with a positive arc (a, r);
+//                    negative arcs (a, r) disappear (pending--).
+//   rule r with no incoming edges (pending == 0) -> head := true, delete r.
+//   atom a with no incoming edges (support == 0) -> a := false.
+//
+// Confluence (the paper: "these are uniquely determined, independent of the
+// order") is exercised by randomized-order tests in ground_test.cc.
+#ifndef TIEBREAK_GROUND_CLOSE_H_
+#define TIEBREAK_GROUND_CLOSE_H_
+
+#include <utility>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/truth.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// Persistent close(M, G) state over one ground graph.
+class CloseState {
+ public:
+  /// Starts from the paper's initial model M0(Δ): atoms listed in Δ are
+  /// true, EDB atoms not in Δ are false, IDB atoms not in Δ are undefined —
+  /// then runs the initial close to fixpoint.
+  CloseState(const Program& program, const Database& database,
+             const GroundGraph& graph);
+
+  /// Starts from an explicit initial assignment (Truth per AtomId; kUndef
+  /// entries stay open) and closes. Used by the stable-model check's
+  /// close(M⁻, G) and by tests.
+  CloseState(const GroundGraph& graph, const std::vector<Truth>& initial);
+
+  /// Assigns `value` to the live atom `atom` and propagates to fixpoint.
+  void SetAndClose(AtomId atom, bool value) {
+    Assign(atom, value ? Truth::kTrue : Truth::kFalse);
+    Drain();
+  }
+
+  /// Assigns a batch (all atoms must be live), then propagates once.
+  void SetAndClose(const std::vector<std::pair<AtomId, bool>>& assignments) {
+    for (const auto& [atom, value] : assignments) {
+      Assign(atom, value ? Truth::kTrue : Truth::kFalse);
+    }
+    Drain();
+  }
+
+  Truth Value(AtomId atom) const {
+    TIEBREAK_CHECK_GE(atom, 0);
+    TIEBREAK_CHECK_LT(atom, graph_->num_atoms());
+    return value_[atom];
+  }
+  bool AtomLive(AtomId atom) const { return Value(atom) == Truth::kUndef; }
+  bool RuleLive(int32_t rule) const { return rule_dead_[rule] == 0; }
+
+  int32_t num_live_atoms() const { return num_live_atoms_; }
+  bool IsTotal() const { return num_live_atoms_ == 0; }
+
+  /// Ascending ids of atoms still in the graph (undefined).
+  std::vector<AtomId> LiveAtoms() const;
+  /// Ascending ids of rule nodes still in the graph.
+  std::vector<int32_t> LiveRules() const;
+
+  /// The largest unfounded set Atoms[close(M, G+)] of the *current* state:
+  /// simulates close over the positive-edge subgraph of the live graph and
+  /// returns the atoms left without a value (Section 2). Empty result means
+  /// the well-founded interpreter is done (or stuck on ties).
+  std::vector<AtomId> LargestUnfoundedSet() const;
+
+  /// The full assignment so far (by AtomId).
+  const std::vector<Truth>& values() const { return value_; }
+
+  const GroundGraph& graph() const { return *graph_; }
+
+ private:
+  void Assign(AtomId atom, Truth value);
+  void Drain();
+  void KillRule(int32_t rule);
+  void DecPending(int32_t rule);
+  void DecSupport(AtomId atom);
+  void InitialClose();
+
+  const GroundGraph* graph_;
+  std::vector<Truth> value_;
+  std::vector<char> rule_dead_;
+  std::vector<int32_t> rule_pending_;  // unresolved body edges per rule
+  std::vector<int32_t> atom_support_;  // live rules with this head
+  std::vector<AtomId> worklist_;       // freshly assigned atoms
+  int32_t num_live_atoms_ = 0;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_GROUND_CLOSE_H_

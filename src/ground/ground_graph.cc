@@ -1,0 +1,68 @@
+#include "ground/ground_graph.h"
+
+namespace tiebreak {
+
+uint64_t GroundAtomStore::HashKey(PredId predicate, const Tuple& tuple) {
+  // FNV-1a over the predicate id and the constants.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<uint64_t>(predicate));
+  for (ConstId c : tuple) mix(static_cast<uint64_t>(c) + 0x9E3779B9ULL);
+  return h;
+}
+
+AtomId GroundAtomStore::Intern(PredId predicate, const Tuple& tuple) {
+  const uint64_t hash = HashKey(predicate, tuple);
+  std::vector<AtomId>& bucket = index_[hash];
+  for (AtomId id : bucket) {
+    if (atoms_[id].first == predicate && atoms_[id].second == tuple) {
+      return id;
+    }
+  }
+  const AtomId id = size();
+  atoms_.emplace_back(predicate, tuple);
+  bucket.push_back(id);
+  return id;
+}
+
+AtomId GroundAtomStore::Lookup(PredId predicate, const Tuple& tuple) const {
+  const uint64_t hash = HashKey(predicate, tuple);
+  auto it = index_.find(hash);
+  if (it == index_.end()) return -1;
+  for (AtomId id : it->second) {
+    if (atoms_[id].first == predicate && atoms_[id].second == tuple) {
+      return id;
+    }
+  }
+  return -1;
+}
+
+void GroundGraph::Finalize() {
+  TIEBREAK_CHECK(!finalized_);
+  positive_consumers_.assign(num_atoms(), {});
+  negative_consumers_.assign(num_atoms(), {});
+  supporters_.assign(num_atoms(), {});
+  for (int32_t r = 0; r < num_rules(); ++r) {
+    const RuleInstance& inst = rules_[r];
+    TIEBREAK_CHECK_GE(inst.head, 0);
+    TIEBREAK_CHECK_LT(inst.head, num_atoms());
+    supporters_[inst.head].push_back(r);
+    for (AtomId a : inst.positive_body) positive_consumers_[a].push_back(r);
+    for (AtomId a : inst.negative_body) negative_consumers_[a].push_back(r);
+  }
+  finalized_ = true;
+}
+
+int64_t GroundGraph::num_edges() const {
+  int64_t edges = num_rules();  // one head edge per rule node
+  for (const RuleInstance& inst : rules_) {
+    edges += static_cast<int64_t>(inst.positive_body.size()) +
+             static_cast<int64_t>(inst.negative_body.size());
+  }
+  return edges;
+}
+
+}  // namespace tiebreak

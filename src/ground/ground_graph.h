@@ -1,0 +1,124 @@
+// The ground graph G(Π, Δ) of Section 2: a bipartite directed graph with
+// predicate nodes (ground atoms) and rule nodes (rule instantiations),
+// positive edges (rule -> its head; positive body atom -> rule) and negative
+// edges (negated body atom -> rule).
+//
+// Representation notes. Instead of materializing edge objects, each rule
+// instance stores its head and its positive/negative body atom lists, and
+// Finalize() builds the inverse indexes (consumers/supporters per atom).
+// Every algorithm of the paper reads the graph through these adjacency
+// lists; an explicit SignedDigraph over the *live* nodes is constructed by
+// ground/live_graph.h only when the tie-breaking interpreters need SCCs.
+#ifndef TIEBREAK_GROUND_GROUND_GRAPH_H_
+#define TIEBREAK_GROUND_GROUND_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "lang/symbols.h"
+#include "util/logging.h"
+
+namespace tiebreak {
+
+/// Dense id of a ground atom within one GroundGraph.
+using AtomId = int32_t;
+
+/// Interns (predicate, argument tuple) pairs as dense AtomIds.
+class GroundAtomStore {
+ public:
+  /// Returns the id of the ground atom, interning it if new.
+  AtomId Intern(PredId predicate, const Tuple& tuple);
+
+  /// Returns the id or -1 when the atom was never interned.
+  AtomId Lookup(PredId predicate, const Tuple& tuple) const;
+
+  PredId PredicateOf(AtomId atom) const { return Entry(atom).first; }
+  const Tuple& TupleOf(AtomId atom) const { return Entry(atom).second; }
+
+  int32_t size() const { return static_cast<int32_t>(atoms_.size()); }
+
+ private:
+  const std::pair<PredId, Tuple>& Entry(AtomId atom) const {
+    TIEBREAK_CHECK_GE(atom, 0);
+    TIEBREAK_CHECK_LT(atom, size());
+    return atoms_[atom];
+  }
+
+  static uint64_t HashKey(PredId predicate, const Tuple& tuple);
+
+  std::vector<std::pair<PredId, Tuple>> atoms_;
+  std::unordered_map<uint64_t, std::vector<AtomId>> index_;  // hash buckets
+};
+
+/// One rule node: the instantiation of `rule_index` under `binding` (the
+/// constant chosen for each rule variable). EDB-resolved body literals may
+/// have been dropped by the reduced grounder; the remaining body atoms are
+/// stored by sign. Duplicate occurrences are preserved (parallel edges).
+struct RuleInstance {
+  int32_t rule_index = 0;
+  AtomId head = 0;
+  std::vector<AtomId> positive_body;
+  std::vector<AtomId> negative_body;
+  Tuple binding;
+};
+
+/// G(Π, Δ) plus the inverse indexes used by close() and the interpreters.
+class GroundGraph {
+ public:
+  GroundAtomStore& atoms() { return atoms_; }
+  const GroundAtomStore& atoms() const { return atoms_; }
+
+  /// Appends a rule node. Must precede Finalize().
+  void AddRuleInstance(RuleInstance instance) {
+    TIEBREAK_CHECK(!finalized_);
+    rules_.push_back(std::move(instance));
+  }
+
+  /// Builds consumer/supporter indexes. Call once, after all instances and
+  /// atoms are in.
+  void Finalize();
+
+  int32_t num_atoms() const { return atoms_.size(); }
+  int32_t num_rules() const { return static_cast<int32_t>(rules_.size()); }
+  bool finalized() const { return finalized_; }
+
+  const RuleInstance& rule(int32_t r) const {
+    TIEBREAK_CHECK_GE(r, 0);
+    TIEBREAK_CHECK_LT(r, num_rules());
+    return rules_[r];
+  }
+  const std::vector<RuleInstance>& rules() const { return rules_; }
+
+  /// Rule nodes with a positive body edge from `atom`.
+  const std::vector<int32_t>& PositiveConsumers(AtomId atom) const {
+    TIEBREAK_CHECK(finalized_);
+    return positive_consumers_[atom];
+  }
+  /// Rule nodes with a negative body edge from `atom`.
+  const std::vector<int32_t>& NegativeConsumers(AtomId atom) const {
+    TIEBREAK_CHECK(finalized_);
+    return negative_consumers_[atom];
+  }
+  /// Rule nodes whose head is `atom`.
+  const std::vector<int32_t>& Supporters(AtomId atom) const {
+    TIEBREAK_CHECK(finalized_);
+    return supporters_[atom];
+  }
+
+  /// Total number of edges (head edges + body occurrences).
+  int64_t num_edges() const;
+
+ private:
+  GroundAtomStore atoms_;
+  std::vector<RuleInstance> rules_;
+  bool finalized_ = false;
+  std::vector<std::vector<int32_t>> positive_consumers_;
+  std::vector<std::vector<int32_t>> negative_consumers_;
+  std::vector<std::vector<int32_t>> supporters_;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_GROUND_GROUND_GRAPH_H_

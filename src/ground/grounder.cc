@@ -1,0 +1,288 @@
+#include "ground/grounder.h"
+
+#include <algorithm>
+
+namespace tiebreak {
+
+std::vector<ConstId> ComputeUniverse(const Program& program,
+                                     const Database& database) {
+  std::vector<ConstId> universe = database.ReferencedConstants();
+  for (const Rule& rule : program.rules()) {
+    auto scan = [&universe](const Atom& atom) {
+      for (const Term& term : atom.args) {
+        if (term.is_constant()) universe.push_back(term.index);
+      }
+    };
+    scan(rule.head);
+    for (const Literal& literal : rule.body) scan(literal.atom);
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  return universe;
+}
+
+namespace {
+
+// Shared state for grounding one program.
+class GrounderImpl {
+ public:
+  GrounderImpl(const Program& program, const Database& database,
+               const GroundingOptions& options)
+      : program_(program), database_(database), options_(options) {
+    universe_ = ComputeUniverse(program, database);
+  }
+
+  Result<GroundingResult> Run() {
+    // Δ's IDB atoms always become nodes: they carry initial truth values.
+    // EDB atoms of Δ are nodes only without the EDB reduction.
+    for (PredId p = 0; p < database_.num_predicates(); ++p) {
+      if (program_.IsEdb(p) && options_.reduce_edb) continue;
+      for (const Tuple& tuple : database_.Relation(p)) {
+        graph_.atoms().Intern(p, tuple);
+      }
+    }
+    if (options_.include_all_atoms) {
+      Status s = InternAllAtoms();
+      if (!s.ok()) return s;
+    }
+    for (int32_t r = 0; r < program_.num_rules(); ++r) {
+      Status s = options_.reduce_edb ? GroundRuleReduced(r)
+                                     : GroundRuleFaithful(r);
+      if (!s.ok()) return s;
+    }
+    graph_.Finalize();
+    GroundingResult result;
+    result.graph = std::move(graph_);
+    result.universe = std::move(universe_);
+    return result;
+  }
+
+ private:
+  Status Budget() {
+    if (++work_ > options_.max_instances) {
+      return Status::ResourceExhausted(
+          "grounding exceeded max_instances budget");
+    }
+    return Status::Ok();
+  }
+
+  Status InternAllAtoms() {
+    for (PredId p = 0; p < program_.num_predicates(); ++p) {
+      const int32_t arity = program_.predicate(p).arity;
+      if (arity > 0 && universe_.empty()) continue;
+      Tuple tuple(arity, arity > 0 ? universe_.front() : 0);
+      std::vector<size_t> odo(arity, 0);
+      while (true) {
+        Status s = Budget();
+        if (!s.ok()) return s;
+        graph_.atoms().Intern(p, tuple);
+        int32_t pos = arity - 1;
+        while (pos >= 0) {
+          if (++odo[pos] < universe_.size()) {
+            tuple[pos] = universe_[odo[pos]];
+            break;
+          }
+          odo[pos] = 0;
+          tuple[pos] = universe_.front();
+          --pos;
+        }
+        if (pos < 0) break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Substitutes `binding` into `atom`, producing a ground tuple.
+  Tuple Substitute(const Atom& atom, const Tuple& binding) const {
+    Tuple tuple;
+    tuple.reserve(atom.args.size());
+    for (const Term& term : atom.args) {
+      if (term.is_constant()) {
+        tuple.push_back(term.index);
+      } else {
+        TIEBREAK_CHECK_GE(binding[term.index], 0) << "unbound variable";
+        tuple.push_back(binding[term.index]);
+      }
+    }
+    return tuple;
+  }
+
+  // ----------------------------- faithful ---------------------------------
+
+  Status GroundRuleFaithful(int32_t rule_index) {
+    const Rule& rule = program_.rule(rule_index);
+    const int32_t k = rule.num_variables;
+    if (k > 0 && universe_.empty()) return Status::Ok();
+    Tuple binding(k, k > 0 ? universe_.front() : 0);
+    std::vector<size_t> odo(k, 0);
+    while (true) {
+      Status s = Budget();
+      if (!s.ok()) return s;
+      EmitFaithfulInstance(rule_index, rule, binding);
+      int32_t pos = k - 1;
+      while (pos >= 0) {
+        if (++odo[pos] < universe_.size()) {
+          binding[pos] = universe_[odo[pos]];
+          break;
+        }
+        odo[pos] = 0;
+        binding[pos] = universe_.front();
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+    return Status::Ok();
+  }
+
+  void EmitFaithfulInstance(int32_t rule_index, const Rule& rule,
+                            const Tuple& binding) {
+    RuleInstance inst;
+    inst.rule_index = rule_index;
+    inst.binding = binding;
+    inst.head = graph_.atoms().Intern(rule.head.predicate,
+                                      Substitute(rule.head, binding));
+    for (const Literal& literal : rule.body) {
+      const AtomId atom = graph_.atoms().Intern(
+          literal.atom.predicate, Substitute(literal.atom, binding));
+      (literal.positive ? inst.positive_body : inst.negative_body)
+          .push_back(atom);
+    }
+    graph_.AddRuleInstance(std::move(inst));
+  }
+
+  // ----------------------------- reduced ----------------------------------
+
+  Status GroundRuleReduced(int32_t rule_index) {
+    const Rule& rule = program_.rule(rule_index);
+    // Positive EDB literals act as generators (matched against Δ); all other
+    // literals are emitted as graph edges or checked as filters afterwards.
+    std::vector<int32_t> generators;
+    for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
+      const Literal& literal = rule.body[b];
+      if (literal.positive && program_.IsEdb(literal.atom.predicate)) {
+        generators.push_back(b);
+      }
+    }
+    Tuple binding(rule.num_variables, -1);
+    return MatchGenerators(rule_index, rule, generators, 0, &binding);
+  }
+
+  Status MatchGenerators(int32_t rule_index, const Rule& rule,
+                         const std::vector<int32_t>& generators, size_t g,
+                         Tuple* binding) {
+    if (g == generators.size()) {
+      return EnumerateFreeVariables(rule_index, rule, binding);
+    }
+    const Atom& atom = rule.body[generators[g]].atom;
+    for (const Tuple& tuple : database_.Relation(atom.predicate)) {
+      Status s = Budget();
+      if (!s.ok()) return s;
+      // Try to unify `atom` with `tuple` under the current partial binding.
+      std::vector<int32_t> bound_here;
+      bool match = true;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& term = atom.args[i];
+        if (term.is_constant()) {
+          if (term.index != tuple[i]) {
+            match = false;
+            break;
+          }
+        } else if ((*binding)[term.index] >= 0) {
+          if ((*binding)[term.index] != tuple[i]) {
+            match = false;
+            break;
+          }
+        } else {
+          (*binding)[term.index] = tuple[i];
+          bound_here.push_back(term.index);
+        }
+      }
+      if (match) {
+        s = MatchGenerators(rule_index, rule, generators, g + 1, binding);
+        if (!s.ok()) return s;
+      }
+      for (int32_t var : bound_here) (*binding)[var] = -1;
+    }
+    return Status::Ok();
+  }
+
+  Status EnumerateFreeVariables(int32_t rule_index, const Rule& rule,
+                                Tuple* binding) {
+    std::vector<int32_t> free_vars;
+    for (int32_t v = 0; v < rule.num_variables; ++v) {
+      if ((*binding)[v] < 0) free_vars.push_back(v);
+    }
+    if (!free_vars.empty() && universe_.empty()) return Status::Ok();
+    std::vector<size_t> odo(free_vars.size(), 0);
+    for (int32_t var : free_vars) (*binding)[var] = universe_.front();
+    while (true) {
+      Status s = Budget();
+      if (!s.ok()) {
+        for (int32_t var : free_vars) (*binding)[var] = -1;
+        return s;
+      }
+      EmitReducedInstance(rule_index, rule, *binding);
+      int32_t pos = static_cast<int32_t>(free_vars.size()) - 1;
+      while (pos >= 0) {
+        if (++odo[pos] < universe_.size()) {
+          (*binding)[free_vars[pos]] = universe_[odo[pos]];
+          break;
+        }
+        odo[pos] = 0;
+        (*binding)[free_vars[pos]] = universe_.front();
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+    for (int32_t var : free_vars) (*binding)[var] = -1;
+    return Status::Ok();
+  }
+
+  void EmitReducedInstance(int32_t rule_index, const Rule& rule,
+                           const Tuple& binding) {
+    RuleInstance inst;
+    inst.rule_index = rule_index;
+    inst.binding = binding;
+    for (const Literal& literal : rule.body) {
+      const PredId pred = literal.atom.predicate;
+      if (program_.IsEdb(pred)) {
+        if (literal.positive) continue;  // matched against Δ already
+        // Negated EDB literal: a true EDB atom kills the instance outright
+        // (the first close would delete this rule node); a false one is a
+        // satisfied literal and leaves no edge.
+        if (database_.Contains(pred, Substitute(literal.atom, binding))) {
+          return;
+        }
+        continue;
+      }
+      const AtomId atom =
+          graph_.atoms().Intern(pred, Substitute(literal.atom, binding));
+      (literal.positive ? inst.positive_body : inst.negative_body)
+          .push_back(atom);
+    }
+    inst.head = graph_.atoms().Intern(rule.head.predicate,
+                                      Substitute(rule.head, binding));
+    graph_.AddRuleInstance(std::move(inst));
+  }
+
+  const Program& program_;
+  const Database& database_;
+  const GroundingOptions& options_;
+  std::vector<ConstId> universe_;
+  GroundGraph graph_;
+  int64_t work_ = 0;
+};
+
+}  // namespace
+
+Result<GroundingResult> Ground(const Program& program,
+                               const Database& database,
+                               const GroundingOptions& options) {
+  TIEBREAK_CHECK_EQ(program.num_predicates(), database.num_predicates())
+      << "database was built for a different program";
+  GrounderImpl impl(program, database, options);
+  return impl.Run();
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,66 @@
+// Construction of the ground graph G(Π, Δ).
+//
+// Two modes:
+//
+//  * faithful (reduce_edb = false): the paper's definition verbatim — every
+//    rule with k variables is instantiated with every k-tuple over the
+//    universe U (constants of Π and Δ), and with include_all_atoms the
+//    predicate-node set VP is the full set of ground atoms over U. Feasible
+//    only for small inputs; used as the reference in equivalence tests.
+//
+//  * reduced (default): performs the EDB part of the very first close(M, G)
+//    during grounding. Rule instances with a false positive EDB literal or
+//    a true negated EDB literal are never created (close would delete them
+//    immediately), satisfied EDB literals are dropped from bodies (close
+//    would delete those resolved atoms), and EDB atoms are not interned as
+//    nodes. The result is equivalent to the faithful graph *after* the
+//    initial close — tested exhaustively in ground_test.cc — and it is what
+//    makes programs like the Theorem 6 machine-simulation (whose rules
+//    carry long succ-chain variable lists) groundable at all: positive EDB
+//    literals are matched against Δ by backtracking join rather than blind
+//    |U|^k enumeration.
+#ifndef TIEBREAK_GROUND_GROUNDER_H_
+#define TIEBREAK_GROUND_GROUNDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "lang/database.h"
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace tiebreak {
+
+/// Grounding knobs.
+struct GroundingOptions {
+  /// Apply the EDB reduction (see file comment). Default on.
+  bool reduce_edb = true;
+  /// Faithful mode only: also intern every ground atom over U for every
+  /// predicate, exactly matching the paper's VP.
+  bool include_all_atoms = false;
+  /// Abort with RESOURCE_EXHAUSTED beyond this many rule instances /
+  /// explored bindings (guards |U|^k blowups).
+  int64_t max_instances = 10'000'000;
+};
+
+/// A finalized ground graph plus the universe it was built over.
+struct GroundingResult {
+  GroundGraph graph;
+  std::vector<ConstId> universe;  // ascending ConstIds of Π and Δ
+};
+
+/// Computes U: all constants appearing in `program`'s rules or `database`.
+std::vector<ConstId> ComputeUniverse(const Program& program,
+                                     const Database& database);
+
+/// Builds G(Π, Δ). The program must Validate(). IDB atoms of Δ are always
+/// interned (they carry initial truth); EDB atoms become nodes only in
+/// faithful mode.
+Result<GroundingResult> Ground(const Program& program,
+                               const Database& database,
+                               const GroundingOptions& options = {});
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_GROUND_GROUNDER_H_

@@ -1,0 +1,52 @@
+#include "ground/live_graph.h"
+
+namespace tiebreak {
+
+LiveGraph BuildLiveGraph(const CloseState& state) {
+  const GroundGraph& ground = state.graph();
+  LiveGraph live;
+  live.atom_node.assign(ground.num_atoms(), -1);
+
+  for (AtomId a = 0; a < ground.num_atoms(); ++a) {
+    if (!state.AtomLive(a)) continue;
+    live.atom_node[a] = static_cast<int32_t>(live.node_atom.size());
+    live.node_atom.push_back(a);
+    live.node_rule.push_back(-1);
+  }
+  live.num_atom_nodes = static_cast<int32_t>(live.node_atom.size());
+
+  std::vector<int32_t> rule_node(ground.num_rules(), -1);
+  for (int32_t r = 0; r < ground.num_rules(); ++r) {
+    if (!state.RuleLive(r)) continue;
+    rule_node[r] = static_cast<int32_t>(live.node_atom.size());
+    live.node_atom.push_back(-1);
+    live.node_rule.push_back(r);
+  }
+
+  live.graph = SignedDigraph(static_cast<int32_t>(live.node_atom.size()));
+  for (int32_t r = 0; r < ground.num_rules(); ++r) {
+    if (rule_node[r] < 0) continue;
+    const RuleInstance& inst = ground.rule(r);
+    // A live rule's body atoms are either live or deleted-satisfied; only
+    // live ones still carry edges.
+    for (AtomId a : inst.positive_body) {
+      if (live.atom_node[a] >= 0) {
+        live.graph.AddEdge(live.atom_node[a], rule_node[r], false);
+      }
+    }
+    for (AtomId a : inst.negative_body) {
+      if (live.atom_node[a] >= 0) {
+        live.graph.AddEdge(live.atom_node[a], rule_node[r], true);
+      }
+    }
+    // Head edge; the head may itself already be true (deleted), in which
+    // case the rule node is a sink.
+    if (live.atom_node[inst.head] >= 0) {
+      live.graph.AddEdge(rule_node[r], live.atom_node[inst.head], false);
+    }
+  }
+  live.graph.Finalize();
+  return live;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,35 @@
+// Materializes the *live* part of a CloseState's ground graph as a
+// SignedDigraph, so the generic SCC / tie machinery (graph/) can run on it.
+// Nodes are the still-undefined atoms plus the still-alive rule nodes; edges
+// follow the paper's ground-graph definition restricted to live endpoints.
+#ifndef TIEBREAK_GROUND_LIVE_GRAPH_H_
+#define TIEBREAK_GROUND_LIVE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "ground/close.h"
+
+namespace tiebreak {
+
+/// The live subgraph with node <-> atom/rule mappings.
+struct LiveGraph {
+  SignedDigraph graph;
+  /// node -> AtomId, or -1 for rule nodes.
+  std::vector<int32_t> node_atom;
+  /// node -> rule-instance id, or -1 for atom nodes.
+  std::vector<int32_t> node_rule;
+  /// AtomId -> node id, or -1 when the atom is not live.
+  std::vector<int32_t> atom_node;
+
+  int32_t num_atom_nodes = 0;
+};
+
+/// Builds the live subgraph of `state`'s ground graph. The returned graph is
+/// finalized.
+LiveGraph BuildLiveGraph(const CloseState& state);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_GROUND_LIVE_GRAPH_H_

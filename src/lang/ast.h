@@ -1,0 +1,61 @@
+// Core syntax objects of Datalog with negation: terms, atoms, literals,
+// rules. All flat value types; strings live in the owning Program's tables.
+#ifndef TIEBREAK_LANG_AST_H_
+#define TIEBREAK_LANG_AST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/symbols.h"
+
+namespace tiebreak {
+
+/// A term is either a constant (index = ConstId in the Program's constant
+/// table) or a variable (index = rule-local variable number).
+struct Term {
+  enum class Kind : uint8_t { kConstant, kVariable };
+
+  Kind kind = Kind::kConstant;
+  int32_t index = 0;
+
+  static Term Constant(ConstId c) { return Term{Kind::kConstant, c}; }
+  static Term Variable(int32_t v) { return Term{Kind::kVariable, v}; }
+
+  bool is_constant() const { return kind == Kind::kConstant; }
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+/// P(t1, ..., tm). `args.size()` must equal the predicate's declared arity.
+struct Atom {
+  PredId predicate = 0;
+  std::vector<Term> args;
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+};
+
+/// An atom or its negation inside a rule body.
+struct Literal {
+  Atom atom;
+  bool positive = true;
+
+  friend bool operator==(const Literal&, const Literal&) = default;
+};
+
+/// A <- L1, ..., Ls. Variables are rule-local and numbered 0..num_variables-1;
+/// `variable_names` keeps the surface spelling for printing (size ==
+/// num_variables).
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+  int32_t num_variables = 0;
+  std::vector<std::string> variable_names;
+
+  /// True when the rule has no variables (every argument is a constant).
+  bool is_ground() const { return num_variables == 0; }
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_LANG_AST_H_

@@ -1,0 +1,54 @@
+#include "lang/database.h"
+
+#include <algorithm>
+
+namespace tiebreak {
+
+Database::Database(const Program& program) {
+  arities_.reserve(program.num_predicates());
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    arities_.push_back(program.predicate(p).arity);
+  }
+  relations_.resize(program.num_predicates());
+}
+
+void Database::Insert(PredId predicate, Tuple tuple) {
+  TIEBREAK_CHECK_GE(predicate, 0);
+  TIEBREAK_CHECK_LT(predicate, num_predicates());
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arities_[predicate])
+      << "arity mismatch inserting into relation " << predicate;
+  relations_[predicate].insert(std::move(tuple));
+}
+
+bool Database::Contains(PredId predicate, const Tuple& tuple) const {
+  TIEBREAK_CHECK_GE(predicate, 0);
+  TIEBREAK_CHECK_LT(predicate, num_predicates());
+  return relations_[predicate].contains(tuple);
+}
+
+const std::set<Tuple>& Database::Relation(PredId predicate) const {
+  TIEBREAK_CHECK_GE(predicate, 0);
+  TIEBREAK_CHECK_LT(predicate, num_predicates());
+  return relations_[predicate];
+}
+
+int64_t Database::TotalFacts() const {
+  int64_t total = 0;
+  for (const auto& rel : relations_) total += static_cast<int64_t>(rel.size());
+  return total;
+}
+
+std::vector<ConstId> Database::ReferencedConstants() const {
+  std::vector<ConstId> constants;
+  for (const auto& rel : relations_) {
+    for (const Tuple& tuple : rel) {
+      constants.insert(constants.end(), tuple.begin(), tuple.end());
+    }
+  }
+  std::sort(constants.begin(), constants.end());
+  constants.erase(std::unique(constants.begin(), constants.end()),
+                  constants.end());
+  return constants;
+}
+
+}  // namespace tiebreak

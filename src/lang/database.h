@@ -1,0 +1,53 @@
+// The initial database Δ: a finite set of ground facts for the predicates of
+// one Program. Following the paper, Δ may contain facts for EDB *and* IDB
+// predicates (uniform case); the nonuniform case simply uses a Δ whose IDB
+// relations are empty.
+#ifndef TIEBREAK_LANG_DATABASE_H_
+#define TIEBREAK_LANG_DATABASE_H_
+
+#include <set>
+#include <vector>
+
+#include "lang/program.h"
+#include "lang/symbols.h"
+
+namespace tiebreak {
+
+/// A set of ground tuples per predicate. Tuples are stored sorted, so
+/// iteration order (and everything derived from it) is deterministic.
+class Database {
+ public:
+  /// Creates an empty database shaped after `program`'s predicates. Only the
+  /// arity vector is captured; the program may intern more constants later.
+  explicit Database(const Program& program);
+
+  /// Inserts a fact; duplicate inserts are no-ops. Arity is CHECKed.
+  void Insert(PredId predicate, Tuple tuple);
+
+  /// Convenience for zero-arity predicates.
+  void InsertProposition(PredId predicate) { Insert(predicate, Tuple{}); }
+
+  bool Contains(PredId predicate, const Tuple& tuple) const;
+
+  const std::set<Tuple>& Relation(PredId predicate) const;
+
+  int32_t num_predicates() const {
+    return static_cast<int32_t>(relations_.size());
+  }
+
+  /// Total fact count across all relations.
+  int64_t TotalFacts() const;
+
+  /// All constants mentioned by some fact, deduplicated ascending.
+  std::vector<ConstId> ReferencedConstants() const;
+
+  friend bool operator==(const Database&, const Database&) = default;
+
+ private:
+  std::vector<int32_t> arities_;
+  std::vector<std::set<Tuple>> relations_;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_LANG_DATABASE_H_

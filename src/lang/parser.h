@@ -1,0 +1,56 @@
+// Text format for Datalog¬ programs and databases.
+//
+// Program syntax (one statement per '.', '%' comments to end of line):
+//
+//   win(X) :- move(X, Y), not win(Y).
+//   p :- not q.                 % zero-arity atoms need no parentheses
+//   seed(a).                    % empty-body rule (a program-level fact)
+//
+// Identifier conventions (standard Datalog): an argument identifier starting
+// with an uppercase letter or '_' is a variable; anything else (lowercase
+// identifiers, numbers) is a constant. Predicate names may be any
+// identifier except the keyword 'not'. '!' is accepted as a synonym for
+// 'not'.
+//
+// Database syntax: a sequence of ground facts,
+//
+//   move(a, b).  move(b, a).  p.
+//
+// Facts may mention predicates unknown to the program; those are implicitly
+// declared (with the observed arity) and are EDB by construction.
+#ifndef TIEBREAK_LANG_PARSER_H_
+#define TIEBREAK_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "lang/database.h"
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace tiebreak {
+
+/// Parses a program. Predicates are declared implicitly on first use, with
+/// consistent-arity enforcement; the result has been Validate()d.
+Result<Program> ParseProgram(std::string_view text);
+
+/// Parses a database of ground facts against `program`, implicitly declaring
+/// unknown predicates (which therefore become EDB). `program` is mutated
+/// only by interning constants / declaring new predicates.
+Result<Database> ParseDatabase(std::string_view text, Program* program);
+
+/// A single parsed atom with variables, for queries (core/query.h).
+struct AtomPattern {
+  Atom atom;
+  /// Names of the pattern's variables in first-occurrence order; Term
+  /// variable indexes refer into this vector.
+  std::vector<std::string> variable_names;
+};
+
+/// Parses one atom such as "win(X)", "t(a, Y)" or "p" (optionally ending in
+/// '.'). The predicate must already be declared in `program` (NOT_FOUND
+/// otherwise); constants are interned.
+Result<AtomPattern> ParseAtomPattern(std::string_view text, Program* program);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_LANG_PARSER_H_

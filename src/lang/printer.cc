@@ -1,0 +1,94 @@
+#include "lang/printer.h"
+
+#include <sstream>
+
+namespace tiebreak {
+
+namespace {
+
+void AppendTerm(const Program& program, const Term& term, const Rule* rule,
+                std::ostringstream* out) {
+  if (term.is_constant()) {
+    *out << program.constant_name(term.index);
+    return;
+  }
+  if (rule != nullptr &&
+      term.index < static_cast<int32_t>(rule->variable_names.size()) &&
+      !rule->variable_names[term.index].empty()) {
+    *out << rule->variable_names[term.index];
+  } else {
+    *out << "V" << term.index;
+  }
+}
+
+void AppendAtom(const Program& program, const Atom& atom, const Rule* rule,
+                std::ostringstream* out) {
+  *out << program.predicate_name(atom.predicate);
+  if (atom.args.empty()) return;
+  *out << "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) *out << ", ";
+    AppendTerm(program, atom.args[i], rule, out);
+  }
+  *out << ")";
+}
+
+}  // namespace
+
+std::string AtomToString(const Program& program, const Atom& atom,
+                         const Rule* rule) {
+  std::ostringstream out;
+  AppendAtom(program, atom, rule, &out);
+  return out.str();
+}
+
+std::string GroundAtomToString(const Program& program, PredId predicate,
+                               const Tuple& tuple) {
+  std::ostringstream out;
+  out << program.predicate_name(predicate);
+  if (!tuple.empty()) {
+    out << "(";
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << program.constant_name(tuple[i]);
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+std::string RuleToString(const Program& program, const Rule& rule) {
+  std::ostringstream out;
+  AppendAtom(program, rule.head, &rule, &out);
+  if (!rule.body.empty()) {
+    out << " :- ";
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out << ", ";
+      if (!rule.body[i].positive) out << "not ";
+      AppendAtom(program, rule.body[i].atom, &rule, &out);
+    }
+  }
+  out << ".";
+  return out.str();
+}
+
+std::string ProgramToString(const Program& program) {
+  std::ostringstream out;
+  for (int32_t r = 0; r < program.num_rules(); ++r) {
+    out << RuleToString(program, program.rule(r)) << "\n";
+  }
+  return out.str();
+}
+
+std::string DatabaseToString(const Program& program,
+                             const Database& database) {
+  std::ostringstream out;
+  for (PredId p = 0; p < database.num_predicates(); ++p) {
+    for (const Tuple& tuple : database.Relation(p)) {
+      out << GroundAtomToString(program, p, tuple) << ".\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tiebreak

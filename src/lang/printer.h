@@ -1,0 +1,36 @@
+// Textual rendering of programs, rules, atoms, databases and ground atoms.
+// Output parses back with lang/parser.h (round-trip tested), except that
+// variable names may be renamed to canonical V0, V1, ... when a rule carries
+// no surface names.
+#ifndef TIEBREAK_LANG_PRINTER_H_
+#define TIEBREAK_LANG_PRINTER_H_
+
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// Renders one atom using `rule` for variable names (pass nullptr to use
+/// canonical V<i> names).
+std::string AtomToString(const Program& program, const Atom& atom,
+                         const Rule* rule);
+
+/// Renders `P(c1, ..., cn)` (or bare `P` at arity 0).
+std::string GroundAtomToString(const Program& program, PredId predicate,
+                               const Tuple& tuple);
+
+/// Renders `head :- l1, ..., ls.` (or `head.` for empty bodies).
+std::string RuleToString(const Program& program, const Rule& rule);
+
+/// Renders the whole program, one rule per line.
+std::string ProgramToString(const Program& program);
+
+/// Renders every fact of the database, one per line, predicates ascending.
+std::string DatabaseToString(const Program& program, const Database& database);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_LANG_PRINTER_H_

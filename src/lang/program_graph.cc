@@ -1,0 +1,23 @@
+#include "lang/program_graph.h"
+
+namespace tiebreak {
+
+ProgramGraph BuildProgramGraph(const Program& program) {
+  ProgramGraph pg;
+  pg.graph = SignedDigraph(program.num_predicates());
+  for (int32_t r = 0; r < program.num_rules(); ++r) {
+    const Rule& rule = program.rule(r);
+    for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
+      const Literal& literal = rule.body[b];
+      const int32_t edge =
+          pg.graph.AddEdge(literal.atom.predicate, rule.head.predicate,
+                           /*negative=*/!literal.positive);
+      TIEBREAK_CHECK_EQ(edge, static_cast<int32_t>(pg.provenance.size()));
+      pg.provenance.push_back(ProgramGraph::Occurrence{r, b});
+    }
+  }
+  pg.graph.Finalize();
+  return pg;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,37 @@
+// The program graph G(Π) of Section 3: one node per predicate symbol, a
+// positive (negative) edge from P to Q for every positive (negative)
+// occurrence of P in the body of a rule whose head is Q. Edges carry
+// provenance back to the (rule, body-literal) occurrence — the witness
+// constructions of Theorems 2/3/5 need to locate the concrete rules behind a
+// cycle.
+#ifndef TIEBREAK_LANG_PROGRAM_GRAPH_H_
+#define TIEBREAK_LANG_PROGRAM_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// G(Π) plus occurrence provenance per edge.
+struct ProgramGraph {
+  /// Node ids coincide with PredIds of the source program.
+  SignedDigraph graph;
+
+  /// For edge id e: which rule and which body literal produced it.
+  struct Occurrence {
+    int32_t rule_index = 0;
+    int32_t body_index = 0;
+  };
+  std::vector<Occurrence> provenance;
+};
+
+/// Builds G(Π). One edge per body-literal occurrence, so parallel edges (of
+/// equal or different signs) are preserved. The returned graph is finalized.
+ProgramGraph BuildProgramGraph(const Program& program);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_LANG_PROGRAM_GRAPH_H_

@@ -1,0 +1,46 @@
+#include "lang/skeleton.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tiebreak {
+
+Skeleton SkeletonOf(const Program& program) {
+  Skeleton skeleton;
+  skeleton.reserve(program.num_rules());
+  for (const Rule& rule : program.rules()) {
+    SkeletonRule sk;
+    sk.head = program.predicate_name(rule.head.predicate);
+    for (const Literal& literal : rule.body) {
+      sk.body.push_back(SkeletonLiteral{
+          program.predicate_name(literal.atom.predicate), literal.positive});
+    }
+    std::sort(sk.body.begin(), sk.body.end());
+    skeleton.push_back(std::move(sk));
+  }
+  std::sort(skeleton.begin(), skeleton.end());
+  return skeleton;
+}
+
+bool SameSkeleton(const Program& a, const Program& b) {
+  return SkeletonOf(a) == SkeletonOf(b);
+}
+
+std::string SkeletonToString(const Skeleton& skeleton) {
+  std::ostringstream out;
+  for (const SkeletonRule& rule : skeleton) {
+    out << rule.head;
+    if (!rule.body.empty()) {
+      out << " :- ";
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (i > 0) out << ", ";
+        if (!rule.body[i].positive) out << "not ";
+        out << rule.body[i].predicate;
+      }
+    }
+    out << ".\n";
+  }
+  return out.str();
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,53 @@
+// Skeletons (the paper's "propositional forms"): a program with all
+// parentheses, variables and constants erased, keeping only predicate names
+// and literal signs. Two programs are *alphabetic variants* of one another
+// iff they have the same skeleton; *structural* totality quantifies over all
+// programs sharing a skeleton (Section 4).
+#ifndef TIEBREAK_LANG_SKELETON_H_
+#define TIEBREAK_LANG_SKELETON_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// One body literal of a skeleton rule: predicate name + sign.
+struct SkeletonLiteral {
+  std::string predicate;
+  bool positive = true;
+
+  friend bool operator==(const SkeletonLiteral&,
+                         const SkeletonLiteral&) = default;
+  friend auto operator<=>(const SkeletonLiteral&,
+                          const SkeletonLiteral&) = default;
+};
+
+/// `head <- body` with arguments erased.
+struct SkeletonRule {
+  std::string head;
+  std::vector<SkeletonLiteral> body;
+
+  friend bool operator==(const SkeletonRule&, const SkeletonRule&) = default;
+  friend auto operator<=>(const SkeletonRule&, const SkeletonRule&) = default;
+};
+
+/// A skeleton is the multiset of skeleton rules; stored sorted so equality
+/// is multiset equality. Body literal order inside a rule is also normalized
+/// (sorted), since reordering body literals does not change any semantics in
+/// the paper.
+using Skeleton = std::vector<SkeletonRule>;
+
+/// Extracts the (normalized) skeleton of `program`.
+Skeleton SkeletonOf(const Program& program);
+
+/// True iff the two programs are alphabetic variants (equal skeletons).
+bool SameSkeleton(const Program& a, const Program& b);
+
+/// Renders a skeleton for debugging: `P :- Q, not R.` lines.
+std::string SkeletonToString(const Skeleton& skeleton);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_LANG_SKELETON_H_

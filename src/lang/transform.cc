@@ -1,0 +1,84 @@
+#include "lang/transform.h"
+
+#include <set>
+#include <vector>
+
+namespace tiebreak {
+
+Result<Program> RenamePredicates(
+    const Program& program,
+    const std::map<std::string, std::string>& renames) {
+  // Compute final names and detect collisions.
+  std::vector<std::string> names(program.num_predicates());
+  std::set<std::string> seen;
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    const std::string& old_name = program.predicate_name(p);
+    auto it = renames.find(old_name);
+    names[p] = it == renames.end() ? old_name : it->second;
+    if (!seen.insert(names[p]).second) {
+      return Status::InvalidArgument("renaming collides on predicate name " +
+                                     names[p]);
+    }
+  }
+  Program out;
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    const PredId id =
+        out.DeclarePredicate(names[p], program.predicate(p).arity);
+    TIEBREAK_CHECK_EQ(id, p);  // ids preserved, rules copy verbatim
+  }
+  for (ConstId c = 0; c < program.num_constants(); ++c) {
+    out.InternConstant(program.constant_name(c));
+  }
+  for (const Rule& rule : program.rules()) out.AddRule(rule);
+  Status s = out.Validate();
+  if (!s.ok()) return s;
+  return out;
+}
+
+Result<Program> MergePrograms(const Program& a, const Program& b) {
+  Program out;
+  for (PredId p = 0; p < a.num_predicates(); ++p) {
+    out.DeclarePredicate(a.predicate(p).name, a.predicate(p).arity);
+  }
+  for (ConstId c = 0; c < a.num_constants(); ++c) {
+    out.InternConstant(a.constant_name(c));
+  }
+  for (const Rule& rule : a.rules()) out.AddRule(rule);
+
+  // b's predicates/constants map into the merged tables by name.
+  std::vector<PredId> pred_map(b.num_predicates());
+  for (PredId p = 0; p < b.num_predicates(); ++p) {
+    const std::string& name = b.predicate(p).name;
+    const PredId existing = out.LookupPredicate(name);
+    if (existing >= 0 &&
+        out.predicate(existing).arity != b.predicate(p).arity) {
+      return Status::InvalidArgument(
+          "predicate " + name + " has arity " +
+          std::to_string(out.predicate(existing).arity) + " vs " +
+          std::to_string(b.predicate(p).arity) + " across the programs");
+    }
+    pred_map[p] = out.DeclarePredicate(name, b.predicate(p).arity);
+  }
+  std::vector<ConstId> const_map(b.num_constants());
+  for (ConstId c = 0; c < b.num_constants(); ++c) {
+    const_map[c] = out.InternConstant(b.constant_name(c));
+  }
+  auto remap_atom = [&](Atom atom) {
+    atom.predicate = pred_map[atom.predicate];
+    for (Term& term : atom.args) {
+      if (term.is_constant()) term.index = const_map[term.index];
+    }
+    return atom;
+  };
+  for (const Rule& rule : b.rules()) {
+    Rule remapped = rule;
+    remapped.head = remap_atom(remapped.head);
+    for (Literal& lit : remapped.body) lit.atom = remap_atom(lit.atom);
+    out.AddRule(std::move(remapped));
+  }
+  Status s = out.Validate();
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,29 @@
+// Program transformation utilities: predicate renaming and program merging.
+// These are the user-facing tools for constructing alphabetic variants and
+// composite programs (the witness builders in core/witness.h construct
+// variants directly; these helpers serve downstream experimentation).
+#ifndef TIEBREAK_LANG_TRANSFORM_H_
+#define TIEBREAK_LANG_TRANSFORM_H_
+
+#include <map>
+#include <string>
+
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace tiebreak {
+
+/// Returns a copy of `program` with predicates renamed per `renames`
+/// (old name -> new name). Unmapped predicates keep their names. Fails with
+/// INVALID_ARGUMENT when two predicates would collide after renaming.
+Result<Program> RenamePredicates(const Program& program,
+                                 const std::map<std::string, std::string>& renames);
+
+/// Returns the union of two programs: predicates are merged by name (same
+/// name requires same arity — INVALID_ARGUMENT otherwise), constants by
+/// name, and the rule lists are concatenated (a's rules first).
+Result<Program> MergePrograms(const Program& a, const Program& b);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_LANG_TRANSFORM_H_

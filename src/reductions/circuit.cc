@@ -1,0 +1,48 @@
+#include "reductions/circuit.h"
+
+namespace tiebreak {
+
+std::vector<bool> MonotoneCircuit::Evaluate(
+    const std::vector<bool>& input_bits) const {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(input_bits.size()), num_inputs_);
+  std::vector<bool> value(gates_.size(), false);
+  for (int32_t g = 0; g < num_gates(); ++g) {
+    const Gate& gate = gates_[g];
+    switch (gate.kind) {
+      case GateKind::kInput:
+        value[g] = input_bits[g];
+        break;
+      case GateKind::kAnd: {
+        bool v = true;
+        for (int32_t in : gate.inputs) v = v && value[in];
+        value[g] = v;
+        break;
+      }
+      case GateKind::kOr: {
+        bool v = false;
+        for (int32_t in : gate.inputs) v = v || value[in];
+        value[g] = v;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+MonotoneCircuit RandomCircuit(Rng* rng, int32_t num_inputs,
+                              int32_t num_internal) {
+  TIEBREAK_CHECK_GT(num_inputs, 0);
+  TIEBREAK_CHECK_GT(num_internal, 0);
+  MonotoneCircuit circuit;
+  for (int32_t i = 0; i < num_inputs; ++i) circuit.AddInput();
+  for (int32_t g = 0; g < num_internal; ++g) {
+    const auto kind = rng->Chance(0.5) ? MonotoneCircuit::GateKind::kAnd
+                                       : MonotoneCircuit::GateKind::kOr;
+    const int32_t bound = circuit.num_gates();
+    circuit.AddGate(kind, {static_cast<int32_t>(rng->Below(bound)),
+                           static_cast<int32_t>(rng->Below(bound))});
+  }
+  return circuit;
+}
+
+}  // namespace tiebreak

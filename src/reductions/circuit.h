@@ -1,0 +1,82 @@
+// Monotone Boolean circuits and the Circuit Value Problem (CVP): the
+// substrate for Theorem 4's P-completeness reduction. A circuit is a DAG of
+// INPUT / AND / OR gates; evaluation under an input assignment is the
+// canonical P-complete problem for monotone circuits.
+#ifndef TIEBREAK_REDUCTIONS_CIRCUIT_H_
+#define TIEBREAK_REDUCTIONS_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tiebreak {
+
+/// A monotone circuit over AND/OR gates. Gates are numbered in topological
+/// order: inputs first, then internal gates whose wires reference only
+/// lower-numbered gates. The last gate is the output.
+class MonotoneCircuit {
+ public:
+  enum class GateKind : uint8_t { kInput, kAnd, kOr };
+
+  struct Gate {
+    GateKind kind = GateKind::kInput;
+    std::vector<int32_t> inputs;  // empty for kInput
+  };
+
+  /// Appends an input gate; returns its id.
+  int32_t AddInput() {
+    gates_.push_back(Gate{GateKind::kInput, {}});
+    ++num_inputs_;
+    TIEBREAK_CHECK_EQ(num_inputs_, static_cast<int32_t>(gates_.size()))
+        << "inputs must be added before internal gates";
+    return static_cast<int32_t>(gates_.size()) - 1;
+  }
+
+  /// Appends an AND/OR gate over existing gates; returns its id.
+  int32_t AddGate(GateKind kind, std::vector<int32_t> inputs) {
+    TIEBREAK_CHECK(kind != GateKind::kInput);
+    TIEBREAK_CHECK(!inputs.empty());
+    for (int32_t g : inputs) {
+      TIEBREAK_CHECK_GE(g, 0);
+      TIEBREAK_CHECK_LT(g, static_cast<int32_t>(gates_.size()));
+    }
+    gates_.push_back(Gate{kind, std::move(inputs)});
+    return static_cast<int32_t>(gates_.size()) - 1;
+  }
+
+  int32_t num_gates() const { return static_cast<int32_t>(gates_.size()); }
+  int32_t num_inputs() const { return num_inputs_; }
+  const Gate& gate(int32_t g) const {
+    TIEBREAK_CHECK_GE(g, 0);
+    TIEBREAK_CHECK_LT(g, num_gates());
+    return gates_[g];
+  }
+  /// Output gate id (the last gate).
+  int32_t output() const {
+    TIEBREAK_CHECK_GT(num_gates(), 0);
+    return num_gates() - 1;
+  }
+
+  /// Evaluates every gate under `input_bits` (size == num_inputs()).
+  std::vector<bool> Evaluate(const std::vector<bool>& input_bits) const;
+
+  /// Evaluates just the output bit B(x).
+  bool Value(const std::vector<bool>& input_bits) const {
+    return Evaluate(input_bits)[output()];
+  }
+
+ private:
+  std::vector<Gate> gates_;
+  int32_t num_inputs_ = 0;
+};
+
+/// Random monotone circuit with `num_inputs` inputs and `num_internal`
+/// AND/OR gates of fan-in 2 (wires to uniformly random earlier gates).
+MonotoneCircuit RandomCircuit(Rng* rng, int32_t num_inputs,
+                              int32_t num_internal);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_REDUCTIONS_CIRCUIT_H_

@@ -1,0 +1,51 @@
+// Theorem 6: totality is undecidable, by reduction from the halting problem
+// for deterministic 2-counter machines. For a machine M, build a Datalog¬
+// program Π(M) over EDB predicates zero/1, succ/2, less/2 and IDB predicates
+// state/2, count1/2, count2/2, p/0:
+//
+//  * initialization rules seed the time-0 configuration;
+//  * per transition, three rules advance state/count1/count2 from time T to
+//    its succ-successor T', using [S = s] chains (zero(A0), succ(A0, A1),
+//    ..., succ(A_{s-1}, S)) to pin state constants;
+//  * the troublesome rule     p <- ¬p, state(T, S), [S = h];
+//  * escape rules that force p when the EDB relations are not a sane
+//    arithmetic structure:  p <- succ(X,Y), ¬less(X,Y);
+//                           p <- succ(X,Y), less(Y,Z), ¬less(X,Z);
+//                           p <- state(T,S), state(T,S'), [S'=h], less(S,S').
+//
+// M halts  <=>  Π(M) is not nonuniformly total (the natural database over
+// {0..t}, t >= halting time, admits no fixpoint). The uniform variant adds a
+// proposition q, conjoins ¬q to every body, and adds q <- Q(z...), q per IDB
+// predicate Q; then Π(M) is nonuniformly total iff Π'(M) is uniformly total.
+#ifndef TIEBREAK_REDUCTIONS_CM_REDUCTION_H_
+#define TIEBREAK_REDUCTIONS_CM_REDUCTION_H_
+
+#include "lang/database.h"
+#include "lang/program.h"
+#include "reductions/counter_machine.h"
+
+namespace tiebreak {
+
+/// The reduction program plus its predicate handles.
+struct CmReduction {
+  Program program;
+  PredId zero = -1, succ = -1, less = -1;
+  PredId state = -1, count1 = -1, count2 = -1, p = -1;
+};
+
+/// Builds Π(M) per Theorem 6 (nonuniform form).
+CmReduction CounterMachineToProgram(const CounterMachine& machine);
+
+/// The natural database over universe {0, ..., t}: zero(0), succ(i, i+1),
+/// less(i, j) for i < j. Interns the numeric constants into the program.
+Database NaturalDatabase(CmReduction* reduction, int32_t t);
+
+/// The uniform-case transform Π -> Π' from the proof of Theorem 6: new IDB
+/// proposition q_total, ¬q_total added to every existing body, and
+/// q_total <- Q(z1, ..., zk), q_total for every IDB predicate Q of Π.
+/// Generic: works on any program.
+Program UniformTotalityTransform(const Program& program);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_REDUCTIONS_CM_REDUCTION_H_

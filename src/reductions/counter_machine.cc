@@ -1,0 +1,119 @@
+#include "reductions/counter_machine.h"
+
+namespace tiebreak {
+
+CounterMachine::CounterMachine(int32_t num_states) : num_states_(num_states) {
+  TIEBREAK_CHECK_GE(num_states, 2) << "need at least a start and halt state";
+  actions_.resize(static_cast<size_t>(num_states) * 4);
+  // Default: stay put (diverge) with no counter changes.
+  for (int32_t s = 0; s < num_states; ++s) {
+    for (int z = 0; z < 4; ++z) {
+      actions_[s * 4 + z] = CmAction{s, 0, 0};
+    }
+  }
+}
+
+void CounterMachine::SetAction(int32_t state, bool z1, bool z2,
+                               CmAction action) {
+  TIEBREAK_CHECK_GE(state, 0);
+  TIEBREAK_CHECK_LT(state, num_states_);
+  TIEBREAK_CHECK_NE(state, halt_state()) << "halting state has no actions";
+  TIEBREAK_CHECK_GE(action.next_state, 0);
+  TIEBREAK_CHECK_LT(action.next_state, num_states_);
+  TIEBREAK_CHECK(!(z1 && action.delta1 < 0)) << "decrement of a zero counter";
+  TIEBREAK_CHECK(!(z2 && action.delta2 < 0)) << "decrement of a zero counter";
+  actions_[state * 4 + (z1 ? 2 : 0) + (z2 ? 1 : 0)] = action;
+}
+
+const CmAction& CounterMachine::Action(int32_t state, bool z1, bool z2) const {
+  TIEBREAK_CHECK_GE(state, 0);
+  TIEBREAK_CHECK_LT(state, num_states_);
+  return actions_[state * 4 + (z1 ? 2 : 0) + (z2 ? 1 : 0)];
+}
+
+CounterMachine::RunResult CounterMachine::Run(int64_t max_steps) const {
+  RunResult result;
+  int32_t state = 0;
+  int64_t c1 = 0, c2 = 0;
+  for (int64_t step = 0; step < max_steps; ++step) {
+    if (state == halt_state()) {
+      result.halted = true;
+      result.steps = step;
+      result.final_c1 = c1;
+      result.final_c2 = c2;
+      return result;
+    }
+    const CmAction& action = Action(state, c1 == 0, c2 == 0);
+    state = action.next_state;
+    c1 += action.delta1;
+    c2 += action.delta2;
+    TIEBREAK_CHECK_GE(c1, 0);
+    TIEBREAK_CHECK_GE(c2, 0);
+  }
+  result.halted = state == halt_state();
+  result.steps = max_steps;
+  result.final_c1 = c1;
+  result.final_c2 = c2;
+  return result;
+}
+
+CounterMachine MakeCountingMachine(int32_t k) {
+  TIEBREAK_CHECK_GE(k, 1);
+  // States: 0 (count up to k via both counters' zero-status — we simply use
+  // k chained states), then halt. State i increments c1 and moves on.
+  CounterMachine machine(k + 2);
+  for (int32_t s = 0; s <= k; ++s) {
+    const int32_t next = (s == k) ? machine.halt_state() : s + 1;
+    for (bool z1 : {false, true}) {
+      for (bool z2 : {false, true}) {
+        machine.SetAction(s, z1, z2, CmAction{next, s < k ? 1 : 0, 0});
+      }
+    }
+  }
+  return machine;
+}
+
+CounterMachine MakeTransferMachine(int32_t k) {
+  TIEBREAK_CHECK_GE(k, 1);
+  // State 0: pump c1 up to k (k steps, tracked by chaining states)...
+  // Simpler: states 1..k pump; state k+1 transfers; halt at the end.
+  // State s in [0, k): increment c1, go to s+1.
+  // State k: if c1 != 0: c1--, c2++, stay; if c1 == 0: halt.
+  CounterMachine machine(k + 2);
+  for (int32_t s = 0; s < k; ++s) {
+    for (bool z1 : {false, true}) {
+      for (bool z2 : {false, true}) {
+        machine.SetAction(s, z1, z2, CmAction{s + 1, 1, 0});
+      }
+    }
+  }
+  for (bool z2 : {false, true}) {
+    machine.SetAction(k, /*z1=*/false, z2, CmAction{k, -1, 1});
+    machine.SetAction(k, /*z1=*/true, z2,
+                      CmAction{machine.halt_state(), 0, 0});
+  }
+  return machine;
+}
+
+CounterMachine MakeDivergingMachine() {
+  CounterMachine machine(3);  // states 0, 1 bounce; state 2 = unreachable halt
+  for (bool z1 : {false, true}) {
+    for (bool z2 : {false, true}) {
+      machine.SetAction(0, z1, z2, CmAction{1, 0, 0});
+      machine.SetAction(1, z1, z2, CmAction{0, 0, 0});
+    }
+  }
+  return machine;
+}
+
+CounterMachine MakeRunawayMachine() {
+  CounterMachine machine(2);  // state 0 increments forever; halt unreachable
+  for (bool z1 : {false, true}) {
+    for (bool z2 : {false, true}) {
+      machine.SetAction(0, z1, z2, CmAction{0, 1, 1});
+    }
+  }
+  return machine;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,74 @@
+// Deterministic two-counter (Minsky) machines: the undecidability substrate
+// for Theorem 6. A machine has states 0..h, starts in state 0 with both
+// counters 0, halts in state h; each non-halting state maps the pair of
+// zero-tests (c1 == 0?, c2 == 0?) to a successor state and counter deltas
+// in {-1, 0, +1} (decrements only fire on nonzero counters). The halting
+// problem for these machines is undecidable, which is all the reduction
+// needs; a small machine zoo provides halting and diverging specimens.
+#ifndef TIEBREAK_REDUCTIONS_COUNTER_MACHINE_H_
+#define TIEBREAK_REDUCTIONS_COUNTER_MACHINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tiebreak {
+
+/// One transition: successor state and counter deltas.
+struct CmAction {
+  int32_t next_state = 0;
+  int32_t delta1 = 0;  ///< in {-1, 0, +1}; -1 only legal when c1 > 0
+  int32_t delta2 = 0;
+};
+
+/// A deterministic 2-counter machine.
+class CounterMachine {
+ public:
+  /// Creates a machine with `num_states` states; state 0 is initial and
+  /// state num_states-1 is the halting state. All transitions default to
+  /// self-loops (diverging) until set.
+  explicit CounterMachine(int32_t num_states);
+
+  int32_t num_states() const { return num_states_; }
+  int32_t halt_state() const { return num_states_ - 1; }
+
+  /// Sets the action of `state` when (c1==0) == z1 and (c2==0) == z2.
+  void SetAction(int32_t state, bool z1, bool z2, CmAction action);
+
+  const CmAction& Action(int32_t state, bool z1, bool z2) const;
+
+  /// Simulation outcome.
+  struct RunResult {
+    bool halted = false;
+    int64_t steps = 0;  ///< steps executed (or max_steps when not halted)
+    int64_t final_c1 = 0;
+    int64_t final_c2 = 0;
+  };
+
+  /// Runs from (state 0, c1 = 0, c2 = 0) for at most `max_steps` steps.
+  RunResult Run(int64_t max_steps) const;
+
+ private:
+  int32_t num_states_;
+  // [state][z1][z2]; halting state has no outgoing actions.
+  std::vector<CmAction> actions_;
+};
+
+/// Zoo: halts after exactly `k` increment steps plus one final hop
+/// (k+1 steps total).
+CounterMachine MakeCountingMachine(int32_t k);
+
+/// Zoo: increments c1 `k` times, then transfers c1 into c2 one decrement at
+/// a time, then halts. Exercises all three delta kinds and both zero tests.
+CounterMachine MakeTransferMachine(int32_t k);
+
+/// Zoo: never halts (bounces between two states forever).
+CounterMachine MakeDivergingMachine();
+
+/// Zoo: never halts, with counters growing unboundedly.
+CounterMachine MakeRunawayMachine();
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_REDUCTIONS_COUNTER_MACHINE_H_

@@ -1,0 +1,67 @@
+#include "reductions/cvp_reduction.h"
+
+#include <string>
+
+namespace tiebreak {
+
+std::string CvpGatePredicateName(int32_t gate) {
+  return "g" + std::to_string(gate);
+}
+
+Program CvpToProgram(const MonotoneCircuit& circuit,
+                     const std::vector<bool>& input_bits) {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(input_bits.size()),
+                    circuit.num_inputs());
+  Program program;
+  std::vector<PredId> gate_pred(circuit.num_gates());
+  for (int32_t g = 0; g < circuit.num_gates(); ++g) {
+    gate_pred[g] = program.DeclarePredicate(CvpGatePredicateName(g), 0);
+  }
+  const PredId p_odd = program.DeclarePredicate("p_odd", 0);
+
+  auto atom = [](PredId pred) { return Atom{pred, {}}; };
+  auto positive = [&atom](PredId pred) { return Literal{atom(pred), true}; };
+
+  for (int32_t g = 0; g < circuit.num_gates(); ++g) {
+    const MonotoneCircuit::Gate& gate = circuit.gate(g);
+    switch (gate.kind) {
+      case MonotoneCircuit::GateKind::kInput:
+        if (!input_bits[g]) {
+          // 0-input: G <- G (useless). 1-inputs get no rules (EDB).
+          Rule rule;
+          rule.head = atom(gate_pred[g]);
+          rule.body.push_back(positive(gate_pred[g]));
+          program.AddRule(std::move(rule));
+        }
+        break;
+      case MonotoneCircuit::GateKind::kAnd: {
+        Rule rule;
+        rule.head = atom(gate_pred[g]);
+        for (int32_t in : gate.inputs) {
+          rule.body.push_back(positive(gate_pred[in]));
+        }
+        program.AddRule(std::move(rule));
+        break;
+      }
+      case MonotoneCircuit::GateKind::kOr:
+        for (int32_t in : gate.inputs) {
+          Rule rule;
+          rule.head = atom(gate_pred[g]);
+          rule.body.push_back(positive(gate_pred[in]));
+          program.AddRule(std::move(rule));
+        }
+        break;
+    }
+  }
+  // The troublesome rule: P <- ¬P, G_output.
+  Rule trouble;
+  trouble.head = atom(p_odd);
+  trouble.body.push_back(Literal{atom(p_odd), false});
+  trouble.body.push_back(positive(gate_pred[circuit.output()]));
+  program.AddRule(std::move(trouble));
+
+  TIEBREAK_CHECK(program.Validate().ok());
+  return program;
+}
+
+}  // namespace tiebreak

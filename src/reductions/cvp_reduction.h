@@ -1,0 +1,35 @@
+// Theorem 4's P-completeness reduction: monotone circuit value -> structural
+// nonuniform totality. For a circuit B and input x, build a program Π with a
+// predicate G_i per gate and an extra predicate P such that:
+//
+//   * x_i = 1  =>  G_i is an EDB predicate (no rules);
+//   * x_i = 0  =>  G_i has the single rule G_i <- G_i (making it useless);
+//   * AND gate =>  one rule listing all gate inputs positively;
+//   * OR gate  =>  one rule per input;
+//   * finally  P <- ¬P, G_m   for the output gate G_m.
+//
+// Then G_i is useful iff gate i evaluates to 1, so the reduced program Π′
+// contains the odd cycle of the troublesome rule iff B(x) = 1; i.e., Π is
+// structurally nonuniformly total iff B(x) = 0.
+#ifndef TIEBREAK_REDUCTIONS_CVP_REDUCTION_H_
+#define TIEBREAK_REDUCTIONS_CVP_REDUCTION_H_
+
+#include <vector>
+
+#include "lang/program.h"
+#include "reductions/circuit.h"
+
+namespace tiebreak {
+
+/// Builds the Theorem 4 program for circuit `circuit` on input `input_bits`.
+/// All predicates are zero-ary (the reduction only needs the skeleton).
+Program CvpToProgram(const MonotoneCircuit& circuit,
+                     const std::vector<bool>& input_bits);
+
+/// Name of the gate predicate for gate `g` ("g0", "g1", ...). The odd-cycle
+/// predicate is named "p_odd".
+std::string CvpGatePredicateName(int32_t gate);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_REDUCTIONS_CVP_REDUCTION_H_

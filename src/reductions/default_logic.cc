@@ -1,0 +1,93 @@
+#include "reductions/default_logic.h"
+
+#include <algorithm>
+
+#include "core/completion.h"
+#include "core/report.h"
+#include "core/tie_breaking.h"
+#include "ground/grounder.h"
+
+namespace tiebreak {
+
+DefaultTheoryProgram DefaultTheoryToProgram(const DefaultTheory& theory) {
+  Program program;
+  auto pred = [&program](const std::string& name) {
+    return program.DeclarePredicate(name, 0);
+  };
+  // Declare everything first so facts-only atoms exist.
+  for (const std::string& fact : theory.facts) pred(fact);
+  for (const PropositionalDefault& d : theory.defaults) {
+    for (const std::string& a : d.prerequisites) pred(a);
+    for (const std::string& b : d.blocked_by) pred(b);
+    pred(d.consequent);
+  }
+  for (const PropositionalDefault& d : theory.defaults) {
+    Rule rule;
+    rule.head = Atom{pred(d.consequent), {}};
+    for (const std::string& a : d.prerequisites) {
+      rule.body.push_back(Literal{Atom{pred(a), {}}, true});
+    }
+    for (const std::string& b : d.blocked_by) {
+      rule.body.push_back(Literal{Atom{pred(b), {}}, false});
+    }
+    program.AddRule(std::move(rule));
+  }
+  TIEBREAK_CHECK(program.Validate().ok());
+
+  Database database(program);
+  for (const std::string& fact : theory.facts) {
+    database.InsertProposition(program.LookupPredicate(fact));
+  }
+  return DefaultTheoryProgram{std::move(program), std::move(database)};
+}
+
+namespace {
+
+// An extension contains W plus the derived consequents. Facts that head no
+// rule are EDB under the translation, so the (reduced) ground graph never
+// materializes them — merge them back in explicitly.
+std::vector<std::string> ExtensionFromModel(const DefaultTheory& theory,
+                                            const Program& program,
+                                            const GroundGraph& graph,
+                                            const std::vector<Truth>& values) {
+  std::vector<std::string> atoms = TrueAtomNames(program, graph, values);
+  atoms.insert(atoms.end(), theory.facts.begin(), theory.facts.end());
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  return atoms;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> FindExtensions(
+    const DefaultTheory& theory, int64_t limit) {
+  DefaultTheoryProgram translated = DefaultTheoryToProgram(theory);
+  Result<GroundingResult> ground =
+      Ground(translated.program, translated.database);
+  TIEBREAK_CHECK(ground.ok()) << ground.status().ToString();
+  std::vector<std::vector<std::string>> extensions;
+  for (const std::vector<Truth>& model : EnumerateStableModels(
+           translated.program, translated.database, ground->graph, limit)) {
+    extensions.push_back(
+        ExtensionFromModel(theory, translated.program, ground->graph, model));
+  }
+  std::sort(extensions.begin(), extensions.end());
+  return extensions;
+}
+
+std::optional<std::vector<std::string>> FindExtensionByTieBreaking(
+    const DefaultTheory& theory, uint64_t seed) {
+  DefaultTheoryProgram translated = DefaultTheoryToProgram(theory);
+  Result<GroundingResult> ground =
+      Ground(translated.program, translated.database);
+  TIEBREAK_CHECK(ground.ok()) << ground.status().ToString();
+  RandomChoicePolicy policy(seed);
+  const InterpreterResult result =
+      TieBreaking(translated.program, translated.database, ground->graph,
+                  TieBreakingMode::kWellFounded, &policy);
+  if (!result.total) return std::nullopt;
+  return ExtensionFromModel(theory, translated.program, ground->graph,
+                            result.values);
+}
+
+}  // namespace tiebreak

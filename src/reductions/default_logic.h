@@ -1,0 +1,70 @@
+// Propositional default logic, the paper's [PS] lineage: "a version of the
+// tie-breaking semantics was proposed in [PS] as an extension-finding
+// mechanism in the context of default logic".
+//
+// We implement the negative-justification fragment that corresponds exactly
+// to Datalog¬ under the stable semantics [GL]: a default
+//
+//     (a1, ..., ak : ¬b1, ..., ¬bm / c)        (all atoms)
+//
+// fires when every prerequisite a_i is derived and no blocker b_j is; it
+// concludes c. Under the Gelfond-Lifschitz translation
+//
+//     c <- a1, ..., ak, not b1, ..., not bm
+//
+// the extensions of the theory (W, D) are exactly the stable models of the
+// translated program with initial database W. FindExtensionByTieBreaking is
+// the [PS] idea: run the well-founded tie-breaking interpreter; whenever it
+// totals, the result is a stable model, i.e. an extension — found in
+// polynomial time, and guaranteed to exist when the translation is
+// call-consistent (Theorem 1).
+#ifndef TIEBREAK_REDUCTIONS_DEFAULT_LOGIC_H_
+#define TIEBREAK_REDUCTIONS_DEFAULT_LOGIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/database.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+
+/// One default (prerequisites : ¬blocked_by / consequent), atoms by name.
+struct PropositionalDefault {
+  std::vector<std::string> prerequisites;
+  std::vector<std::string> blocked_by;
+  std::string consequent;
+};
+
+/// A default theory (W, D) over propositions.
+struct DefaultTheory {
+  std::vector<std::string> facts;  ///< W: atoms taken as given.
+  std::vector<PropositionalDefault> defaults;
+};
+
+/// The translated program and database (facts as Δ).
+struct DefaultTheoryProgram {
+  Program program;
+  Database database;
+};
+
+/// Gelfond-Lifschitz translation of the theory.
+DefaultTheoryProgram DefaultTheoryToProgram(const DefaultTheory& theory);
+
+/// All extensions (atom sets, each sorted), via stable-model enumeration of
+/// the translation. `limit` caps the count (0 = all).
+std::vector<std::vector<std::string>> FindExtensions(
+    const DefaultTheory& theory, int64_t limit = 0);
+
+/// The [PS] mechanism: one extension found by the well-founded tie-breaking
+/// interpreter under a seeded random choice policy; nullopt when the
+/// interpreter gets stuck (possible only with odd cycles in the
+/// translation's dependency structure).
+std::optional<std::vector<std::string>> FindExtensionByTieBreaking(
+    const DefaultTheory& theory, uint64_t seed);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_REDUCTIONS_DEFAULT_LOGIC_H_

@@ -1,0 +1,61 @@
+#include "reductions/qbf.h"
+
+namespace tiebreak {
+
+bool ClauseSatisfied(const std::vector<QbfLiteral>& clause, uint32_t x_mask,
+                     uint32_t y_mask) {
+  for (const QbfLiteral& lit : clause) {
+    const uint32_t mask = lit.is_x ? x_mask : y_mask;
+    const bool value = (mask >> lit.index) & 1;
+    if (value != lit.negated) return true;
+  }
+  return false;
+}
+
+bool Satisfies(const ForAllExistsCnf& formula, uint32_t x_mask,
+               uint32_t y_mask) {
+  for (const auto& clause : formula.clauses) {
+    if (!ClauseSatisfied(clause, x_mask, y_mask)) return false;
+  }
+  return true;
+}
+
+bool ForAllExistsHolds(const ForAllExistsCnf& formula) {
+  TIEBREAK_CHECK_LE(formula.num_x, 20);
+  TIEBREAK_CHECK_LE(formula.num_y, 20);
+  for (uint32_t x = 0; x < (1u << formula.num_x); ++x) {
+    bool exists = false;
+    for (uint32_t y = 0; y < (1u << formula.num_y); ++y) {
+      if (Satisfies(formula, x, y)) {
+        exists = true;
+        break;
+      }
+    }
+    if (!exists) return false;
+  }
+  return true;
+}
+
+ForAllExistsCnf RandomForAllExistsCnf(Rng* rng, int32_t num_x, int32_t num_y,
+                                      int32_t num_clauses) {
+  TIEBREAK_CHECK_GT(num_x, 0);
+  TIEBREAK_CHECK_GT(num_y, 0);
+  ForAllExistsCnf formula;
+  formula.num_x = num_x;
+  formula.num_y = num_y;
+  for (int32_t c = 0; c < num_clauses; ++c) {
+    std::vector<QbfLiteral> clause;
+    const int width = 1 + static_cast<int>(rng->Below(3));
+    for (int k = 0; k < width; ++k) {
+      QbfLiteral lit;
+      lit.is_x = rng->Chance(0.5);
+      lit.index = static_cast<int32_t>(rng->Below(lit.is_x ? num_x : num_y));
+      lit.negated = rng->Chance(0.5);
+      clause.push_back(lit);
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+}  // namespace tiebreak

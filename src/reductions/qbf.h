@@ -1,0 +1,49 @@
+// ∀∃-CNF formulas (Π₂ SAT): the source problem of Section 5's Proposition.
+// F(x, y) is a CNF over two variable blocks; the question is whether for
+// every assignment to x there is an assignment to y satisfying F. Evaluated
+// by brute force for the small instances used in cross-validation.
+#ifndef TIEBREAK_REDUCTIONS_QBF_H_
+#define TIEBREAK_REDUCTIONS_QBF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tiebreak {
+
+/// A literal over the x-block or y-block.
+struct QbfLiteral {
+  bool is_x = true;   ///< x-block (universal) vs y-block (existential).
+  int32_t index = 0;  ///< 0-based within its block.
+  bool negated = false;
+};
+
+/// F(x, y) in CNF with |x| = num_x universal and |y| = num_y existential
+/// variables.
+struct ForAllExistsCnf {
+  int32_t num_x = 0;
+  int32_t num_y = 0;
+  std::vector<std::vector<QbfLiteral>> clauses;
+};
+
+/// True iff clause `clause` is satisfied under the two assignments.
+bool ClauseSatisfied(const std::vector<QbfLiteral>& clause, uint32_t x_mask,
+                     uint32_t y_mask);
+
+/// True iff F(x, y) holds under the given assignments (bit i of the mask is
+/// the value of variable i of the block).
+bool Satisfies(const ForAllExistsCnf& formula, uint32_t x_mask,
+               uint32_t y_mask);
+
+/// Brute-force evaluation of ∀x ∃y F(x, y). Requires num_x, num_y <= 20.
+bool ForAllExistsHolds(const ForAllExistsCnf& formula);
+
+/// Random formula with the given shape; clause width 1..3.
+ForAllExistsCnf RandomForAllExistsCnf(Rng* rng, int32_t num_x, int32_t num_y,
+                                      int32_t num_clauses);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_REDUCTIONS_QBF_H_

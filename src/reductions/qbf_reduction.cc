@@ -1,0 +1,59 @@
+#include "reductions/qbf_reduction.h"
+
+#include <string>
+#include <vector>
+
+namespace tiebreak {
+
+Program QbfToProgram(const ForAllExistsCnf& formula) {
+  Program program;
+  std::vector<PredId> x_pred(formula.num_x), y_pred(formula.num_y);
+  for (int32_t i = 0; i < formula.num_x; ++i) {
+    x_pred[i] = program.DeclarePredicate("x" + std::to_string(i), 0);
+  }
+  for (int32_t i = 0; i < formula.num_y; ++i) {
+    y_pred[i] = program.DeclarePredicate("y" + std::to_string(i), 0);
+  }
+  const PredId p = program.DeclarePredicate("p_sel", 0);
+  const PredId q = program.DeclarePredicate("q_sel", 0);
+
+  auto lit = [](PredId pred, bool positive) {
+    return Literal{Atom{pred, {}}, positive};
+  };
+
+  // Clause rules: head p, body ¬p, ¬q, complements of the clause literals.
+  for (const auto& clause : formula.clauses) {
+    Rule rule;
+    rule.head = Atom{p, {}};
+    rule.body.push_back(lit(p, false));
+    rule.body.push_back(lit(q, false));
+    for (const QbfLiteral& ql : clause) {
+      const PredId pred = ql.is_x ? x_pred[ql.index] : y_pred[ql.index];
+      // The complement: clause literal ¬v contributes positive V; clause
+      // literal v contributes ¬V.
+      rule.body.push_back(lit(pred, ql.negated));
+    }
+    program.AddRule(std::move(rule));
+  }
+
+  // Choice scaffolding per existential variable:
+  //   Y_i <- Y_i, ¬q      and      q <- Y_i, q.
+  for (int32_t i = 0; i < formula.num_y; ++i) {
+    Rule y_rule;
+    y_rule.head = Atom{y_pred[i], {}};
+    y_rule.body.push_back(lit(y_pred[i], true));
+    y_rule.body.push_back(lit(q, false));
+    program.AddRule(std::move(y_rule));
+
+    Rule q_rule;
+    q_rule.head = Atom{q, {}};
+    q_rule.body.push_back(lit(y_pred[i], true));
+    q_rule.body.push_back(lit(q, true));
+    program.AddRule(std::move(q_rule));
+  }
+
+  TIEBREAK_CHECK(program.Validate().ok());
+  return program;
+}
+
+}  // namespace tiebreak

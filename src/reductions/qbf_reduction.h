@@ -1,0 +1,27 @@
+// Section 5's Proposition: propositional totality is Π₂ᵖ-complete. The
+// hardness reduction maps a ∀∃-CNF F(x, y) to a propositional program with
+//
+//   * an EDB proposition X_i per universal variable;
+//   * IDB propositions Y_i per existential variable, plus p and q;
+//   * per clause C_j a rule    p <- ¬p, ¬q, <complements of C_j's literals>
+//     (literal X_i in the body iff C_j contains ¬x_i, literal ¬X_i iff it
+//     contains x_i, and likewise for the Y's);
+//   * per existential variable    Y_i <- Y_i, ¬q    and    q <- Y_i, q.
+//
+// The program is total (uniformly or nonuniformly) iff ∀x ∃y F(x, y).
+// Cross-validated against brute force in reductions_test.cc.
+#ifndef TIEBREAK_REDUCTIONS_QBF_REDUCTION_H_
+#define TIEBREAK_REDUCTIONS_QBF_REDUCTION_H_
+
+#include "lang/program.h"
+#include "reductions/qbf.h"
+
+namespace tiebreak {
+
+/// Builds the Proposition's program for `formula`. Predicates are "x0"...,
+/// "y0"..., "p_sel", "q_sel" (all zero-ary).
+Program QbfToProgram(const ForAllExistsCnf& formula);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_REDUCTIONS_QBF_REDUCTION_H_

@@ -1,0 +1,337 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+
+namespace tiebreak {
+
+namespace {
+constexpr double kActivityRescaleThreshold = 1e100;
+constexpr double kActivityDecayFactor = 0.95;
+}  // namespace
+
+int32_t SatSolver::NewVar() {
+  const int32_t var = num_vars();
+  assign_.push_back(kUndef);
+  phase_.push_back(kFalse);  // default polarity: false (minimal-ish models)
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  heap_position_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  HeapInsert(var);
+  return var;
+}
+
+void SatSolver::AddClause(std::vector<SatLit> lits) {
+  if (unsat_) return;
+  TIEBREAK_CHECK(trail_limits_.empty()) << "AddClause above decision level 0";
+
+  // Simplify against the level-0 assignment; drop duplicates and detect
+  // tautologies.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<SatLit> kept;
+  kept.reserve(lits.size());
+  for (size_t i = 0; i < lits.size(); ++i) {
+    const SatLit lit = lits[i];
+    TIEBREAK_CHECK_GE(LitVar(lit), 0);
+    TIEBREAK_CHECK_LT(LitVar(lit), num_vars()) << "literal for unknown var";
+    if (i + 1 < lits.size() && lits[i + 1] == Negate(lit)) return;  // taut.
+    const int8_t value = ValueOfLit(lit);
+    if (value == kTrue) return;  // already satisfied at level 0
+    if (value == kFalse) continue;
+    kept.push_back(lit);
+  }
+  if (kept.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    Enqueue(kept[0], -1);
+    if (Propagate() != -1) unsat_ = true;
+    return;
+  }
+  clauses_.push_back(Clause{std::move(kept), /*learnt=*/false});
+  AttachClause(static_cast<int32_t>(clauses_.size()) - 1);
+}
+
+void SatSolver::AttachClause(int32_t clause_index) {
+  const Clause& c = clauses_[clause_index];
+  TIEBREAK_CHECK_GE(c.lits.size(), 2u);
+  watches_[c.lits[0]].push_back(clause_index);
+  watches_[c.lits[1]].push_back(clause_index);
+}
+
+void SatSolver::Enqueue(SatLit lit, int32_t reason) {
+  const int32_t var = LitVar(lit);
+  TIEBREAK_CHECK_EQ(assign_[var], kUndef);
+  assign_[var] = LitIsNeg(lit) ? kFalse : kTrue;
+  level_[var] = static_cast<int32_t>(trail_limits_.size());
+  reason_[var] = reason;
+  trail_.push_back(lit);
+}
+
+int32_t SatSolver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const SatLit p = trail_[propagate_head_++];  // p just became true
+    const SatLit fl = Negate(p);                 // fl just became false
+    std::vector<int32_t>& ws = watches_[fl];
+    size_t read = 0, write = 0;
+    int32_t conflict = -1;
+    while (read < ws.size()) {
+      const int32_t ci = ws[read++];
+      Clause& c = clauses_[ci];
+      if (c.lits[0] == fl) std::swap(c.lits[0], c.lits[1]);
+      // Invariant: c.lits[1] == fl from here on.
+      if (ValueOfLit(c.lits[0]) == kTrue) {
+        ws[write++] = ci;
+        continue;
+      }
+      bool rewatched = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (ValueOfLit(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[c.lits[1]].push_back(ci);
+          rewatched = true;
+          break;
+        }
+      }
+      if (rewatched) continue;
+      // Clause is unit (lits[0] undef) or conflicting (lits[0] false).
+      ws[write++] = ci;
+      if (ValueOfLit(c.lits[0]) == kFalse) {
+        while (read < ws.size()) ws[write++] = ws[read++];
+        conflict = ci;
+        break;
+      }
+      ++stats_propagations_;
+      Enqueue(c.lits[0], ci);
+    }
+    ws.resize(write);
+    if (conflict != -1) {
+      propagate_head_ = trail_.size();
+      return conflict;
+    }
+  }
+  return -1;
+}
+
+int32_t SatSolver::Analyze(int32_t conflict_clause,
+                           std::vector<SatLit>* learnt) {
+  learnt->clear();
+  learnt->push_back(0);  // slot for the asserting (1UIP) literal
+  const int32_t current_level = static_cast<int32_t>(trail_limits_.size());
+  int32_t open_paths = 0;
+  SatLit pivot = -1;
+  int32_t trail_index = static_cast<int32_t>(trail_.size()) - 1;
+  int32_t clause = conflict_clause;
+  std::vector<int32_t> to_clear;
+
+  do {
+    TIEBREAK_CHECK_GE(clause, 0) << "missing reason during conflict analysis";
+    const Clause& c = clauses_[clause];
+    for (size_t j = (pivot == -1 ? 0 : 1); j < c.lits.size(); ++j) {
+      const SatLit q = c.lits[j];
+      const int32_t var = LitVar(q);
+      if (seen_[var] || level_[var] == 0) continue;
+      seen_[var] = 1;
+      to_clear.push_back(var);
+      BumpVar(var);
+      if (level_[var] >= current_level) {
+        ++open_paths;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    while (!seen_[LitVar(trail_[trail_index])]) --trail_index;
+    pivot = trail_[trail_index];
+    --trail_index;
+    clause = reason_[LitVar(pivot)];
+    seen_[LitVar(pivot)] = 0;
+    --open_paths;
+  } while (open_paths > 0);
+  (*learnt)[0] = Negate(pivot);
+
+  for (int32_t var : to_clear) seen_[var] = 0;
+
+  if (learnt->size() == 1) return 0;
+  // Move a literal of maximal level into the second watch position; that is
+  // the backtrack level and keeps the watch invariant after jumping back.
+  size_t best = 1;
+  for (size_t j = 2; j < learnt->size(); ++j) {
+    if (level_[LitVar((*learnt)[j])] > level_[LitVar((*learnt)[best])]) {
+      best = j;
+    }
+  }
+  std::swap((*learnt)[1], (*learnt)[best]);
+  return level_[LitVar((*learnt)[1])];
+}
+
+void SatSolver::Backtrack(int32_t target_level) {
+  if (static_cast<int32_t>(trail_limits_.size()) <= target_level) return;
+  const size_t new_size = trail_limits_[target_level];
+  for (size_t i = trail_.size(); i > new_size; --i) {
+    const int32_t var = LitVar(trail_[i - 1]);
+    phase_[var] = assign_[var];
+    assign_[var] = kUndef;
+    reason_[var] = -1;
+    if (!HeapContains(var)) HeapInsert(var);
+  }
+  trail_.resize(new_size);
+  trail_limits_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+void SatSolver::BumpVar(int32_t var) {
+  activity_[var] += activity_increment_;
+  if (activity_[var] > kActivityRescaleThreshold) {
+    for (double& a : activity_) a *= 1.0 / kActivityRescaleThreshold;
+    activity_increment_ *= 1.0 / kActivityRescaleThreshold;
+  }
+  if (HeapContains(var)) HeapPercolateUp(heap_position_[var]);
+}
+
+void SatSolver::DecayActivities() {
+  activity_increment_ /= kActivityDecayFactor;
+}
+
+// --------------------------- indexed max-heap -----------------------------
+
+void SatSolver::HeapInsert(int32_t var) {
+  heap_position_[var] = static_cast<int32_t>(heap_.size());
+  heap_.push_back(var);
+  HeapPercolateUp(heap_position_[var]);
+}
+
+void SatSolver::HeapPercolateUp(int32_t pos) {
+  const int32_t var = heap_[pos];
+  while (pos > 0) {
+    const int32_t parent = (pos - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[var]) break;
+    heap_[pos] = heap_[parent];
+    heap_position_[heap_[pos]] = pos;
+    pos = parent;
+  }
+  heap_[pos] = var;
+  heap_position_[var] = pos;
+}
+
+void SatSolver::HeapPercolateDown(int32_t pos) {
+  const int32_t var = heap_[pos];
+  const int32_t size = static_cast<int32_t>(heap_.size());
+  while (true) {
+    int32_t child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[var]) break;
+    heap_[pos] = heap_[child];
+    heap_position_[heap_[pos]] = pos;
+    pos = child;
+  }
+  heap_[pos] = var;
+  heap_position_[var] = pos;
+}
+
+int32_t SatSolver::HeapPopMax() {
+  const int32_t top = heap_[0];
+  heap_position_[top] = -1;
+  const int32_t last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_position_[last] = 0;
+    HeapPercolateDown(0);
+  }
+  return top;
+}
+
+int32_t SatSolver::PickBranchVar() {
+  while (!heap_.empty()) {
+    const int32_t var = HeapPopMax();
+    if (assign_[var] == kUndef) return var;
+  }
+  return -1;
+}
+
+// ------------------------------- search -----------------------------------
+
+SatResult SatSolver::Solve() {
+  if (unsat_) {
+    last_result_ = SatResult::kUnsat;
+    return SatResult::kUnsat;
+  }
+  if (Propagate() != -1) {
+    unsat_ = true;
+    last_result_ = SatResult::kUnsat;
+    return SatResult::kUnsat;
+  }
+
+  const int64_t budget_start = stats_conflicts_;
+  int64_t conflicts_since_restart = 0;
+  double restart_limit = 100.0;
+  std::vector<SatLit> learnt;
+
+  while (true) {
+    const int32_t conflict = Propagate();
+    if (conflict != -1) {
+      ++stats_conflicts_;
+      ++conflicts_since_restart;
+      if (trail_limits_.empty()) {
+        unsat_ = true;
+        last_result_ = SatResult::kUnsat;
+        return SatResult::kUnsat;
+      }
+      const int32_t back_level = Analyze(conflict, &learnt);
+      Backtrack(back_level);
+      if (learnt.size() == 1) {
+        Enqueue(learnt[0], -1);
+      } else {
+        clauses_.push_back(Clause{learnt, /*learnt=*/true});
+        const int32_t ci = static_cast<int32_t>(clauses_.size()) - 1;
+        AttachClause(ci);
+        Enqueue(learnt[0], ci);
+      }
+      DecayActivities();
+      if (conflict_budget_ > 0 &&
+          stats_conflicts_ - budget_start >= conflict_budget_) {
+        Backtrack(0);
+        last_result_ = SatResult::kUnknown;
+        return SatResult::kUnknown;
+      }
+      continue;
+    }
+    if (conflicts_since_restart >= static_cast<int64_t>(restart_limit)) {
+      conflicts_since_restart = 0;
+      restart_limit *= 1.5;
+      Backtrack(0);
+      continue;
+    }
+    const int32_t var = PickBranchVar();
+    if (var == -1) {
+      model_.assign(assign_.begin(), assign_.end());
+      Backtrack(0);
+      last_result_ = SatResult::kSat;
+      return SatResult::kSat;
+    }
+    ++stats_decisions_;
+    trail_limits_.push_back(static_cast<int32_t>(trail_.size()));
+    Enqueue(MakeLit(var, phase_[var] == kTrue), -1);
+  }
+}
+
+void SatSolver::BlockModel(const std::vector<int32_t>& vars) {
+  TIEBREAK_CHECK(last_result_ == SatResult::kSat);
+  std::vector<SatLit> clause;
+  clause.reserve(vars.size());
+  for (int32_t var : vars) {
+    clause.push_back(MakeLit(var, !ModelValue(var)));
+  }
+  AddClause(std::move(clause));
+}
+
+}  // namespace tiebreak

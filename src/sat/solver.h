@@ -1,0 +1,149 @@
+// A CDCL SAT solver (two-watched literals, 1UIP clause learning, VSIDS-style
+// activities with an indexed heap, geometric restarts, phase saving).
+//
+// Why a SAT solver in a Datalog paper reproduction: fixpoints of Π on Δ are
+// exactly the models of the Clark completion of the ground instance
+// (core/completion.h). The paper's negative results — "this alphabetic
+// variant has NO fixpoint" (Theorems 2, 3, 6) — are validated empirically by
+// UNSAT answers, and stable models are enumerated by filtering completion
+// models through the stability check with blocking clauses. Deciding
+// fixpoint existence is NP-complete [KP], so a real search engine is the
+// appropriate substrate.
+//
+// The solver supports incremental use: after Solve() returns kSat, callers
+// may AddClause() (e.g. a blocking clause) and Solve() again.
+#ifndef TIEBREAK_SAT_SOLVER_H_
+#define TIEBREAK_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tiebreak {
+
+/// Literal encoding: variable v >= 0; positive literal 2v, negative 2v+1.
+using SatLit = int32_t;
+
+inline SatLit PosLit(int32_t var) { return 2 * var; }
+inline SatLit NegLit(int32_t var) { return 2 * var + 1; }
+inline int32_t LitVar(SatLit lit) { return lit >> 1; }
+inline bool LitIsNeg(SatLit lit) { return (lit & 1) != 0; }
+inline SatLit Negate(SatLit lit) { return lit ^ 1; }
+/// Builds a literal for `var` with the given polarity (true = positive).
+inline SatLit MakeLit(int32_t var, bool positive) {
+  return positive ? PosLit(var) : NegLit(var);
+}
+
+/// Outcome of a Solve() call.
+enum class SatResult {
+  kSat,
+  kUnsat,
+  kUnknown,  ///< conflict budget exhausted (only with SetConflictBudget)
+};
+
+/// Conflict-driven clause-learning solver.
+class SatSolver {
+ public:
+  SatSolver() = default;
+
+  /// Allocates a fresh variable and returns its index.
+  int32_t NewVar();
+
+  int32_t num_vars() const { return static_cast<int32_t>(assign_.size()); }
+
+  /// Adds a clause (disjunction of literals). May be called before or
+  /// between Solve() calls. Adding an empty (or all-false-at-level-0) clause
+  /// makes the instance permanently UNSAT.
+  void AddClause(std::vector<SatLit> lits);
+
+  /// Convenience single/binary/ternary clause helpers.
+  void AddUnit(SatLit a) { AddClause({a}); }
+  void AddBinary(SatLit a, SatLit b) { AddClause({a, b}); }
+  void AddTernary(SatLit a, SatLit b, SatLit c) { AddClause({a, b, c}); }
+
+  /// Caps the number of conflicts in subsequent Solve() calls; 0 = no cap.
+  void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
+
+  /// Runs the CDCL search.
+  SatResult Solve();
+
+  /// Value of `var` in the last kSat model.
+  bool ModelValue(int32_t var) const {
+    TIEBREAK_CHECK(last_result_ == SatResult::kSat);
+    TIEBREAK_CHECK_GE(var, 0);
+    TIEBREAK_CHECK_LT(var, num_vars());
+    return model_[var] > 0;
+  }
+
+  /// Adds a clause excluding the last model restricted to `vars` (for model
+  /// enumeration over a projection).
+  void BlockModel(const std::vector<int32_t>& vars);
+
+  int64_t num_conflicts() const { return stats_conflicts_; }
+  int64_t num_decisions() const { return stats_decisions_; }
+  int64_t num_propagations() const { return stats_propagations_; }
+
+ private:
+  enum : int8_t { kUndef = 0, kTrue = 1, kFalse = -1 };
+
+  struct Clause {
+    std::vector<SatLit> lits;
+    bool learnt = false;
+  };
+
+  int8_t ValueOfLit(SatLit lit) const {
+    const int8_t v = assign_[LitVar(lit)];
+    if (v == kUndef) return kUndef;
+    return LitIsNeg(lit) ? static_cast<int8_t>(-v) : v;
+  }
+
+  void Enqueue(SatLit lit, int32_t reason);
+  /// Returns the index of a conflicting clause or -1.
+  int32_t Propagate();
+  /// 1UIP conflict analysis; fills `learnt` and returns the backtrack level.
+  int32_t Analyze(int32_t conflict_clause, std::vector<SatLit>* learnt);
+  void Backtrack(int32_t level);
+  void BumpVar(int32_t var);
+  void DecayActivities();
+  int32_t PickBranchVar();
+  void AttachClause(int32_t clause_index);
+
+  // Indexed max-heap over variable activities.
+  void HeapInsert(int32_t var);
+  void HeapPercolateUp(int32_t pos);
+  void HeapPercolateDown(int32_t pos);
+  int32_t HeapPopMax();
+  bool HeapContains(int32_t var) const {
+    return heap_position_[var] >= 0;
+  }
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int32_t>> watches_;  // literal -> clause indices
+  std::vector<int8_t> assign_;                 // variable -> kUndef/kTrue/kFalse
+  std::vector<int8_t> phase_;                  // saved phases
+  std::vector<int32_t> level_;                 // variable -> decision level
+  std::vector<int32_t> reason_;                // variable -> clause index / -1
+  std::vector<SatLit> trail_;
+  std::vector<int32_t> trail_limits_;          // decision-level boundaries
+  size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  std::vector<int32_t> heap_;           // heap of variables
+  std::vector<int32_t> heap_position_;  // variable -> heap index or -1
+  double activity_increment_ = 1.0;
+  std::vector<int8_t> seen_;            // conflict-analysis scratch flags
+
+  std::vector<int8_t> model_;
+  bool unsat_ = false;
+  SatResult last_result_ = SatResult::kUnknown;
+  int64_t conflict_budget_ = 0;
+
+  int64_t stats_conflicts_ = 0;
+  int64_t stats_decisions_ = 0;
+  int64_t stats_propagations_ = 0;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_SAT_SOLVER_H_

@@ -1,0 +1,54 @@
+// Minimal logging and invariant-checking macros in the spirit of
+// Google-style CHECK/DCHECK. Database-engine code paths must never proceed
+// past a broken invariant; CHECK aborts with a readable message.
+#ifndef TIEBREAK_UTIL_LOGGING_H_
+#define TIEBREAK_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tiebreak {
+namespace internal {
+
+/// Sink that aggregates a failure message and aborts on destruction.
+/// Used by the CHECK family of macros; not part of the public API.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tiebreak
+
+/// Aborts the process with a source location when `condition` is false.
+/// Additional context may be streamed in: CHECK(ok) << "while grounding".
+#define TIEBREAK_CHECK(condition)                                          \
+  if (!(condition))                                                        \
+  ::tiebreak::internal::CheckFailStream(__FILE__, __LINE__, #condition)
+
+#define TIEBREAK_CHECK_EQ(a, b) TIEBREAK_CHECK((a) == (b))
+#define TIEBREAK_CHECK_NE(a, b) TIEBREAK_CHECK((a) != (b))
+#define TIEBREAK_CHECK_LT(a, b) TIEBREAK_CHECK((a) < (b))
+#define TIEBREAK_CHECK_LE(a, b) TIEBREAK_CHECK((a) <= (b))
+#define TIEBREAK_CHECK_GT(a, b) TIEBREAK_CHECK((a) > (b))
+#define TIEBREAK_CHECK_GE(a, b) TIEBREAK_CHECK((a) >= (b))
+
+#endif  // TIEBREAK_UTIL_LOGGING_H_

@@ -1,0 +1,96 @@
+// Deterministic, seedable PRNG (splitmix64-seeded xoshiro256**) used by the
+// workload generators, the randomized choice policies, and the property
+// tests. We avoid std::mt19937 so that streams are identical across
+// platforms/toolchains — benchmark tables must be reproducible bit-for-bit.
+#ifndef TIEBREAK_UTIL_RANDOM_H_
+#define TIEBREAK_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tiebreak {
+
+/// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  /// Seeds the stream; equal seeds give equal streams everywhere.
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  uint64_t Below(uint64_t bound) {
+    TIEBREAK_CHECK_GT(bound, 0u);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+    uint64_t value = Next();
+    while (value >= limit) value = Next();
+    return value % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    TIEBREAK_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return ToUnit(Next()) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double Unit() { return ToUnit(Next()); }
+
+  /// Uniformly selected element of `items` (must be nonempty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    TIEBREAK_CHECK(!items.empty());
+    return items[Below(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      std::swap((*items)[i - 1], (*items)[Below(i)]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  static double ToUnit(uint64_t bits) {
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_UTIL_RANDOM_H_

@@ -1,0 +1,114 @@
+// Status / Result<T> error propagation, RocksDB-style: no exceptions cross
+// public API boundaries. Fallible operations (parsing, validation, engine
+// evaluation over unsafe rules) return Status or Result<T>.
+#ifndef TIEBREAK_UTIL_STATUS_H_
+#define TIEBREAK_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace tiebreak {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Malformed input (parse errors, bad arities).
+  kNotFound,         ///< Missing predicate/constant/relation.
+  kFailedPrecondition,  ///< Operation not applicable (e.g. unstratified
+                        ///< program given to the stratified engine).
+  kResourceExhausted,   ///< Configured limit exceeded (grounding budget...).
+  kInternal,            ///< Invariant violation surfaced as an error.
+};
+
+/// Returns a short stable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs an error status; `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    TIEBREAK_CHECK(code_ != StatusCode::kOk) << "error status requires code";
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// Result aborts; callers must test ok() first (or use ValueOrDie in tests).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: the OK case.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status; `status` must not be OK.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    TIEBREAK_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    TIEBREAK_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    TIEBREAK_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    TIEBREAK_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string helpers shared by the parser, printers and bench tables.
+#ifndef TIEBREAK_UTIL_STRINGS_H_
+#define TIEBREAK_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tiebreak {
+
+/// Joins the elements of `parts` with `separator` using operator<<.
+template <typename Container>
+std::string Join(const Container& parts, std::string_view separator) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << separator;
+    out << part;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_UTIL_STRINGS_H_

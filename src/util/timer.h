@@ -1,0 +1,36 @@
+// Wall-clock timer for the benchmark tables that are not expressed through
+// google-benchmark (success-rate and scaling tables print their own rows).
+#ifndef TIEBREAK_UTIL_TIMER_H_
+#define TIEBREAK_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tiebreak {
+
+/// Measures elapsed wall time since construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds as a double.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds.
+  int64_t Micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_UTIL_TIMER_H_

@@ -1,0 +1,106 @@
+#include "workload/databases.h"
+
+#include <vector>
+
+namespace tiebreak {
+
+namespace {
+
+std::vector<ConstId> InternNodes(Program* program, int32_t count) {
+  std::vector<ConstId> nodes;
+  nodes.reserve(count);
+  for (int32_t i = 0; i < count; ++i) {
+    nodes.push_back(program->InternConstant("n" + std::to_string(i)));
+  }
+  return nodes;
+}
+
+PredId RequireBinary(Program* program, const std::string& relation) {
+  const PredId pred = program->DeclarePredicate(relation, 2);
+  TIEBREAK_CHECK_EQ(program->predicate(pred).arity, 2)
+      << relation << " is not binary";
+  return pred;
+}
+
+}  // namespace
+
+Database RandomDigraphDatabase(Program* program, const std::string& relation,
+                               int32_t num_nodes, int32_t num_edges,
+                               Rng* rng) {
+  TIEBREAK_CHECK_GE(num_nodes, 1);
+  const std::vector<ConstId> nodes = InternNodes(program, num_nodes);
+  const PredId pred = RequireBinary(program, relation);
+  Database database(*program);
+  for (int32_t e = 0; e < num_edges; ++e) {
+    const ConstId from = nodes[rng->Below(num_nodes)];
+    const ConstId to = nodes[rng->Below(num_nodes)];
+    database.Insert(pred, {from, to});
+  }
+  return database;
+}
+
+Database ChainDatabase(Program* program, const std::string& relation,
+                       int32_t length) {
+  TIEBREAK_CHECK_GE(length, 1);
+  const std::vector<ConstId> nodes = InternNodes(program, length);
+  const PredId pred = RequireBinary(program, relation);
+  Database database(*program);
+  for (int32_t i = 0; i + 1 < length; ++i) {
+    database.Insert(pred, {nodes[i], nodes[i + 1]});
+  }
+  return database;
+}
+
+Database CycleDatabase(Program* program, const std::string& relation,
+                       int32_t length) {
+  TIEBREAK_CHECK_GE(length, 1);
+  const std::vector<ConstId> nodes = InternNodes(program, length);
+  const PredId pred = RequireBinary(program, relation);
+  Database database(*program);
+  for (int32_t i = 0; i < length; ++i) {
+    database.Insert(pred, {nodes[i], nodes[(i + 1) % length]});
+  }
+  return database;
+}
+
+Database UnarySetDatabase(Program* program, const std::string& relation,
+                          int32_t size) {
+  TIEBREAK_CHECK_GE(size, 0);
+  const std::vector<ConstId> nodes = InternNodes(program, size);
+  const PredId pred = program->DeclarePredicate(relation, 1);
+  TIEBREAK_CHECK_EQ(program->predicate(pred).arity, 1);
+  Database database(*program);
+  for (ConstId node : nodes) database.Insert(pred, {node});
+  return database;
+}
+
+Database RandomEdbDatabase(Program* program, int32_t universe_size,
+                           double density, Rng* rng) {
+  TIEBREAK_CHECK_GE(universe_size, 1);
+  const std::vector<ConstId> nodes = InternNodes(program, universe_size);
+  Database database(*program);
+  for (PredId p = 0; p < program->num_predicates(); ++p) {
+    if (!program->IsEdb(p)) continue;
+    const int32_t arity = program->predicate(p).arity;
+    // Odometer over all tuples of this arity.
+    Tuple tuple(arity, nodes.empty() ? 0 : nodes.front());
+    std::vector<size_t> odo(arity, 0);
+    while (true) {
+      if (rng->Chance(density)) database.Insert(p, tuple);
+      int32_t pos = arity - 1;
+      while (pos >= 0) {
+        if (++odo[pos] < nodes.size()) {
+          tuple[pos] = nodes[odo[pos]];
+          break;
+        }
+        odo[pos] = 0;
+        tuple[pos] = nodes.front();
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+  return database;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,43 @@
+// Database generators: random digraphs, chains, cycles and grids for the
+// binary relations the program families consume (move/e/up/down/...).
+#ifndef TIEBREAK_WORKLOAD_DATABASES_H_
+#define TIEBREAK_WORKLOAD_DATABASES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lang/database.h"
+#include "lang/program.h"
+#include "util/random.h"
+
+namespace tiebreak {
+
+/// Node constants are named "n0", "n1", ... and interned into `program`.
+
+/// A database whose binary relation `relation` is a random digraph with
+/// `num_nodes` nodes and `num_edges` edges (duplicates collapse).
+Database RandomDigraphDatabase(Program* program, const std::string& relation,
+                               int32_t num_nodes, int32_t num_edges, Rng* rng);
+
+/// relation = the path n0 -> n1 -> ... -> n_{k-1}.
+Database ChainDatabase(Program* program, const std::string& relation,
+                       int32_t length);
+
+/// relation = the directed cycle over k nodes.
+Database CycleDatabase(Program* program, const std::string& relation,
+                       int32_t length);
+
+/// Unary relation `relation` = {n0, ..., n_{k-1}} (for the tower programs).
+Database UnarySetDatabase(Program* program, const std::string& relation,
+                          int32_t size);
+
+/// A random database over `universe_size` node constants for *every* EDB
+/// predicate of the program: each possible fact is included with
+/// probability `density`. Zero-ary EDB predicates are included with the
+/// same probability.
+Database RandomEdbDatabase(Program* program, int32_t universe_size,
+                           double density, Rng* rng);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_WORKLOAD_DATABASES_H_

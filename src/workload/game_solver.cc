@@ -1,0 +1,53 @@
+#include "workload/game_solver.h"
+
+#include "util/logging.h"
+
+namespace tiebreak {
+
+std::vector<GameValue> SolveGame(
+    const std::vector<std::vector<int32_t>>& moves) {
+  const int32_t n = static_cast<int32_t>(moves.size());
+  // Reverse graph + out-degree counters for the standard retrograde BFS.
+  std::vector<std::vector<int32_t>> predecessors(n);
+  std::vector<int32_t> unresolved_moves(n, 0);
+  for (int32_t v = 0; v < n; ++v) {
+    unresolved_moves[v] = static_cast<int32_t>(moves[v].size());
+    for (int32_t w : moves[v]) {
+      TIEBREAK_CHECK_GE(w, 0);
+      TIEBREAK_CHECK_LT(w, n);
+      predecessors[w].push_back(v);
+    }
+  }
+
+  std::vector<GameValue> value(n, GameValue::kDrawn);
+  std::vector<char> resolved(n, 0);
+  std::vector<int32_t> queue;
+  for (int32_t v = 0; v < n; ++v) {
+    if (moves[v].empty()) {
+      value[v] = GameValue::kLost;  // stuck: the player to move loses
+      resolved[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const int32_t v = queue[head];
+    for (int32_t u : predecessors[v]) {
+      if (resolved[u]) continue;
+      if (value[v] == GameValue::kLost) {
+        // u can move to a lost position: u is won.
+        value[u] = GameValue::kWon;
+        resolved[u] = 1;
+        queue.push_back(u);
+      } else if (--unresolved_moves[u] == 0) {
+        // Every move of u leads to a won position: u is lost.
+        value[u] = GameValue::kLost;
+        resolved[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  // Unresolved positions are draws (kDrawn is the default).
+  return value;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,32 @@
+// Retrograde analysis of two-player move games: the classical backward
+// induction computing won/lost/drawn positions of "the player to move loses
+// when stuck". This is an *independent semantic oracle* for the win-move
+// program — Van Gelder's correspondence says the well-founded model of
+//
+//     win(X) <- move(X, Y), not win(Y)
+//
+// assigns true to exactly the game-theoretically won positions, false to
+// the lost ones, and leaves the draws undefined. game_test.cc checks the
+// interpreters against this solver on random boards.
+#ifndef TIEBREAK_WORKLOAD_GAME_SOLVER_H_
+#define TIEBREAK_WORKLOAD_GAME_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tiebreak {
+
+/// Game value of a position.
+enum class GameValue : int8_t {
+  kLost = -1,   ///< the player to move loses (no escape)
+  kDrawn = 0,   ///< neither side can force a win
+  kWon = 1,     ///< the player to move wins
+};
+
+/// Solves the game on a digraph given as move lists: `moves[v]` are the
+/// positions reachable from v. Positions with no moves are lost. O(V + E).
+std::vector<GameValue> SolveGame(const std::vector<std::vector<int32_t>>& moves);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_WORKLOAD_GAME_SOLVER_H_

@@ -1,0 +1,117 @@
+#include "workload/programs.h"
+
+#include <string>
+
+#include "lang/parser.h"
+
+namespace tiebreak {
+
+namespace {
+
+Program MustParseInternal(const std::string& text) {
+  Result<Program> result = ParseProgram(text);
+  TIEBREAK_CHECK(result.ok()) << result.status().ToString() << "\n" << text;
+  return std::move(result).value();
+}
+
+}  // namespace
+
+Program WinMoveProgram() {
+  return MustParseInternal("win(X) :- move(X, Y), not win(Y).");
+}
+
+Program TransitiveClosureProgram() {
+  return MustParseInternal(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Z) :- e(X, Y), t(Y, Z).");
+}
+
+Program SameGenerationProgram() {
+  return MustParseInternal(
+      "sg(X, Y) :- sibling(X, Y).\n"
+      "sg(X, Y) :- up(X, A), sg(A, B), down(B, Y).");
+}
+
+Program NegationRingProgram(int32_t k) {
+  TIEBREAK_CHECK_GE(k, 1);
+  std::string text;
+  for (int32_t i = 0; i < k; ++i) {
+    text += "p" + std::to_string(i) + " :- not p" +
+            std::to_string((i + 1) % k) + ".\n";
+  }
+  return MustParseInternal(text);
+}
+
+Program StratifiedTowerProgram(int32_t levels) {
+  TIEBREAK_CHECK_GE(levels, 1);
+  std::string text = "level0(X) :- e(X).\n";
+  for (int32_t i = 1; i <= levels; ++i) {
+    text += "level" + std::to_string(i) + "(X) :- e(X), not level" +
+            std::to_string(i - 1) + "(X).\n";
+  }
+  return MustParseInternal(text);
+}
+
+Program RandomProgram(Rng* rng, const RandomProgramOptions& options) {
+  TIEBREAK_CHECK_GE(options.num_idb, 1);
+  TIEBREAK_CHECK_GE(options.num_edb, 0);
+  TIEBREAK_CHECK_GE(options.arity, 0);
+  TIEBREAK_CHECK_LE(options.arity, 3);
+
+  // Variable frame: X0 .. X_arity (chain pattern shifts by one position per
+  // literal index parity, keeping rules safe via a closing EDB literal).
+  auto args_for = [&](int32_t offset) {
+    std::vector<std::string> names;
+    for (int32_t i = 0; i < options.arity; ++i) {
+      names.push_back("X" + std::to_string((i + offset) % (options.arity + 1)));
+    }
+    return names;
+  };
+  auto render_atom = [&](const std::string& pred, int32_t offset) {
+    if (options.arity == 0) return pred;
+    std::string out = pred + "(";
+    const auto names = args_for(offset);
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += names[i];
+    }
+    return out + ")";
+  };
+
+  std::string text;
+  for (int32_t r = 0; r < options.num_rules; ++r) {
+    const std::string head =
+        "p" + std::to_string(rng->Below(options.num_idb));
+    std::string body;
+    const int32_t body_len =
+        1 + static_cast<int32_t>(rng->Below(options.max_body));
+    bool has_positive = false;
+    for (int32_t b = 0; b < body_len; ++b) {
+      if (b > 0) body += ", ";
+      const bool negate = rng->Chance(options.negation_probability);
+      const bool edb = options.num_edb > 0 &&
+                       rng->Chance(options.edb_literal_probability);
+      const std::string pred =
+          edb ? "e" + std::to_string(rng->Below(options.num_edb))
+              : "p" + std::to_string(rng->Below(options.num_idb));
+      if (negate) body += "not ";
+      has_positive = has_positive || !negate;
+      body += render_atom(pred, static_cast<int32_t>(rng->Below(2)));
+    }
+    // Safety anchor for arity > 0: one positive EDB literal covering every
+    // variable position used by the rule.
+    if (options.arity > 0) {
+      if (options.num_edb > 0) {
+        body += ", " + render_atom("e0", 0);
+        body += ", " + render_atom("e0", 1);
+      }
+    }
+    (void)has_positive;
+    text += render_atom(head, 0) + " :- " + body + ".\n";
+  }
+  // Make sure every predicate is declared even if unused in rules.
+  // (EDB predicates appear through bodies; IDBs through heads.)
+  return MustParseInternal(text);
+}
+
+}  // namespace tiebreak

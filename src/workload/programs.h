@@ -1,0 +1,54 @@
+// Program families used by the examples, benchmarks and property tests:
+// the classics the paper's discussion revolves around (win-move, negation
+// rings, stratified towers) plus parameterized random programs with
+// controlled sign structure.
+#ifndef TIEBREAK_WORKLOAD_PROGRAMS_H_
+#define TIEBREAK_WORKLOAD_PROGRAMS_H_
+
+#include <cstdint>
+
+#include "lang/program.h"
+#include "util/random.h"
+
+namespace tiebreak {
+
+/// win(X) <- move(X, Y), ¬win(Y) — the archetypical unstratified program;
+/// its program graph has an odd cycle (negative self-loop on win).
+Program WinMoveProgram();
+
+/// Transitive closure: t(X,Y) <- e(X,Y); t(X,Z) <- e(X,Y), t(Y,Z).
+Program TransitiveClosureProgram();
+
+/// Same generation: sg(X,Y) <- sibling(X,Y); sg(X,Y) <- up(X,A), sg(A,B),
+/// down(B,Y). Classic recursive join benchmark.
+Program SameGenerationProgram();
+
+/// A ring of k propositions p0 <- ¬p1, p1 <- ¬p2, ..., p_{k-1} <- ¬p0.
+/// Call-consistent (and hence structurally total) iff k is even; for odd k
+/// the ring is the canonical odd cycle.
+Program NegationRingProgram(int32_t k);
+
+/// A stratified tower: level0(X) <- e(X); level_i(X) <- e(X), ¬level_{i-1}(X)
+/// for i = 1..levels. Strata grow linearly with `levels`.
+Program StratifiedTowerProgram(int32_t levels);
+
+/// Knobs for RandomProgram.
+struct RandomProgramOptions {
+  int32_t num_idb = 4;
+  int32_t num_edb = 2;
+  int32_t num_rules = 8;
+  int32_t max_body = 3;
+  double negation_probability = 0.4;
+  double edb_literal_probability = 0.3;
+  /// 0 = propositional; otherwise all predicates get this arity and rules
+  /// use chain-style variable patterns (safe, range-restricted).
+  int32_t arity = 0;
+};
+
+/// A random program with the given shape. Propositional programs exercise
+/// the semantics; unary/binary ones exercise grounding.
+Program RandomProgram(Rng* rng, const RandomProgramOptions& options);
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_WORKLOAD_PROGRAMS_H_

@@ -1,0 +1,495 @@
+// Tests for Section 4's machinery: useless predicates, the reduced program,
+// the structural-totality checkers (Theorems 2/3), the witness constructions
+// (Theorems 2/3/5) validated via UNSAT Clark completions and stuck
+// interpreters, and the brute-force bounded-universe totality oracle.
+#include <string>
+#include <vector>
+
+#include "core/completion.h"
+#include "core/stratification.h"
+#include "core/structural_totality.h"
+#include "core/tie_breaking.h"
+#include "core/totality.h"
+#include "core/well_founded.h"
+#include "core/witness.h"
+#include "gtest/gtest.h"
+#include "lang/printer.h"
+#include "lang/skeleton.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace tiebreak {
+namespace {
+
+using testing_util::GroundOrDie;
+using testing_util::Instance;
+using testing_util::ParseInstance;
+
+bool WitnessHasFixpoint(const WitnessInstance& witness) {
+  Result<GroundingResult> g = Ground(witness.program, witness.database);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return HasFixpoint(witness.program, witness.database, g->graph);
+}
+
+bool IsConstantFree(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    for (const Term& t : rule.head.args) {
+      if (t.is_constant()) return false;
+    }
+    for (const Literal& lit : rule.body) {
+      for (const Term& t : lit.atom.args) {
+        if (t.is_constant()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Useless predicates and the reduced program.
+// ---------------------------------------------------------------------------
+
+TEST(UselessPredicatesTest, SelfLoopIsUseless) {
+  Instance inst = ParseInstance("g :- g.\np :- e.");
+  const auto useless = UselessPredicates(inst.program);
+  EXPECT_TRUE(useless[inst.program.LookupPredicate("g")]);
+  EXPECT_FALSE(useless[inst.program.LookupPredicate("p")]);
+  EXPECT_FALSE(useless[inst.program.LookupPredicate("e")]);  // EDB
+}
+
+TEST(UselessPredicatesTest, MutualPositiveRecursionIsUseless) {
+  Instance inst = ParseInstance("a :- b.\nb :- a.\nc :- not a.");
+  const auto useless = UselessPredicates(inst.program);
+  EXPECT_TRUE(useless[inst.program.LookupPredicate("a")]);
+  EXPECT_TRUE(useless[inst.program.LookupPredicate("b")]);
+  EXPECT_FALSE(useless[inst.program.LookupPredicate("c")]);
+}
+
+TEST(UselessPredicatesTest, NegationAndEdbLeavesMakeUseful) {
+  // p's expansion bottoms out in a negative literal: useful.
+  Instance inst = ParseInstance("p :- not q.\nq :- e.\nr :- p, q.");
+  const auto useless = UselessPredicates(inst.program);
+  for (PredId x = 0; x < inst.program.num_predicates(); ++x) {
+    EXPECT_FALSE(useless[x]) << inst.program.predicate_name(x);
+  }
+}
+
+TEST(UselessPredicatesTest, UsefulnessPropagatesThroughChains) {
+  Instance inst = ParseInstance(
+      "a :- b, c.\nb :- e.\nc :- b.\nbad :- bad, e.\nworse :- bad.");
+  const auto useless = UselessPredicates(inst.program);
+  EXPECT_FALSE(useless[inst.program.LookupPredicate("a")]);
+  EXPECT_FALSE(useless[inst.program.LookupPredicate("b")]);
+  EXPECT_FALSE(useless[inst.program.LookupPredicate("c")]);
+  EXPECT_TRUE(useless[inst.program.LookupPredicate("bad")]);
+  EXPECT_TRUE(useless[inst.program.LookupPredicate("worse")]);
+}
+
+TEST(ReduceProgramTest, DropsRulesAndNegativeOccurrences) {
+  Instance inst = ParseInstance(
+      "g :- g.\n"            // dropped (g useless, positive occurrence)
+      "p :- e, g.\n"         // dropped (positive occurrence of g)
+      "q :- e, not g.\n"     // kept, 'not g' removed
+      "r :- q, not p.\n");   // kept unchanged (p is useful via... p dropped?)
+  const ReducedProgram reduced = ReduceProgram(inst.program);
+  // g and p are useless (p's only rule needs g positively? p <- e, g: has a
+  // positive occurrence of useless g, so p can never fire: p is useless too).
+  const auto useless = UselessPredicates(inst.program);
+  EXPECT_TRUE(useless[inst.program.LookupPredicate("g")]);
+  EXPECT_TRUE(useless[inst.program.LookupPredicate("p")]);
+  ASSERT_EQ(reduced.program.num_rules(), 2);
+  // q :- e.   (not g dropped)
+  EXPECT_EQ(reduced.original_rule_index[0], 2);
+  EXPECT_EQ(reduced.program.rule(0).body.size(), 1u);
+  EXPECT_EQ(reduced.original_body_index[0], (std::vector<int32_t>{0}));
+  // r :- q, not p -> r :- q.   (not p dropped: p useless)
+  EXPECT_EQ(reduced.original_rule_index[1], 3);
+  EXPECT_EQ(reduced.program.rule(1).body.size(), 1u);
+  EXPECT_EQ(reduced.original_body_index[1], (std::vector<int32_t>{0}));
+}
+
+TEST(ReduceProgramTest, PreservesIdsAndValidates) {
+  Instance inst = ParseInstance("p(X) :- e(X, a), not g(X).\ng(X) :- g(X).");
+  const ReducedProgram reduced = ReduceProgram(inst.program);
+  for (PredId p = 0; p < inst.program.num_predicates(); ++p) {
+    EXPECT_EQ(reduced.program.predicate_name(p),
+              inst.program.predicate_name(p));
+    EXPECT_EQ(reduced.program.predicate(p).arity,
+              inst.program.predicate(p).arity);
+  }
+  for (ConstId c = 0; c < inst.program.num_constants(); ++c) {
+    EXPECT_EQ(reduced.program.constant_name(c), inst.program.constant_name(c));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural totality checkers (Theorems 2, 3, 5).
+// ---------------------------------------------------------------------------
+
+TEST(StructuralTotalityTest, Classification) {
+  // Even negative cycle: structurally total, not stratified.
+  EXPECT_TRUE(
+      IsStructurallyTotal(ParseInstance("p :- not q.\nq :- not p.").program));
+  // Odd cycle: not structurally total.
+  EXPECT_FALSE(IsStructurallyTotal(ParseInstance("p :- not p.").program));
+  EXPECT_FALSE(IsStructurallyTotal(
+      ParseInstance("win(X) :- move(X, Y), not win(Y).").program));
+  // Paper program (1): odd cycle in the skeleton.
+  EXPECT_FALSE(
+      IsStructurallyTotal(ParseInstance("P(a) :- not P(X), E(b).").program));
+  // Stratified: trivially structurally total.
+  EXPECT_TRUE(IsStructurallyTotal(
+      ParseInstance("t(X,Y) :- e(X,Y).\nt(X,Z) :- e(X,Y), t(Y,Z).").program));
+}
+
+TEST(StructuralTotalityTest, NonuniformIgnoresUselessCycles) {
+  // The odd cycle runs through the useless predicate g: the program is not
+  // structurally total in the uniform sense, but it is nonuniformly.
+  Instance inst = ParseInstance("g :- g.\np :- not p, g.");
+  EXPECT_FALSE(IsStructurallyTotal(inst.program));
+  EXPECT_TRUE(IsStructurallyNonuniformlyTotal(inst.program));
+  // Whereas a direct odd cycle fails both.
+  Instance direct = ParseInstance("p :- not p, e.");
+  EXPECT_FALSE(IsStructurallyTotal(direct.program));
+  EXPECT_FALSE(IsStructurallyNonuniformlyTotal(direct.program));
+}
+
+TEST(StructuralTotalityTest, WellFoundedTotalityIsStratification) {
+  EXPECT_TRUE(IsStructurallyWellFoundedTotal(
+      ParseInstance("p(X) :- e(X), not f(X).").program));
+  EXPECT_FALSE(IsStructurallyWellFoundedTotal(
+      ParseInstance("p :- not q.\nq :- not p.").program));
+  // Negative cycle through a useless predicate: nonuniformly WF-total.
+  Instance inst = ParseInstance("g :- g.\np :- not q, g.\nq :- not p, g.");
+  EXPECT_FALSE(IsStructurallyWellFoundedTotal(inst.program));
+  EXPECT_TRUE(IsStructurallyNonuniformlyWellFoundedTotal(inst.program));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2 witnesses.
+// ---------------------------------------------------------------------------
+
+TEST(WitnessTest, Theorem2UnaryOnWinMove) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  Result<WitnessInstance> witness = BuildTheorem2UnaryWitness(inst.program);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_TRUE(SameSkeleton(witness->program, inst.program));
+  EXPECT_TRUE(witness->cycle_is_odd);
+  EXPECT_EQ(witness->cycle_predicates, (std::vector<std::string>{"win"}));
+  EXPECT_FALSE(WitnessHasFixpoint(*witness));
+}
+
+TEST(WitnessTest, Theorem2UnaryOnPaperProgram1) {
+  Instance inst = ParseInstance("P(a) :- not P(X), E(b).");
+  Result<WitnessInstance> witness = BuildTheorem2UnaryWitness(inst.program);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(SameSkeleton(witness->program, inst.program));
+  EXPECT_FALSE(WitnessHasFixpoint(*witness));
+}
+
+TEST(WitnessTest, Theorem2UnaryOnLongerOddCycle) {
+  Instance inst = ParseInstance(
+      "a :- not b, e.\nb :- c, f.\nc :- a, not d.\nd :- e.");
+  ASSERT_FALSE(IsStructurallyTotal(inst.program));
+  Result<WitnessInstance> witness = BuildTheorem2UnaryWitness(inst.program);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(SameSkeleton(witness->program, inst.program));
+  EXPECT_FALSE(WitnessHasFixpoint(*witness));
+}
+
+TEST(WitnessTest, Theorem2FailsOnCallConsistentPrograms) {
+  Instance inst = ParseInstance("p :- not q.\nq :- not p.");
+  Result<WitnessInstance> witness = BuildTheorem2UnaryWitness(inst.program);
+  ASSERT_FALSE(witness.ok());
+  EXPECT_EQ(witness.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WitnessTest, Theorem2TernaryIsConstantFreeAndUnsat) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  Result<WitnessInstance> witness = BuildTheorem2TernaryWitness(inst.program);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(SameSkeleton(witness->program, inst.program));
+  EXPECT_TRUE(IsConstantFree(witness->program));
+  EXPECT_FALSE(WitnessHasFixpoint(*witness));
+}
+
+TEST(WitnessTest, Theorem2OnRandomOddCyclePrograms) {
+  Rng rng(90210);
+  int built = 0;
+  for (int round = 0; round < 80; ++round) {
+    const int props = 2 + static_cast<int>(rng.Below(4));
+    std::string text;
+    const int rules = 1 + static_cast<int>(rng.Below(6));
+    for (int r = 0; r < rules; ++r) {
+      text += "p" + std::to_string(rng.Below(props)) + " :- ";
+      const int body = 1 + static_cast<int>(rng.Below(3));
+      for (int b = 0; b < body; ++b) {
+        if (b > 0) text += ", ";
+        if (rng.Chance(0.5)) text += "not ";
+        text += rng.Chance(0.25) ? "e" : "p" + std::to_string(rng.Below(props));
+      }
+      text += ".\n";
+    }
+    Instance inst = ParseInstance(text);
+    if (IsStructurallyTotal(inst.program)) {
+      EXPECT_FALSE(BuildTheorem2UnaryWitness(inst.program).ok());
+      continue;
+    }
+    ++built;
+    for (auto* build :
+         {&BuildTheorem2UnaryWitness, &BuildTheorem2TernaryWitness}) {
+      Result<WitnessInstance> witness = (*build)(inst.program);
+      ASSERT_TRUE(witness.ok()) << witness.status().ToString() << "\n" << text;
+      EXPECT_TRUE(SameSkeleton(witness->program, inst.program)) << text;
+      EXPECT_FALSE(WitnessHasFixpoint(*witness))
+          << "witness admits a fixpoint for\n"
+          << text << "\nvariant:\n"
+          << ProgramToString(witness->program);
+    }
+  }
+  EXPECT_GT(built, 25);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3 witnesses.
+// ---------------------------------------------------------------------------
+
+TEST(WitnessTest, Theorem3BinaryOnWinMove) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  Result<WitnessInstance> witness = BuildTheorem3BinaryWitness(inst.program);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_TRUE(SameSkeleton(witness->program, inst.program));
+  // Nonuniform: IDB relations must start empty.
+  for (PredId p = 0; p < witness->program.num_predicates(); ++p) {
+    if (!witness->program.IsEdb(p)) {
+      EXPECT_TRUE(witness->database.Relation(p).empty());
+    }
+  }
+  EXPECT_FALSE(WitnessHasFixpoint(*witness));
+}
+
+TEST(WitnessTest, Theorem3FailsWhenOddCycleIsOnlyThroughUseless) {
+  Instance inst = ParseInstance("g :- g.\np :- not p, g.");
+  EXPECT_FALSE(BuildTheorem3BinaryWitness(inst.program).ok());
+  // But the uniform witness exists (Δ may initialize g).
+  Result<WitnessInstance> uniform = BuildTheorem2UnaryWitness(inst.program);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_FALSE(WitnessHasFixpoint(*uniform));
+}
+
+TEST(WitnessTest, Theorem3QuaternaryIsConstantFreeAndUnsat) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  Result<WitnessInstance> witness =
+      BuildTheorem3QuaternaryWitness(inst.program);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_TRUE(IsConstantFree(witness->program));
+  EXPECT_TRUE(SameSkeleton(witness->program, inst.program));
+  EXPECT_FALSE(WitnessHasFixpoint(*witness));
+}
+
+TEST(WitnessTest, Theorem3QuaternaryNeedsEdb) {
+  Instance inst = ParseInstance("p :- not p.");
+  Result<WitnessInstance> witness =
+      BuildTheorem3QuaternaryWitness(inst.program);
+  ASSERT_FALSE(witness.ok());
+  EXPECT_EQ(witness.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WitnessTest, Theorem3OnRandomPrograms) {
+  Rng rng(777777);
+  int built = 0;
+  for (int round = 0; round < 80; ++round) {
+    const int props = 2 + static_cast<int>(rng.Below(4));
+    std::string text;
+    const int rules = 1 + static_cast<int>(rng.Below(6));
+    for (int r = 0; r < rules; ++r) {
+      text += "p" + std::to_string(rng.Below(props)) + " :- ";
+      const int body = 1 + static_cast<int>(rng.Below(3));
+      for (int b = 0; b < body; ++b) {
+        if (b > 0) text += ", ";
+        if (rng.Chance(0.45)) text += "not ";
+        text += rng.Chance(0.3) ? "e" : "p" + std::to_string(rng.Below(props));
+      }
+      text += ".\n";
+    }
+    Instance inst = ParseInstance(text);
+    Result<WitnessInstance> witness = BuildTheorem3BinaryWitness(inst.program);
+    if (IsStructurallyNonuniformlyTotal(inst.program)) {
+      EXPECT_FALSE(witness.ok()) << text;
+      continue;
+    }
+    ++built;
+    ASSERT_TRUE(witness.ok()) << witness.status().ToString() << "\n" << text;
+    EXPECT_TRUE(SameSkeleton(witness->program, inst.program)) << text;
+    EXPECT_FALSE(WitnessHasFixpoint(*witness))
+        << "witness admits a fixpoint for\n"
+        << text << "\nvariant:\n"
+        << ProgramToString(witness->program);
+  }
+  EXPECT_GT(built, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5 witnesses.
+// ---------------------------------------------------------------------------
+
+TEST(WitnessTest, Theorem5OnEvenNegativeCycle) {
+  // p/q mutual negation: WF is stuck on the witness, but a fixpoint exists
+  // and well-founded tie-breaking finds it.
+  Instance inst = ParseInstance("p :- not q.\nq :- not p.");
+  Result<WitnessInstance> witness = BuildTheorem5Witness(inst.program);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_FALSE(witness->cycle_is_odd);
+  const GroundingResult g =
+      GroundOrDie(Instance{witness->program, witness->database});
+  const InterpreterResult wf =
+      WellFounded(witness->program, witness->database, g.graph);
+  EXPECT_FALSE(wf.total);
+  const InterpreterResult wftb =
+      TieBreaking(witness->program, witness->database, g.graph,
+                  TieBreakingMode::kWellFounded);
+  EXPECT_TRUE(wftb.total);
+}
+
+TEST(WitnessTest, Theorem5OnOddCycleAlsoKillsFixpoints) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  Result<WitnessInstance> witness = BuildTheorem5Witness(inst.program);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(witness->cycle_is_odd);
+  EXPECT_FALSE(WitnessHasFixpoint(*witness));
+}
+
+TEST(WitnessTest, Theorem5FailsOnStratifiedPrograms) {
+  Instance inst = ParseInstance("p(X) :- e(X), not f(X).\nf(X) :- e2(X).");
+  Result<WitnessInstance> witness = BuildTheorem5Witness(inst.program);
+  ASSERT_FALSE(witness.ok());
+  EXPECT_EQ(witness.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WitnessTest, Theorem5WellFoundedStuckOnRandomUnstratified) {
+  Rng rng(2468);
+  int checked = 0;
+  for (int round = 0; round < 60; ++round) {
+    const int props = 2 + static_cast<int>(rng.Below(4));
+    std::string text;
+    for (int r = 0; r < 1 + static_cast<int>(rng.Below(5)); ++r) {
+      text += "p" + std::to_string(rng.Below(props)) + " :- ";
+      if (rng.Chance(0.5)) text += "not ";
+      text += "p" + std::to_string(rng.Below(props));
+      text += ".\n";
+    }
+    Instance inst = ParseInstance(text);
+    Result<WitnessInstance> witness = BuildTheorem5Witness(inst.program);
+    if (IsStratified(inst.program)) {
+      EXPECT_FALSE(witness.ok()) << text;
+      continue;
+    }
+    ASSERT_TRUE(witness.ok()) << text;
+    ++checked;
+    const GroundingResult g =
+        GroundOrDie(Instance{witness->program, witness->database});
+    const InterpreterResult wf =
+        WellFounded(witness->program, witness->database, g.graph);
+    EXPECT_FALSE(wf.total) << "WF should be stuck on the witness for\n"
+                           << text;
+  }
+  EXPECT_GT(checked, 15);
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force totality.
+// ---------------------------------------------------------------------------
+
+TEST(TotalityTest, OddLoopIsNotTotal) {
+  Instance inst = ParseInstance("p :- not p.");
+  for (bool uniform : {false, true}) {
+    Result<TotalityReport> report = CheckTotality(inst.program, uniform);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->total);
+    ASSERT_TRUE(report->counterexample.has_value());
+  }
+}
+
+TEST(TotalityTest, MutualNegationIsTotal) {
+  Instance inst = ParseInstance("p :- not q.\nq :- not p.");
+  for (bool uniform : {false, true}) {
+    Result<TotalityReport> report = CheckTotality(inst.program, uniform);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->total) << (uniform ? "uniform" : "nonuniform");
+  }
+}
+
+TEST(TotalityTest, PaperProgram1TotalNonuniformlyButNotUniformly) {
+  // P(a) <- not P(x), E(b): with empty IDBs a fixpoint always exists, but
+  // Δ = {P(u) : u != a} ∪ {E(b)} kills all fixpoints in the uniform case —
+  // the paper's "total" for program (1) is the nonuniform notion.
+  Instance inst = ParseInstance("P(a) :- not P(X), E(b).");
+  TotalityOptions options;
+  options.extra_constants = {"u1"};
+  Result<TotalityReport> nonuniform =
+      CheckTotality(inst.program, /*uniform=*/false, options);
+  ASSERT_TRUE(nonuniform.ok()) << nonuniform.status().ToString();
+  EXPECT_TRUE(nonuniform->total);
+  EXPECT_EQ(nonuniform->databases_checked, 8);  // 2^3 E-databases
+
+  Result<TotalityReport> uniform =
+      CheckTotality(inst.program, /*uniform=*/true, options);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_FALSE(uniform->total);
+  ASSERT_TRUE(uniform->counterexample.has_value());
+}
+
+TEST(TotalityTest, AlphabeticVariant2IsNotTotalEitherWay) {
+  // Program (2): no fixpoint whenever E is nonempty.
+  Instance inst = ParseInstance("P(X, Y) :- not P(Y, Y), E(X).");
+  TotalityOptions options;
+  options.extra_constants = {"u1"};
+  options.max_fact_space = 24;
+  Result<TotalityReport> report =
+      CheckTotality(inst.program, /*uniform=*/false, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->total);
+}
+
+TEST(TotalityTest, StructurallyTotalProgramsPassBruteForce) {
+  // Theorem 2 (easy direction) empirically: call-consistent programs have
+  // fixpoints for every database over small universes.
+  const char* kPrograms[] = {
+      "p :- not q.\nq :- not p.\nr :- p, not s.\ns :- e.",
+      "a :- b.\nb :- a.\nc :- not a.",
+      "x :- not y, e.\ny :- not x, not e2.",
+  };
+  for (const char* text : kPrograms) {
+    Instance inst = ParseInstance(text);
+    ASSERT_TRUE(IsStructurallyTotal(inst.program)) << text;
+    for (bool uniform : {false, true}) {
+      Result<TotalityReport> report = CheckTotality(inst.program, uniform);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_TRUE(report->total) << text;
+      EXPECT_GT(report->databases_checked, 0);
+    }
+  }
+}
+
+TEST(TotalityTest, SamplingModeFindsCounterexamples) {
+  Instance inst = ParseInstance("p :- not p, e.");
+  TotalityOptions options;
+  options.random_samples = 64;
+  Result<TotalityReport> report =
+      CheckTotality(inst.program, /*uniform=*/false, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->total);  // any Δ with e is a counterexample
+}
+
+TEST(TotalityTest, FactSpaceTooLargeIsReported) {
+  Instance inst = ParseInstance("p(X, Y, Z) :- e(X, Y, Z), not p(X, X, X).");
+  TotalityOptions options;
+  options.max_fact_space = 4;  // e alone has 2^3 = 8 possible facts
+  Result<TotalityReport> report =
+      CheckTotality(inst.program, /*uniform=*/false, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace tiebreak

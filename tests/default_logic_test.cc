@@ -1,0 +1,145 @@
+// Tests for the default-logic bridge ([PS]): translation shape, classic
+// theories (Nixon diamond, no-extension, chained prerequisites), agreement
+// between extension enumeration and tie-breaking extension finding, and the
+// structure report used to predict when tie-breaking must succeed.
+#include <string>
+#include <vector>
+
+#include "core/structural_totality.h"
+#include "gtest/gtest.h"
+#include "reductions/default_logic.h"
+
+namespace tiebreak {
+namespace {
+
+PropositionalDefault MakeDefault(std::vector<std::string> prereqs,
+                                 std::vector<std::string> blocked,
+                                 std::string consequent) {
+  return PropositionalDefault{std::move(prereqs), std::move(blocked),
+                              std::move(consequent)};
+}
+
+TEST(DefaultLogicTest, TranslationShape) {
+  DefaultTheory theory;
+  theory.facts = {"bird"};
+  theory.defaults = {MakeDefault({"bird"}, {"penguin"}, "flies")};
+  const DefaultTheoryProgram t = DefaultTheoryToProgram(theory);
+  EXPECT_EQ(t.program.num_rules(), 1);
+  const Rule& rule = t.program.rule(0);
+  EXPECT_EQ(t.program.predicate_name(rule.head.predicate), "flies");
+  ASSERT_EQ(rule.body.size(), 2u);
+  EXPECT_TRUE(rule.body[0].positive);   // bird
+  EXPECT_FALSE(rule.body[1].positive);  // not penguin
+  EXPECT_TRUE(t.database.Contains(t.program.LookupPredicate("bird"), {}));
+}
+
+TEST(DefaultLogicTest, BirdsFlyUnlessPenguin) {
+  DefaultTheory theory;
+  theory.facts = {"bird"};
+  theory.defaults = {MakeDefault({"bird"}, {"penguin"}, "flies")};
+  const auto extensions = FindExtensions(theory);
+  ASSERT_EQ(extensions.size(), 1u);
+  EXPECT_EQ(extensions[0], (std::vector<std::string>{"bird", "flies"}));
+
+  theory.facts.push_back("penguin");
+  const auto grounded_extensions = FindExtensions(theory);
+  ASSERT_EQ(grounded_extensions.size(), 1u);
+  EXPECT_EQ(grounded_extensions[0],
+            (std::vector<std::string>{"bird", "penguin"}));
+}
+
+TEST(DefaultLogicTest, NixonDiamondHasTwoExtensions) {
+  // Quaker -> pacifist unless hawk; republican -> hawk unless pacifist.
+  DefaultTheory theory;
+  theory.facts = {"quaker", "republican"};
+  theory.defaults = {
+      MakeDefault({"quaker"}, {"hawk"}, "pacifist"),
+      MakeDefault({"republican"}, {"pacifist"}, "hawk"),
+  };
+  const auto extensions = FindExtensions(theory);
+  ASSERT_EQ(extensions.size(), 2u);
+  EXPECT_EQ(extensions[0],
+            (std::vector<std::string>{"hawk", "quaker", "republican"}));
+  EXPECT_EQ(extensions[1],
+            (std::vector<std::string>{"pacifist", "quaker", "republican"}));
+
+  // The translation is call-consistent (an even cycle), so tie-breaking must
+  // find an extension for every seed — and both are reachable.
+  bool saw_hawk = false, saw_pacifist = false;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const auto extension = FindExtensionByTieBreaking(theory, seed);
+    ASSERT_TRUE(extension.has_value()) << "seed " << seed;
+    const bool is_hawk = extension == extensions[0];
+    const bool is_pacifist = extension == extensions[1];
+    EXPECT_TRUE(is_hawk || is_pacifist);
+    saw_hawk = saw_hawk || is_hawk;
+    saw_pacifist = saw_pacifist || is_pacifist;
+  }
+  EXPECT_TRUE(saw_hawk);
+  EXPECT_TRUE(saw_pacifist);
+}
+
+TEST(DefaultLogicTest, SelfBlockingDefaultHasNoExtension) {
+  // (: ¬p / p) — Reiter's classic theory without extensions; the
+  // translation is the odd loop p <- not p.
+  DefaultTheory theory;
+  theory.defaults = {MakeDefault({}, {"p"}, "p")};
+  EXPECT_TRUE(FindExtensions(theory).empty());
+  EXPECT_FALSE(FindExtensionByTieBreaking(theory, 1).has_value());
+  const DefaultTheoryProgram t = DefaultTheoryToProgram(theory);
+  EXPECT_FALSE(IsStructurallyTotal(t.program));
+}
+
+TEST(DefaultLogicTest, PrerequisiteChains) {
+  DefaultTheory theory;
+  theory.facts = {"a"};
+  theory.defaults = {
+      MakeDefault({"a"}, {}, "b"),
+      MakeDefault({"b"}, {}, "c"),
+      MakeDefault({"missing"}, {}, "d"),  // prerequisite never derived
+  };
+  const auto extensions = FindExtensions(theory);
+  ASSERT_EQ(extensions.size(), 1u);
+  EXPECT_EQ(extensions[0], (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(DefaultLogicTest, TieBreakingAgreesWithEnumeration) {
+  // Every tie-breaking extension must appear among the enumerated ones.
+  DefaultTheory theory;
+  theory.facts = {"seed"};
+  theory.defaults = {
+      MakeDefault({"seed"}, {"x"}, "y"),
+      MakeDefault({"seed"}, {"y"}, "x"),
+      MakeDefault({"x"}, {}, "x_done"),
+      MakeDefault({"y"}, {}, "y_done"),
+  };
+  const auto extensions = FindExtensions(theory);
+  ASSERT_EQ(extensions.size(), 2u);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const auto found = FindExtensionByTieBreaking(theory, seed);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_TRUE(*found == extensions[0] || *found == extensions[1]);
+  }
+}
+
+TEST(DefaultLogicTest, ComponentReportPredictsTieBreakability) {
+  DefaultTheory nixon;
+  nixon.facts = {"quaker"};
+  nixon.defaults = {MakeDefault({}, {"hawk"}, "pacifist"),
+                    MakeDefault({}, {"pacifist"}, "hawk")};
+  const DefaultTheoryProgram t = DefaultTheoryToProgram(nixon);
+  const auto components = AnalyzeComponents(t.program);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].kind, ComponentReport::Kind::kTie);
+  EXPECT_EQ(components[0].internal_negative_edges, 2);
+
+  DefaultTheory self_block;
+  self_block.defaults = {MakeDefault({}, {"p"}, "p")};
+  const DefaultTheoryProgram t2 = DefaultTheoryToProgram(self_block);
+  const auto components2 = AnalyzeComponents(t2.program);
+  ASSERT_EQ(components2.size(), 1u);
+  EXPECT_EQ(components2[0].kind, ComponentReport::Kind::kOdd);
+}
+
+}  // namespace
+}  // namespace tiebreak

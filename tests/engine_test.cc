@@ -1,0 +1,296 @@
+// Tests for the relational engine: relation indexes, safety checking,
+// naive vs semi-naive agreement, correctness oracles (reachability via
+// Floyd-Warshall), stratified negation, and agreement with the ground-graph
+// semantics (perfect model / well-founded model).
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/perfect_model.h"
+#include "core/stratification.h"
+#include "core/well_founded.h"
+#include "engine/evaluation.h"
+#include "engine/relation.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+namespace tiebreak {
+namespace {
+
+using testing_util::GroundOrDie;
+using testing_util::Instance;
+using testing_util::ParseInstance;
+
+// ---------------------------------------------------------------------------
+// Relation.
+// ---------------------------------------------------------------------------
+
+TEST(RelationTest, InsertDedupesAndProbes) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert({1, 2}));
+  EXPECT_FALSE(rel.Insert({1, 2}));
+  EXPECT_TRUE(rel.Insert({1, 3}));
+  EXPECT_TRUE(rel.Insert({2, 3}));
+  EXPECT_EQ(rel.size(), 3);
+  EXPECT_TRUE(rel.Contains({1, 3}));
+  EXPECT_FALSE(rel.Contains({3, 1}));
+
+  // Probe on first column = 1.
+  const auto& matches = rel.Probe(0b01, {1, 0});
+  std::set<Tuple> found;
+  for (int32_t i : matches) found.insert(rel.tuples()[i]);
+  EXPECT_TRUE(found.contains(Tuple{1, 2}));
+  EXPECT_TRUE(found.contains(Tuple{1, 3}));
+}
+
+TEST(RelationTest, ProbeAfterInsertSeesNewTuples) {
+  Relation rel(1);
+  rel.Insert({5});
+  EXPECT_EQ(rel.Probe(0b1, {5}).size(), 1u);
+  rel.Insert({5});  // duplicate
+  rel.Insert({6});
+  EXPECT_EQ(rel.Probe(0b1, {6}).size(), 1u);  // index rebuilt
+}
+
+TEST(RelationTest, EmptyMaskProbesEverything) {
+  Relation rel(2);
+  rel.Insert({1, 1});
+  rel.Insert({2, 2});
+  EXPECT_EQ(rel.Probe(0, {0, 0}).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Safety.
+// ---------------------------------------------------------------------------
+
+TEST(SafetyTest, DetectsUnsafeRules) {
+  EXPECT_TRUE(CheckSafety(TransitiveClosureProgram()).ok());
+  EXPECT_TRUE(CheckSafety(WinMoveProgram()).ok());
+  // Head variable not bound positively.
+  Instance unsafe_head = ParseInstance("p(X) :- e(Y).");
+  EXPECT_FALSE(CheckSafety(unsafe_head.program).ok());
+  // Negated-literal variable not bound positively: paper program (1).
+  Instance unsafe_neg = ParseInstance("P(a) :- not P(X), E(b).");
+  EXPECT_FALSE(CheckSafety(unsafe_neg.program).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation correctness.
+// ---------------------------------------------------------------------------
+
+TEST(EngineTest, TransitiveClosureMatchesFloydWarshall) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    Program program = TransitiveClosureProgram();
+    const int n = 2 + static_cast<int>(rng.Below(12));
+    const int m = static_cast<int>(rng.Below(3 * n + 1));
+    Database db = RandomDigraphDatabase(&program, "e", n, m, &rng);
+
+    Result<Database> result = EvaluateStratified(program, db);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // Oracle.
+    std::vector<std::vector<char>> reach(n, std::vector<char>(n, 0));
+    const PredId e = program.LookupPredicate("e");
+    const PredId t = program.LookupPredicate("t");
+    auto node_index = [&](ConstId c) {
+      const std::string& name = program.constant_name(c);
+      return std::stoi(name.substr(1));
+    };
+    for (const Tuple& tuple : db.Relation(e)) {
+      reach[node_index(tuple[0])][node_index(tuple[1])] = 1;
+    }
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < n; ++i) {
+        if (!reach[i][k]) continue;
+        for (int j = 0; j < n; ++j) {
+          if (reach[k][j]) reach[i][j] = 1;
+        }
+      }
+    }
+    int64_t expected = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) expected += reach[i][j];
+    }
+    EXPECT_EQ(static_cast<int64_t>(result->Relation(t).size()), expected)
+        << "round " << round;
+  }
+}
+
+TEST(EngineTest, NaiveAndSemiNaiveAgree) {
+  Rng rng(123);
+  for (int round = 0; round < 15; ++round) {
+    Program program = TransitiveClosureProgram();
+    Database db = RandomDigraphDatabase(&program, "e", 10, 25, &rng);
+    EngineOptions semi, naive;
+    naive.semi_naive = false;
+    Result<Database> a = EvaluateStratified(program, db, semi);
+    Result<Database> b = EvaluateStratified(program, db, naive);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(*a == *b) << "round " << round;
+  }
+}
+
+TEST(EngineTest, SemiNaiveDoesLessWorkOnChains) {
+  Program program = TransitiveClosureProgram();
+  Database db = ChainDatabase(&program, "e", 40);
+  EngineOptions semi, naive;
+  naive.semi_naive = false;
+  EngineStats semi_stats, naive_stats;
+  ASSERT_TRUE(EvaluateStratified(program, db, semi, &semi_stats).ok());
+  ASSERT_TRUE(EvaluateStratified(program, db, naive, &naive_stats).ok());
+  EXPECT_LT(semi_stats.rule_applications, naive_stats.rule_applications);
+  EXPECT_EQ(semi_stats.tuples_derived, naive_stats.tuples_derived);
+}
+
+TEST(EngineTest, StratifiedNegation) {
+  Instance inst = ParseInstance(
+      "reach(X) :- start(X).\n"
+      "reach(Y) :- reach(X), e(X, Y).\n"
+      "blocked(X) :- node(X), not reach(X).",
+      "start(n0). e(n0, n1). e(n1, n2). e(n3, n3). "
+      "node(n0). node(n1). node(n2). node(n3).");
+  Result<Database> result = EvaluateStratified(inst.program, inst.database);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PredId blocked = inst.program.LookupPredicate("blocked");
+  const ConstId n3 = inst.program.LookupConstant("n3");
+  const ConstId n1 = inst.program.LookupConstant("n1");
+  EXPECT_TRUE(result->Contains(blocked, {n3}));
+  EXPECT_FALSE(result->Contains(blocked, {n1}));
+}
+
+TEST(EngineTest, MatchesPerfectModelOnStratifiedPrograms) {
+  Rng rng(31);
+  for (int round = 0; round < 10; ++round) {
+    Program program = StratifiedTowerProgram(3);
+    Database db = UnarySetDatabase(&program, "e", 4);
+    Result<Database> engine_result = EvaluateStratified(program, db);
+    ASSERT_TRUE(engine_result.ok());
+
+    const GroundingResult g = GroundOrDie(Instance{program, db});
+    const auto perfect = PerfectModel(program, db, g.graph);
+    ASSERT_TRUE(perfect.has_value());
+    for (AtomId a = 0; a < g.graph.num_atoms(); ++a) {
+      const PredId pred = g.graph.atoms().PredicateOf(a);
+      const Tuple& tuple = g.graph.atoms().TupleOf(a);
+      const bool engine_true = engine_result->Contains(pred, tuple);
+      EXPECT_EQ(engine_true, (*perfect)[a] == Truth::kTrue)
+          << program.predicate_name(pred);
+    }
+  }
+}
+
+TEST(EngineTest, MatchesWellFoundedOnStratifiedTC) {
+  Rng rng(77);
+  Program program = TransitiveClosureProgram();
+  Database db = RandomDigraphDatabase(&program, "e", 8, 16, &rng);
+  Result<Database> engine_result = EvaluateStratified(program, db);
+  ASSERT_TRUE(engine_result.ok());
+  const GroundingResult g = GroundOrDie(Instance{program, db});
+  const InterpreterResult wf = WellFounded(program, db, g.graph);
+  ASSERT_TRUE(wf.total);
+  for (AtomId a = 0; a < g.graph.num_atoms(); ++a) {
+    const PredId pred = g.graph.atoms().PredicateOf(a);
+    EXPECT_EQ(engine_result->Contains(pred, g.graph.atoms().TupleOf(a)),
+              wf.values[a] == Truth::kTrue);
+  }
+}
+
+TEST(EngineTest, SameGenerationOnTree) {
+  Instance inst = ParseInstance(
+      "sg(X, Y) :- sibling(X, Y).\n"
+      "sg(X, Y) :- up(X, A), sg(A, B), down(B, Y).",
+      "sibling(b, c). up(d, b). up(e, c). down(b, d). down(c, e).");
+  Result<Database> result = EvaluateStratified(inst.program, inst.database);
+  ASSERT_TRUE(result.ok());
+  const PredId sg = inst.program.LookupPredicate("sg");
+  const ConstId d = inst.program.LookupConstant("d");
+  const ConstId e = inst.program.LookupConstant("e");
+  EXPECT_TRUE(result->Contains(sg, {d, e}));  // cousins via b/c siblings
+}
+
+TEST(EngineTest, UnstratifiedProgramRejected) {
+  Program program = WinMoveProgram();
+  Database db(program);
+  Result<Database> result = EvaluateStratified(program, db);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, UnsafeProgramRejected) {
+  Instance inst = ParseInstance("p(X) :- e(Y).");
+  Result<Database> result = EvaluateStratified(inst.program, inst.database);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, TupleBudgetEnforced) {
+  Program program = TransitiveClosureProgram();
+  Rng rng(5);
+  Database db = RandomDigraphDatabase(&program, "e", 30, 200, &rng);
+  EngineOptions options;
+  options.max_tuples = 50;
+  Result<Database> result = EvaluateStratified(program, db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineTest, UniformIdbInitializationParticipates) {
+  // Δ pre-loads t(n5, n6) which is then extended by recursion.
+  Instance inst = ParseInstance(
+      "t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z).",
+      "e(n4, n5). t(n5, n6).");
+  Result<Database> result = EvaluateStratified(inst.program, inst.database);
+  ASSERT_TRUE(result.ok());
+  const PredId t = inst.program.LookupPredicate("t");
+  const ConstId n4 = inst.program.LookupConstant("n4");
+  const ConstId n6 = inst.program.LookupConstant("n6");
+  EXPECT_TRUE(result->Contains(t, {n4, n6}));
+}
+
+// ---------------------------------------------------------------------------
+// Workload generators.
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadTest, NegationRingParity) {
+  for (int k = 1; k <= 8; ++k) {
+    const Program ring = NegationRingProgram(k);
+    EXPECT_EQ(IsCallConsistent(ring), k % 2 == 0) << "k=" << k;
+  }
+}
+
+TEST(WorkloadTest, RandomProgramsParseAndValidate) {
+  Rng rng(11);
+  for (int round = 0; round < 30; ++round) {
+    RandomProgramOptions options;
+    options.num_idb = 2 + static_cast<int>(rng.Below(4));
+    options.num_rules = 1 + static_cast<int>(rng.Below(10));
+    options.arity = static_cast<int>(rng.Below(2));
+    const Program program = RandomProgram(&rng, options);
+    EXPECT_TRUE(program.Validate().ok());
+    if (options.arity > 0) {
+      EXPECT_TRUE(CheckSafety(program).ok());
+    }
+  }
+}
+
+TEST(WorkloadTest, DatabaseGenerators) {
+  Program program = WinMoveProgram();
+  Database chain = ChainDatabase(&program, "move", 5);
+  EXPECT_EQ(chain.TotalFacts(), 4);
+  Database cycle = CycleDatabase(&program, "move", 5);
+  EXPECT_EQ(cycle.TotalFacts(), 5);
+  Rng rng(3);
+  Database random = RandomDigraphDatabase(&program, "move", 10, 30, &rng);
+  EXPECT_GT(random.TotalFacts(), 0);
+  EXPECT_LE(random.TotalFacts(), 30);
+  Database edb = RandomEdbDatabase(&program, 3, 0.5, &rng);
+  EXPECT_LE(edb.TotalFacts(), 9);
+}
+
+}  // namespace
+}  // namespace tiebreak

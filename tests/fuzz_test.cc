@@ -1,0 +1,135 @@
+// Robustness suite: the parser must never crash — every input either parses
+// or returns a clean INVALID_ARGUMENT — and parsed programs must survive the
+// whole pipeline. Inputs are random byte soup, random token soup, and
+// mutations of valid programs. Also exercises the CHECK macros' abort
+// behavior via death tests.
+#include <string>
+#include <vector>
+
+#include "core/well_founded.h"
+#include "ground/grounder.h"
+#include "gtest/gtest.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace tiebreak {
+namespace {
+
+TEST(ParserFuzzTest, RandomByteSoupNeverCrashes) {
+  Rng rng(0xF022);
+  const std::string alphabet =
+      "abcXYZ019_(),.:-!% \t\nnot p q win move";
+  for (int round = 0; round < 2000; ++round) {
+    std::string input;
+    const int length = static_cast<int>(rng.Below(60));
+    for (int i = 0; i < length; ++i) {
+      input += alphabet[rng.Below(alphabet.size())];
+    }
+    Result<Program> result = ParseProgram(input);
+    if (result.ok()) {
+      // Whatever parsed must validate and print-parse round-trip.
+      EXPECT_TRUE(result->Validate().ok()) << input;
+      Result<Program> again = ParseProgram(ProgramToString(*result));
+      EXPECT_TRUE(again.ok()) << input;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << input;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, ArbitraryBytesRejectGracefully) {
+  Rng rng(0xF023);
+  for (int round = 0; round < 500; ++round) {
+    std::string input;
+    const int length = static_cast<int>(rng.Below(40));
+    for (int i = 0; i < length; ++i) {
+      input += static_cast<char>(1 + rng.Below(127));  // any non-NUL byte
+    }
+    Result<Program> result = ParseProgram(input);  // must not crash
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidProgramsSurviveThePipeline) {
+  const std::string base =
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "p :- not q.\nq :- not p.\nseed(a).\n";
+  Rng rng(0xF024);
+  int parsed_count = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.Below(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.Below(mutated.size());
+      switch (rng.Below(3)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, "XYvq(),.!"[rng.Below(9)]);
+          break;
+        default:
+          mutated[pos] = "XYvq(),.!"[rng.Below(9)];
+          break;
+      }
+    }
+    Result<Program> program = ParseProgram(mutated);
+    if (!program.ok()) continue;
+    ++parsed_count;
+    // The full pipeline must handle whatever still parses.
+    Database database(*program);
+    Result<GroundingResult> ground = Ground(*program, database);
+    if (!ground.ok()) continue;
+    const InterpreterResult wf =
+        WellFounded(*program, database, ground->graph);
+    EXPECT_LE(wf.CountUndefined(), ground->graph.num_atoms());
+  }
+  EXPECT_GT(parsed_count, 50) << "mutation rate too destructive for the "
+                                 "suite to be meaningful";
+}
+
+TEST(ParserFuzzTest, DatabaseFuzz) {
+  Rng rng(0xF025);
+  for (int round = 0; round < 800; ++round) {
+    std::string input;
+    const int length = static_cast<int>(rng.Below(40));
+    const std::string alphabet = "abX01(),. %";
+    for (int i = 0; i < length; ++i) {
+      input += alphabet[rng.Below(alphabet.size())];
+    }
+    Result<Program> program = ParseProgram("p(X) :- e(X).");
+    ASSERT_TRUE(program.ok());
+    Program prog = std::move(*program);
+    Result<Database> db = ParseDatabase(input, &prog);  // must not crash
+    if (db.ok()) {
+      EXPECT_GE(db->TotalFacts(), 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CHECK macros abort with a readable message.
+// ---------------------------------------------------------------------------
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ TIEBREAK_CHECK(1 == 2) << "impossible"; },
+               "CHECK failed.*1 == 2.*impossible");
+}
+
+TEST(CheckDeathTest, ComparisonMacros) {
+  EXPECT_DEATH({ TIEBREAK_CHECK_EQ(3, 4); }, "CHECK failed");
+  EXPECT_DEATH({ TIEBREAK_CHECK_LT(5, 5); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, ResultValueOnErrorAborts) {
+  Result<int> error(Status::NotFound("gone"));
+  EXPECT_DEATH({ (void)error.value(); }, "NOT_FOUND");
+}
+
+}  // namespace
+}  // namespace tiebreak

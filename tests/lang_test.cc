@@ -1,0 +1,335 @@
+// Tests for the language layer: parsing, printing (round-trips), program
+// validation, EDB/IDB classification, databases, skeletons / alphabetic
+// variants, and the program graph G(Π).
+#include <string>
+
+#include "gtest/gtest.h"
+#include "lang/database.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "lang/program.h"
+#include "lang/program_graph.h"
+#include "lang/skeleton.h"
+
+namespace tiebreak {
+namespace {
+
+Program MustParse(const std::string& text) {
+  Result<Program> result = ParseProgram(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << text;
+  return std::move(result).value();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, WinMoveProgram) {
+  Program p = MustParse("win(X) :- move(X, Y), not win(Y).");
+  EXPECT_EQ(p.num_rules(), 1);
+  EXPECT_EQ(p.num_predicates(), 2);
+  const PredId win = p.LookupPredicate("win");
+  const PredId move = p.LookupPredicate("move");
+  ASSERT_GE(win, 0);
+  ASSERT_GE(move, 0);
+  EXPECT_EQ(p.predicate(win).arity, 1);
+  EXPECT_EQ(p.predicate(move).arity, 2);
+  EXPECT_FALSE(p.IsEdb(win));
+  EXPECT_TRUE(p.IsEdb(move));
+
+  const Rule& rule = p.rule(0);
+  EXPECT_EQ(rule.num_variables, 2);
+  ASSERT_EQ(rule.body.size(), 2u);
+  EXPECT_TRUE(rule.body[0].positive);
+  EXPECT_FALSE(rule.body[1].positive);
+  EXPECT_EQ(rule.head.predicate, win);
+  EXPECT_TRUE(rule.head.args[0].is_variable());
+}
+
+TEST(ParserTest, ZeroArityAtomsAndBangNegation) {
+  Program p = MustParse("p :- !q, r.\nq :- not p.");
+  EXPECT_EQ(p.num_predicates(), 3);
+  EXPECT_EQ(p.rule(0).body[0].positive, false);
+  EXPECT_EQ(p.rule(0).body[1].positive, true);
+  EXPECT_TRUE(p.IsEdb(p.LookupPredicate("r")));
+}
+
+TEST(ParserTest, ConstantsAndVariablesDistinguishedByCase) {
+  Program p = MustParse("P(a) :- not P(X), E(b).");  // paper's program (1)
+  const Rule& rule = p.rule(0);
+  EXPECT_TRUE(rule.head.args[0].is_constant());
+  EXPECT_TRUE(rule.body[0].atom.args[0].is_variable());
+  EXPECT_TRUE(rule.body[1].atom.args[0].is_constant());
+  EXPECT_EQ(p.constant_name(rule.head.args[0].index), "a");
+  EXPECT_EQ(p.constant_name(rule.body[1].atom.args[0].index), "b");
+}
+
+TEST(ParserTest, UnderscorePrefixedIdentifierIsVariable) {
+  Program p = MustParse("q(_x, _x) :- e(_x).");
+  EXPECT_EQ(p.rule(0).num_variables, 1);
+}
+
+TEST(ParserTest, NumericConstants) {
+  Program p = MustParse("succ_used(X) :- succ(0, X).");
+  EXPECT_GE(p.LookupConstant("0"), 0);
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  Program p = MustParse(
+      "% a comment line\n"
+      "p :- q.   % trailing comment\n"
+      "\n"
+      "q.\n");
+  EXPECT_EQ(p.num_rules(), 2);
+  EXPECT_TRUE(p.rule(1).body.empty());
+}
+
+TEST(ParserTest, EmptyBodyRuleIsFact) {
+  Program p = MustParse("seed(a).");
+  EXPECT_EQ(p.num_rules(), 1);
+  EXPECT_TRUE(p.rule(0).body.empty());
+  EXPECT_FALSE(p.IsEdb(p.LookupPredicate("seed")));  // head of a rule
+}
+
+TEST(ParserTest, RepeatedVariablesShareIndex) {
+  Program p = MustParse("diag(X, X) :- e(X, Y), e(Y, X).");
+  const Rule& rule = p.rule(0);
+  EXPECT_EQ(rule.num_variables, 2);
+  EXPECT_EQ(rule.head.args[0], rule.head.args[1]);
+}
+
+TEST(ParserErrorTest, ArityMismatchRejected) {
+  Result<Program> r = ParseProgram("p(a). q :- p(a, b).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("arity"), std::string::npos);
+}
+
+TEST(ParserErrorTest, MissingPeriodRejected) {
+  EXPECT_FALSE(ParseProgram("p :- q").ok());
+}
+
+TEST(ParserErrorTest, NotAsPredicateRejected) {
+  EXPECT_FALSE(ParseProgram("not :- p.").ok());
+}
+
+TEST(ParserErrorTest, UnexpectedCharacterRejected) {
+  Result<Program> r = ParseProgram("p :- q & r.");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserErrorTest, DanglingColonRejected) {
+  EXPECT_FALSE(ParseProgram("p : q.").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Databases.
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseTest, ParseAndQuery) {
+  Program p = MustParse("win(X) :- move(X, Y), not win(Y).");
+  Result<Database> db = ParseDatabase("move(a, b). move(b, c).", &p);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const PredId move = p.LookupPredicate("move");
+  const ConstId a = p.LookupConstant("a");
+  const ConstId b = p.LookupConstant("b");
+  const ConstId c = p.LookupConstant("c");
+  EXPECT_TRUE(db->Contains(move, {a, b}));
+  EXPECT_TRUE(db->Contains(move, {b, c}));
+  EXPECT_FALSE(db->Contains(move, {a, c}));
+  EXPECT_EQ(db->TotalFacts(), 2);
+  EXPECT_EQ(db->ReferencedConstants().size(), 3u);
+}
+
+TEST(DatabaseTest, ImplicitPredicateDeclaration) {
+  Program p = MustParse("p :- q.");
+  Result<Database> db = ParseDatabase("extra(a, b).", &p);
+  ASSERT_TRUE(db.ok());
+  const PredId extra = p.LookupPredicate("extra");
+  ASSERT_GE(extra, 0);
+  EXPECT_TRUE(p.IsEdb(extra));
+  EXPECT_EQ(p.predicate(extra).arity, 2);
+}
+
+TEST(DatabaseTest, VariablesInFactsRejected) {
+  Program p = MustParse("p :- q.");
+  EXPECT_FALSE(ParseDatabase("e(X).", &p).ok());
+}
+
+TEST(DatabaseTest, ZeroArityFacts) {
+  Program p = MustParse("p :- q, not r.");
+  Result<Database> db = ParseDatabase("q. r.", &p);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->Contains(p.LookupPredicate("q"), {}));
+  EXPECT_TRUE(db->Contains(p.LookupPredicate("r"), {}));
+}
+
+TEST(DatabaseTest, DuplicateInsertIsNoOp) {
+  Program p = MustParse("p(X) :- e(X).");
+  Database db(p);
+  const ConstId a = p.InternConstant("a");
+  const PredId e = p.LookupPredicate("e");
+  db.Insert(e, {a});
+  db.Insert(e, {a});
+  EXPECT_EQ(db.TotalFacts(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Printing round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(PrinterTest, RoundTripPreservesProgram) {
+  const std::string text =
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "p :- not q.\n"
+      "seed(a).\n"
+      "t(X, X, b) :- e(X), not f(X, X).\n";
+  Program p1 = MustParse(text);
+  const std::string printed = ProgramToString(p1);
+  Program p2 = MustParse(printed);
+  EXPECT_EQ(printed, ProgramToString(p2));
+  EXPECT_TRUE(SameSkeleton(p1, p2));
+}
+
+TEST(PrinterTest, GroundAtomRendering) {
+  Program p = MustParse("p(X) :- e(X).");
+  const ConstId a = p.InternConstant("a");
+  EXPECT_EQ(GroundAtomToString(p, p.LookupPredicate("e"), {a}), "e(a)");
+}
+
+TEST(PrinterTest, DatabaseRendering) {
+  Program p = MustParse("p :- e(X).");
+  Result<Database> db = ParseDatabase("e(a). p.", &p);
+  ASSERT_TRUE(db.ok());
+  const std::string printed = DatabaseToString(p, *db);
+  EXPECT_NE(printed.find("e(a).\n"), std::string::npos);
+  EXPECT_NE(printed.find("p.\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Skeletons and alphabetic variants.
+// ---------------------------------------------------------------------------
+
+TEST(SkeletonTest, PaperPrograms1And2AreAlphabeticVariants) {
+  // Program (1): P(a) <- not P(x), E(b).  Program (2): P(x,y) <- not P(y,y), E(x).
+  Program p1 = MustParse("P(a) :- not P(X), E(b).");
+  Program p2 = MustParse("P(X, Y) :- not P(Y, Y), E(X).");
+  EXPECT_TRUE(SameSkeleton(p1, p2));
+}
+
+TEST(SkeletonTest, DifferentSignsAreDifferentSkeletons) {
+  Program p1 = MustParse("p :- q.");
+  Program p2 = MustParse("p :- not q.");
+  EXPECT_FALSE(SameSkeleton(p1, p2));
+}
+
+TEST(SkeletonTest, BodyOrderDoesNotMatter) {
+  Program p1 = MustParse("p(X) :- e(X), not q(X).");
+  Program p2 = MustParse("p(Y, Y) :- not q(Y), e(Y, Y).");
+  EXPECT_TRUE(SameSkeleton(p1, p2));
+}
+
+TEST(SkeletonTest, RuleMultiplicityMatters) {
+  Program p1 = MustParse("p :- q.\np :- q.");
+  Program p2 = MustParse("p :- q.");
+  EXPECT_FALSE(SameSkeleton(p1, p2));
+}
+
+TEST(SkeletonTest, ToStringMentionsSigns) {
+  Program p = MustParse("p(X) :- e(X), not q(X).");
+  const std::string s = SkeletonToString(SkeletonOf(p));
+  EXPECT_NE(s.find("not q"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Program graph.
+// ---------------------------------------------------------------------------
+
+TEST(ProgramGraphTest, WinMoveGraphShape) {
+  Program p = MustParse("win(X) :- move(X, Y), not win(Y).");
+  const ProgramGraph pg = BuildProgramGraph(p);
+  EXPECT_EQ(pg.graph.num_nodes(), 2);
+  ASSERT_EQ(pg.graph.num_edges(), 2);
+  const PredId win = p.LookupPredicate("win");
+  const PredId move = p.LookupPredicate("move");
+  bool saw_move_edge = false, saw_win_loop = false;
+  for (int e = 0; e < pg.graph.num_edges(); ++e) {
+    const SignedEdge& edge = pg.graph.edge(e);
+    if (edge.from == move) {
+      EXPECT_EQ(edge.to, win);
+      EXPECT_FALSE(edge.negative);
+      saw_move_edge = true;
+    }
+    if (edge.from == win) {
+      EXPECT_EQ(edge.to, win);
+      EXPECT_TRUE(edge.negative);
+      saw_win_loop = true;
+    }
+  }
+  EXPECT_TRUE(saw_move_edge);
+  EXPECT_TRUE(saw_win_loop);
+}
+
+TEST(ProgramGraphTest, ProvenancePointsBackToOccurrences) {
+  Program p = MustParse("a :- b, not c.\nb :- a.");
+  const ProgramGraph pg = BuildProgramGraph(p);
+  ASSERT_EQ(pg.provenance.size(), 3u);
+  for (int e = 0; e < pg.graph.num_edges(); ++e) {
+    const auto& occ = pg.provenance[e];
+    const Rule& rule = p.rule(occ.rule_index);
+    const Literal& lit = rule.body[occ.body_index];
+    EXPECT_EQ(lit.atom.predicate, pg.graph.edge(e).from);
+    EXPECT_EQ(rule.head.predicate, pg.graph.edge(e).to);
+    EXPECT_EQ(!lit.positive, pg.graph.edge(e).negative);
+  }
+}
+
+TEST(ProgramGraphTest, ParallelEdgesForBothSigns) {
+  Program p = MustParse("q :- p, not p.");
+  const ProgramGraph pg = BuildProgramGraph(p);
+  EXPECT_EQ(pg.graph.num_edges(), 2);
+  EXPECT_EQ(pg.graph.CountNegativeEdges(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+TEST(ValidateTest, HandBuiltProgramValidates) {
+  Program p;
+  const PredId e = p.DeclarePredicate("e", 1);
+  const PredId q = p.DeclarePredicate("q", 1);
+  Rule rule;
+  rule.head = Atom{q, {Term::Variable(0)}};
+  rule.body.push_back(Literal{Atom{e, {Term::Variable(0)}}, true});
+  rule.num_variables = 1;
+  rule.variable_names = {"X"};
+  p.AddRule(rule);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ValidateTest, OutOfRangeVariableRejected) {
+  Program p;
+  const PredId q = p.DeclarePredicate("q", 1);
+  Rule rule;
+  rule.head = Atom{q, {Term::Variable(3)}};  // no such variable
+  rule.num_variables = 1;
+  rule.variable_names = {"X"};
+  p.AddRule(rule);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ValidateTest, WrongArityRejected) {
+  Program p;
+  const PredId q = p.DeclarePredicate("q", 2);
+  Rule rule;
+  rule.head = Atom{q, {Term::Variable(0)}};  // arity 2 used with 1 arg
+  rule.num_variables = 1;
+  rule.variable_names = {"X"};
+  p.AddRule(rule);
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace tiebreak

@@ -1,0 +1,120 @@
+// Tests for the pattern-query API (core/query.h) and ParseAtomPattern.
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "core/tie_breaking.h"
+#include "core/well_founded.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tiebreak {
+namespace {
+
+using testing_util::GroundOrDie;
+using testing_util::Instance;
+using testing_util::ParseInstance;
+
+std::vector<std::string> BindingNames(const Program& program,
+                                      const std::vector<Tuple>& bindings) {
+  std::vector<std::string> names;
+  for (const Tuple& binding : bindings) {
+    std::string row;
+    for (size_t i = 0; i < binding.size(); ++i) {
+      if (i > 0) row += ",";
+      row += program.constant_name(binding[i]);
+    }
+    names.push_back(row);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+TEST(ParseAtomPatternTest, BasicShapes) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  auto p1 = ParseAtomPattern("win(X)", &inst.program);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->variable_names, (std::vector<std::string>{"X"}));
+  auto p2 = ParseAtomPattern("move(a, Y).", &inst.program);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(p2->atom.args[0].is_constant());
+  auto p3 = ParseAtomPattern("nosuch(X)", &inst.program);
+  ASSERT_FALSE(p3.ok());
+  EXPECT_EQ(p3.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ParseAtomPattern("win(X) extra", &inst.program).ok());
+}
+
+TEST(QueryTest, WinnersOnAChain) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).",
+                                "move(a, b). move(b, c). move(c, d).");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  auto result = EvaluateQuery(&inst.program, g.graph, wf.values, "win(X)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->variables, (std::vector<std::string>{"X"}));
+  EXPECT_EQ(BindingNames(inst.program, result->true_bindings),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_TRUE(result->undefined_bindings.empty());
+}
+
+TEST(QueryTest, UndefinedBindingsOnDraws) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).",
+                                "move(a, b). move(b, a). move(c, d).");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  auto result = EvaluateQuery(&inst.program, g.graph, wf.values, "win(X)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(BindingNames(inst.program, result->true_bindings),
+            (std::vector<std::string>{"c"}));
+  EXPECT_EQ(BindingNames(inst.program, result->undefined_bindings),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(QueryTest, ConstantsFilter) {
+  Instance inst = ParseInstance(
+      "t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z).",
+      "e(a, b). e(b, c).");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  auto from_a = EvaluateQuery(&inst.program, g.graph, wf.values, "t(a, Y)");
+  ASSERT_TRUE(from_a.ok());
+  EXPECT_EQ(BindingNames(inst.program, from_a->true_bindings),
+            (std::vector<std::string>{"b", "c"}));
+  auto exact = EvaluateQuery(&inst.program, g.graph, wf.values, "t(a, c)");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->true_bindings.size(), 1u);
+  EXPECT_TRUE(exact->variables.empty());
+}
+
+TEST(QueryTest, RepeatedVariablesConstrainEquality) {
+  Instance inst = ParseInstance(
+      "t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z).",
+      "e(a, b). e(b, a). e(b, c).");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  auto loops = EvaluateQuery(&inst.program, g.graph, wf.values, "t(X, X)");
+  ASSERT_TRUE(loops.ok());
+  // a and b sit on the 2-cycle; c does not reach itself.
+  EXPECT_EQ(BindingNames(inst.program, loops->true_bindings),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(QueryTest, ZeroArityQuery) {
+  Instance inst = ParseInstance("p :- not q.\nq :- e.", "e.");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  auto q = EvaluateQuery(&inst.program, g.graph, wf.values, "q");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->true_bindings.size(), 1u);   // q is true (empty binding)
+  auto p = EvaluateQuery(&inst.program, g.graph, wf.values, "p");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->true_bindings.empty());    // p is false
+}
+
+}  // namespace
+}  // namespace tiebreak

@@ -1,0 +1,345 @@
+// Tests for the three reduction pipelines: monotone circuits -> structural
+// nonuniform totality (Theorem 4), ∀∃-CNF -> propositional totality
+// (Section 5's Proposition), and 2-counter machines -> totality (Theorem 6).
+// Each reduction is cross-validated against direct evaluation of the source
+// problem.
+#include <string>
+#include <vector>
+
+#include "core/completion.h"
+#include "core/structural_totality.h"
+#include "core/totality.h"
+#include "core/well_founded.h"
+#include "ground/grounder.h"
+#include "gtest/gtest.h"
+#include "reductions/circuit.h"
+#include "reductions/cm_reduction.h"
+#include "reductions/counter_machine.h"
+#include "reductions/cvp_reduction.h"
+#include "reductions/qbf.h"
+#include "reductions/qbf_reduction.h"
+#include "util/random.h"
+
+namespace tiebreak {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Circuits.
+// ---------------------------------------------------------------------------
+
+TEST(CircuitTest, EvaluatesAndOrDag) {
+  MonotoneCircuit c;
+  const int x0 = c.AddInput();
+  const int x1 = c.AddInput();
+  const int x2 = c.AddInput();
+  const int a = c.AddGate(MonotoneCircuit::GateKind::kAnd, {x0, x1});
+  const int o = c.AddGate(MonotoneCircuit::GateKind::kOr, {a, x2});
+  c.AddGate(MonotoneCircuit::GateKind::kAnd, {o, x0});
+  EXPECT_TRUE(c.Value({true, true, false}));
+  EXPECT_FALSE(c.Value({false, true, true}));  // final AND needs x0
+  EXPECT_TRUE(c.Value({true, false, true}));
+  EXPECT_FALSE(c.Value({false, false, false}));
+}
+
+TEST(CircuitTest, RandomCircuitsAreWellFormed) {
+  Rng rng(12);
+  const MonotoneCircuit c = RandomCircuit(&rng, 4, 20);
+  EXPECT_EQ(c.num_gates(), 24);
+  EXPECT_EQ(c.num_inputs(), 4);
+  // Monotonicity: flipping inputs 0 -> 1 can only raise the output.
+  const bool low = c.Value({false, false, false, false});
+  const bool high = c.Value({true, true, true, true});
+  EXPECT_TRUE(!low || high);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4: CVP <-> structural nonuniform totality.
+// ---------------------------------------------------------------------------
+
+TEST(CvpReductionTest, UsefulGatePredicatesMatchCircuitValues) {
+  Rng rng(345);
+  for (int round = 0; round < 50; ++round) {
+    const int inputs = 1 + static_cast<int>(rng.Below(5));
+    const int internal = 1 + static_cast<int>(rng.Below(12));
+    const MonotoneCircuit circuit = RandomCircuit(&rng, inputs, internal);
+    std::vector<bool> bits(inputs);
+    for (int i = 0; i < inputs; ++i) bits[i] = rng.Chance(0.5);
+    const std::vector<bool> values = circuit.Evaluate(bits);
+
+    const Program program = CvpToProgram(circuit, bits);
+    const std::vector<bool> useless = UselessPredicates(program);
+    for (int g = 0; g < circuit.num_gates(); ++g) {
+      const PredId pred = program.LookupPredicate(CvpGatePredicateName(g));
+      ASSERT_GE(pred, 0);
+      // The paper's invariant: G_i is useful iff gate i evaluates to 1.
+      EXPECT_EQ(!useless[pred], values[g])
+          << "gate " << g << " round " << round;
+    }
+  }
+}
+
+TEST(CvpReductionTest, StructuralNonuniformTotalityDecidesCircuitValue) {
+  Rng rng(6789);
+  int zeros = 0, ones = 0;
+  for (int round = 0; round < 80; ++round) {
+    const int inputs = 1 + static_cast<int>(rng.Below(5));
+    const int internal = 1 + static_cast<int>(rng.Below(14));
+    const MonotoneCircuit circuit = RandomCircuit(&rng, inputs, internal);
+    std::vector<bool> bits(inputs);
+    for (int i = 0; i < inputs; ++i) bits[i] = rng.Chance(0.5);
+    const bool value = circuit.Value(bits);
+    (value ? ones : zeros) += 1;
+
+    const Program program = CvpToProgram(circuit, bits);
+    EXPECT_EQ(IsStructurallyNonuniformlyTotal(program), !value)
+        << "round " << round;
+    // The uniform notion must NOT be fooled: the odd cycle on p_odd is
+    // always present in G(Π) itself.
+    EXPECT_FALSE(IsStructurallyTotal(program));
+  }
+  EXPECT_GT(zeros, 10);
+  EXPECT_GT(ones, 10);
+}
+
+TEST(CvpReductionTest, HandCheckedTinyCircuits) {
+  // B(x) = x0 AND x1.
+  MonotoneCircuit c;
+  const int x0 = c.AddInput();
+  const int x1 = c.AddInput();
+  c.AddGate(MonotoneCircuit::GateKind::kAnd, {x0, x1});
+  EXPECT_FALSE(IsStructurallyNonuniformlyTotal(CvpToProgram(c, {true, true})));
+  EXPECT_TRUE(IsStructurallyNonuniformlyTotal(CvpToProgram(c, {true, false})));
+  EXPECT_TRUE(IsStructurallyNonuniformlyTotal(CvpToProgram(c, {false, true})));
+}
+
+// ---------------------------------------------------------------------------
+// Section 5 Proposition: ∀∃-CNF <-> propositional totality.
+// ---------------------------------------------------------------------------
+
+TEST(QbfTest, BruteForceEvaluator) {
+  // F = (x0 or y0) and (not x0 or not y0): y0 := not x0 always works.
+  ForAllExistsCnf f;
+  f.num_x = 1;
+  f.num_y = 1;
+  f.clauses = {{{true, 0, false}, {false, 0, false}},
+               {{true, 0, true}, {false, 0, true}}};
+  EXPECT_TRUE(ForAllExistsHolds(f));
+  // F = (x0 and y0 appear as unit clauses x0), (y0): fails when x0 = 0.
+  ForAllExistsCnf g;
+  g.num_x = 1;
+  g.num_y = 1;
+  g.clauses = {{{true, 0, false}}, {{false, 0, false}}};
+  EXPECT_FALSE(ForAllExistsHolds(g));
+}
+
+TEST(QbfReductionTest, TotalityMatchesForAllExists) {
+  Rng rng(424242);
+  int holds_count = 0, fails_count = 0;
+  for (int round = 0; round < 40; ++round) {
+    const int nx = 1 + static_cast<int>(rng.Below(2));
+    const int ny = 1 + static_cast<int>(rng.Below(2));
+    const int clauses = 1 + static_cast<int>(rng.Below(4));
+    const ForAllExistsCnf formula =
+        RandomForAllExistsCnf(&rng, nx, ny, clauses);
+    const bool expected = ForAllExistsHolds(formula);
+    (expected ? holds_count : fails_count) += 1;
+
+    const Program program = QbfToProgram(formula);
+    for (bool uniform : {false, true}) {
+      Result<TotalityReport> report = CheckTotality(program, uniform);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_EQ(report->total, expected)
+          << "round " << round << (uniform ? " uniform" : " nonuniform");
+    }
+  }
+  EXPECT_GT(holds_count, 5);
+  EXPECT_GT(fails_count, 5);
+}
+
+TEST(QbfReductionTest, CounterexampleEncodesFailingUniversalAssignment) {
+  // F = x0 (a unit clause with no y's): fails exactly when x0 = 0, so the
+  // totality counterexample must be a database without x0.
+  ForAllExistsCnf f;
+  f.num_x = 1;
+  f.num_y = 1;
+  f.clauses = {{{true, 0, false}}};
+  const Program program = QbfToProgram(f);
+  Result<TotalityReport> report = CheckTotality(program, /*uniform=*/false);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->total);
+  ASSERT_TRUE(report->counterexample.has_value());
+  const PredId x0 = report->program_used.LookupPredicate("x0");
+  EXPECT_FALSE(report->counterexample->Contains(x0, {}));
+}
+
+// ---------------------------------------------------------------------------
+// Counter machines.
+// ---------------------------------------------------------------------------
+
+TEST(CounterMachineTest, CountingMachineHalts) {
+  const CounterMachine m = MakeCountingMachine(3);
+  const auto run = m.Run(100);
+  EXPECT_TRUE(run.halted);
+  EXPECT_EQ(run.steps, 4);  // 3 increments + final hop
+  EXPECT_EQ(run.final_c1, 3);
+}
+
+TEST(CounterMachineTest, TransferMachineMovesCounter) {
+  const CounterMachine m = MakeTransferMachine(3);
+  const auto run = m.Run(100);
+  EXPECT_TRUE(run.halted);
+  EXPECT_EQ(run.final_c1, 0);
+  EXPECT_EQ(run.final_c2, 3);
+  EXPECT_EQ(run.steps, 7);  // 3 pumps + 3 transfers + final hop
+}
+
+TEST(CounterMachineTest, DivergingMachinesNeverHalt) {
+  EXPECT_FALSE(MakeDivergingMachine().Run(1000).halted);
+  const auto run = MakeRunawayMachine().Run(500);
+  EXPECT_FALSE(run.halted);
+  EXPECT_EQ(run.final_c1, 500);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6.
+// ---------------------------------------------------------------------------
+
+TEST(CmReductionTest, HaltingMachineNaturalDatabaseHasNoFixpoint) {
+  const CounterMachine machine = MakeCountingMachine(2);
+  const auto run = machine.Run(100);
+  ASSERT_TRUE(run.halted);
+  CmReduction reduction = CounterMachineToProgram(machine);
+  // t >= halting time and t > h.
+  const int32_t t =
+      static_cast<int32_t>(run.steps) + machine.num_states() + 1;
+  const Database database = NaturalDatabase(&reduction, t);
+  Result<GroundingResult> g = Ground(reduction.program, database);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_FALSE(HasFixpoint(reduction.program, database, g->graph));
+}
+
+TEST(CmReductionTest, HaltingTransferMachineAlsoUnsat) {
+  const CounterMachine machine = MakeTransferMachine(2);
+  const auto run = machine.Run(100);
+  ASSERT_TRUE(run.halted);
+  CmReduction reduction = CounterMachineToProgram(machine);
+  const int32_t t =
+      static_cast<int32_t>(run.steps) + machine.num_states() + 1;
+  const Database database = NaturalDatabase(&reduction, t);
+  Result<GroundingResult> g = Ground(reduction.program, database);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_FALSE(HasFixpoint(reduction.program, database, g->graph));
+}
+
+TEST(CmReductionTest, ShortNaturalDatabaseStillHasFixpoint) {
+  // With t smaller than the halting time the machine never reaches h within
+  // the universe, so a fixpoint exists.
+  const CounterMachine machine = MakeCountingMachine(5);  // halts in 6 steps
+  CmReduction reduction = CounterMachineToProgram(machine);
+  const Database database = NaturalDatabase(&reduction, 3);
+  Result<GroundingResult> g = Ground(reduction.program, database);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(HasFixpoint(reduction.program, database, g->graph));
+}
+
+TEST(CmReductionTest, DivergingMachineNaturalDatabasesHaveFixpoints) {
+  for (const CounterMachine& machine :
+       {MakeDivergingMachine(), MakeRunawayMachine()}) {
+    CmReduction reduction = CounterMachineToProgram(machine);
+    for (int32_t t : {1, 4, 9}) {
+      CmReduction fresh = CounterMachineToProgram(machine);
+      const Database database = NaturalDatabase(&fresh, t);
+      Result<GroundingResult> g = Ground(fresh.program, database);
+      ASSERT_TRUE(g.ok()) << g.status().ToString();
+      EXPECT_TRUE(HasFixpoint(fresh.program, database, g->graph)) << "t=" << t;
+    }
+  }
+}
+
+TEST(CmReductionTest, DivergingMachineIsTotalOnArbitraryDatabases) {
+  // The escape rules (1a), (1b), (2) rescue fixpoints on every degenerate
+  // EDB structure — exhaustively over a 2-constant universe.
+  const CounterMachine machine = MakeDivergingMachine();
+  const CmReduction reduction = CounterMachineToProgram(machine);
+  TotalityOptions options;
+  options.extra_constants = {"u1", "u2"};
+  options.max_fact_space = 10;  // zero:2 + succ:4 + less:4
+  Result<TotalityReport> report =
+      CheckTotality(reduction.program, /*uniform=*/false, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->total);
+  EXPECT_EQ(report->databases_checked, 1024);
+}
+
+TEST(CmReductionTest, UniformTransformPreservesHaltingBehaviour) {
+  // Halting machine: Π' has no fixpoint on the natural database with empty
+  // IDBs (q_total must be false, reducing Π' to Π).
+  const CounterMachine machine = MakeCountingMachine(2);
+  const auto run = machine.Run(100);
+  CmReduction reduction = CounterMachineToProgram(machine);
+  const int32_t t =
+      static_cast<int32_t>(run.steps) + machine.num_states() + 1;
+  const Database natural = NaturalDatabase(&reduction, t);
+  const Program uniform_program = UniformTotalityTransform(reduction.program);
+  // Rebuild the database against the transformed program (same pred ids for
+  // the shared prefix; q_total is new and empty).
+  Database database(uniform_program);
+  for (PredId p = 0; p < reduction.program.num_predicates(); ++p) {
+    for (const Tuple& tuple : natural.Relation(p)) {
+      database.Insert(p, tuple);
+    }
+  }
+  Result<GroundingResult> g = Ground(uniform_program, database);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_FALSE(HasFixpoint(uniform_program, database, g->graph));
+
+  // But any Δ that pre-loads an IDB atom (e.g. p) admits a fixpoint: q_total
+  // can be true, disabling every rule.
+  Database seeded = database;
+  seeded.Insert(uniform_program.LookupPredicate("p"), {});
+  Result<GroundingResult> g2 = Ground(uniform_program, seeded);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_TRUE(HasFixpoint(uniform_program, seeded, g2->graph));
+}
+
+TEST(CmReductionTest, DivergingMachineWellFoundedModelIsTotal) {
+  // Corollary 3's positive side: for a non-halting machine the program
+  // minus the troublesome rule is definite (negation only on EDB), so the
+  // least fixed point is the unique model under every semantics — and the
+  // well-founded interpreter computes it in full (p comes out false: the
+  // halting state is never reached inside the universe).
+  const CounterMachine machine = MakeDivergingMachine();
+  CmReduction reduction = CounterMachineToProgram(machine);
+  const Database database = NaturalDatabase(&reduction, 8);
+  Result<GroundingResult> g = Ground(reduction.program, database);
+  ASSERT_TRUE(g.ok());
+  const InterpreterResult wf =
+      WellFounded(reduction.program, database, g->graph);
+  ASSERT_TRUE(wf.total);
+  const AtomId p_atom = g->graph.atoms().Lookup(reduction.p, {});
+  ASSERT_GE(p_atom, 0);
+  EXPECT_EQ(wf.values[p_atom], Truth::kFalse);
+  // state(t, s) follows the alternating 0/1 trajectory.
+  const ConstId t3 = reduction.program.LookupConstant("3");
+  const ConstId s1 = reduction.program.LookupConstant("1");
+  const AtomId state_atom =
+      g->graph.atoms().Lookup(reduction.state, {t3, s1});
+  ASSERT_GE(state_atom, 0);
+  EXPECT_EQ(wf.values[state_atom], Truth::kTrue);  // at time 3, state 1
+}
+
+TEST(CmReductionTest, UniformTransformOfDivergingMachineIsUniformlyTotal) {
+  const CounterMachine machine = MakeDivergingMachine();
+  const CmReduction reduction = CounterMachineToProgram(machine);
+  const Program uniform_program = UniformTotalityTransform(reduction.program);
+  TotalityOptions options;
+  options.extra_constants = {"u1"};
+  options.random_samples = 200;  // uniform fact space is large; sample it
+  Result<TotalityReport> report =
+      CheckTotality(uniform_program, /*uniform=*/true, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->total);
+}
+
+}  // namespace
+}  // namespace tiebreak

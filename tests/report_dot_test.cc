@@ -1,0 +1,87 @@
+// Tests for the reporting and DOT-export utilities.
+#include <string>
+
+#include "core/dot.h"
+#include "core/report.h"
+#include "core/well_founded.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tiebreak {
+namespace {
+
+using testing_util::GroundOrDie;
+using testing_util::Instance;
+using testing_util::ParseInstance;
+
+TEST(ReportTest, ModelSummaryCountsPerPredicate) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).",
+                                "move(a, b). move(b, c).");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  const std::string summary = ModelSummary(inst.program, g.graph, wf.values);
+  EXPECT_NE(summary.find("win: 1 true, 2 false"), std::string::npos)
+      << summary;
+}
+
+TEST(ReportTest, SummaryMentionsUndefined) {
+  Instance inst = ParseInstance("p :- not q.\nq :- not p.");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  const std::string summary = ModelSummary(inst.program, g.graph, wf.values);
+  EXPECT_NE(summary.find("undefined"), std::string::npos);
+}
+
+TEST(ReportTest, TrueAtomNames) {
+  Instance inst = ParseInstance("p :- e.\nq :- not e.", "e.");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  const auto names = TrueAtomNames(inst.program, g.graph, wf.values);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "p");
+}
+
+TEST(ReportTest, DiffModels) {
+  Instance inst = ParseInstance("p :- not q.\nq :- not p.");
+  const GroundingResult g = GroundOrDie(inst);
+  std::vector<Truth> a(g.graph.num_atoms(), Truth::kUndef);
+  std::vector<Truth> b = a;
+  EXPECT_EQ(DiffModels(inst.program, g.graph, a, b), "");
+  b[0] = Truth::kTrue;
+  const std::string diff = DiffModels(inst.program, g.graph, a, b);
+  EXPECT_NE(diff.find("undef -> true"), std::string::npos) << diff;
+}
+
+TEST(DotTest, ProgramGraphHasSignedEdges) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  const std::string dot = ProgramGraphToDot(inst.program);
+  EXPECT_NE(dot.find("digraph program_graph"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"win\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // EDB move
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // negative edge
+}
+
+TEST(DotTest, GroundGraphColorsByTruth) {
+  Instance inst = ParseInstance("p :- not q.\nq :- e.", "e.");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  const std::string dot =
+      GroundGraphToDot(inst.program, g.graph, &wf.values);
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);   // q true
+  EXPECT_NE(dot.find("lightgray"), std::string::npos);   // p false
+  EXPECT_NE(dot.find("shape=point"), std::string::npos); // rule nodes
+}
+
+TEST(DotTest, GroundGraphWithoutModelHasNoFill) {
+  Instance inst = ParseInstance("p :- not q.\nq :- e.", "e.");
+  const GroundingResult g = GroundOrDie(inst);
+  const std::string dot = GroundGraphToDot(inst.program, g.graph);
+  EXPECT_EQ(dot.find("fillcolor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tiebreak

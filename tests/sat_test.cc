@@ -1,0 +1,312 @@
+// Tests for the CDCL solver, cross-validated against brute-force truth-table
+// enumeration on random instances, plus structured SAT/UNSAT families and
+// model enumeration via blocking clauses.
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sat/solver.h"
+#include "util/random.h"
+
+namespace tiebreak {
+namespace {
+
+using Clauses = std::vector<std::vector<SatLit>>;
+
+bool BruteForceSat(int num_vars, const Clauses& clauses,
+                   int64_t* model_count = nullptr) {
+  TIEBREAK_CHECK_LE(num_vars, 20);
+  int64_t count = 0;
+  for (uint32_t mask = 0; mask < (1u << num_vars); ++mask) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool sat = false;
+      for (SatLit lit : clause) {
+        const bool value = (mask >> LitVar(lit)) & 1;
+        if (value != LitIsNeg(lit)) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++count;
+  }
+  if (model_count != nullptr) *model_count = count;
+  return count > 0;
+}
+
+SatSolver MakeSolver(int num_vars, const Clauses& clauses) {
+  SatSolver solver;
+  for (int i = 0; i < num_vars; ++i) solver.NewVar();
+  for (const auto& clause : clauses) solver.AddClause(clause);
+  return solver;
+}
+
+bool ModelSatisfies(const SatSolver& solver, const Clauses& clauses) {
+  for (const auto& clause : clauses) {
+    bool sat = false;
+    for (SatLit lit : clause) {
+      if (solver.ModelValue(LitVar(lit)) != LitIsNeg(lit)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+TEST(SatSolverTest, EmptyInstanceIsSat) {
+  SatSolver solver;
+  EXPECT_EQ(solver.Solve(), SatResult::kSat);
+}
+
+TEST(SatSolverTest, SingleUnit) {
+  SatSolver solver;
+  const int x = solver.NewVar();
+  solver.AddUnit(PosLit(x));
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_TRUE(solver.ModelValue(x));
+}
+
+TEST(SatSolverTest, ContradictoryUnitsAreUnsat) {
+  SatSolver solver;
+  const int x = solver.NewVar();
+  solver.AddUnit(PosLit(x));
+  solver.AddUnit(NegLit(x));
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, EmptyClauseIsUnsat) {
+  SatSolver solver;
+  solver.NewVar();
+  solver.AddClause({});
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, TautologyIgnored) {
+  SatSolver solver;
+  const int x = solver.NewVar();
+  solver.AddClause({PosLit(x), NegLit(x)});
+  EXPECT_EQ(solver.Solve(), SatResult::kSat);
+}
+
+TEST(SatSolverTest, ImplicationChainPropagates) {
+  // x0 and (x_i -> x_{i+1}) for a long chain; then force !x_last: UNSAT.
+  SatSolver solver;
+  constexpr int kChain = 200;
+  std::vector<int> vars;
+  for (int i = 0; i < kChain; ++i) vars.push_back(solver.NewVar());
+  solver.AddUnit(PosLit(vars[0]));
+  for (int i = 0; i + 1 < kChain; ++i) {
+    solver.AddBinary(NegLit(vars[i]), PosLit(vars[i + 1]));
+  }
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  for (int v : vars) EXPECT_TRUE(solver.ModelValue(v));
+  solver.AddUnit(NegLit(vars[kChain - 1]));
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic hard UNSAT instance (small enough here).
+  constexpr int kPigeons = 4, kHoles = 3;
+  SatSolver solver;
+  int var[kPigeons][kHoles];
+  for (int p = 0; p < kPigeons; ++p) {
+    for (int h = 0; h < kHoles; ++h) var[p][h] = solver.NewVar();
+  }
+  for (int p = 0; p < kPigeons; ++p) {
+    std::vector<SatLit> clause;
+    for (int h = 0; h < kHoles; ++h) clause.push_back(PosLit(var[p][h]));
+    solver.AddClause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h) {
+    for (int p1 = 0; p1 < kPigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < kPigeons; ++p2) {
+        solver.AddBinary(NegLit(var[p1][h]), NegLit(var[p2][h]));
+      }
+    }
+  }
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, RandomInstancesMatchBruteForce) {
+  Rng rng(2024);
+  int sat_count = 0, unsat_count = 0;
+  for (int round = 0; round < 400; ++round) {
+    const int n = 1 + static_cast<int>(rng.Below(10));
+    const int m = static_cast<int>(rng.Below(5 * n + 1));
+    Clauses clauses;
+    for (int c = 0; c < m; ++c) {
+      const int width = 1 + static_cast<int>(rng.Below(3));
+      std::vector<SatLit> clause;
+      for (int k = 0; k < width; ++k) {
+        clause.push_back(
+            MakeLit(static_cast<int>(rng.Below(n)), rng.Chance(0.5)));
+      }
+      clauses.push_back(std::move(clause));
+    }
+    const bool expected = BruteForceSat(n, clauses);
+    SatSolver solver = MakeSolver(n, clauses);
+    const SatResult result = solver.Solve();
+    ASSERT_NE(result, SatResult::kUnknown);
+    EXPECT_EQ(result == SatResult::kSat, expected) << "round " << round;
+    if (result == SatResult::kSat) {
+      ++sat_count;
+      EXPECT_TRUE(ModelSatisfies(solver, clauses)) << "round " << round;
+    } else {
+      ++unsat_count;
+    }
+  }
+  EXPECT_GT(sat_count, 50);
+  EXPECT_GT(unsat_count, 50);
+}
+
+TEST(SatSolverTest, ModelEnumerationCountsModels) {
+  Rng rng(77);
+  for (int round = 0; round < 60; ++round) {
+    const int n = 1 + static_cast<int>(rng.Below(8));
+    const int m = static_cast<int>(rng.Below(3 * n + 1));
+    Clauses clauses;
+    for (int c = 0; c < m; ++c) {
+      std::vector<SatLit> clause;
+      const int width = 1 + static_cast<int>(rng.Below(3));
+      for (int k = 0; k < width; ++k) {
+        clause.push_back(
+            MakeLit(static_cast<int>(rng.Below(n)), rng.Chance(0.5)));
+      }
+      clauses.push_back(std::move(clause));
+    }
+    int64_t expected = 0;
+    BruteForceSat(n, clauses, &expected);
+
+    SatSolver solver = MakeSolver(n, clauses);
+    std::vector<int32_t> all_vars;
+    for (int v = 0; v < n; ++v) all_vars.push_back(v);
+    int64_t found = 0;
+    while (solver.Solve() == SatResult::kSat) {
+      ++found;
+      ASSERT_LE(found, expected) << "enumeration repeated a model";
+      solver.BlockModel(all_vars);
+    }
+    EXPECT_EQ(found, expected) << "round " << round;
+  }
+}
+
+TEST(SatSolverTest, ConflictBudgetReturnsUnknown) {
+  // Large pigeonhole; tiny budget must bail out with kUnknown.
+  constexpr int kPigeons = 9, kHoles = 8;
+  SatSolver solver;
+  std::vector<std::vector<int>> var(kPigeons, std::vector<int>(kHoles));
+  for (int p = 0; p < kPigeons; ++p) {
+    for (int h = 0; h < kHoles; ++h) var[p][h] = solver.NewVar();
+  }
+  for (int p = 0; p < kPigeons; ++p) {
+    std::vector<SatLit> clause;
+    for (int h = 0; h < kHoles; ++h) clause.push_back(PosLit(var[p][h]));
+    solver.AddClause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h) {
+    for (int p1 = 0; p1 < kPigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < kPigeons; ++p2) {
+        solver.AddBinary(NegLit(var[p1][h]), NegLit(var[p2][h]));
+      }
+    }
+  }
+  solver.SetConflictBudget(10);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnknown);
+  // Raising the budget should finish the search.
+  solver.SetConflictBudget(0);
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverTest, IncrementalSolvingAcrossAddClause) {
+  SatSolver solver;
+  const int x = solver.NewVar();
+  const int y = solver.NewVar();
+  solver.AddBinary(PosLit(x), PosLit(y));
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  solver.AddUnit(NegLit(x));
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_FALSE(solver.ModelValue(x));
+  EXPECT_TRUE(solver.ModelValue(y));
+  solver.AddUnit(NegLit(y));
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+// k-colorability encodings with known chromatic numbers: structured
+// instances stressing propagation and learning beyond random CNF.
+void AddColoringInstance(SatSolver* solver, int num_nodes, int colors,
+                         const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> var(num_nodes, std::vector<int>(colors));
+  for (int v = 0; v < num_nodes; ++v) {
+    std::vector<SatLit> at_least_one;
+    for (int c = 0; c < colors; ++c) {
+      var[v][c] = solver->NewVar();
+      at_least_one.push_back(PosLit(var[v][c]));
+    }
+    solver->AddClause(at_least_one);
+  }
+  for (const auto& [u, v] : edges) {
+    for (int c = 0; c < colors; ++c) {
+      solver->AddBinary(NegLit(var[u][c]), NegLit(var[v][c]));
+    }
+  }
+}
+
+TEST(SatSolverTest, OddCycleNeedsThreeColors) {
+  std::vector<std::pair<int, int>> c5{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  SatSolver two;
+  AddColoringInstance(&two, 5, 2, c5);
+  EXPECT_EQ(two.Solve(), SatResult::kUnsat);
+  SatSolver three;
+  AddColoringInstance(&three, 5, 3, c5);
+  EXPECT_EQ(three.Solve(), SatResult::kSat);
+}
+
+TEST(SatSolverTest, CompleteGraphChromaticNumber) {
+  // K5 needs exactly 5 colors.
+  std::vector<std::pair<int, int>> k5;
+  for (int u = 0; u < 5; ++u) {
+    for (int v = u + 1; v < 5; ++v) k5.emplace_back(u, v);
+  }
+  SatSolver four;
+  AddColoringInstance(&four, 5, 4, k5);
+  EXPECT_EQ(four.Solve(), SatResult::kUnsat);
+  SatSolver five;
+  AddColoringInstance(&five, 5, 5, k5);
+  EXPECT_EQ(five.Solve(), SatResult::kSat);
+}
+
+TEST(SatSolverTest, PetersenGraphIsThreeChromatic) {
+  // Outer C5 (0-4), inner pentagram (5-9), spokes i -> i+5.
+  std::vector<std::pair<int, int>> petersen;
+  for (int i = 0; i < 5; ++i) {
+    petersen.emplace_back(i, (i + 1) % 5);
+    petersen.emplace_back(5 + i, 5 + (i + 2) % 5);
+    petersen.emplace_back(i, i + 5);
+  }
+  SatSolver two;
+  AddColoringInstance(&two, 10, 2, petersen);
+  EXPECT_EQ(two.Solve(), SatResult::kUnsat);
+  SatSolver three;
+  AddColoringInstance(&three, 10, 3, petersen);
+  EXPECT_EQ(three.Solve(), SatResult::kSat);
+}
+
+TEST(SatSolverTest, StatsAreTracked) {
+  SatSolver solver;
+  const int x = solver.NewVar();
+  const int y = solver.NewVar();
+  solver.AddBinary(PosLit(x), PosLit(y));
+  solver.AddBinary(NegLit(x), PosLit(y));
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_GE(solver.num_decisions() + solver.num_propagations(), 1);
+}
+
+}  // namespace
+}  // namespace tiebreak

@@ -1,0 +1,62 @@
+// Shared helpers for the test suites: parse program+database text, ground,
+// and query models by predicate/constant names.
+#ifndef TIEBREAK_TESTS_TEST_UTIL_H_
+#define TIEBREAK_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "ground/grounder.h"
+#include "ground/truth.h"
+#include "gtest/gtest.h"
+#include "lang/database.h"
+#include "lang/parser.h"
+#include "lang/program.h"
+
+namespace tiebreak {
+namespace testing_util {
+
+struct Instance {
+  Program program;
+  Database database;
+};
+
+inline Instance ParseInstance(const std::string& program_text,
+                              const std::string& database_text = "") {
+  Result<Program> p = ParseProgram(program_text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString() << "\n" << program_text;
+  Program program = std::move(p).value();
+  Result<Database> d = ParseDatabase(database_text, &program);
+  EXPECT_TRUE(d.ok()) << d.status().ToString() << "\n" << database_text;
+  return Instance{std::move(program), std::move(d).value()};
+}
+
+inline GroundingResult GroundOrDie(const Instance& inst,
+                                   const GroundingOptions& options = {}) {
+  Result<GroundingResult> g = Ground(inst.program, inst.database, options);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+/// Truth of pred(constants...) in `values`; atoms missing from the store
+/// read as false (they are false in every model over the graph).
+inline Truth TruthOf(const Instance& inst, const GroundingResult& ground,
+                     const std::vector<Truth>& values, const std::string& pred,
+                     const std::vector<std::string>& constants = {}) {
+  const PredId p = inst.program.LookupPredicate(pred);
+  EXPECT_GE(p, 0) << "unknown predicate " << pred;
+  Tuple tuple;
+  for (const std::string& c : constants) {
+    const ConstId id = inst.program.LookupConstant(c);
+    EXPECT_GE(id, 0) << "unknown constant " << c;
+    tuple.push_back(id);
+  }
+  const AtomId atom = ground.graph.atoms().Lookup(p, tuple);
+  if (atom < 0) return Truth::kFalse;
+  return values[atom];
+}
+
+}  // namespace testing_util
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_TESTS_TEST_UTIL_H_

@@ -1,0 +1,230 @@
+// Cross-checks of the surrounding theory the paper builds on or implies:
+// Dung's theorem (call-consistent => stable model exists), Gire's theorem
+// (for call-consistent programs, WF total <=> unique stable model),
+// Corollaries 1-2 of the paper, and the second part of Theorem 5 (unique
+// stable model structurally <=> stratified).
+#include <string>
+#include <vector>
+
+#include "core/completion.h"
+#include "core/exploration.h"
+#include "core/stable.h"
+#include "core/stratification.h"
+#include "core/structural_totality.h"
+#include "core/tie_breaking.h"
+#include "core/well_founded.h"
+#include "core/witness.h"
+#include "gtest/gtest.h"
+#include "lang/printer.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+namespace tiebreak {
+namespace {
+
+using testing_util::GroundOrDie;
+using testing_util::Instance;
+using testing_util::ParseInstance;
+
+// Generates random propositional programs filtered by a predicate on the
+// program, paired with random databases.
+template <typename Filter, typename Body>
+void ForRandomInstances(uint64_t seed, int num_programs, double neg_prob,
+                        Filter filter, Body body) {
+  Rng rng(seed);
+  int accepted = 0;
+  int guard = 0;
+  while (accepted < num_programs && ++guard < 20000) {
+    RandomProgramOptions options;
+    options.num_idb = 3 + static_cast<int>(rng.Below(3));
+    options.num_edb = 2;
+    options.num_rules = 3 + static_cast<int>(rng.Below(7));
+    options.negation_probability = neg_prob;
+    Program program = RandomProgram(&rng, options);
+    if (!filter(program)) continue;
+    ++accepted;
+    for (int db_round = 0; db_round < 3; ++db_round) {
+      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      body(program, database);
+    }
+  }
+  EXPECT_EQ(accepted, num_programs) << "generator starved";
+}
+
+// ---------------------------------------------------------------------------
+// Dung's theorem [Du]: call-consistent programs have a stable model (for
+// every database) — implied by Lemma 3 + Theorem 1, checked directly.
+// ---------------------------------------------------------------------------
+
+TEST(DungTheoremTest, CallConsistentProgramsHaveStableModels) {
+  ForRandomInstances(
+      0xD0, 40, 0.45,
+      [](const Program& p) { return IsCallConsistent(p); },
+      [](const Program& program, const Database& database) {
+        const GroundingResult g = GroundOrDie(Instance{program, database});
+        EXPECT_TRUE(HasStableModel(program, database, g.graph));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Gire's theorem [Gi]: for call-consistent (semi-strict) programs, the
+// well-founded model is total iff there is a unique stable model, which then
+// equals the well-founded model.
+// ---------------------------------------------------------------------------
+
+TEST(GireTheoremTest, WfTotalIffUniqueStableModel) {
+  int wf_total_seen = 0, wf_partial_seen = 0;
+  auto check = [&](const Program& program, const Database& database) {
+    const GroundingResult g = GroundOrDie(Instance{program, database});
+    const InterpreterResult wf = WellFounded(program, database, g.graph);
+    const auto stable =
+        EnumerateStableModels(program, database, g.graph, /*limit=*/3);
+    if (wf.total) {
+      ++wf_total_seen;
+      ASSERT_EQ(stable.size(), 1u);
+      EXPECT_EQ(stable[0], wf.values);
+    } else {
+      ++wf_partial_seen;
+      // Not total: there must NOT be a unique stable model. (By Dung at
+      // least one exists; Gire rules out exactly-one.)
+      EXPECT_NE(stable.size(), 1u);
+      EXPECT_GE(stable.size(), 2u);
+    }
+  };
+  ForRandomInstances(0x61BE, 50, 0.5,
+                     [](const Program& p) { return IsCallConsistent(p); },
+                     check);
+  // Random call-consistent programs are overwhelmingly WF-total; feed the
+  // partial branch with even negation rings composed with extra layers.
+  Rng rng(0x61BF);
+  for (int k : {2, 4, 6}) {
+    for (int extra = 0; extra < 4; ++extra) {
+      Program ring = NegationRingProgram(k);
+      Program composite = ParseProgram(
+          ProgramToString(ring) + "top :- p0, not e0.\nside :- not p1.")
+          .value();
+      ASSERT_TRUE(IsCallConsistent(composite));
+      Database database = RandomEdbDatabase(&composite, 1, 0.5, &rng);
+      check(composite, database);
+    }
+  }
+  EXPECT_GT(wf_total_seen, 20);
+  EXPECT_GT(wf_partial_seen, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Corollary 1: for structurally total programs, the WFTB fixpoint extends
+// the well-founded partial model (and is polynomial-time computable).
+// ---------------------------------------------------------------------------
+
+TEST(CorollaryOneTest, WftbFixpointExtendsWellFoundedModel) {
+  ForRandomInstances(
+      0xC1, 40, 0.45,
+      [](const Program& p) { return IsStructurallyTotal(p); },
+      [](const Program& program, const Database& database) {
+        const GroundingResult g = GroundOrDie(Instance{program, database});
+        const InterpreterResult wf = WellFounded(program, database, g.graph);
+        const InterpreterResult wftb = TieBreaking(
+            program, database, g.graph, TieBreakingMode::kWellFounded);
+        ASSERT_TRUE(wftb.total);
+        EXPECT_TRUE(IsStable(program, database, g.graph, wftb.values));
+        for (AtomId a = 0; a < g.graph.num_atoms(); ++a) {
+          if (wf.values[a] != Truth::kUndef) {
+            EXPECT_EQ(wftb.values[a], wf.values[a]);
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Corollary 2: structural totality with respect to stable models coincides
+// with fixpoint structural totality. The negative side: the Theorem 2
+// witness has no stable model either (no fixpoint at all).
+// ---------------------------------------------------------------------------
+
+TEST(CorollaryTwoTest, WitnessesKillStableModelsToo) {
+  Rng rng(0xC2);
+  int built = 0;
+  while (built < 20) {
+    RandomProgramOptions options;
+    options.num_idb = 3;
+    options.num_edb = 2;
+    options.num_rules = 3 + static_cast<int>(rng.Below(6));
+    options.negation_probability = 0.5;
+    Program program = RandomProgram(&rng, options);
+    Result<WitnessInstance> witness = BuildTheorem2UnaryWitness(program);
+    if (!witness.ok()) continue;
+    ++built;
+    const GroundingResult g =
+        GroundOrDie(Instance{witness->program, witness->database});
+    EXPECT_FALSE(
+        HasStableModel(witness->program, witness->database, g.graph));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5, second part: every alphabetic variant has a *unique* stable
+// model for every database iff the program is stratified. Negative side:
+// call-consistent-but-unstratified programs admit a variant+database with
+// two or more stable models (the Theorem 5 witness on an even cycle).
+// ---------------------------------------------------------------------------
+
+TEST(UniqueStableTest, StratifiedProgramsHaveUniqueStableModels) {
+  ForRandomInstances(
+      0x55, 30, 0.3, [](const Program& p) { return IsStratified(p); },
+      [](const Program& program, const Database& database) {
+        const GroundingResult g = GroundOrDie(Instance{program, database});
+        const auto stable =
+            EnumerateStableModels(program, database, g.graph, /*limit=*/3);
+        EXPECT_EQ(stable.size(), 1u);
+      });
+}
+
+TEST(UniqueStableTest, EvenCycleWitnessHasMultipleStableModels) {
+  Rng rng(0x56);
+  int found = 0;
+  int guard = 0;
+  while (found < 15 && ++guard < 20000) {
+    RandomProgramOptions options;
+    options.num_idb = 3;
+    options.num_edb = 2;
+    options.num_rules = 3 + static_cast<int>(rng.Below(6));
+    options.negation_probability = 0.5;
+    Program program = RandomProgram(&rng, options);
+    if (IsStratified(program) || !IsCallConsistent(program)) continue;
+    Result<WitnessInstance> witness = BuildTheorem5Witness(program);
+    ASSERT_TRUE(witness.ok());
+    if (witness->cycle_is_odd) continue;  // want the even-cycle shape
+    ++found;
+    const GroundingResult g =
+        GroundOrDie(Instance{witness->program, witness->database});
+    const auto stable = EnumerateStableModels(
+        witness->program, witness->database, g.graph, /*limit=*/3);
+    EXPECT_GE(stable.size(), 2u)
+        << "even negative cycle should allow both orientations";
+  }
+  EXPECT_EQ(found, 15) << "generator starved";
+}
+
+// ---------------------------------------------------------------------------
+// The exploration driver reaches *different* stable models on even cycles
+// ("both ways lead eventually to (different) stable models", Section 3).
+// ---------------------------------------------------------------------------
+
+TEST(BothWaysTest, TieOrientationsLeadToDifferentStableModels) {
+  Instance inst = ParseInstance("p :- not q.\nq :- not p.");
+  const GroundingResult g = GroundOrDie(inst);
+  const auto runs = ExploreAllChoices(inst.program, inst.database, g.graph,
+                                      TieBreakingMode::kWellFounded);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_NE(runs[0].result.values, runs[1].result.values);
+  for (const auto& run : runs) {
+    EXPECT_TRUE(
+        IsStable(inst.program, inst.database, g.graph, run.result.values));
+  }
+}
+
+}  // namespace
+}  // namespace tiebreak

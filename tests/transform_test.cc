@@ -1,0 +1,140 @@
+// Tests for program transformations (rename/merge) and instance-level
+// call-consistency (per-instance Theorem 1).
+#include <map>
+#include <string>
+
+#include "core/exploration.h"
+#include "core/perfect_model.h"
+#include "core/stratification.h"
+#include "core/tie_breaking.h"
+#include "gtest/gtest.h"
+#include "lang/printer.h"
+#include "lang/skeleton.h"
+#include "lang/transform.h"
+#include "test_util.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
+
+namespace tiebreak {
+namespace {
+
+using testing_util::GroundOrDie;
+using testing_util::Instance;
+using testing_util::ParseInstance;
+
+// ---------------------------------------------------------------------------
+// RenamePredicates.
+// ---------------------------------------------------------------------------
+
+TEST(RenameTest, RenamesAcrossHeadsAndBodies) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  Result<Program> renamed = RenamePredicates(
+      inst.program, {{"win", "victory"}, {"move", "edge"}});
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(ProgramToString(*renamed),
+            "victory(X) :- edge(X, Y), not victory(Y).\n");
+  // Structure is untouched.
+  EXPECT_EQ(IsCallConsistent(*renamed), IsCallConsistent(inst.program));
+}
+
+TEST(RenameTest, UnmappedNamesKept) {
+  Instance inst = ParseInstance("p :- q, not r.");
+  Result<Program> renamed = RenamePredicates(inst.program, {{"q", "qq"}});
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_GE(renamed->LookupPredicate("p"), 0);
+  EXPECT_GE(renamed->LookupPredicate("qq"), 0);
+  EXPECT_EQ(renamed->LookupPredicate("q"), -1);
+}
+
+TEST(RenameTest, CollisionRejected) {
+  Instance inst = ParseInstance("p :- q.");
+  Result<Program> renamed = RenamePredicates(inst.program, {{"p", "q"}});
+  ASSERT_FALSE(renamed.ok());
+  EXPECT_EQ(renamed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// MergePrograms.
+// ---------------------------------------------------------------------------
+
+TEST(MergeTest, DisjointProgramsConcatenate) {
+  Instance a = ParseInstance("p :- not q.");
+  Instance b = ParseInstance("r(X) :- e(X).");
+  Result<Program> merged = MergePrograms(a.program, b.program);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rules(), 2);
+  EXPECT_GE(merged->LookupPredicate("p"), 0);
+  EXPECT_GE(merged->LookupPredicate("r"), 0);
+  EXPECT_TRUE(merged->Validate().ok());
+}
+
+TEST(MergeTest, SharedPredicatesUnify) {
+  Instance a = ParseInstance("p :- q.");
+  Instance b = ParseInstance("q :- e.\np :- not e.");
+  Result<Program> merged = MergePrograms(a.program, b.program);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rules(), 3);
+  // q is IDB in the merge (b gives it a rule).
+  EXPECT_FALSE(merged->IsEdb(merged->LookupPredicate("q")));
+  // Constants from both sides resolve by name.
+  Instance c = ParseInstance("s(a) :- t(a).");
+  Instance d = ParseInstance("t(a).");
+  Result<Program> merged2 = MergePrograms(c.program, d.program);
+  ASSERT_TRUE(merged2.ok());
+  const Rule& fact = merged2->rule(1);
+  EXPECT_EQ(merged2->constant_name(fact.head.args[0].index), "a");
+}
+
+TEST(MergeTest, ArityConflictRejected) {
+  Instance a = ParseInstance("p(X) :- e(X).");
+  Instance b = ParseInstance("p :- q.");
+  Result<Program> merged = MergePrograms(a.program, b.program);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeTest, MergePreservesSkeletonUnion) {
+  Instance a = ParseInstance("p :- not q.\nq :- not p.");
+  Instance b = ParseInstance("r :- p, not q.");
+  Result<Program> merged = MergePrograms(a.program, b.program);
+  ASSERT_TRUE(merged.ok());
+  const Skeleton sk = SkeletonOf(*merged);
+  EXPECT_EQ(sk.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Instance-level call-consistency (per-instance Theorem 1).
+// ---------------------------------------------------------------------------
+
+TEST(GroundCallConsistencyTest, EvenBoardsAreGroundConsistent) {
+  Program program = WinMoveProgram();
+  Database even_board = CycleDatabase(&program, "move", 4);
+  const GroundingResult g = GroundOrDie(Instance{program, even_board});
+  // The program is NOT call-consistent, but this instance is.
+  EXPECT_FALSE(IsCallConsistent(program));
+  EXPECT_TRUE(IsGroundCallConsistent(g.graph));
+  // Per-instance Theorem 1: every choice totals.
+  const auto runs = ExploreAllChoices(program, even_board, g.graph,
+                                      TieBreakingMode::kWellFounded);
+  for (const auto& run : runs) {
+    EXPECT_TRUE(run.result.total);
+  }
+}
+
+TEST(GroundCallConsistencyTest, OddBoardsAreNot) {
+  Program program = WinMoveProgram();
+  Database odd_board = CycleDatabase(&program, "move", 5);
+  const GroundingResult g = GroundOrDie(Instance{program, odd_board});
+  EXPECT_FALSE(IsGroundCallConsistent(g.graph));
+}
+
+TEST(GroundCallConsistencyTest, LocallyStratifiedImpliesGroundConsistent) {
+  Program program = WinMoveProgram();
+  Database chain = ChainDatabase(&program, "move", 6);
+  const GroundingResult g = GroundOrDie(Instance{program, chain});
+  EXPECT_TRUE(IsLocallyStratified(program, chain, g.graph));
+  EXPECT_TRUE(IsGroundCallConsistent(g.graph));
+}
+
+}  // namespace
+}  // namespace tiebreak
