@@ -1,95 +1,170 @@
-// EXP-ENG — engine substrate: semi-naive vs naive evaluation on transitive
-// closure and same-generation workloads. Semi-naive must win by a growing
-// factor on long chains (the classic delta argument) while both compute
-// identical relations (asserted in tests).
-#include <benchmark/benchmark.h>
+// EXP-ENG — engine substrate throughput. Standalone harness (no
+// google-benchmark) so it can emit machine-readable BENCH_engine.json next
+// to human-readable rows: per-workload wall time, derived tuples, rule
+// applications, and tuples/sec, plus the recorded pre-rewrite baseline so
+// the speedup trajectory is tracked in-repo.
+//
+// Usage: bench_engine [output.json]   (default BENCH_engine.json)
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "engine/evaluation.h"
 #include "util/random.h"
+#include "util/timer.h"
 #include "workload/databases.h"
 #include "workload/programs.h"
 
 namespace tiebreak {
 namespace {
 
-void BM_TC_Chain_SemiNaive(benchmark::State& state) {
-  Program program = TransitiveClosureProgram();
-  Database db = ChainDatabase(&program, "e", static_cast<int>(state.range(0)));
+struct WorkloadResult {
+  std::string name;
+  double seconds = 0;         // best-of-repetitions wall time
+  int64_t tuples_derived = 0;
+  int64_t rule_applications = 0;
+  double tuples_per_sec = 0;
+};
+
+// Pre-rewrite throughput (tuples/sec) of the vector-of-Tuple relation
+// storage with wipe-on-insert probe indexes, recorded on this container at
+// the commit that introduced this harness. Keyed by workload name; 0 means
+// "no baseline recorded".
+struct BaselineEntry {
+  const char* name;
+  double tuples_per_sec;
+};
+constexpr BaselineEntry kBaseline[] = {
+    {"tc_chain_512", 739784.0},      {"tc_cycle_256", 950397.0},
+    {"tc_random_256", 380894.0},     {"tc_grid_24x24", 446335.0},
+    {"same_generation_d7", 421006.0}, {"stratified_tower_32", 2040875.0},
+};
+
+double BaselineFor(const std::string& name) {
+  for (const BaselineEntry& entry : kBaseline) {
+    if (name == entry.name) return entry.tuples_per_sec;
+  }
+  return 0.0;
+}
+
+WorkloadResult Measure(const std::string& name, const Program& program,
+                       const Database& database, int reps) {
+  WorkloadResult out;
+  out.name = name;
   EngineOptions options;
-  for (auto _ : state) {
-    Result<Database> result = EvaluateStratified(program, db, options);
-    benchmark::DoNotOptimize(result->TotalFacts());
-  }
-}
-BENCHMARK(BM_TC_Chain_SemiNaive)->Range(16, 256);
-
-void BM_TC_Chain_Naive(benchmark::State& state) {
-  Program program = TransitiveClosureProgram();
-  Database db = ChainDatabase(&program, "e", static_cast<int>(state.range(0)));
-  EngineOptions options;
-  options.semi_naive = false;
-  for (auto _ : state) {
-    Result<Database> result = EvaluateStratified(program, db, options);
-    benchmark::DoNotOptimize(result->TotalFacts());
-  }
-}
-BENCHMARK(BM_TC_Chain_Naive)->Range(16, 128);
-
-void BM_TC_RandomGraph_SemiNaive(benchmark::State& state) {
-  Program program = TransitiveClosureProgram();
-  Rng rng(42);
-  const int n = static_cast<int>(state.range(0));
-  Database db = RandomDigraphDatabase(&program, "e", n, 3 * n, &rng);
-  for (auto _ : state) {
-    Result<Database> result = EvaluateStratified(program, db);
-    benchmark::DoNotOptimize(result->TotalFacts());
-  }
-}
-BENCHMARK(BM_TC_RandomGraph_SemiNaive)->Range(16, 256);
-
-void BM_SameGeneration_SemiNaive(benchmark::State& state) {
-  Program program = SameGenerationProgram();
-  // A balanced binary tree of the given depth: up/down edges + leaf
-  // siblings.
-  const int depth = static_cast<int>(state.range(0));
-  Program* p = &program;
-  const PredId up = p->DeclarePredicate("up", 2);
-  const PredId down = p->DeclarePredicate("down", 2);
-  const PredId sibling = p->DeclarePredicate("sibling", 2);
-  Database db(*p);
-  const int nodes = (1 << (depth + 1)) - 1;
-  std::vector<ConstId> ids;
-  for (int i = 0; i < nodes; ++i) {
-    ids.push_back(p->InternConstant("n" + std::to_string(i)));
-  }
-  for (int i = 1; i < nodes; ++i) {
-    const int parent = (i - 1) / 2;
-    db.Insert(up, {ids[i], ids[parent]});
-    db.Insert(down, {ids[parent], ids[i]});
-  }
-  for (int i = 1; i + 1 < nodes; i += 2) {
-    db.Insert(sibling, {ids[i], ids[i + 1]});
-    db.Insert(sibling, {ids[i + 1], ids[i]});
-  }
-  for (auto _ : state) {
-    Result<Database> result = EvaluateStratified(*p, db);
-    benchmark::DoNotOptimize(result->TotalFacts());
-  }
-}
-BENCHMARK(BM_SameGeneration_SemiNaive)->DenseRange(4, 6, 2);
-
-void BM_StratifiedTower(benchmark::State& state) {
-  Program program = StratifiedTowerProgram(static_cast<int>(state.range(0)));
-  Database db = UnarySetDatabase(&program, "e", 64);
-  for (auto _ : state) {
+  // Warm-up (and correctness sanity) run.
+  {
     EngineStats stats;
-    Result<Database> result = EvaluateStratified(program, db, {}, &stats);
-    benchmark::DoNotOptimize(result->TotalFacts());
+    Result<Database> result =
+        EvaluateStratified(program, database, options, &stats);
+    TIEBREAK_CHECK(result.ok()) << result.status().ToString();
+    out.tuples_derived = stats.tuples_derived;
+    out.rule_applications = stats.rule_applications;
   }
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    EngineStats stats;
+    Result<Database> result =
+        EvaluateStratified(program, database, options, &stats);
+    const double seconds = timer.Seconds();
+    TIEBREAK_CHECK(result.ok());
+    TIEBREAK_CHECK_EQ(stats.tuples_derived, out.tuples_derived);
+    if (seconds < best) best = seconds;
+  }
+  out.seconds = best;
+  out.tuples_per_sec =
+      best > 0 ? static_cast<double>(out.tuples_derived) / best : 0;
+  return out;
 }
-BENCHMARK(BM_StratifiedTower)->Range(2, 64);
+
+int Main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  std::vector<WorkloadResult> results;
+
+  {
+    Program program = TransitiveClosureProgram();
+    Database db = ChainDatabase(&program, "e", 512);
+    results.push_back(Measure("tc_chain_512", program, db, 3));
+  }
+  {
+    Program program = TransitiveClosureProgram();
+    Database db = CycleDatabase(&program, "e", 256);
+    results.push_back(Measure("tc_cycle_256", program, db, 3));
+  }
+  {
+    Program program = TransitiveClosureProgram();
+    Rng rng(42);
+    Database db = RandomDigraphDatabase(&program, "e", 256, 768, &rng);
+    results.push_back(Measure("tc_random_256", program, db, 3));
+  }
+  {
+    Program program = TransitiveClosureProgram();
+    Database db = GridDatabase(&program, "e", 24, 24);
+    results.push_back(Measure("tc_grid_24x24", program, db, 3));
+  }
+  {
+    // Same generation over a balanced binary tree of depth 7.
+    Program program = SameGenerationProgram();
+    const PredId up = program.DeclarePredicate("up", 2);
+    const PredId down = program.DeclarePredicate("down", 2);
+    const PredId sibling = program.DeclarePredicate("sibling", 2);
+    const int depth = 7;
+    const int nodes = (1 << (depth + 1)) - 1;
+    std::vector<ConstId> ids;
+    ids.reserve(nodes);
+    for (int i = 0; i < nodes; ++i) {
+      ids.push_back(program.InternConstant("n" + std::to_string(i)));
+    }
+    Database db(program);
+    for (int i = 1; i < nodes; ++i) {
+      const int parent = (i - 1) / 2;
+      db.Insert(up, {ids[i], ids[parent]});
+      db.Insert(down, {ids[parent], ids[i]});
+    }
+    for (int i = 1; i + 1 < nodes; i += 2) {
+      db.Insert(sibling, {ids[i], ids[i + 1]});
+      db.Insert(sibling, {ids[i + 1], ids[i]});
+    }
+    results.push_back(Measure("same_generation_d7", program, db, 3));
+  }
+  {
+    Program program = StratifiedTowerProgram(32);
+    Database db = UnarySetDatabase(&program, "e", 256);
+    results.push_back(Measure("stratified_tower_32", program, db, 3));
+  }
+
+  std::printf("%-22s %12s %14s %14s %14s %9s\n", "workload", "seconds",
+              "tuples", "applications", "tuples/sec", "speedup");
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  TIEBREAK_CHECK(json != nullptr) << "cannot open " << json_path;
+  std::fprintf(json, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    const double baseline = BaselineFor(r.name);
+    const double speedup = baseline > 0 ? r.tuples_per_sec / baseline : 0;
+    std::printf("%-22s %12.6f %14lld %14lld %14.0f %9s\n", r.name.c_str(),
+                r.seconds, static_cast<long long>(r.tuples_derived),
+                static_cast<long long>(r.rule_applications), r.tuples_per_sec,
+                baseline > 0 ? (std::to_string(speedup).substr(0, 5) + "x").c_str()
+                             : "n/a");
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                 "\"tuples_derived\": %lld, \"rule_applications\": %lld, "
+                 "\"tuples_per_sec\": %.1f, \"baseline_tuples_per_sec\": %.1f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.seconds,
+                 static_cast<long long>(r.tuples_derived),
+                 static_cast<long long>(r.rule_applications), r.tuples_per_sec,
+                 baseline, speedup, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
 
 }  // namespace
 }  // namespace tiebreak
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return tiebreak::Main(argc, argv); }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build (-Wall -Wextra, warnings as
+# errors) + full ctest suite. Run from anywhere; builds into build-check/.
+#
+#   scripts/check.sh [--bench]    --bench additionally runs bench_engine
+#                                 and refreshes BENCH_engine.json
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-check"
+
+cmake -B "$build" -S "$repo" -DTIEBREAK_WERROR=ON
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--bench" ]]; then
+  (cd "$repo" && "$build/bench_engine" BENCH_engine.json)
+fi
+
+echo "check.sh: all green"

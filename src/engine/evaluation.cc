@@ -1,10 +1,10 @@
 #include "engine/evaluation.h"
 
 #include <algorithm>
-#include <functional>
 #include <utility>
 
 #include "core/stratification.h"
+#include "util/function_view.h"
 
 namespace tiebreak {
 
@@ -41,107 +41,222 @@ Status CheckSafety(const Program& program) {
 
 namespace {
 
-// Backtracking join over one rule's body.
+/// Backtracking join over one rule's body, compiled to a flat plan.
+///
+/// Evaluate() first *compiles* the rule: positive literals are greedily
+/// reordered by selectivity (most bound argument positions first; ties go
+/// to the smaller relation), then each literal becomes a JoinStep whose
+/// argument actions (constant check / bound-variable check / fresh-variable
+/// bind) are precomputed into one flat action array. The recursive join
+/// then touches no allocating data structure: probe patterns, bindings and
+/// ground-atom scratch all live in reusable buffers, derived head tuples
+/// are passed to the sink as a raw span into the scratch buffer, and the
+/// sink itself is a FunctionView (no std::function allocation/indirection).
 class RuleEvaluator {
  public:
+  using Sink = FunctionView<void(const ConstId*)>;
+
   RuleEvaluator(const Program& program, const std::vector<Relation>& relations)
       : program_(program), relations_(relations) {}
 
   /// Evaluates `rule`; `delta_literal` (or -1) restricts that body literal
   /// to `delta_relation` instead of the full relation. Each derived head
-  /// tuple is passed to `sink`.
+  /// tuple is passed to `sink` as a pointer to head-arity ids (valid only
+  /// for the duration of the call).
   void Evaluate(const Rule& rule, int32_t delta_literal,
-                const Relation* delta_relation,
-                const std::function<void(Tuple)>& sink, int64_t* applications) {
+                const Relation* delta_relation, Sink sink,
+                int64_t* applications) {
     rule_ = &rule;
-    delta_literal_ = delta_literal;
-    delta_relation_ = delta_relation;
     sink_ = &sink;
     applications_ = applications;
+    Compile(rule, delta_literal, delta_relation);
     binding_.assign(rule.num_variables, -1);
-    positives_.clear();
-    for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
-      if (rule.body[b].positive) positives_.push_back(b);
-    }
-    Recurse(0);
+    Join(0);
   }
 
  private:
-  Tuple Substitute(const Atom& atom) const {
-    Tuple tuple;
-    tuple.reserve(atom.args.size());
-    for (const Term& t : atom.args) {
-      if (t.is_constant()) {
-        tuple.push_back(t.index);
-      } else {
-        TIEBREAK_CHECK_GE(binding_[t.index], 0);
-        tuple.push_back(binding_[t.index]);
-      }
-    }
-    return tuple;
-  }
+  struct ArgAction {
+    enum Kind : uint8_t {
+      kConst,     // column must equal / emits `index` (a ConstId)
+      kCheckVar,  // column must equal / emits binding_[index]
+      kBindVar,   // column binds variable `index` (join steps only)
+    };
+    Kind kind;
+    int32_t index;
+  };
 
-  void Recurse(size_t next) {
-    if (next == positives_.size()) {
-      ++*applications_;
-      // All positives matched: test the negated literals (safety guarantees
-      // they are ground now).
-      for (const Literal& lit : rule_->body) {
-        if (lit.positive) continue;
-        if (relations_[lit.atom.predicate].Contains(Substitute(lit.atom))) {
-          return;
+  struct JoinStep {
+    const Relation* relation = nullptr;
+    uint32_t mask = 0;
+    int32_t actions_begin = 0;
+    int32_t actions_end = 0;
+  };
+
+  // Ground-atom template for negated literals and the head: actions are
+  // kConst/kCheckVar only (safety guarantees all variables are bound).
+  struct AtomTemplate {
+    PredId predicate = -1;
+    int32_t actions_begin = 0;
+    int32_t actions_end = 0;
+  };
+
+  void Compile(const Rule& rule, int32_t delta_literal,
+               const Relation* delta_relation) {
+    actions_.clear();
+    steps_.clear();
+    negatives_.clear();
+    var_bound_.assign(rule.num_variables, false);
+    size_t max_arity = rule.head.args.size();
+
+    // Greedy selectivity ordering over the positive literals: repeatedly
+    // take the literal with the most bound argument positions, breaking
+    // ties toward the smaller relation (the delta relation counts with its
+    // own, typically small, size), then toward body order.
+    pending_.clear();
+    for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
+      if (rule.body[b].positive) pending_.push_back(b);
+      max_arity = std::max(max_arity, rule.body[b].atom.args.size());
+    }
+    while (!pending_.empty()) {
+      size_t best_at = 0;
+      int64_t best_bound = -1;
+      int64_t best_size = 0;
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        const Atom& atom = rule.body[pending_[i]].atom;
+        int64_t bound_args = 0;
+        for (const Term& t : atom.args) {
+          if (t.is_constant() || var_bound_[t.index]) ++bound_args;
+        }
+        const Relation& rel = (pending_[i] == delta_literal)
+                                  ? *delta_relation
+                                  : relations_[atom.predicate];
+        if (bound_args > best_bound ||
+            (bound_args == best_bound && rel.size() < best_size)) {
+          best_at = i;
+          best_bound = bound_args;
+          best_size = rel.size();
         }
       }
-      (*sink_)(Substitute(rule_->head));
-      return;
-    }
-    const int32_t body_index = positives_[next];
-    const Atom& atom = rule_->body[body_index].atom;
-    const Relation& rel = (body_index == delta_literal_)
-                              ? *delta_relation_
-                              : relations_[atom.predicate];
-    // Build the bound-position mask and probe pattern.
-    uint32_t mask = 0;
-    Tuple pattern(atom.args.size(), 0);
-    for (size_t i = 0; i < atom.args.size(); ++i) {
-      const Term& t = atom.args[i];
-      if (t.is_constant()) {
-        mask |= 1u << i;
-        pattern[i] = t.index;
-      } else if (binding_[t.index] >= 0) {
-        mask |= 1u << i;
-        pattern[i] = binding_[t.index];
-      }
-    }
-    for (int32_t index : rel.Probe(mask, pattern)) {
-      const Tuple& tuple = rel.tuples()[index];
-      // Verify (hash buckets may collide) and bind.
-      bool match = true;
-      bound_here_.clear();
+      const int32_t body_index = pending_[best_at];
+      pending_.erase(pending_.begin() + best_at);
+
+      const Atom& atom = rule.body[body_index].atom;
+      JoinStep step;
+      step.relation = (body_index == delta_literal)
+                          ? delta_relation
+                          : &relations_[atom.predicate];
+      step.actions_begin = static_cast<int32_t>(actions_.size());
       for (size_t i = 0; i < atom.args.size(); ++i) {
         const Term& t = atom.args[i];
         if (t.is_constant()) {
-          if (t.index != tuple[i]) {
-            match = false;
-            break;
+          step.mask |= 1u << i;
+          actions_.push_back({ArgAction::kConst, t.index});
+        } else if (var_bound_[t.index]) {
+          // Bound by an earlier literal: part of the probe key. A repeat
+          // within this literal is checked but cannot be probed on (its
+          // value is only known while scanning a candidate row).
+          bool earlier_in_literal = false;
+          for (size_t j = 0; j < i; ++j) {
+            const Term& prev = atom.args[j];
+            if (prev.is_variable() && prev.index == t.index) {
+              earlier_in_literal = true;
+              break;
+            }
           }
-        } else if (binding_[t.index] >= 0) {
-          if (binding_[t.index] != tuple[i]) {
-            match = false;
-            break;
-          }
+          if (!earlier_in_literal) step.mask |= 1u << i;
+          actions_.push_back({ArgAction::kCheckVar, t.index});
         } else {
-          binding_[t.index] = tuple[i];
-          bound_here_.push_back(t.index);
+          var_bound_[t.index] = true;
+          actions_.push_back({ArgAction::kBindVar, t.index});
         }
       }
-      if (match) {
-        // bound_here_ is reused across recursion levels; save a copy.
-        std::vector<int32_t> bound_saved = bound_here_;
-        Recurse(next + 1);
-        for (int32_t var : bound_saved) binding_[var] = -1;
-      } else {
-        for (int32_t var : bound_here_) binding_[var] = -1;
+      step.actions_end = static_cast<int32_t>(actions_.size());
+      steps_.push_back(step);
+    }
+
+    auto add_template = [&](const Atom& atom) {
+      AtomTemplate tmpl;
+      tmpl.predicate = atom.predicate;
+      tmpl.actions_begin = static_cast<int32_t>(actions_.size());
+      for (const Term& t : atom.args) {
+        actions_.push_back({t.is_constant() ? ArgAction::kConst
+                                            : ArgAction::kCheckVar,
+                            t.index});
+      }
+      tmpl.actions_end = static_cast<int32_t>(actions_.size());
+      return tmpl;
+    };
+    for (const Literal& lit : rule.body) {
+      if (!lit.positive) negatives_.push_back(add_template(lit.atom));
+    }
+    head_ = add_template(rule.head);
+    if (scratch_.size() < max_arity) scratch_.resize(max_arity);
+    if (pattern_.size() < max_arity) pattern_.resize(max_arity);
+  }
+
+  // Instantiates a ground-atom template into scratch_.
+  void FillScratch(const AtomTemplate& tmpl) {
+    ConstId* out = scratch_.data();
+    for (int32_t a = tmpl.actions_begin; a < tmpl.actions_end; ++a) {
+      const ArgAction& action = actions_[a];
+      *out++ = action.kind == ArgAction::kConst ? action.index
+                                                : binding_[action.index];
+    }
+  }
+
+  void Join(size_t depth) {
+    if (depth == steps_.size()) {
+      ++*applications_;
+      // All positives matched: test the negated literals (safety guarantees
+      // they are ground now).
+      for (const AtomTemplate& neg : negatives_) {
+        FillScratch(neg);
+        if (relations_[neg.predicate].Contains(scratch_.data())) return;
+      }
+      FillScratch(head_);
+      (*sink_)(scratch_.data());
+      return;
+    }
+    const JoinStep& step = steps_[depth];
+    ConstId* pattern = pattern_.data();
+    {
+      int32_t column = 0;
+      for (int32_t a = step.actions_begin; a < step.actions_end;
+           ++a, ++column) {
+        const ArgAction& action = actions_[a];
+        if (action.kind == ArgAction::kConst) {
+          pattern[column] = action.index;
+        } else if (action.kind == ArgAction::kCheckVar) {
+          pattern[column] = binding_[action.index];
+        }
+      }
+    }
+    for (const int32_t row : step.relation->Probe(step.mask, pattern)) {
+      const ConstId* tuple = step.relation->Row(row);
+      bool match = true;
+      int32_t column = 0;
+      for (int32_t a = step.actions_begin; match && a < step.actions_end;
+           ++a, ++column) {
+        const ArgAction& action = actions_[a];
+        switch (action.kind) {
+          case ArgAction::kConst:
+            match = tuple[column] == action.index;
+            break;
+          case ArgAction::kCheckVar:
+            match = tuple[column] == binding_[action.index];
+            break;
+          case ArgAction::kBindVar:
+            binding_[action.index] = tuple[column];
+            break;
+        }
+      }
+      if (match) Join(depth + 1);
+      // Variables are statically owned by the level that binds them, so
+      // unconditionally unbinding this level's kBindVar set is exact.
+      for (int32_t a = step.actions_begin; a < step.actions_end; ++a) {
+        if (actions_[a].kind == ArgAction::kBindVar) {
+          binding_[actions_[a].index] = -1;
+        }
       }
     }
   }
@@ -149,13 +264,22 @@ class RuleEvaluator {
   const Program& program_;
   const std::vector<Relation>& relations_;
   const Rule* rule_ = nullptr;
-  int32_t delta_literal_ = -1;
-  const Relation* delta_relation_ = nullptr;
-  const std::function<void(Tuple)>* sink_ = nullptr;
+  const Sink* sink_ = nullptr;
   int64_t* applications_ = nullptr;
-  Tuple binding_;
-  std::vector<int32_t> positives_;
-  std::vector<int32_t> bound_here_;
+
+  // Compiled plan (rebuilt per Evaluate call; buffers are reused so
+  // compilation stops allocating once warm).
+  std::vector<ArgAction> actions_;
+  std::vector<JoinStep> steps_;
+  std::vector<AtomTemplate> negatives_;
+  AtomTemplate head_;
+  std::vector<int32_t> pending_;
+  std::vector<bool> var_bound_;
+
+  // Hot-path scratch: variable bindings, probe pattern, ground-atom buffer.
+  std::vector<ConstId> binding_;
+  std::vector<ConstId> pattern_;
+  std::vector<ConstId> scratch_;
 };
 
 }  // namespace
@@ -175,6 +299,15 @@ Result<Database> EvaluateStratified(const Program& program,
   if (stats == nullptr) stats = &local_stats;
 
   const int32_t num_preds = program.num_predicates();
+  // Probe masks are 32-bit column sets, so the set-at-a-time engine caps
+  // arity at 32 (the ground-graph interpreters in core/ have no such cap).
+  for (PredId p = 0; p < num_preds; ++p) {
+    if (program.predicate(p).arity > 32) {
+      return Status::InvalidArgument(
+          "predicate " + program.predicate_name(p) +
+          " has arity > 32; the relational engine supports at most 32");
+    }
+  }
   std::vector<Relation> relations;
   relations.reserve(num_preds);
   for (PredId p = 0; p < num_preds; ++p) {
@@ -193,6 +326,17 @@ Result<Database> EvaluateStratified(const Program& program,
     max_stratum = std::max(max_stratum, (*strata)[p]);
   }
   stats->strata = max_stratum + 1;
+
+  // Delta relations are allocated once and recycled across rounds/strata
+  // (Clear keeps capacity), so fixpoint rounds allocate nothing steady-state.
+  std::vector<Relation> delta;
+  std::vector<Relation> next_delta;
+  delta.reserve(num_preds);
+  next_delta.reserve(num_preds);
+  for (PredId p = 0; p < num_preds; ++p) {
+    delta.emplace_back(program.predicate(p).arity);
+    next_delta.emplace_back(program.predicate(p).arity);
+  }
 
   RuleEvaluator evaluator(program, relations);
   for (int32_t stratum = 0; stratum <= max_stratum; ++stratum) {
@@ -217,30 +361,27 @@ Result<Database> EvaluateStratified(const Program& program,
       return result;
     };
 
-    // Round 0: full evaluation of every stratum rule.
-    std::vector<Relation> delta;
-    delta.reserve(num_preds);
-    for (PredId p = 0; p < num_preds; ++p) {
-      delta.emplace_back(program.predicate(p).arity);
-    }
+    for (PredId p = 0; p < num_preds; ++p) delta[p].Clear();
     Status overflow = Status::Ok();
-    auto sink = [&](PredId head, std::vector<Relation>* deltas) {
-      return [&, head, deltas](Tuple tuple) {
-        if (relations[head].Insert(tuple)) {
+    // Derives into `relations` and records genuinely new tuples in `out`.
+    auto derive_into = [&](PredId head, std::vector<Relation>* out) {
+      return [&, head, out](const ConstId* values) {
+        if (relations[head].Insert(values)) {
           ++stats->tuples_derived;
           if (++total_tuples > options.max_tuples) {
             overflow = Status::ResourceExhausted("tuple budget exceeded");
           }
-          (*deltas)[head].Insert(std::move(tuple));
+          (*out)[head].Insert(values);
         }
       };
     };
+
+    // Round 0: full evaluation of every stratum rule.
     ++stats->iterations;
     for (int32_t r : stratum_rules) {
       const Rule& rule = program.rule(r);
-      evaluator.Evaluate(rule, -1, nullptr,
-                         sink(rule.head.predicate, &delta),
-                         &stats->rule_applications);
+      auto sink = derive_into(rule.head.predicate, &delta);
+      evaluator.Evaluate(rule, -1, nullptr, sink, &stats->rule_applications);
       if (!overflow.ok()) return overflow;
     }
 
@@ -250,11 +391,7 @@ Result<Database> EvaluateStratified(const Program& program,
       for (const Relation& d : delta) delta_empty = delta_empty && d.empty();
       if (delta_empty) break;
       ++stats->iterations;
-      std::vector<Relation> next_delta;
-      next_delta.reserve(num_preds);
-      for (PredId p = 0; p < num_preds; ++p) {
-        next_delta.emplace_back(program.predicate(p).arity);
-      }
+      for (PredId p = 0; p < num_preds; ++p) next_delta[p].Clear();
       for (int32_t r : stratum_rules) {
         const Rule& rule = program.rule(r);
         if (options.semi_naive) {
@@ -263,27 +400,28 @@ Result<Database> EvaluateStratified(const Program& program,
           for (int32_t b : recursive_literals(rule)) {
             const PredId pred = rule.body[b].atom.predicate;
             if (delta[pred].empty()) continue;
-            evaluator.Evaluate(rule, b, &delta[pred],
-                               sink(rule.head.predicate, &next_delta),
+            auto sink = derive_into(rule.head.predicate, &next_delta);
+            evaluator.Evaluate(rule, b, &delta[pred], sink,
                                &stats->rule_applications);
             if (!overflow.ok()) return overflow;
           }
         } else {
           if (recursive_literals(rule).empty()) continue;
-          evaluator.Evaluate(rule, -1, nullptr,
-                             sink(rule.head.predicate, &next_delta),
+          auto sink = derive_into(rule.head.predicate, &next_delta);
+          evaluator.Evaluate(rule, -1, nullptr, sink,
                              &stats->rule_applications);
           if (!overflow.ok()) return overflow;
         }
       }
-      delta = std::move(next_delta);
+      std::swap(delta, next_delta);
     }
   }
 
   Database result(program);
   for (PredId p = 0; p < num_preds; ++p) {
-    for (const Tuple& tuple : relations[p].tuples()) {
-      result.Insert(p, tuple);
+    const Relation& rel = relations[p];
+    for (int32_t row = 0; row < rel.size(); ++row) {
+      result.Insert(p, rel.TupleAt(row));
     }
   }
   return result;

@@ -10,6 +10,13 @@
 // literal. (The ground-graph semantics of core/ handles unsafe rules fine —
 // the paper's program (1) is unsafe — but set-at-a-time evaluation needs
 // safety; CheckSafety reports violations.)
+//
+// Performance contract: relations store tuples in flat columnar arenas
+// with incrementally-maintained probe indexes (see engine/relation.h), the
+// per-rule join is compiled to a flat action plan with literals reordered
+// by bound-argument selectivity, and the inner join loop performs no heap
+// allocation (derived tuples are handed to an internal FunctionView sink
+// as spans into a reusable scratch buffer).
 #ifndef TIEBREAK_ENGINE_EVALUATION_H_
 #define TIEBREAK_ENGINE_EVALUATION_H_
 

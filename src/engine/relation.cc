@@ -1,69 +1,160 @@
 #include "engine/relation.h"
 
+#include <algorithm>
+
 namespace tiebreak {
 
 namespace {
-const std::vector<int32_t> kEmptyMatch;
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+constexpr uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+constexpr int32_t kInitialSlots = 16;  // power of two
 }  // namespace
 
-uint64_t Relation::Fingerprint(const Tuple& tuple) {
-  uint64_t h = 14695981039346656037ULL;
-  for (ConstId c : tuple) {
-    h ^= static_cast<uint64_t>(c) + 0x9E3779B97F4A7C15ULL;
-    h *= 1099511628211ULL;
+uint64_t Relation::FingerprintOf(const ConstId* values, int32_t count) {
+  uint64_t h = kFnvOffset;
+  for (int32_t i = 0; i < count; ++i) {
+    h ^= static_cast<uint64_t>(values[i]) + kGolden;
+    h *= kFnvPrime;
   }
   return h;
 }
 
-uint64_t Relation::KeyHash(uint32_t mask, const Tuple& tuple) {
-  uint64_t h = 14695981039346656037ULL ^ mask;
-  for (size_t i = 0; i < tuple.size(); ++i) {
-    if ((mask >> i) & 1) {
-      h ^= static_cast<uint64_t>(tuple[i]) + 0x9E3779B97F4A7C15ULL;
-      h *= 1099511628211ULL;
+uint64_t Relation::KeyHashOf(uint32_t mask, const ConstId* values) {
+  uint64_t h = kFnvOffset ^ mask;
+  for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
+    const int32_t i = __builtin_ctz(bits);
+    h ^= static_cast<uint64_t>(values[i]) + kGolden;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+int32_t Relation::FindRow(const ConstId* values) const {
+  if (dedupe_slots_.empty()) return -1;
+  const uint64_t fp = FingerprintOf(values, arity_);
+  const size_t slot_mask = dedupe_slots_.size() - 1;
+  for (size_t slot = fp & slot_mask;; slot = (slot + 1) & slot_mask) {
+    const int32_t row = dedupe_slots_[slot];
+    if (row < 0) return -1;
+    if (std::equal(values, values + arity_, Row(row))) return row;
+  }
+}
+
+void Relation::GrowDedupe() {
+  const size_t new_capacity =
+      dedupe_slots_.empty() ? kInitialSlots : dedupe_slots_.size() * 2;
+  std::vector<int32_t> fresh(new_capacity, -1);
+  const size_t slot_mask = new_capacity - 1;
+  for (int32_t row = 0; row < num_rows_; ++row) {
+    const uint64_t fp = FingerprintOf(Row(row), arity_);
+    size_t slot = fp & slot_mask;
+    while (fresh[slot] >= 0) slot = (slot + 1) & slot_mask;
+    fresh[slot] = row;
+  }
+  dedupe_slots_ = std::move(fresh);
+}
+
+bool Relation::Insert(const ConstId* values) {
+  if (dedupe_slots_.empty() ||
+      static_cast<size_t>(num_rows_ + 1) * 2 > dedupe_slots_.size()) {
+    GrowDedupe();
+  }
+  const uint64_t fp = FingerprintOf(values, arity_);
+  const size_t slot_mask = dedupe_slots_.size() - 1;
+  size_t slot = fp & slot_mask;
+  while (dedupe_slots_[slot] >= 0) {
+    if (std::equal(values, values + arity_, Row(dedupe_slots_[slot]))) {
+      return false;
     }
+    slot = (slot + 1) & slot_mask;
   }
-  return h;
-}
-
-bool Relation::ContainsExact(const Tuple& tuple) const {
-  auto it = dedupe_.find(Fingerprint(tuple));
-  if (it == dedupe_.end()) return false;
-  for (int32_t index : it->second) {
-    if (tuples_[index] == tuple) return true;
-  }
-  return false;
-}
-
-bool Relation::Insert(const Tuple& tuple) {
-  TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arity_);
-  const uint64_t fp = Fingerprint(tuple);
-  std::vector<int32_t>& bucket = dedupe_[fp];
-  for (int32_t index : bucket) {
-    if (tuples_[index] == tuple) return false;
-  }
-  bucket.push_back(static_cast<int32_t>(tuples_.size()));
-  tuples_.push_back(tuple);
-  indexes_dirty_ = true;
+  const int32_t row = num_rows_++;
+  dedupe_slots_[slot] = row;
+  data_.insert(data_.end(), values, values + arity_);
+  for (ProbeIndex& index : indexes_) AppendToIndex(&index, row);
   return true;
 }
 
-const std::vector<int32_t>& Relation::Probe(uint32_t mask,
-                                            const Tuple& pattern) const {
-  TIEBREAK_CHECK_EQ(static_cast<int32_t>(pattern.size()), arity_);
-  if (indexes_dirty_) {
-    indexes_.clear();
-    indexes_dirty_ = false;
+void Relation::Clear() {
+  num_rows_ = 0;
+  data_.clear();
+  std::fill(dedupe_slots_.begin(), dedupe_slots_.end(), -1);
+  // Keep the materialized index shells (mask + vector capacity): recycled
+  // delta relations re-probe the same masks every fixpoint round, and
+  // retaining the shells keeps those rounds allocation-free steady-state.
+  // slot_keys can stay stale — entries are only read where slot_heads >= 0.
+  for (ProbeIndex& index : indexes_) {
+    index.next.clear();
+    std::fill(index.slot_heads.begin(), index.slot_heads.end(), -1);
+    index.used_slots = 0;
   }
-  auto& index = indexes_[mask];
-  if (index.empty() && !tuples_.empty()) {
-    index.reserve(tuples_.size() * 2);
-    for (int32_t i = 0; i < static_cast<int32_t>(tuples_.size()); ++i) {
-      index[KeyHash(mask, tuples_[i])].push_back(i);
-    }
+}
+
+void Relation::GrowIndexSlots(ProbeIndex* index) {
+  const size_t new_capacity =
+      index->slot_heads.empty() ? kInitialSlots : index->slot_heads.size() * 2;
+  std::vector<uint64_t> keys(new_capacity, 0);
+  std::vector<int32_t> heads(new_capacity, -1);
+  const size_t slot_mask = new_capacity - 1;
+  // Chains move wholesale: rehashing touches only the slot table, never the
+  // `next` links, so live MatchRange walks are unaffected.
+  for (size_t old_slot = 0; old_slot < index->slot_heads.size(); ++old_slot) {
+    if (index->slot_heads[old_slot] < 0) continue;
+    const uint64_t key = index->slot_keys[old_slot];
+    size_t slot = key & slot_mask;
+    while (heads[slot] >= 0) slot = (slot + 1) & slot_mask;
+    keys[slot] = key;
+    heads[slot] = index->slot_heads[old_slot];
   }
-  auto it = index.find(KeyHash(mask, pattern));
-  return it == index.end() ? kEmptyMatch : it->second;
+  index->slot_keys = std::move(keys);
+  index->slot_heads = std::move(heads);
+}
+
+void Relation::AppendToIndex(ProbeIndex* index, int32_t row) const {
+  if (index->slot_heads.empty() ||
+      static_cast<size_t>(index->used_slots + 1) * 2 >
+          index->slot_heads.size()) {
+    GrowIndexSlots(index);
+  }
+  const uint64_t key = KeyHashOf(index->mask, Row(row));
+  const size_t slot_mask = index->slot_heads.size() - 1;
+  size_t slot = key & slot_mask;
+  while (index->slot_heads[slot] >= 0 && index->slot_keys[slot] != key) {
+    slot = (slot + 1) & slot_mask;
+  }
+  index->next.push_back(index->slot_heads[slot] >= 0 ? index->slot_heads[slot]
+                                                     : -1);
+  if (index->slot_heads[slot] < 0) {
+    index->slot_keys[slot] = key;
+    ++index->used_slots;
+  }
+  index->slot_heads[slot] = row;
+}
+
+Relation::ProbeIndex& Relation::EnsureIndex(uint32_t mask) const {
+  for (ProbeIndex& index : indexes_) {
+    if (index.mask == mask) return index;
+  }
+  ProbeIndex& index = indexes_.emplace_back();
+  index.mask = mask;
+  index.next.reserve(num_rows_);
+  for (int32_t row = 0; row < num_rows_; ++row) AppendToIndex(&index, row);
+  return index;
+}
+
+Relation::MatchRange Relation::Probe(uint32_t mask,
+                                     const ConstId* pattern) const {
+  const ProbeIndex& index = EnsureIndex(mask);
+  const int32_t index_pos = static_cast<int32_t>(&index - indexes_.data());
+  if (index.slot_heads.empty()) return MatchRange(this, index_pos, -1);
+  const uint64_t key = KeyHashOf(mask, pattern);
+  const size_t slot_mask = index.slot_heads.size() - 1;
+  size_t slot = key & slot_mask;
+  while (index.slot_heads[slot] >= 0 && index.slot_keys[slot] != key) {
+    slot = (slot + 1) & slot_mask;
+  }
+  return MatchRange(this, index_pos, index.slot_heads[slot]);
 }
 
 }  // namespace tiebreak

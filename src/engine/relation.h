@@ -1,13 +1,37 @@
-// Relations for the bottom-up engine: deduplicated tuple sets with
-// on-demand hash indexes per bound-column mask. The ground-graph machinery
+// Relations for the bottom-up engine: flat columnar tuple storage with
+// incrementally-maintained probe indexes. The ground-graph machinery
 // (ground/) is the paper-faithful semantic core; this engine is the
 // performance substrate for evaluating *stratified* programs at scale
 // (benchmarks, counter-machine trajectories, perfect-model cross-checks).
+//
+// Storage layout. All tuples live in one contiguous arena: a single
+// std::vector<ConstId> strided by arity, addressed by dense row id
+// (row r occupies data_[r*arity .. r*arity+arity)). Insert appends to the
+// arena — there is no per-tuple heap allocation, no vector-of-vectors, and
+// row ids are stable forever (rows are never moved or deleted).
+//
+// Deduplication. An open-addressing fingerprint table (power-of-two
+// capacity, linear probing, ≤50% load) maps a 64-bit FNV fingerprint of
+// the tuple to its row id; collisions re-check the arena bytes. No bucket
+// vectors anywhere.
+//
+// Probe indexes. A probe asks for all rows whose columns selected by a
+// bit mask equal a pattern. Per distinct mask the relation materializes
+// (lazily, on first probe) a hash index: an open-addressing table from the
+// masked-column hash to the head of an intrusive chain threaded through a
+// per-index `next` array (next[row] = older row with the same key). The
+// index-maintenance contract is *incremental*: Insert appends the new row
+// to every materialized index in O(1) amortized — indexes are never
+// invalidated and never rebuilt, so semi-naive delta rounds that
+// interleave Insert and Probe on the same mask pay no rebuild cost and
+// always observe previously inserted tuples. Probe iteration is therefore
+// stable under concurrent inserts into the same relation: rows inserted
+// mid-iteration prepend to chain heads already passed and become visible
+// to the *next* probe (exactly the semantics fixpoint rounds need).
 #ifndef TIEBREAK_ENGINE_RELATION_H_
 #define TIEBREAK_ENGINE_RELATION_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "lang/symbols.h"
@@ -15,7 +39,7 @@
 
 namespace tiebreak {
 
-/// A set of same-arity tuples with probe indexes.
+/// A set of same-arity tuples in a flat arena, with probe indexes.
 class Relation {
  public:
   explicit Relation(int32_t arity) : arity_(arity) {
@@ -23,37 +47,120 @@ class Relation {
   }
 
   int32_t arity() const { return arity_; }
-  int64_t size() const { return static_cast<int64_t>(tuples_.size()); }
-  bool empty() const { return tuples_.empty(); }
+  int64_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
-  /// Inserts a tuple; returns true when it was new. Invalidates indexes.
-  bool Insert(const Tuple& tuple);
-
-  bool Contains(const Tuple& tuple) const {
-    return dedupe_.contains(Fingerprint(tuple)) && ContainsExact(tuple);
+  /// Inserts the tuple at `values` (arity() consecutive ids); returns true
+  /// when it was new. Appends to all materialized probe indexes.
+  bool Insert(const ConstId* values);
+  bool Insert(const Tuple& tuple) {
+    TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arity_);
+    return Insert(tuple.data());
   }
 
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  bool Contains(const ConstId* values) const {
+    return FindRow(values) >= 0;
+  }
+  bool Contains(const Tuple& tuple) const {
+    TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arity_);
+    return Contains(tuple.data());
+  }
 
-  /// Indices of tuples whose positions in `mask` (bit i = column i bound)
+  /// Pointer to row `row`'s arity() ids inside the arena.
+  const ConstId* Row(int32_t row) const {
+    return data_.data() + static_cast<size_t>(row) * arity_;
+  }
+  /// Materializes row `row` as an owned Tuple (convenience; allocates).
+  Tuple TupleAt(int32_t row) const {
+    return Tuple(Row(row), Row(row) + arity_);
+  }
+
+  /// Drops all rows and indexes but keeps allocated capacity (for reusing
+  /// delta relations across fixpoint rounds).
+  void Clear();
+
+  /// Lazy range over the row ids matching a probe; see Probe().
+  class MatchRange {
+   public:
+    class iterator {
+     public:
+      int32_t operator*() const { return row_; }
+      iterator& operator++() {
+        row_ = relation_->indexes_[index_pos_].next[row_];
+        return *this;
+      }
+      bool operator!=(const iterator& other) const {
+        return row_ != other.row_;
+      }
+
+     private:
+      friend class MatchRange;
+      iterator(const Relation* relation, int32_t index_pos, int32_t row)
+          : relation_(relation), index_pos_(index_pos), row_(row) {}
+      // Chain links are re-fetched through the relation on every step, so
+      // iteration stays valid when inserts grow the index mid-walk.
+      const Relation* relation_;
+      int32_t index_pos_;
+      int32_t row_;
+    };
+
+    iterator begin() const { return iterator(relation_, index_pos_, head_); }
+    iterator end() const { return iterator(relation_, index_pos_, -1); }
+    bool empty() const { return head_ < 0; }
+
+   private:
+    friend class Relation;
+    MatchRange(const Relation* relation, int32_t index_pos, int32_t head)
+        : relation_(relation), index_pos_(index_pos), head_(head) {}
+    const Relation* relation_;
+    int32_t index_pos_;
+    int32_t head_;
+  };
+
+  /// Row ids of tuples whose positions in `mask` (bit i = column i bound)
   /// equal the corresponding entries of `pattern` (unbound entries of
-  /// `pattern` are ignored). Uses a cached per-mask hash index.
-  const std::vector<int32_t>& Probe(uint32_t mask, const Tuple& pattern) const;
+  /// `pattern` are ignored). Rows sharing the 64-bit masked-column hash are
+  /// chained together, so callers must verify candidate rows against the
+  /// pattern (hash collisions are astronomically rare but possible).
+  /// Iterates newest-first; rows inserted after this call are not seen by
+  /// the returned range.
+  MatchRange Probe(uint32_t mask, const ConstId* pattern) const;
+  MatchRange Probe(uint32_t mask, const Tuple& pattern) const {
+    TIEBREAK_CHECK_EQ(static_cast<int32_t>(pattern.size()), arity_);
+    return Probe(mask, pattern.data());
+  }
 
  private:
-  bool ContainsExact(const Tuple& tuple) const;
-  static uint64_t Fingerprint(const Tuple& tuple);
-  static uint64_t KeyHash(uint32_t mask, const Tuple& tuple);
+  // One materialized per-mask hash index: open-addressing slots mapping a
+  // masked-column hash to the newest row with that key, plus the intrusive
+  // chain (next[row] = next-older row with the same key, -1 at the end).
+  struct ProbeIndex {
+    uint32_t mask = 0;
+    std::vector<uint64_t> slot_keys;   // valid where slot_heads[i] >= 0
+    std::vector<int32_t> slot_heads;   // -1 = empty slot
+    std::vector<int32_t> next;         // chain links, indexed by row id
+    int32_t used_slots = 0;
+  };
+
+  int32_t FindRow(const ConstId* values) const;
+  void GrowDedupe();
+  ProbeIndex& EnsureIndex(uint32_t mask) const;
+  void AppendToIndex(ProbeIndex* index, int32_t row) const;
+  static void GrowIndexSlots(ProbeIndex* index);
+  static uint64_t FingerprintOf(const ConstId* values, int32_t count);
+  static uint64_t KeyHashOf(uint32_t mask, const ConstId* values);
 
   int32_t arity_;
-  std::vector<Tuple> tuples_;
-  // Fingerprint multiset for O(1) membership (collisions re-checked).
-  std::unordered_map<uint64_t, std::vector<int32_t>> dedupe_;
-  // mask -> (key hash -> tuple indices). Rebuilt lazily after inserts.
-  mutable std::unordered_map<uint32_t,
-                             std::unordered_map<uint64_t, std::vector<int32_t>>>
-      indexes_;
-  mutable bool indexes_dirty_ = false;
+  int32_t num_rows_ = 0;
+  // The arena: row r = data_[r*arity_ .. (r+1)*arity_).
+  std::vector<ConstId> data_;
+  // Open-addressing dedupe table over tuple fingerprints; entries are row
+  // ids, -1 = empty. Capacity is a power of two, load factor ≤ 1/2.
+  std::vector<int32_t> dedupe_slots_;
+  // One index per distinct probed mask (typically ≤ a handful). Positions
+  // are stable handles: MatchRange refers to indexes by position so that
+  // growing this vector never invalidates live iterators.
+  mutable std::vector<ProbeIndex> indexes_;
 };
 
 }  // namespace tiebreak

@@ -1,0 +1,44 @@
+// A non-owning, trivially-copyable reference to any callable — the
+// engine's answer to std::function on hot paths. std::function type-erases
+// with a possible heap allocation and always an indirect call through a
+// vtable-ish thunk; FunctionView is two words (object pointer + call
+// thunk), never allocates, and inlines well. The referenced callable must
+// outlive the view, which makes it suitable exactly for "sink" parameters
+// that live for one call (cf. util::function_view in the dawn SAT solver).
+#ifndef TIEBREAK_UTIL_FUNCTION_VIEW_H_
+#define TIEBREAK_UTIL_FUNCTION_VIEW_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace tiebreak {
+
+template <typename Signature>
+class FunctionView;
+
+template <typename R, typename... Args>
+class FunctionView<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cvref_t<F>, FunctionView>>>
+  FunctionView(F&& callable)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        call_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_UTIL_FUNCTION_VIEW_H_

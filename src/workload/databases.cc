@@ -74,6 +74,25 @@ Database UnarySetDatabase(Program* program, const std::string& relation,
   return database;
 }
 
+Database GridDatabase(Program* program, const std::string& relation,
+                      int32_t width, int32_t height) {
+  TIEBREAK_CHECK_GE(width, 1);
+  TIEBREAK_CHECK_GE(height, 1);
+  const std::vector<ConstId> nodes = InternNodes(program, width * height);
+  const PredId pred = RequireBinary(program, relation);
+  Database database(*program);
+  for (int32_t y = 0; y < height; ++y) {
+    for (int32_t x = 0; x < width; ++x) {
+      const int32_t at = y * width + x;
+      if (x + 1 < width) database.Insert(pred, {nodes[at], nodes[at + 1]});
+      if (y + 1 < height) {
+        database.Insert(pred, {nodes[at], nodes[at + width]});
+      }
+    }
+  }
+  return database;
+}
+
 Database RandomEdbDatabase(Program* program, int32_t universe_size,
                            double density, Rng* rng) {
   TIEBREAK_CHECK_GE(universe_size, 1);

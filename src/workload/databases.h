@@ -31,6 +31,12 @@ Database CycleDatabase(Program* program, const std::string& relation,
 Database UnarySetDatabase(Program* program, const std::string& relation,
                           int32_t size);
 
+/// relation = the directed width x height grid: edges point right and down,
+/// so transitive closure reaches every cell south-east of the source. The
+/// many alternative paths between cell pairs stress tuple deduplication.
+Database GridDatabase(Program* program, const std::string& relation,
+                      int32_t width, int32_t height);
+
 /// A random database over `universe_size` node constants for *every* EDB
 /// predicate of the program: each possible fact is included with
 /// probability `density`. Zero-ary EDB predicates are included with the

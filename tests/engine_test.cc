@@ -28,6 +28,16 @@ using testing_util::ParseInstance;
 // Relation.
 // ---------------------------------------------------------------------------
 
+// Collects a probe's matching rows as owned tuples.
+std::set<Tuple> ProbeSet(const Relation& rel, uint32_t mask,
+                         const Tuple& pattern) {
+  std::set<Tuple> found;
+  for (int32_t row : rel.Probe(mask, pattern)) {
+    found.insert(rel.TupleAt(row));
+  }
+  return found;
+}
+
 TEST(RelationTest, InsertDedupesAndProbes) {
   Relation rel(2);
   EXPECT_TRUE(rel.Insert({1, 2}));
@@ -39,9 +49,7 @@ TEST(RelationTest, InsertDedupesAndProbes) {
   EXPECT_FALSE(rel.Contains({3, 1}));
 
   // Probe on first column = 1.
-  const auto& matches = rel.Probe(0b01, {1, 0});
-  std::set<Tuple> found;
-  for (int32_t i : matches) found.insert(rel.tuples()[i]);
+  const std::set<Tuple> found = ProbeSet(rel, 0b01, {1, 0});
   EXPECT_TRUE(found.contains(Tuple{1, 2}));
   EXPECT_TRUE(found.contains(Tuple{1, 3}));
 }
@@ -49,17 +57,83 @@ TEST(RelationTest, InsertDedupesAndProbes) {
 TEST(RelationTest, ProbeAfterInsertSeesNewTuples) {
   Relation rel(1);
   rel.Insert({5});
-  EXPECT_EQ(rel.Probe(0b1, {5}).size(), 1u);
+  EXPECT_EQ(ProbeSet(rel, 0b1, {5}).size(), 1u);
   rel.Insert({5});  // duplicate
   rel.Insert({6});
-  EXPECT_EQ(rel.Probe(0b1, {6}).size(), 1u);  // index rebuilt
+  EXPECT_EQ(ProbeSet(rel, 0b1, {6}).size(), 1u);  // index appended to
 }
 
 TEST(RelationTest, EmptyMaskProbesEverything) {
   Relation rel(2);
   rel.Insert({1, 1});
   rel.Insert({2, 2});
-  EXPECT_EQ(rel.Probe(0, {0, 0}).size(), 2u);
+  EXPECT_EQ(ProbeSet(rel, 0, {0, 0}).size(), 2u);
+}
+
+// Regression for the wipe-on-insert staleness hazard: interleave Insert and
+// Probe on the *same* mask many times and require every previously inserted
+// tuple to stay findable. (The pre-columnar implementation wiped all
+// indexes on insert and relied on full rebuilds; incremental maintenance
+// must keep already-materialized indexes exactly in sync.)
+TEST(RelationTest, InterleavedInsertProbeStaysFresh) {
+  Relation rel(2);
+  for (int32_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(rel.Insert({i, i * 7}));
+    // Probe the mask we keep reusing; the row inserted a moment ago must be
+    // visible without any rebuild.
+    const std::set<Tuple> by_first = ProbeSet(rel, 0b01, {i, 0});
+    EXPECT_TRUE(by_first.contains(Tuple{i, i * 7})) << "i=" << i;
+    // Every older row stays findable through both column indexes.
+    if (i > 0) {
+      const int32_t j = i / 2;
+      EXPECT_TRUE(ProbeSet(rel, 0b01, {j, 0}).contains(Tuple{j, j * 7}));
+      EXPECT_TRUE(ProbeSet(rel, 0b10, {0, j * 7}).contains(Tuple{j, j * 7}));
+    }
+  }
+  EXPECT_EQ(rel.size(), 200);
+}
+
+TEST(RelationTest, InsertDuringProbeIterationIsSafe) {
+  // Inserting into the relation while iterating a probe range must not
+  // invalidate the iteration (semi-naive rounds probe the head relation
+  // they are inserting into). Rows inserted mid-iteration become visible
+  // to the next probe.
+  Relation rel(2);
+  for (int32_t i = 0; i < 32; ++i) rel.Insert({1, i});
+  int32_t seen = 0;
+  for (int32_t row : rel.Probe(0b01, {1, 0})) {
+    EXPECT_EQ(rel.Row(row)[0], 1);
+    rel.Insert({1, 100 + seen});  // grows arena, chains and slot tables
+    ++seen;
+  }
+  EXPECT_EQ(seen, 32);
+  EXPECT_EQ(ProbeSet(rel, 0b01, {1, 0}).size(), 64u);
+}
+
+TEST(RelationTest, ClearKeepsArityAndReusesCapacity) {
+  Relation rel(2);
+  for (int32_t i = 0; i < 100; ++i) rel.Insert({i, i});
+  EXPECT_FALSE(ProbeSet(rel, 0b01, {4, 0}).empty());
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+  EXPECT_FALSE(rel.Contains({4, 4}));
+  EXPECT_TRUE(ProbeSet(rel, 0b01, {4, 0}).empty());
+  EXPECT_TRUE(rel.Insert({4, 4}));
+  EXPECT_TRUE(ProbeSet(rel, 0b01, {4, 0}).contains(Tuple{4, 4}));
+}
+
+TEST(RelationTest, ZeroArityRelationHoldsOneRow) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.Insert(Tuple{}));
+  EXPECT_FALSE(rel.Insert(Tuple{}));
+  EXPECT_EQ(rel.size(), 1);
+  EXPECT_TRUE(rel.Contains(Tuple{}));
+  int32_t count = 0;
+  for (int32_t row : rel.Probe(0, Tuple{})) {
+    EXPECT_EQ(row, 0);
+    ++count;
+  }
+  EXPECT_EQ(count, 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -135,16 +209,72 @@ TEST(EngineTest, NaiveAndSemiNaiveAgree) {
   }
 }
 
-TEST(EngineTest, SemiNaiveDoesLessWorkOnChains) {
-  Program program = TransitiveClosureProgram();
-  Database db = ChainDatabase(&program, "e", 40);
-  EngineOptions semi, naive;
-  naive.semi_naive = false;
-  EngineStats semi_stats, naive_stats;
-  ASSERT_TRUE(EvaluateStratified(program, db, semi, &semi_stats).ok());
-  ASSERT_TRUE(EvaluateStratified(program, db, naive, &naive_stats).ok());
-  EXPECT_LT(semi_stats.rule_applications, naive_stats.rule_applications);
-  EXPECT_EQ(semi_stats.tuples_derived, naive_stats.tuples_derived);
+// The storage/join rewrite must not silently diverge on programs beyond the
+// hand-written ones: generate random safe programs, keep the stratified
+// ones, and require naive and semi-naive evaluation to agree exactly (and
+// to derive the same tuple counts) on random EDBs.
+TEST(EngineTest, NaiveAndSemiNaiveAgreeOnRandomStratifiedPrograms) {
+  Rng rng(0xE17A);
+  int evaluated = 0;
+  for (int round = 0; round < 120; ++round) {
+    RandomProgramOptions options;
+    options.num_idb = 2 + static_cast<int>(rng.Below(3));
+    options.num_edb = 1 + static_cast<int>(rng.Below(3));
+    options.num_rules = 2 + static_cast<int>(rng.Below(8));
+    options.max_body = 1 + static_cast<int>(rng.Below(3));
+    options.negation_probability = rng.Unit() * 0.5;
+    options.arity = 1 + static_cast<int>(rng.Below(2));
+    Program program = RandomProgram(&rng, options);
+    ASSERT_TRUE(program.Validate().ok());
+    if (!CheckSafety(program).ok()) continue;
+    if (!ComputeStrata(program).has_value()) continue;
+
+    Database db = RandomEdbDatabase(&program, 4, 0.4, &rng);
+    EngineOptions semi, naive;
+    naive.semi_naive = false;
+    EngineStats semi_stats, naive_stats;
+    Result<Database> a = EvaluateStratified(program, db, semi, &semi_stats);
+    Result<Database> b = EvaluateStratified(program, db, naive, &naive_stats);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_TRUE(*a == *b) << "round " << round;
+    EXPECT_EQ(semi_stats.tuples_derived, naive_stats.tuples_derived)
+        << "round " << round;
+    ++evaluated;
+  }
+  // The generator must actually exercise the engine, not skip everything.
+  EXPECT_GT(evaluated, 30);
+}
+
+TEST(EngineTest, SemiNaiveDoesLessWork) {
+  // Note: a forward chain is *not* a good workload for this comparison
+  // anymore — the flat relation's newest-first probe order happens to walk
+  // chain edges in reverse-topological order, so round 0 converges in one
+  // pass and both modes do identical work. Cycles and random graphs cannot
+  // be closed in one pass, so the classic delta argument applies.
+  {
+    Program program = TransitiveClosureProgram();
+    Database db = CycleDatabase(&program, "e", 30);
+    EngineOptions semi, naive;
+    naive.semi_naive = false;
+    EngineStats semi_stats, naive_stats;
+    ASSERT_TRUE(EvaluateStratified(program, db, semi, &semi_stats).ok());
+    ASSERT_TRUE(EvaluateStratified(program, db, naive, &naive_stats).ok());
+    EXPECT_LT(semi_stats.rule_applications, naive_stats.rule_applications);
+    EXPECT_EQ(semi_stats.tuples_derived, naive_stats.tuples_derived);
+  }
+  {
+    Program program = TransitiveClosureProgram();
+    Rng rng(7);
+    Database db = RandomDigraphDatabase(&program, "e", 20, 50, &rng);
+    EngineOptions semi, naive;
+    naive.semi_naive = false;
+    EngineStats semi_stats, naive_stats;
+    ASSERT_TRUE(EvaluateStratified(program, db, semi, &semi_stats).ok());
+    ASSERT_TRUE(EvaluateStratified(program, db, naive, &naive_stats).ok());
+    EXPECT_LT(semi_stats.rule_applications, naive_stats.rule_applications);
+    EXPECT_EQ(semi_stats.tuples_derived, naive_stats.tuples_derived);
+  }
 }
 
 TEST(EngineTest, StratifiedNegation) {
@@ -219,6 +349,31 @@ TEST(EngineTest, UnstratifiedProgramRejected) {
   Result<Database> result = EvaluateStratified(program, db);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, WideArityRejected) {
+  // Probe masks are 32-bit column sets; arity > 32 must be rejected
+  // cleanly, not shift out of range.
+  Program program;
+  const PredId wide = program.DeclarePredicate("wide", 33);
+  const PredId src = program.DeclarePredicate("src", 33);
+  Rule rule;
+  rule.head.predicate = wide;
+  Literal body_lit;
+  body_lit.atom.predicate = src;
+  rule.num_variables = 33;
+  for (int32_t i = 0; i < 33; ++i) {
+    rule.head.args.push_back(Term::Variable(i));
+    body_lit.atom.args.push_back(Term::Variable(i));
+    rule.variable_names.push_back("V" + std::to_string(i));
+  }
+  rule.body.push_back(body_lit);
+  program.AddRule(rule);
+  ASSERT_TRUE(program.Validate().ok());
+  Database db(program);
+  Result<Database> result = EvaluateStratified(program, db);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(EngineTest, UnsafeProgramRejected) {
