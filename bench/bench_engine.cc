@@ -1,16 +1,30 @@
 // EXP-ENG — engine substrate throughput. Standalone harness (no
 // google-benchmark) so it can emit machine-readable BENCH_engine.json next
 // to human-readable rows: per-workload wall time, derived tuples, rule
-// applications, and tuples/sec, plus the recorded pre-rewrite baseline so
-// the speedup trajectory is tracked in-repo.
+// applications, and tuples/sec, plus the recorded baseline so the speedup
+// trajectory is tracked in-repo. Baselines for the original six workloads
+// are the pre-columnar (PR 0) engine; baselines for the million-tuple
+// workloads are the PR 1 engine (flat storage + per-call plan compile,
+// serial, per-tuple result materialization) measured on this container.
 //
-// Usage: bench_engine [output.json]   (default BENCH_engine.json)
+// Usage: bench_engine [output.json] [--threads N] [--workload NAME]
+//                     [--reps N] [--json PATH]
+//   --threads N    EngineOptions::num_threads for measured runs
+//                  (0 = hardware concurrency; default 0)
+//   --workload S   only run workloads whose name contains S (may repeat);
+//                  skips writing JSON unless an output path was given
+//   --reps N       repetitions per workload (best-of; default 3)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "engine/evaluation.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/databases.h"
 #include "workload/programs.h"
@@ -18,149 +32,200 @@
 namespace tiebreak {
 namespace {
 
-struct WorkloadResult {
-  std::string name;
-  double seconds = 0;         // best-of-repetitions wall time
-  int64_t tuples_derived = 0;
-  int64_t rule_applications = 0;
-  double tuples_per_sec = 0;
-};
-
-// Pre-rewrite throughput (tuples/sec) of the vector-of-Tuple relation
-// storage with wipe-on-insert probe indexes, recorded on this container at
-// the commit that introduced this harness. Keyed by workload name; 0 means
-// "no baseline recorded".
-struct BaselineEntry {
-  const char* name;
-  double tuples_per_sec;
-};
-constexpr BaselineEntry kBaseline[] = {
-    {"tc_chain_512", 739784.0},      {"tc_cycle_256", 950397.0},
-    {"tc_random_256", 380894.0},     {"tc_grid_24x24", 446335.0},
+// Recorded throughput baselines (tuples/sec); see the file comment.
+constexpr benchutil::BaselineEntry kBaseline[] = {
+    {"tc_chain_512", 739784.0},       {"tc_cycle_256", 950397.0},
+    {"tc_random_256", 380894.0},      {"tc_grid_24x24", 446335.0},
     {"same_generation_d7", 421006.0}, {"stratified_tower_32", 2040875.0},
+    {"tc_chain_2048", 2649049.0},     {"tc_grid_wide_512x4", 2406779.0},
+    {"reach_random_1m", 213690.0},
 };
 
-double BaselineFor(const std::string& name) {
-  for (const BaselineEntry& entry : kBaseline) {
-    if (name == entry.name) return entry.tuples_per_sec;
-  }
-  return 0.0;
+struct Workload {
+  std::string name;
+  Program program;
+  Database database;
+
+  Workload(std::string name, Program program, Database database)
+      : name(std::move(name)),
+        program(std::move(program)),
+        database(std::move(database)) {}
+};
+
+// Registered lazily: million-tuple EDBs take seconds to generate, so only
+// the workloads that will actually run are built.
+struct WorkloadFactory {
+  const char* name;
+  std::function<Workload()> build;
+};
+
+Workload MakeReachRandom1M() {
+  // A million-tuple EDB: 1M nodes, 4M random edges, streamed in through
+  // Database::BulkLoad. Single-source reachability keeps the closure linear
+  // (≈ one derived tuple per reachable node).
+  Program program = ReachabilityProgram();
+  Rng rng(2026);
+  Database db = LargeRandomDigraphDatabase(&program, "e", 1'000'000,
+                                           4'000'000, &rng);
+  const PredId start = program.LookupPredicate("start");
+  const ConstId n0 = program.LookupConstant("n0");
+  db.Insert(start, {n0});
+  return Workload("reach_random_1m", std::move(program), std::move(db));
 }
 
-WorkloadResult Measure(const std::string& name, const Program& program,
-                       const Database& database, int reps) {
-  WorkloadResult out;
-  out.name = name;
+const WorkloadFactory kWorkloads[] = {
+    {"tc_chain_512",
+     [] {
+       Program program = TransitiveClosureProgram();
+       Database db = ChainDatabase(&program, "e", 512);
+       return Workload("tc_chain_512", std::move(program), std::move(db));
+     }},
+    {"tc_cycle_256",
+     [] {
+       Program program = TransitiveClosureProgram();
+       Database db = CycleDatabase(&program, "e", 256);
+       return Workload("tc_cycle_256", std::move(program), std::move(db));
+     }},
+    {"tc_random_256",
+     [] {
+       Program program = TransitiveClosureProgram();
+       Rng rng(42);
+       Database db = RandomDigraphDatabase(&program, "e", 256, 768, &rng);
+       return Workload("tc_random_256", std::move(program), std::move(db));
+     }},
+    {"tc_grid_24x24",
+     [] {
+       Program program = TransitiveClosureProgram();
+       Database db = GridDatabase(&program, "e", 24, 24);
+       return Workload("tc_grid_24x24", std::move(program), std::move(db));
+     }},
+    {"same_generation_d7",
+     [] {
+       Program program = SameGenerationProgram();
+       Database db = BalancedTreeDatabase(&program, 7);
+       return Workload("same_generation_d7", std::move(program),
+                       std::move(db));
+     }},
+    {"stratified_tower_32",
+     [] {
+       Program program = StratifiedTowerProgram(32);
+       Database db = UnarySetDatabase(&program, "e", 256);
+       return Workload("stratified_tower_32", std::move(program),
+                       std::move(db));
+     }},
+    // Million-tuple workloads: the closure (or the EDB) is in the millions,
+    // so these measure the engine where parallel strata and bulk publishes
+    // actually matter.
+    {"tc_chain_2048",
+     [] {
+       // 2048-node chain: closure = 2048·2047/2 ≈ 2.10M tuples.
+       Program program = TransitiveClosureProgram();
+       Database db = ChainDatabase(&program, "e", 2048);
+       return Workload("tc_chain_2048", std::move(program), std::move(db));
+     }},
+    {"tc_grid_wide_512x4",
+     [] {
+       // Wide grid: closure ≈ (512·513/2)·(4·5/2) ≈ 1.31M tuples with heavy
+       // duplicate-path pressure on the dedupe table.
+       Program program = TransitiveClosureProgram();
+       Database db = WideGridDatabase(&program, "e", 512, 4);
+       return Workload("tc_grid_wide_512x4", std::move(program),
+                       std::move(db));
+     }},
+    {"reach_random_1m", MakeReachRandom1M},
+};
+
+benchutil::Row Measure(const Workload& workload, int reps,
+                       int32_t num_threads) {
+  benchutil::Row out;
+  out.name = workload.name;
   EngineOptions options;
+  options.num_threads = num_threads;
+  out.num_threads = ThreadPool::EffectiveThreads(num_threads);
   // Warm-up (and correctness sanity) run.
   {
     EngineStats stats;
-    Result<Database> result =
-        EvaluateStratified(program, database, options, &stats);
+    Result<Database> result = EvaluateStratified(workload.program,
+                                                 workload.database, options,
+                                                 &stats);
     TIEBREAK_CHECK(result.ok()) << result.status().ToString();
-    out.tuples_derived = stats.tuples_derived;
-    out.rule_applications = stats.rule_applications;
+    out.items = stats.tuples_derived;
+    out.applications = stats.rule_applications;
   }
   double best = 1e100;
   for (int rep = 0; rep < reps; ++rep) {
     WallTimer timer;
     EngineStats stats;
-    Result<Database> result =
-        EvaluateStratified(program, database, options, &stats);
+    Result<Database> result = EvaluateStratified(workload.program,
+                                                 workload.database, options,
+                                                 &stats);
     const double seconds = timer.Seconds();
     TIEBREAK_CHECK(result.ok());
-    TIEBREAK_CHECK_EQ(stats.tuples_derived, out.tuples_derived);
+    TIEBREAK_CHECK_EQ(stats.tuples_derived, out.items);
     if (seconds < best) best = seconds;
   }
   out.seconds = best;
-  out.tuples_per_sec =
-      best > 0 ? static_cast<double>(out.tuples_derived) / best : 0;
+  out.items_per_sec = best > 0 ? static_cast<double>(out.items) / best : 0;
   return out;
 }
 
 int Main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_engine.json";
-  std::vector<WorkloadResult> results;
+  std::string json_path;
+  bool json_path_explicit = false;
+  std::vector<std::string> name_filters;
+  int reps = 3;
+  int32_t num_threads = 0;  // hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      TIEBREAK_CHECK_LT(i + 1, argc) << arg << " needs a value";
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      num_threads = std::atoi(next_value());
+    } else if (arg == "--workload") {
+      name_filters.push_back(next_value());
+    } else if (arg == "--reps") {
+      reps = std::atoi(next_value());
+    } else if (arg == "--json") {
+      json_path = next_value();
+      json_path_explicit = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      json_path = arg;
+      json_path_explicit = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (json_path.empty()) json_path = "BENCH_engine.json";
 
-  {
-    Program program = TransitiveClosureProgram();
-    Database db = ChainDatabase(&program, "e", 512);
-    results.push_back(Measure("tc_chain_512", program, db, 3));
-  }
-  {
-    Program program = TransitiveClosureProgram();
-    Database db = CycleDatabase(&program, "e", 256);
-    results.push_back(Measure("tc_cycle_256", program, db, 3));
-  }
-  {
-    Program program = TransitiveClosureProgram();
-    Rng rng(42);
-    Database db = RandomDigraphDatabase(&program, "e", 256, 768, &rng);
-    results.push_back(Measure("tc_random_256", program, db, 3));
-  }
-  {
-    Program program = TransitiveClosureProgram();
-    Database db = GridDatabase(&program, "e", 24, 24);
-    results.push_back(Measure("tc_grid_24x24", program, db, 3));
-  }
-  {
-    // Same generation over a balanced binary tree of depth 7.
-    Program program = SameGenerationProgram();
-    const PredId up = program.DeclarePredicate("up", 2);
-    const PredId down = program.DeclarePredicate("down", 2);
-    const PredId sibling = program.DeclarePredicate("sibling", 2);
-    const int depth = 7;
-    const int nodes = (1 << (depth + 1)) - 1;
-    std::vector<ConstId> ids;
-    ids.reserve(nodes);
-    for (int i = 0; i < nodes; ++i) {
-      ids.push_back(program.InternConstant("n" + std::to_string(i)));
+  auto selected = [&](const char* name) {
+    if (name_filters.empty()) return true;
+    for (const std::string& filter : name_filters) {
+      if (std::strstr(name, filter.c_str()) != nullptr) return true;
     }
-    Database db(program);
-    for (int i = 1; i < nodes; ++i) {
-      const int parent = (i - 1) / 2;
-      db.Insert(up, {ids[i], ids[parent]});
-      db.Insert(down, {ids[parent], ids[i]});
-    }
-    for (int i = 1; i + 1 < nodes; i += 2) {
-      db.Insert(sibling, {ids[i], ids[i + 1]});
-      db.Insert(sibling, {ids[i + 1], ids[i]});
-    }
-    results.push_back(Measure("same_generation_d7", program, db, 3));
+    return false;
+  };
+
+  std::vector<benchutil::Row> results;
+  for (const WorkloadFactory& factory : kWorkloads) {
+    if (!selected(factory.name)) continue;
+    const Workload workload = factory.build();
+    results.push_back(Measure(workload, reps, num_threads));
   }
-  {
-    Program program = StratifiedTowerProgram(32);
-    Database db = UnarySetDatabase(&program, "e", 256);
-    results.push_back(Measure("stratified_tower_32", program, db, 3));
+  if (results.empty()) {
+    std::fprintf(stderr, "no workload matches the --workload filters\n");
+    return 1;
   }
 
-  std::printf("%-22s %12s %14s %14s %14s %9s\n", "workload", "seconds",
-              "tuples", "applications", "tuples/sec", "speedup");
-  FILE* json = std::fopen(json_path.c_str(), "w");
-  TIEBREAK_CHECK(json != nullptr) << "cannot open " << json_path;
-  std::fprintf(json, "{\n  \"benchmarks\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const WorkloadResult& r = results[i];
-    const double baseline = BaselineFor(r.name);
-    const double speedup = baseline > 0 ? r.tuples_per_sec / baseline : 0;
-    std::printf("%-22s %12.6f %14lld %14lld %14.0f %9s\n", r.name.c_str(),
-                r.seconds, static_cast<long long>(r.tuples_derived),
-                static_cast<long long>(r.rule_applications), r.tuples_per_sec,
-                baseline > 0 ? (std::to_string(speedup).substr(0, 5) + "x").c_str()
-                             : "n/a");
-    std::fprintf(json,
-                 "    {\"name\": \"%s\", \"seconds\": %.6f, "
-                 "\"tuples_derived\": %lld, \"rule_applications\": %lld, "
-                 "\"tuples_per_sec\": %.1f, \"baseline_tuples_per_sec\": %.1f, "
-                 "\"speedup\": %.3f}%s\n",
-                 r.name.c_str(), r.seconds,
-                 static_cast<long long>(r.tuples_derived),
-                 static_cast<long long>(r.rule_applications), r.tuples_per_sec,
-                 baseline, speedup, i + 1 < results.size() ? "," : "");
+  benchutil::PrintTable(results, kBaseline, "tuples");
+  // A filtered run is a profiling session; don't clobber the committed
+  // suite-wide JSON unless the caller asked for a file explicitly.
+  if (name_filters.empty() || json_path_explicit) {
+    benchutil::WriteJson(json_path, results, kBaseline, "tuples_derived",
+                         "tuples_per_sec");
   }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }
 

@@ -1,75 +1,107 @@
-// EXP-GRD — grounder comparison: the paper-faithful |U|^k grounder vs the
+// EXP-GRD — grounder throughput: the paper-faithful |U|^k grounder vs the
 // EDB-reduced grounder (equivalence is tested in ground_test.cc; here we
 // measure the cost gap) and the reduced grounder's scaling on the Theorem 6
 // machine programs, whose [S=s] chains make faithful grounding hopeless.
-#include <benchmark/benchmark.h>
+//
+// Standalone harness in the BENCH_engine.json style (shared scaffolding in
+// bench_util.h): emits BENCH_grounding.json with per-workload wall time,
+// ground-graph nodes (atoms + ground rules), nodes/sec, and the recorded
+// baseline so every PR can show its perf delta.
+//
+// Usage: bench_grounding [output.json]   (default BENCH_grounding.json)
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "ground/grounder.h"
 #include "reductions/cm_reduction.h"
 #include "reductions/counter_machine.h"
 #include "util/random.h"
+#include "util/timer.h"
 #include "workload/databases.h"
 #include "workload/programs.h"
 
 namespace tiebreak {
 namespace {
 
-void BM_Ground_Faithful_WinMove(benchmark::State& state) {
-  Program program = WinMoveProgram();
-  Rng rng(1);
-  const int n = static_cast<int>(state.range(0));
-  Database db = RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
-  GroundingOptions options;
-  options.reduce_edb = false;
-  for (auto _ : state) {
-    Result<GroundingResult> g = Ground(program, db, options);
-    benchmark::DoNotOptimize(g->graph.num_rules());
-  }
-}
-BENCHMARK(BM_Ground_Faithful_WinMove)->Range(8, 128);
+// Recorded nodes/sec on this container at the commit that introduced this
+// harness (PR 2); 0 = no baseline recorded.
+constexpr benchutil::BaselineEntry kBaseline[] = {
+    {"ground_faithful_winmove_64", 6250254.0},
+    {"ground_reduced_winmove_4096", 2988620.0},
+    {"ground_theorem6_transfer_t16", 2430460.0},
+    {"ground_random_unary_64", 2921654.0},
+};
 
-void BM_Ground_Reduced_WinMove(benchmark::State& state) {
-  Program program = WinMoveProgram();
-  Rng rng(1);
-  const int n = static_cast<int>(state.range(0));
-  Database db = RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
-  for (auto _ : state) {
-    Result<GroundingResult> g = Ground(program, db);
-    benchmark::DoNotOptimize(g->graph.num_rules());
+benchutil::Row Measure(const std::string& name, const Program& program,
+                       const Database& database,
+                       const GroundingOptions& options, int reps) {
+  benchutil::Row out;
+  out.name = name;
+  {
+    Result<GroundingResult> g = Ground(program, database, options);
+    TIEBREAK_CHECK(g.ok()) << g.status().ToString();
+    out.items = static_cast<int64_t>(g->graph.num_atoms()) +
+                g->graph.num_rules();
   }
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    Result<GroundingResult> g = Ground(program, database, options);
+    const double seconds = timer.Seconds();
+    TIEBREAK_CHECK(g.ok());
+    if (seconds < best) best = seconds;
+  }
+  out.seconds = best;
+  out.items_per_sec = best > 0 ? static_cast<double>(out.items) / best : 0;
+  return out;
 }
-BENCHMARK(BM_Ground_Reduced_WinMove)->Range(8, 128);
 
-void BM_Ground_Theorem6Program(benchmark::State& state) {
-  const CounterMachine machine = MakeTransferMachine(3);
-  const int t = static_cast<int>(state.range(0));
-  for (auto _ : state) {
+int Main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_grounding.json";
+  std::vector<benchutil::Row> results;
+
+  {
+    Program program = WinMoveProgram();
+    Rng rng(1);
+    Database db = RandomDigraphDatabase(&program, "move", 64, 128, &rng);
+    GroundingOptions options;
+    options.reduce_edb = false;
+    results.push_back(
+        Measure("ground_faithful_winmove_64", program, db, options, 3));
+  }
+  {
+    Program program = WinMoveProgram();
+    Rng rng(1);
+    Database db = RandomDigraphDatabase(&program, "move", 4096, 8192, &rng);
+    results.push_back(
+        Measure("ground_reduced_winmove_4096", program, db, {}, 3));
+  }
+  {
+    const CounterMachine machine = MakeTransferMachine(3);
     CmReduction reduction = CounterMachineToProgram(machine);
-    const Database db = NaturalDatabase(&reduction, t);
-    Result<GroundingResult> g = Ground(reduction.program, db);
-    benchmark::DoNotOptimize(g->graph.num_rules());
+    const Database db = NaturalDatabase(&reduction, 16);
+    results.push_back(Measure("ground_theorem6_transfer_t16",
+                              reduction.program, db, {}, 3));
   }
-}
-BENCHMARK(BM_Ground_Theorem6Program)->DenseRange(4, 20, 4);
+  {
+    Rng rng(9);
+    RandomProgramOptions options;
+    options.arity = 1;
+    options.num_rules = 10;
+    Program program = RandomProgram(&rng, options);
+    Database db = RandomEdbDatabase(&program, 64, 0.4, &rng);
+    results.push_back(
+        Measure("ground_random_unary_64", program, db, {}, 3));
+  }
 
-void BM_Ground_TernaryRandom(benchmark::State& state) {
-  // Unary random programs over growing universes: grounding is the
-  // bottleneck the reduction attacks.
-  Rng rng(9);
-  RandomProgramOptions options;
-  options.arity = 1;
-  options.num_rules = 10;
-  Program program = RandomProgram(&rng, options);
-  const int n = static_cast<int>(state.range(0));
-  Database db = RandomEdbDatabase(&program, n, 0.4, &rng);
-  for (auto _ : state) {
-    Result<GroundingResult> g = Ground(program, db);
-    benchmark::DoNotOptimize(g->graph.num_atoms());
-  }
+  benchutil::PrintTable(results, kBaseline, "nodes");
+  benchutil::WriteJson(json_path, results, kBaseline, "nodes",
+                       "nodes_per_sec");
+  return 0;
 }
-BENCHMARK(BM_Ground_TernaryRandom)->Range(4, 64);
 
 }  // namespace
 }  // namespace tiebreak
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return tiebreak::Main(argc, argv); }

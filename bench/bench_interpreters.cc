@@ -1,21 +1,44 @@
 // EXP-WF — Section 2/3: the close() procedure and all three interpreters
-// run in polynomial (near-linear here) time in the ground graph. Benchmarks
-// grounding, close-only resolution (win-move chains resolve fully during the
-// initial close), the well-founded interpreter, and both tie-breaking
-// interpreters on random boards with draw cycles.
-#include <benchmark/benchmark.h>
+// run in polynomial (near-linear here) time in the ground graph. Measures
+// close-only resolution (win-move chains resolve fully during the initial
+// close), the well-founded interpreter, and both tie-breaking interpreters
+// on random boards with draw cycles, plus a giant even negation ring (one
+// tie spanning the whole graph).
+//
+// Standalone harness in the BENCH_engine.json style (shared scaffolding in
+// bench_util.h): emits BENCH_interpreters.json with per-workload wall
+// time, ground-graph nodes (atoms + ground rules) resolved per run,
+// nodes/sec, and the recorded baseline so every PR can show its perf
+// delta.
+//
+// Usage: bench_interpreters [output.json] (default BENCH_interpreters.json)
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "core/tie_breaking.h"
 #include "core/well_founded.h"
 #include "ground/close.h"
 #include "ground/grounder.h"
 #include "lang/database.h"
+#include "util/function_view.h"
 #include "util/random.h"
+#include "util/timer.h"
 #include "workload/databases.h"
 #include "workload/programs.h"
 
 namespace tiebreak {
 namespace {
+
+// Recorded nodes/sec on this container at the commit that introduced this
+// harness (PR 2); 0 = no baseline recorded.
+constexpr benchutil::BaselineEntry kBaseline[] = {
+    {"close_winmove_chain_8192", 104920364.0},
+    {"wf_winmove_random_4096", 44903225.0},
+    {"wftb_winmove_random_4096", 41098978.0},
+    {"puretb_winmove_random_4096", 45898720.0},
+    {"wftb_negation_ring_1024", 9167413.0},
+};
 
 struct Board {
   Program program;
@@ -33,84 +56,91 @@ Board MakeChainBoard(int n) {
 Board MakeRandomBoard(int n, uint64_t seed) {
   Program program = WinMoveProgram();
   Rng rng(seed);
-  Database database =
-      RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+  Database database = RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
   GroundingResult ground = Ground(program, database).value();
   return Board{std::move(program), std::move(database), std::move(ground)};
 }
 
-void BM_Ground_WinMoveRandom(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Program program = WinMoveProgram();
-  Rng rng(3);
-  Database database =
-      RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(Ground(program, database)->graph.num_rules());
+benchutil::Row Measure(const std::string& name, const Board& board,
+                       FunctionView<void(const Board&)> run, int reps) {
+  benchutil::Row out;
+  out.name = name;
+  out.items = static_cast<int64_t>(board.ground.graph.num_atoms()) +
+              board.ground.graph.num_rules();
+  run(board);  // warm-up
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    run(board);
+    const double seconds = timer.Seconds();
+    if (seconds < best) best = seconds;
   }
-  state.SetItemsProcessed(state.iterations() * database.TotalFacts());
+  out.seconds = best;
+  out.items_per_sec = best > 0 ? static_cast<double>(out.items) / best : 0;
+  return out;
 }
-BENCHMARK(BM_Ground_WinMoveRandom)->Range(1 << 6, 1 << 14);
 
-void BM_Close_WinMoveChain(benchmark::State& state) {
-  const Board board = MakeChainBoard(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    CloseState close(board.program, board.database, board.ground.graph);
-    benchmark::DoNotOptimize(close.IsTotal());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          board.ground.graph.num_edges());
-}
-BENCHMARK(BM_Close_WinMoveChain)->Range(1 << 6, 1 << 15);
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_interpreters.json";
+  std::vector<benchutil::Row> results;
 
-void BM_WellFounded_WinMoveRandom(benchmark::State& state) {
-  const Board board = MakeRandomBoard(static_cast<int>(state.range(0)), 17);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        WellFounded(board.program, board.database, board.ground.graph).total);
+  {
+    const Board board = MakeChainBoard(8192);
+    results.push_back(Measure("close_winmove_chain_8192", board,
+                              [](const Board& b) {
+                                CloseState close(b.program, b.database,
+                                                 b.ground.graph);
+                                TIEBREAK_CHECK(close.IsTotal());
+                              },
+                              3));
   }
-  state.SetItemsProcessed(state.iterations() *
-                          board.ground.graph.num_edges());
-}
-BENCHMARK(BM_WellFounded_WinMoveRandom)->Range(1 << 6, 1 << 13);
+  {
+    const Board board = MakeRandomBoard(4096, 17);
+    results.push_back(Measure(
+        "wf_winmove_random_4096", board,
+        [](const Board& b) {
+          WellFounded(b.program, b.database, b.ground.graph);
+        },
+        3));
+    results.push_back(Measure(
+        "wftb_winmove_random_4096", board,
+        [](const Board& b) {
+          TieBreaking(b.program, b.database, b.ground.graph,
+                      TieBreakingMode::kWellFounded);
+        },
+        3));
+    results.push_back(Measure(
+        "puretb_winmove_random_4096", board,
+        [](const Board& b) {
+          TieBreaking(b.program, b.database, b.ground.graph,
+                      TieBreakingMode::kPure);
+        },
+        3));
+  }
+  {
+    Program program = NegationRingProgram(1024);
+    Database database(program);
+    GroundingResult ground = Ground(program, database).value();
+    Board board{std::move(program), std::move(database), std::move(ground)};
+    results.push_back(Measure(
+        "wftb_negation_ring_1024", board,
+        [](const Board& b) {
+          const InterpreterResult result =
+              TieBreaking(b.program, b.database, b.ground.graph,
+                          TieBreakingMode::kWellFounded);
+          TIEBREAK_CHECK(result.total);
+        },
+        3));
+  }
 
-void BM_PureTieBreaking_WinMoveRandom(benchmark::State& state) {
-  const Board board = MakeRandomBoard(static_cast<int>(state.range(0)), 17);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(TieBreaking(board.program, board.database,
-                                         board.ground.graph,
-                                         TieBreakingMode::kPure)
-                                 .total);
-  }
+  benchutil::PrintTable(results, kBaseline, "nodes");
+  benchutil::WriteJson(json_path, results, kBaseline, "nodes",
+                       "nodes_per_sec");
+  return 0;
 }
-BENCHMARK(BM_PureTieBreaking_WinMoveRandom)->Range(1 << 6, 1 << 13);
-
-void BM_WFTB_WinMoveRandom(benchmark::State& state) {
-  const Board board = MakeRandomBoard(static_cast<int>(state.range(0)), 17);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(TieBreaking(board.program, board.database,
-                                         board.ground.graph,
-                                         TieBreakingMode::kWellFounded)
-                                 .total);
-  }
-}
-BENCHMARK(BM_WFTB_WinMoveRandom)->Range(1 << 6, 1 << 13);
-
-void BM_WFTB_NegationRing(benchmark::State& state) {
-  // A single giant even ring: one tie spanning the whole graph.
-  const int k = static_cast<int>(state.range(0));
-  Program program = NegationRingProgram(2 * k);
-  Database database(program);
-  GroundingResult ground = Ground(program, database).value();
-  for (auto _ : state) {
-    const InterpreterResult result = TieBreaking(
-        program, database, ground.graph, TieBreakingMode::kWellFounded);
-    benchmark::DoNotOptimize(result.total);
-  }
-}
-BENCHMARK(BM_WFTB_NegationRing)->Range(1 << 4, 1 << 11);
 
 }  // namespace
 }  // namespace tiebreak
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return tiebreak::Main(argc, argv); }

@@ -4,9 +4,26 @@
 #
 #   scripts/check.sh [--bench]    --bench additionally runs bench_engine
 #                                 and refreshes BENCH_engine.json
+#   scripts/check.sh --tsan       builds with -DTIEBREAK_SANITIZE=thread
+#                                 into build-tsan/ and runs engine_test +
+#                                 engine_parallel_test (the concurrency
+#                                 surface) under ThreadSanitizer
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  build="$repo/build-tsan"
+  cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=thread
+  cmake --build "$build" -j "$(nproc)" --target engine_test engine_parallel_test
+  # TSan aborts with a non-zero exit on the first data race; halt_on_error
+  # keeps the report readable.
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
+    --output-on-failure -R '^engine_(parallel_)?test$'
+  echo "check.sh: tsan green"
+  exit 0
+fi
+
 build="$repo/build-check"
 
 cmake -B "$build" -S "$repo" -DTIEBREAK_WERROR=ON

@@ -1,10 +1,14 @@
 #include "engine/evaluation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 #include "core/stratification.h"
 #include "util/function_view.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace tiebreak {
 
@@ -41,116 +45,135 @@ Status CheckSafety(const Program& program) {
 
 namespace {
 
-/// Backtracking join over one rule's body, compiled to a flat plan.
-///
-/// Evaluate() first *compiles* the rule: positive literals are greedily
-/// reordered by selectivity (most bound argument positions first; ties go
-/// to the smaller relation), then each literal becomes a JoinStep whose
-/// argument actions (constant check / bound-variable check / fresh-variable
-/// bind) are precomputed into one flat action array. The recursive join
-/// then touches no allocating data structure: probe patterns, bindings and
-/// ground-atom scratch all live in reusable buffers, derived head tuples
-/// are passed to the sink as a raw span into the scratch buffer, and the
-/// sink itself is a FunctionView (no std::function allocation/indirection).
-class RuleEvaluator {
+struct ArgAction {
+  enum Kind : uint8_t {
+    kConst,     // column must equal / emits `index` (a ConstId)
+    kCheckVar,  // column must equal / emits binding_[index]
+    kBindVar,   // column binds variable `index` (join steps only)
+  };
+  Kind kind;
+  int32_t index;
+};
+
+struct JoinStep {
+  // nullptr = the per-call delta input. Deltas are not separate relations:
+  // relations are append-only with stable row ids, so "the tuples derived
+  // last round" is exactly a row range [delta_begin, delta_end) of the head
+  // relation, passed per execution (cached plans must not pin it — the
+  // range moves every round).
+  const Relation* relation = nullptr;
+  uint32_t mask = 0;
+  int32_t actions_begin = 0;
+  int32_t actions_end = 0;
+  int64_t size_snapshot = 0;  // source cardinality at compile time
+};
+
+// Ground-atom template for negated literals and the head: actions are
+// kConst/kCheckVar only (safety guarantees all variables are bound).
+struct AtomTemplate {
+  PredId predicate = -1;
+  int32_t actions_begin = 0;
+  int32_t actions_end = 0;
+};
+
+/// One rule body compiled to a flat join plan for a fixed delta literal.
+/// The delta literal (when present) is always the first join step — it is
+/// the novelty driver of a semi-naive round, is typically the smallest
+/// input, and putting it outermost is what makes the scan shardable. The
+/// remaining positive literals are greedily reordered by selectivity (most
+/// bound argument positions first; ties go to the smaller relation), and
+/// each literal is lowered to a JoinStep whose argument actions (constant
+/// check / bound-variable check / fresh-variable bind) live in one flat
+/// action array.
+struct CompiledPlan {
+  std::vector<ArgAction> actions;
+  std::vector<JoinStep> steps;
+  std::vector<AtomTemplate> negatives;
+  AtomTemplate head;
+  int32_t num_variables = 0;
+  size_t max_arity = 0;
+  /// True when the first join step has an empty probe mask: it is then
+  /// executed as a direct arena scan (descending row order — identical to
+  /// the newest-first probe order — with no index materialization), and
+  /// the scan can be sharded into row ranges for data parallelism within
+  /// one (rule, delta-literal) job.
+  bool direct_scan = false;
+};
+
+/// Compiles rule bodies into CompiledPlans and caches them per
+/// (rule, delta-literal). A cached plan is reused until some joined
+/// relation's cardinality drifts past `plan_refresh_drift` of the snapshot
+/// taken when the plan was compiled; then the selectivity reordering is
+/// re-run. All cache mutation happens on the coordinating thread between
+/// parallel fan-outs, so workers only ever see finished plans.
+class PlanCache {
  public:
-  using Sink = FunctionView<void(const ConstId*)>;
+  PlanCache(const Program& program, const std::vector<Relation>& relations,
+            int64_t refresh_drift)
+      : program_(program),
+        relations_(relations),
+        refresh_drift_(refresh_drift),
+        plans_(program.num_rules()) {}
 
-  RuleEvaluator(const Program& program, const std::vector<Relation>& relations)
-      : program_(program), relations_(relations) {}
-
-  /// Evaluates `rule`; `delta_literal` (or -1) restricts that body literal
-  /// to `delta_relation` instead of the full relation. Each derived head
-  /// tuple is passed to `sink` as a pointer to head-arity ids (valid only
-  /// for the duration of the call).
-  void Evaluate(const Rule& rule, int32_t delta_literal,
-                const Relation* delta_relation, Sink sink,
-                int64_t* applications) {
-    rule_ = &rule;
-    sink_ = &sink;
-    applications_ = applications;
-    Compile(rule, delta_literal, delta_relation);
-    binding_.assign(rule.num_variables, -1);
-    Join(0);
+  /// Returns the plan for (rule_index, delta_literal), compiling or
+  /// refreshing it if needed. `delta_size` is the row count of the delta
+  /// range the delta literal covers (0 when delta_literal == -1).
+  const CompiledPlan& Get(int32_t rule_index, int32_t delta_literal,
+                          int64_t delta_size, EngineStats* stats) {
+    std::vector<std::unique_ptr<CompiledPlan>>& slots = plans_[rule_index];
+    const size_t slot = static_cast<size_t>(delta_literal + 1);
+    if (slots.size() <= slot) slots.resize(slot + 1);
+    std::unique_ptr<CompiledPlan>& plan = slots[slot];
+    if (plan != nullptr && refresh_drift_ > 0 && !Drifted(*plan, delta_size)) {
+      ++stats->plan_cache_hits;
+      return *plan;
+    }
+    if (plan == nullptr) plan = std::make_unique<CompiledPlan>();
+    Compile(program_.rule(rule_index), delta_literal, delta_size, plan.get());
+    ++stats->plans_compiled;
+    return *plan;
   }
 
  private:
-  struct ArgAction {
-    enum Kind : uint8_t {
-      kConst,     // column must equal / emits `index` (a ConstId)
-      kCheckVar,  // column must equal / emits binding_[index]
-      kBindVar,   // column binds variable `index` (join steps only)
-    };
-    Kind kind;
-    int32_t index;
-  };
-
-  struct JoinStep {
-    const Relation* relation = nullptr;
-    uint32_t mask = 0;
-    int32_t actions_begin = 0;
-    int32_t actions_end = 0;
-  };
-
-  // Ground-atom template for negated literals and the head: actions are
-  // kConst/kCheckVar only (safety guarantees all variables are bound).
-  struct AtomTemplate {
-    PredId predicate = -1;
-    int32_t actions_begin = 0;
-    int32_t actions_end = 0;
-  };
-
-  void Compile(const Rule& rule, int32_t delta_literal,
-               const Relation* delta_relation) {
-    actions_.clear();
-    steps_.clear();
-    negatives_.clear();
-    var_bound_.assign(rule.num_variables, false);
-    size_t max_arity = rule.head.args.size();
-
-    // Greedy selectivity ordering over the positive literals: repeatedly
-    // take the literal with the most bound argument positions, breaking
-    // ties toward the smaller relation (the delta relation counts with its
-    // own, typically small, size), then toward body order.
-    pending_.clear();
-    for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
-      if (rule.body[b].positive) pending_.push_back(b);
-      max_arity = std::max(max_arity, rule.body[b].atom.args.size());
+  /// True when some step's source relation grew or shrank by more than the
+  /// refresh factor relative to its compile-time snapshot (sizes below 16
+  /// are floored: reordering tiny relations is never worth a recompile).
+  bool Drifted(const CompiledPlan& plan, int64_t delta_size) const {
+    for (const JoinStep& step : plan.steps) {
+      const int64_t current =
+          step.relation != nullptr ? step.relation->size() : delta_size;
+      const int64_t lo = std::max<int64_t>(
+          std::min(current, step.size_snapshot), 16);
+      const int64_t hi = std::max(current, step.size_snapshot);
+      if (hi > refresh_drift_ * lo) return true;
     }
-    while (!pending_.empty()) {
-      size_t best_at = 0;
-      int64_t best_bound = -1;
-      int64_t best_size = 0;
-      for (size_t i = 0; i < pending_.size(); ++i) {
-        const Atom& atom = rule.body[pending_[i]].atom;
-        int64_t bound_args = 0;
-        for (const Term& t : atom.args) {
-          if (t.is_constant() || var_bound_[t.index]) ++bound_args;
-        }
-        const Relation& rel = (pending_[i] == delta_literal)
-                                  ? *delta_relation
-                                  : relations_[atom.predicate];
-        if (bound_args > best_bound ||
-            (bound_args == best_bound && rel.size() < best_size)) {
-          best_at = i;
-          best_bound = bound_args;
-          best_size = rel.size();
-        }
-      }
-      const int32_t body_index = pending_[best_at];
-      pending_.erase(pending_.begin() + best_at);
+    return false;
+  }
 
+  void Compile(const Rule& rule, int32_t delta_literal, int64_t delta_size,
+               CompiledPlan* plan) {
+    plan->actions.clear();
+    plan->steps.clear();
+    plan->negatives.clear();
+    plan->num_variables = rule.num_variables;
+    plan->max_arity = rule.head.args.size();
+    var_bound_.assign(rule.num_variables, false);
+
+    auto emit_step = [&](int32_t body_index) {
       const Atom& atom = rule.body[body_index].atom;
       JoinStep step;
       step.relation = (body_index == delta_literal)
-                          ? delta_relation
+                          ? nullptr
                           : &relations_[atom.predicate];
-      step.actions_begin = static_cast<int32_t>(actions_.size());
+      step.size_snapshot = (body_index == delta_literal)
+                               ? delta_size
+                               : relations_[atom.predicate].size();
+      step.actions_begin = static_cast<int32_t>(plan->actions.size());
       for (size_t i = 0; i < atom.args.size(); ++i) {
         const Term& t = atom.args[i];
         if (t.is_constant()) {
           step.mask |= 1u << i;
-          actions_.push_back({ArgAction::kConst, t.index});
+          plan->actions.push_back({ArgAction::kConst, t.index});
         } else if (var_bound_[t.index]) {
           // Bound by an earlier literal: part of the probe key. A repeat
           // within this literal is checked but cannot be probed on (its
@@ -164,66 +187,167 @@ class RuleEvaluator {
             }
           }
           if (!earlier_in_literal) step.mask |= 1u << i;
-          actions_.push_back({ArgAction::kCheckVar, t.index});
+          plan->actions.push_back({ArgAction::kCheckVar, t.index});
         } else {
           var_bound_[t.index] = true;
-          actions_.push_back({ArgAction::kBindVar, t.index});
+          plan->actions.push_back({ArgAction::kBindVar, t.index});
         }
       }
-      step.actions_end = static_cast<int32_t>(actions_.size());
-      steps_.push_back(step);
+      step.actions_end = static_cast<int32_t>(plan->actions.size());
+      plan->steps.push_back(step);
+    };
+
+    pending_.clear();
+    for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
+      if (rule.body[b].positive && b != delta_literal) pending_.push_back(b);
+      plan->max_arity = std::max(plan->max_arity, rule.body[b].atom.args.size());
     }
+    // The delta literal always goes first (see CompiledPlan); the rest are
+    // ordered greedily by selectivity.
+    if (delta_literal >= 0) emit_step(delta_literal);
+    while (!pending_.empty()) {
+      size_t best_at = 0;
+      int64_t best_bound = -1;
+      int64_t best_size = 0;
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        const Atom& atom = rule.body[pending_[i]].atom;
+        int64_t bound_args = 0;
+        for (const Term& t : atom.args) {
+          if (t.is_constant() || var_bound_[t.index]) ++bound_args;
+        }
+        const Relation& rel = relations_[atom.predicate];
+        if (bound_args > best_bound ||
+            (bound_args == best_bound && rel.size() < best_size)) {
+          best_at = i;
+          best_bound = bound_args;
+          best_size = rel.size();
+        }
+      }
+      const int32_t body_index = pending_[best_at];
+      pending_.erase(pending_.begin() + best_at);
+      emit_step(body_index);
+    }
+    plan->direct_scan = !plan->steps.empty() && plan->steps[0].mask == 0;
 
     auto add_template = [&](const Atom& atom) {
       AtomTemplate tmpl;
       tmpl.predicate = atom.predicate;
-      tmpl.actions_begin = static_cast<int32_t>(actions_.size());
+      tmpl.actions_begin = static_cast<int32_t>(plan->actions.size());
       for (const Term& t : atom.args) {
-        actions_.push_back({t.is_constant() ? ArgAction::kConst
-                                            : ArgAction::kCheckVar,
-                            t.index});
+        plan->actions.push_back({t.is_constant() ? ArgAction::kConst
+                                                 : ArgAction::kCheckVar,
+                                 t.index});
       }
-      tmpl.actions_end = static_cast<int32_t>(actions_.size());
+      tmpl.actions_end = static_cast<int32_t>(plan->actions.size());
       return tmpl;
     };
     for (const Literal& lit : rule.body) {
-      if (!lit.positive) negatives_.push_back(add_template(lit.atom));
+      if (!lit.positive) plan->negatives.push_back(add_template(lit.atom));
     }
-    head_ = add_template(rule.head);
-    if (scratch_.size() < max_arity) scratch_.resize(max_arity);
-    if (pattern_.size() < max_arity) pattern_.resize(max_arity);
+    plan->head = add_template(rule.head);
   }
 
+  const Program& program_;
+  const std::vector<Relation>& relations_;
+  const int64_t refresh_drift_;
+  // plans_[rule][1 + delta_literal]; slot 0 is the full (delta = -1) plan.
+  std::vector<std::vector<std::unique_ptr<CompiledPlan>>> plans_;
+  // Compiler scratch (reused so steady-state refreshes stop allocating).
+  std::vector<int32_t> pending_;
+  std::vector<bool> var_bound_;
+};
+
+/// Executes CompiledPlans: the backtracking join over one rule body. One
+/// instance per worker thread — all mutable state (bindings, probe pattern,
+/// ground-atom scratch) is private to the instance, and during parallel
+/// rounds the shared relations are only read (Probe on pre-materialized
+/// indexes, Contains on the dedupe table).
+class RuleEvaluator {
+ public:
+  using Sink = FunctionView<void(const ConstId*)>;
+
+  explicit RuleEvaluator(const std::vector<Relation>& relations)
+      : relations_(relations) {}
+
+  /// Runs `plan`. A null-relation join step (the delta literal) ranges over
+  /// `delta_relation` restricted to the step-0 row range. Each derived head
+  /// tuple is passed to `sink` as a pointer to head-arity ids (valid only
+  /// for the duration of the call).
+  ///
+  /// `range_begin`/`range_end` restrict the *first* join step to rows
+  /// [range_begin, range_end) of its source relation (-1 = unbounded on
+  /// that side). This one mechanism carries both semi-naive deltas (the
+  /// range of rows published last round; index chains are newest-first, so
+  /// a probe filters by row id) and shard-level data parallelism (a slice
+  /// of a direct scan). A full direct scan with range_end = -1 is bounded
+  /// at entry, so rows inserted by this very execution are not rescanned —
+  /// the same snapshot semantics Probe gives.
+  /// `stop` is the cooperative abort for the tuple budget: when it becomes
+  /// true (set by a sink that detected overflow, possibly on another
+  /// worker), the join stops matching rows, bounding how far past the
+  /// budget any single job can run.
+  void Execute(const CompiledPlan& plan, const Relation* delta_relation,
+               int32_t range_begin, int32_t range_end, Sink sink,
+               int64_t* applications, const std::atomic<bool>* stop) {
+    plan_ = &plan;
+    delta_ = delta_relation;
+    range_begin_ = range_begin;
+    range_end_ = range_end;
+    sink_ = &sink;
+    applications_ = applications;
+    stop_ = stop;
+    binding_.assign(plan.num_variables, -1);
+    if (scratch_.size() < plan.max_arity) scratch_.resize(plan.max_arity);
+    if (pattern_.size() < plan.max_arity) pattern_.resize(plan.max_arity);
+    Join(0);
+  }
+
+ private:
   // Instantiates a ground-atom template into scratch_.
   void FillScratch(const AtomTemplate& tmpl) {
     ConstId* out = scratch_.data();
     for (int32_t a = tmpl.actions_begin; a < tmpl.actions_end; ++a) {
-      const ArgAction& action = actions_[a];
+      const ArgAction& action = plan_->actions[a];
       *out++ = action.kind == ArgAction::kConst ? action.index
                                                 : binding_[action.index];
     }
   }
 
   void Join(size_t depth) {
-    if (depth == steps_.size()) {
+    if (depth == plan_->steps.size()) {
       ++*applications_;
       // All positives matched: test the negated literals (safety guarantees
       // they are ground now).
-      for (const AtomTemplate& neg : negatives_) {
+      for (const AtomTemplate& neg : plan_->negatives) {
         FillScratch(neg);
         if (relations_[neg.predicate].Contains(scratch_.data())) return;
       }
-      FillScratch(head_);
+      FillScratch(plan_->head);
       (*sink_)(scratch_.data());
       return;
     }
-    const JoinStep& step = steps_[depth];
+    const JoinStep& step = plan_->steps[depth];
+    const Relation& relation =
+        step.relation != nullptr ? *step.relation : *delta_;
+    if (depth == 0 && plan_->direct_scan) {
+      // Empty probe mask: scan the arena directly (no index), descending so
+      // the visit order matches the newest-first probe order, restricted to
+      // this execution's step-0 range.
+      const int32_t end = range_end_ >= 0
+                              ? range_end_
+                              : static_cast<int32_t>(relation.size());
+      const int32_t begin = range_begin_ >= 0 ? range_begin_ : 0;
+      for (int32_t row = end - 1; row >= begin; --row) {
+        MatchRow(step, relation, row);
+      }
+      return;
+    }
     ConstId* pattern = pattern_.data();
     {
       int32_t column = 0;
       for (int32_t a = step.actions_begin; a < step.actions_end;
            ++a, ++column) {
-        const ArgAction& action = actions_[a];
+        const ArgAction& action = plan_->actions[a];
         if (action.kind == ArgAction::kConst) {
           pattern[column] = action.index;
         } else if (action.kind == ArgAction::kCheckVar) {
@@ -231,56 +355,110 @@ class RuleEvaluator {
         }
       }
     }
-    for (const int32_t row : step.relation->Probe(step.mask, pattern)) {
-      const ConstId* tuple = step.relation->Row(row);
-      bool match = true;
-      int32_t column = 0;
-      for (int32_t a = step.actions_begin; match && a < step.actions_end;
-           ++a, ++column) {
-        const ArgAction& action = actions_[a];
-        switch (action.kind) {
-          case ArgAction::kConst:
-            match = tuple[column] == action.index;
-            break;
-          case ArgAction::kCheckVar:
-            match = tuple[column] == binding_[action.index];
-            break;
-          case ArgAction::kBindVar:
-            binding_[action.index] = tuple[column];
-            break;
-        }
+    if (depth == 0 && (range_begin_ >= 0 || range_end_ >= 0)) {
+      // Range-restricted probe (a delta literal with a non-empty mask):
+      // chains are newest-first, i.e. strictly descending row ids, so rows
+      // past the range end are skipped and the walk stops below the start.
+      for (const int32_t row : relation.Probe(step.mask, pattern)) {
+        if (range_end_ >= 0 && row >= range_end_) continue;
+        if (row < range_begin_) break;
+        MatchRow(step, relation, row);
       }
-      if (match) Join(depth + 1);
-      // Variables are statically owned by the level that binds them, so
-      // unconditionally unbinding this level's kBindVar set is exact.
-      for (int32_t a = step.actions_begin; a < step.actions_end; ++a) {
-        if (actions_[a].kind == ArgAction::kBindVar) {
-          binding_[actions_[a].index] = -1;
-        }
+      return;
+    }
+    for (const int32_t row : relation.Probe(step.mask, pattern)) {
+      MatchRow(step, relation, row);
+    }
+  }
+
+  /// Checks row `row` against `step`'s actions (binding fresh variables),
+  /// recurses on a match, then unbinds this step's variables. Variables are
+  /// statically owned by the step that binds them, so unconditionally
+  /// unbinding the step's kBindVar set is exact.
+  void MatchRow(const JoinStep& step, const Relation& relation, int32_t row) {
+    if (stop_->load(std::memory_order_relaxed)) return;
+    const size_t depth = static_cast<size_t>(&step - plan_->steps.data());
+    const ConstId* tuple = relation.Row(row);
+    bool match = true;
+    int32_t column = 0;
+    for (int32_t a = step.actions_begin; match && a < step.actions_end;
+         ++a, ++column) {
+      const ArgAction& action = plan_->actions[a];
+      switch (action.kind) {
+        case ArgAction::kConst:
+          match = tuple[column] == action.index;
+          break;
+        case ArgAction::kCheckVar:
+          match = tuple[column] == binding_[action.index];
+          break;
+        case ArgAction::kBindVar:
+          binding_[action.index] = tuple[column];
+          break;
+      }
+    }
+    if (match) Join(depth + 1);
+    for (int32_t a = step.actions_begin; a < step.actions_end; ++a) {
+      if (plan_->actions[a].kind == ArgAction::kBindVar) {
+        binding_[plan_->actions[a].index] = -1;
       }
     }
   }
 
-  const Program& program_;
   const std::vector<Relation>& relations_;
-  const Rule* rule_ = nullptr;
+  const CompiledPlan* plan_ = nullptr;
+  const Relation* delta_ = nullptr;
+  int32_t range_begin_ = -1;
+  int32_t range_end_ = -1;
   const Sink* sink_ = nullptr;
   int64_t* applications_ = nullptr;
-
-  // Compiled plan (rebuilt per Evaluate call; buffers are reused so
-  // compilation stops allocating once warm).
-  std::vector<ArgAction> actions_;
-  std::vector<JoinStep> steps_;
-  std::vector<AtomTemplate> negatives_;
-  AtomTemplate head_;
-  std::vector<int32_t> pending_;
-  std::vector<bool> var_bound_;
+  const std::atomic<bool>* stop_ = nullptr;
 
   // Hot-path scratch: variable bindings, probe pattern, ground-atom buffer.
   std::vector<ConstId> binding_;
   std::vector<ConstId> pattern_;
   std::vector<ConstId> scratch_;
 };
+
+/// One (rule, delta-literal) evaluation of a fixpoint round. Jobs within a
+/// round are independent (they only read the published relations) and are
+/// what the thread pool fans out.
+struct RoundJob {
+  int32_t rule = -1;
+  int32_t delta_literal = -1;
+  // Resolved at dispatch time in parallel mode (plans must be finished and
+  // their probe indexes materialized before the fan-out); left null in
+  // serial mode, where the plan is resolved at execution time so its
+  // selectivity snapshot sees the tuples earlier jobs of the same round
+  // already published (e.g. round 0 of transitive closure compiles the
+  // recursive rule after the base rule filled the head relation — the
+  // order that lets a chain close in one pass).
+  const CompiledPlan* plan = nullptr;
+  PredId head = -1;
+  // The delta literal's source relation (deltas are row ranges of the
+  // global relation, never copies); null for full-evaluation jobs.
+  const Relation* delta_relation = nullptr;
+  // Step-0 row range this job covers: the delta range for delta jobs,
+  // a shard of the outer scan for sharded jobs, (-1, -1) = everything.
+  // Direct-scan jobs over large row ranges are split into one job per
+  // shard, which is what parallelizes rounds dominated by a single rule
+  // (the transitive-closure shape: one recursive rule, one big delta).
+  int32_t range_begin = -1;
+  int32_t range_end = -1;
+};
+
+/// Materializes every probe index `plan` will touch so the parallel
+/// fan-out performs no lazy index construction (Relation::Probe would
+/// otherwise mutate the shared relation from worker threads). A direct-scan
+/// plan's first step reads the arena, not an index.
+void PrewarmPlanIndexes(const CompiledPlan& plan,
+                        const Relation* delta_relation) {
+  for (size_t i = plan.direct_scan ? 1 : 0; i < plan.steps.size(); ++i) {
+    const JoinStep& step = plan.steps[i];
+    const Relation* relation =
+        step.relation != nullptr ? step.relation : delta_relation;
+    relation->EnsureProbeIndex(step.mask);
+  }
+}
 
 }  // namespace
 
@@ -315,6 +493,7 @@ Result<Database> EvaluateStratified(const Program& program,
   }
   int64_t total_tuples = 0;
   for (PredId p = 0; p < num_preds; ++p) {
+    relations[p].Reserve(static_cast<int64_t>(database.Relation(p).size()));
     for (const Tuple& tuple : database.Relation(p)) {
       relations[p].Insert(tuple);
       ++total_tuples;
@@ -327,18 +506,142 @@ Result<Database> EvaluateStratified(const Program& program,
   }
   stats->strata = max_stratum + 1;
 
-  // Delta relations are allocated once and recycled across rounds/strata
-  // (Clear keeps capacity), so fixpoint rounds allocate nothing steady-state.
-  std::vector<Relation> delta;
-  std::vector<Relation> next_delta;
-  delta.reserve(num_preds);
-  next_delta.reserve(num_preds);
-  for (PredId p = 0; p < num_preds; ++p) {
-    delta.emplace_back(program.predicate(p).arity);
-    next_delta.emplace_back(program.predicate(p).arity);
+  const int32_t num_threads = ThreadPool::EffectiveThreads(options.num_threads);
+  stats->threads_used = num_threads;
+  const bool parallel = num_threads > 1;
+
+  // Deltas are row ranges, not copies: relations only ever append with
+  // stable row ids, so "the tuples predicate p gained last round" is
+  // exactly rows [delta_begin[p], delta_end[p]) of relations[p]. Fixpoint
+  // rounds therefore maintain no second tuple store at all — they snapshot
+  // sizes at round barriers.
+  std::vector<int64_t> delta_begin(num_preds, 0);
+  std::vector<int64_t> delta_end(num_preds, 0);
+
+  PlanCache plans(program, relations, options.plan_refresh_drift);
+  RuleEvaluator serial_evaluator(relations);
+
+  // Parallel-mode state: the pool, one evaluator + one per-predicate
+  // staging bank per worker, and per-worker counters merged at barriers.
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<RuleEvaluator> worker_evaluators;
+  std::vector<std::vector<Relation>> staging;
+  std::vector<int64_t> worker_applications;
+  std::vector<int64_t> worker_staged;  // staged rows this round, per worker
+  std::vector<double> worker_busy_seconds;
+  if (parallel) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+    worker_evaluators.reserve(num_threads);
+    for (int32_t w = 0; w < num_threads; ++w) {
+      worker_evaluators.emplace_back(relations);
+    }
+    staging.resize(num_threads);
+    for (int32_t w = 0; w < num_threads; ++w) {
+      staging[w].reserve(num_preds);
+      for (PredId p = 0; p < num_preds; ++p) {
+        staging[w].emplace_back(program.predicate(p).arity);
+      }
+    }
+    worker_applications.assign(num_threads, 0);
+    worker_staged.assign(num_threads, 0);
+    worker_busy_seconds.assign(num_threads, 0.0);
   }
 
-  RuleEvaluator evaluator(program, relations);
+  Status overflow = Status::Ok();
+  // Cooperative abort for the tuple budget: sinks set it on overflow and
+  // every evaluator polls it, so no job (and in parallel mode no worker's
+  // staging bank) runs far past max_tuples before the round ends.
+  std::atomic<bool> stop{false};
+
+  // Runs one round's jobs and publishes new tuples into `relations`; the
+  // published rows land at the end of each arena, which is what makes them
+  // the next round's delta ranges.
+  //
+  // Serial: each derived tuple is inserted immediately (later jobs of the
+  // same round observe it). Parallel: workers stage derivations privately
+  // while all shared relations stay read-only; at the barrier the
+  // coordinating thread merges each stage with Relation::BulkInsert, which
+  // dedupes against the fingerprint table and extends every probe index
+  // once per batch. Both converge to the same least fixpoint.
+  auto run_round = [&](const std::vector<RoundJob>& jobs) -> Status {
+    if (!parallel) {
+      for (const RoundJob& job : jobs) {
+        const int64_t delta_size =
+            job.delta_relation != nullptr ? job.range_end - job.range_begin
+                                          : 0;
+        const CompiledPlan& plan =
+            plans.Get(job.rule, job.delta_literal, delta_size, stats);
+        auto sink = [&](const ConstId* values) {
+          if (relations[job.head].Insert(values)) {
+            ++stats->tuples_derived;
+            if (++total_tuples > options.max_tuples) {
+              overflow = Status::ResourceExhausted("tuple budget exceeded");
+              stop.store(true, std::memory_order_relaxed);
+            }
+          }
+        };
+        serial_evaluator.Execute(plan, job.delta_relation, job.range_begin,
+                                 job.range_end, sink,
+                                 &stats->rule_applications, &stop);
+        if (!overflow.ok()) return overflow;
+      }
+      return Status::Ok();
+    }
+    // Budget guard for the fan-out: a worker whose staged-row count alone
+    // would blow the remaining budget trips `stop`, and every worker polls
+    // it — so staging memory stays bounded by threads × remaining budget
+    // even for a single cross-product round. (Conservative: cross-worker
+    // duplicates could merge to fewer rows; the barrier re-checks the real
+    // total and is the authority.)
+    const int64_t round_budget =
+        std::max<int64_t>(options.max_tuples - total_tuples, 0);
+    std::fill(worker_staged.begin(), worker_staged.end(), 0);
+    auto body = [&](int32_t task, int32_t worker) {
+      const RoundJob& job = jobs[task];
+      WallTimer busy;
+      Relation& stage = staging[worker][job.head];
+      const Relation& published = relations[job.head];
+      int64_t& staged = worker_staged[worker];
+      auto sink = [&](const ConstId* values) {
+        // Pre-filter against the published relation (read-only; dedupes
+        // most rediscoveries), then stage; the barrier merge is the
+        // authority on cross-worker duplicates. One fingerprint serves
+        // both tables.
+        const uint64_t fingerprint = published.TupleFingerprint(values);
+        if (!published.Contains(values, fingerprint) &&
+            stage.Insert(values, fingerprint)) {
+          if (++staged > round_budget) {
+            stop.store(true, std::memory_order_relaxed);
+          }
+        }
+      };
+      worker_evaluators[worker].Execute(*job.plan, job.delta_relation,
+                                        job.range_begin, job.range_end, sink,
+                                        &worker_applications[worker], &stop);
+      worker_busy_seconds[worker] += busy.Seconds();
+    };
+    pool->ParallelFor(static_cast<int32_t>(jobs.size()), body);
+    for (int32_t w = 0; w < num_threads; ++w) {
+      stats->rule_applications += worker_applications[w];
+      worker_applications[w] = 0;
+    }
+    // Barrier merge, on the coordinating thread.
+    for (PredId p = 0; p < num_preds; ++p) {
+      for (int32_t w = 0; w < num_threads; ++w) {
+        Relation& stage = staging[w][p];
+        if (stage.empty()) continue;
+        const int64_t added = relations[p].BulkInsert(stage);
+        stats->tuples_derived += added;
+        total_tuples += added;
+        stage.Clear();
+      }
+    }
+    if (total_tuples > options.max_tuples) {
+      return Status::ResourceExhausted("tuple budget exceeded");
+    }
+    return Status::Ok();
+  };
+
   for (int32_t stratum = 0; stratum <= max_stratum; ++stratum) {
     std::vector<int32_t> stratum_rules;
     for (int32_t r = 0; r < program.num_rules(); ++r) {
@@ -347,6 +650,13 @@ Result<Database> EvaluateStratified(const Program& program,
       }
     }
     if (stratum_rules.empty()) continue;
+
+    WallTimer stratum_timer;
+    const int64_t stratum_tuples_before = stats->tuples_derived;
+    const int32_t stratum_iterations_before = stats->iterations;
+    if (parallel) {
+      std::fill(worker_busy_seconds.begin(), worker_busy_seconds.end(), 0.0);
+    }
 
     // Which body literals are recursive (positive, IDB, same stratum)?
     auto recursive_literals = [&](const Rule& rule) {
@@ -361,68 +671,163 @@ Result<Database> EvaluateStratified(const Program& program,
       return result;
     };
 
-    for (PredId p = 0; p < num_preds; ++p) delta[p].Clear();
-    Status overflow = Status::Ok();
-    // Derives into `relations` and records genuinely new tuples in `out`.
-    auto derive_into = [&](PredId head, std::vector<Relation>* out) {
-      return [&, head, out](const ConstId* values) {
-        if (relations[head].Insert(values)) {
-          ++stats->tuples_derived;
-          if (++total_tuples > options.max_tuples) {
-            overflow = Status::ResourceExhausted("tuple budget exceeded");
+    std::vector<RoundJob> jobs;
+    // Builds the jobs for one (rule, delta-literal) evaluation. Parallel
+    // mode compiles/refreshes the plan now, pre-materializes the probe
+    // indexes it will read, and splits direct-scan plans with a large
+    // step-0 row range into one job per shard; serial mode defers plan
+    // resolution to execution time (see RoundJob::plan).
+    constexpr int32_t kMinRowsPerShard = 1024;
+    auto push_job = [&](int32_t r, int32_t delta_literal,
+                        const Relation* delta_relation, int64_t range_begin,
+                        int64_t range_end) {
+      RoundJob job;
+      job.rule = r;
+      job.delta_literal = delta_literal;
+      job.head = program.rule(r).head.predicate;
+      job.delta_relation = delta_relation;
+      job.range_begin = static_cast<int32_t>(range_begin);
+      job.range_end = static_cast<int32_t>(range_end);
+      if (parallel) {
+        const int64_t delta_size =
+            delta_relation != nullptr ? range_end - range_begin : 0;
+        job.plan = &plans.Get(r, delta_literal, delta_size, stats);
+        PrewarmPlanIndexes(*job.plan, delta_relation);
+        if (job.plan->direct_scan) {
+          const JoinStep& outer = job.plan->steps.front();
+          const int64_t begin = range_begin >= 0 ? range_begin : 0;
+          const int64_t end =
+              range_end >= 0
+                  ? range_end
+                  : (outer.relation != nullptr ? outer.relation->size()
+                                               : delta_relation->size());
+          const int64_t rows = end - begin;
+          // 2x threads many shards (capped by a minimum shard size): the
+          // pool's atomic task claiming then rebalances uneven shards.
+          const int64_t shards =
+              std::min<int64_t>(2 * num_threads, rows / kMinRowsPerShard);
+          if (shards > 1) {
+            for (int64_t s = 0; s < shards; ++s) {
+              job.range_begin = static_cast<int32_t>(begin + s * rows / shards);
+              job.range_end =
+                  static_cast<int32_t>(begin + (s + 1) * rows / shards);
+              jobs.push_back(job);
+            }
+            return;
           }
-          (*out)[head].Insert(values);
         }
-      };
+      }
+      jobs.push_back(job);
     };
+
+    // The stratum starts with empty deltas; every round barrier advances
+    // them to "the rows this round appended".
+    auto advance_deltas = [&] {
+      for (PredId p = 0; p < num_preds; ++p) {
+        delta_begin[p] = delta_end[p];
+        delta_end[p] = relations[p].size();
+      }
+    };
+    for (PredId p = 0; p < num_preds; ++p) {
+      delta_end[p] = relations[p].size();
+    }
 
     // Round 0: full evaluation of every stratum rule.
     ++stats->iterations;
-    for (int32_t r : stratum_rules) {
-      const Rule& rule = program.rule(r);
-      auto sink = derive_into(rule.head.predicate, &delta);
-      evaluator.Evaluate(rule, -1, nullptr, sink, &stats->rule_applications);
-      if (!overflow.ok()) return overflow;
-    }
+    jobs.clear();
+    for (int32_t r : stratum_rules) push_job(r, -1, nullptr, -1, -1);
+    Status round = run_round(jobs);
+    if (!round.ok()) return round;
+    advance_deltas();
 
     // Fixpoint rounds.
     while (true) {
       bool delta_empty = true;
-      for (const Relation& d : delta) delta_empty = delta_empty && d.empty();
+      for (PredId p = 0; p < num_preds; ++p) {
+        delta_empty = delta_empty && delta_begin[p] == delta_end[p];
+      }
       if (delta_empty) break;
       ++stats->iterations;
-      for (PredId p = 0; p < num_preds; ++p) next_delta[p].Clear();
+      jobs.clear();
       for (int32_t r : stratum_rules) {
         const Rule& rule = program.rule(r);
         if (options.semi_naive) {
-          // One pass per recursive literal, that literal restricted to the
-          // delta of its predicate.
+          // One job per recursive literal, that literal restricted to the
+          // delta range of its predicate.
           for (int32_t b : recursive_literals(rule)) {
             const PredId pred = rule.body[b].atom.predicate;
-            if (delta[pred].empty()) continue;
-            auto sink = derive_into(rule.head.predicate, &next_delta);
-            evaluator.Evaluate(rule, b, &delta[pred], sink,
-                               &stats->rule_applications);
-            if (!overflow.ok()) return overflow;
+            if (delta_begin[pred] == delta_end[pred]) continue;
+            push_job(r, b, &relations[pred], delta_begin[pred],
+                     delta_end[pred]);
           }
         } else {
           if (recursive_literals(rule).empty()) continue;
-          auto sink = derive_into(rule.head.predicate, &next_delta);
-          evaluator.Evaluate(rule, -1, nullptr, sink,
-                             &stats->rule_applications);
-          if (!overflow.ok()) return overflow;
+          push_job(r, -1, nullptr, -1, -1);
         }
       }
-      std::swap(delta, next_delta);
+      round = run_round(jobs);
+      if (!round.ok()) return round;
+      advance_deltas();
     }
+
+    StratumStats stratum_stats;
+    stratum_stats.stratum = stratum;
+    stratum_stats.iterations = stats->iterations - stratum_iterations_before;
+    stratum_stats.tuples_derived =
+        stats->tuples_derived - stratum_tuples_before;
+    stratum_stats.seconds = stratum_timer.Seconds();
+    if (parallel && stratum_stats.seconds > 0) {
+      double busy = 0;
+      for (double b : worker_busy_seconds) busy += b;
+      stratum_stats.utilization =
+          busy / (stratum_stats.seconds * num_threads);
+    }
+    stats->per_stratum.push_back(stratum_stats);
   }
 
+  // Materialize the result database through the bulk loader: relation rows
+  // are already unique, so each predicate is one sort + linear set build
+  // instead of size() tree inserts. Sorting happens on flat keys (packed
+  // words for arity <= 2, arena-backed row ids above) before any Tuple is
+  // heap-allocated — sorting millions of small heap vectors is exactly the
+  // cache-miss storm this avoids.
   Database result(program);
+  std::vector<Tuple> tuples;
   for (PredId p = 0; p < num_preds; ++p) {
     const Relation& rel = relations[p];
-    for (int32_t row = 0; row < rel.size(); ++row) {
-      result.Insert(p, rel.TupleAt(row));
+    const int32_t arity = rel.arity();
+    const int32_t rows = static_cast<int32_t>(rel.size());
+    tuples.clear();
+    tuples.reserve(static_cast<size_t>(rows));
+    if (arity == 1) {
+      std::vector<ConstId> keys(rel.Row(0), rel.Row(0) + rows);
+      std::sort(keys.begin(), keys.end());
+      for (const ConstId key : keys) tuples.push_back({key});
+    } else if (arity == 2) {
+      // ConstIds are nonnegative, so the packed word order is the
+      // lexicographic tuple order.
+      std::vector<uint64_t> keys;
+      keys.reserve(static_cast<size_t>(rows));
+      for (int32_t row = 0; row < rows; ++row) {
+        const ConstId* values = rel.Row(row);
+        keys.push_back(static_cast<uint64_t>(values[0]) << 32 |
+                       static_cast<uint32_t>(values[1]));
+      }
+      std::sort(keys.begin(), keys.end());
+      for (const uint64_t key : keys) {
+        tuples.push_back({static_cast<ConstId>(key >> 32),
+                          static_cast<ConstId>(key & 0xFFFFFFFF)});
+      }
+    } else {
+      std::vector<int32_t> order(rows);
+      for (int32_t row = 0; row < rows; ++row) order[row] = row;
+      std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+        return std::lexicographical_compare(rel.Row(a), rel.Row(a) + arity,
+                                            rel.Row(b), rel.Row(b) + arity);
+      });
+      for (const int32_t row : order) tuples.push_back(rel.TupleAt(row));
     }
+    result.BulkLoad(p, std::move(tuples));
   }
   return result;
 }

@@ -11,12 +11,46 @@
 // the paper's program (1) is unsafe — but set-at-a-time evaluation needs
 // safety; CheckSafety reports violations.)
 //
-// Performance contract: relations store tuples in flat columnar arenas
-// with incrementally-maintained probe indexes (see engine/relation.h), the
-// per-rule join is compiled to a flat action plan with literals reordered
-// by bound-argument selectivity, and the inner join loop performs no heap
-// allocation (derived tuples are handed to an internal FunctionView sink
-// as spans into a reusable scratch buffer).
+// Performance contract:
+//  * Relations store tuples in flat columnar arenas with incrementally
+//    maintained probe indexes (see engine/relation.h).
+//  * Semi-naive deltas are row ranges, not copies: relations only append,
+//    with stable row ids, so "the tuples derived last round" is exactly
+//    rows [begin, end) of the global relation. Fixpoint rounds maintain no
+//    second tuple store — a delta-restricted probe filters by row id
+//    (index chains are newest-first, i.e. descending), and a delta scan is
+//    an arena slice.
+//  * Each (rule, delta-literal) pair is compiled once into a flat join
+//    plan — the delta literal outermost, the remaining literals reordered
+//    by bound-argument selectivity — and cached for the rest of the
+//    evaluation; the plan is recompiled only when some joined relation's
+//    cardinality drifts past EngineOptions::plan_refresh_drift of its
+//    compile-time snapshot, so steady-state fixpoint rounds spend zero
+//    time in plan construction. A first step with an empty probe mask runs
+//    as a direct descending arena scan and materializes no index.
+//  * The inner join loop performs no heap allocation: probe patterns,
+//    bindings and derived tuples live in reusable per-evaluator scratch,
+//    and derived head tuples are handed to an internal FunctionView sink
+//    as spans into that scratch.
+//  * With num_threads > 1, each fixpoint round's independent
+//    (rule, delta-literal) jobs are fanned out over a ThreadPool, and a
+//    job whose plan starts with a direct scan is split further into row
+//    shards — the data parallelism that covers the one-big-recursive-rule
+//    shape (transitive closure) where rule-level parallelism alone is a
+//    two-way split. During the fan-out all global relations are strictly
+//    read-only (plans and probe indexes are pre-materialized), each worker
+//    stages its derivations in a private per-predicate staging relation,
+//    and at the round barrier the owning thread merges the stages with
+//    Relation::BulkInsert (dedupe via the fingerprint table, arena append,
+//    then one index-publish pass per probe index instead of per-tuple
+//    maintenance) — which lands the new rows contiguously, making them the
+//    next round's delta ranges for free.
+//  * Parallel and serial evaluation produce the *identical* database (set
+//    semantics: the least fixpoint is unique, and Database stores sorted
+//    sets), enforced by the serial-vs-parallel agreement tests. Iteration
+//    and rule-application counts may differ: the serial path lets later
+//    jobs in a round see earlier jobs' derivations immediately, while the
+//    parallel path publishes them at the barrier.
 #ifndef TIEBREAK_ENGINE_EVALUATION_H_
 #define TIEBREAK_ENGINE_EVALUATION_H_
 
@@ -38,6 +72,28 @@ struct EngineOptions {
   bool semi_naive = true;
   /// Abort with RESOURCE_EXHAUSTED beyond this many derived tuples.
   int64_t max_tuples = 50'000'000;
+  /// Worker threads for rule-level parallelism inside each fixpoint round.
+  /// 1 = the serial reference path (derivations visible immediately),
+  /// 0 = std::thread::hardware_concurrency(), n > 1 = staged parallel
+  /// evaluation with a barrier merge per round.
+  int32_t num_threads = 1;
+  /// Re-run a cached plan's selectivity reordering when some joined
+  /// relation's size grew or shrank by this factor versus the snapshot
+  /// taken at compile time (small sizes are floored so early rounds don't
+  /// thrash). 0 = recompile on every use (the pre-cache behavior).
+  int64_t plan_refresh_drift = 4;
+};
+
+/// Per-stratum timing breakdown (filled when stats are requested).
+struct StratumStats {
+  int32_t stratum = 0;
+  int32_t iterations = 0;       // fixpoint rounds in this stratum
+  int64_t tuples_derived = 0;   // new tuples this stratum contributed
+  double seconds = 0;           // wall time of this stratum
+  /// Busy-time utilization of the fan-out: sum of per-worker seconds spent
+  /// inside rule evaluation divided by (wall seconds × threads). 1.0 means
+  /// perfectly balanced workers; the serial path reports 1.0 by definition.
+  double utilization = 1.0;
 };
 
 /// Statistics of one evaluation.
@@ -46,6 +102,10 @@ struct EngineStats {
   int64_t rule_applications = 0;
   int32_t strata = 0;
   int32_t iterations = 0;  // total fixpoint rounds across strata
+  int32_t threads_used = 0;     // effective thread count (>= 1)
+  int64_t plans_compiled = 0;   // join-plan compilations (incl. refreshes)
+  int64_t plan_cache_hits = 0;  // evaluations served by a cached plan
+  std::vector<StratumStats> per_stratum;
 };
 
 /// Evaluates `program` on `database` (initial values for all relations; IDB

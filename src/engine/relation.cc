@@ -30,11 +30,10 @@ uint64_t Relation::KeyHashOf(uint32_t mask, const ConstId* values) {
   return h;
 }
 
-int32_t Relation::FindRow(const ConstId* values) const {
+int32_t Relation::FindRow(const ConstId* values, uint64_t fingerprint) const {
   if (dedupe_slots_.empty()) return -1;
-  const uint64_t fp = FingerprintOf(values, arity_);
   const size_t slot_mask = dedupe_slots_.size() - 1;
-  for (size_t slot = fp & slot_mask;; slot = (slot + 1) & slot_mask) {
+  for (size_t slot = fingerprint & slot_mask;; slot = (slot + 1) & slot_mask) {
     const int32_t row = dedupe_slots_[slot];
     if (row < 0) return -1;
     if (std::equal(values, values + arity_, Row(row))) return row;
@@ -42,8 +41,10 @@ int32_t Relation::FindRow(const ConstId* values) const {
 }
 
 void Relation::GrowDedupe() {
-  const size_t new_capacity =
-      dedupe_slots_.empty() ? kInitialSlots : dedupe_slots_.size() * 2;
+  RehashDedupe(dedupe_slots_.empty() ? kInitialSlots : dedupe_slots_.size() * 2);
+}
+
+void Relation::RehashDedupe(size_t new_capacity) {
   std::vector<int32_t> fresh(new_capacity, -1);
   const size_t slot_mask = new_capacity - 1;
   for (int32_t row = 0; row < num_rows_; ++row) {
@@ -55,14 +56,13 @@ void Relation::GrowDedupe() {
   dedupe_slots_ = std::move(fresh);
 }
 
-bool Relation::Insert(const ConstId* values) {
+bool Relation::Insert(const ConstId* values, uint64_t fingerprint) {
   if (dedupe_slots_.empty() ||
       static_cast<size_t>(num_rows_ + 1) * 2 > dedupe_slots_.size()) {
     GrowDedupe();
   }
-  const uint64_t fp = FingerprintOf(values, arity_);
   const size_t slot_mask = dedupe_slots_.size() - 1;
-  size_t slot = fp & slot_mask;
+  size_t slot = fingerprint & slot_mask;
   while (dedupe_slots_[slot] >= 0) {
     if (std::equal(values, values + arity_, Row(dedupe_slots_[slot]))) {
       return false;
@@ -76,12 +76,66 @@ bool Relation::Insert(const ConstId* values) {
   return true;
 }
 
+namespace {
+// Smallest power of two >= max(bound, kInitialSlots).
+size_t PowerOfTwoAtLeast(size_t bound) {
+  size_t capacity = kInitialSlots;
+  while (capacity < bound) capacity *= 2;
+  return capacity;
+}
+}  // namespace
+
+void Relation::Reserve(int64_t num_rows) {
+  TIEBREAK_CHECK_GE(num_rows, 0);
+  data_.reserve(static_cast<size_t>(num_rows) * arity_);
+  const size_t wanted = PowerOfTwoAtLeast(static_cast<size_t>(num_rows) * 2);
+  if (dedupe_slots_.size() < wanted) RehashDedupe(wanted);
+}
+
+int64_t Relation::BulkInsert(const Relation& staged) {
+  TIEBREAK_CHECK_EQ(staged.arity_, arity_);
+  const int32_t first_new = num_rows_;
+  // One capacity decision for the whole batch: size the dedupe table for
+  // the worst case (every staged row new) so the scan never rehashes.
+  const size_t wanted = PowerOfTwoAtLeast(
+      static_cast<size_t>(num_rows_ + staged.num_rows_ + 1) * 2);
+  if (dedupe_slots_.size() < wanted) RehashDedupe(wanted);
+  const size_t slot_mask = dedupe_slots_.size() - 1;
+  for (int32_t r = 0; r < staged.num_rows_; ++r) {
+    const ConstId* values = staged.Row(r);
+    const uint64_t fp = FingerprintOf(values, arity_);
+    size_t slot = fp & slot_mask;
+    bool duplicate = false;
+    while (dedupe_slots_[slot] >= 0) {
+      if (std::equal(values, values + arity_, Row(dedupe_slots_[slot]))) {
+        duplicate = true;
+        break;
+      }
+      slot = (slot + 1) & slot_mask;
+    }
+    if (duplicate) continue;
+    dedupe_slots_[slot] = num_rows_++;
+    data_.insert(data_.end(), values, values + arity_);
+  }
+  // Publish to the probe indexes: each index is extended once with the
+  // whole batch of new rows (not per tuple). Chains only ever prepend at
+  // slot heads, so MatchRange walks opened before this publish are
+  // unaffected.
+  for (ProbeIndex& index : indexes_) {
+    index.next.reserve(num_rows_);
+    for (int32_t row = first_new; row < num_rows_; ++row) {
+      AppendToIndex(&index, row);
+    }
+  }
+  return num_rows_ - first_new;
+}
+
 void Relation::Clear() {
   num_rows_ = 0;
   data_.clear();
   std::fill(dedupe_slots_.begin(), dedupe_slots_.end(), -1);
   // Keep the materialized index shells (mask + vector capacity): recycled
-  // delta relations re-probe the same masks every fixpoint round, and
+  // staging relations re-probe the same masks every fixpoint round, and
   // retaining the shells keeps those rounds allocation-free steady-state.
   // slot_keys can stay stale — entries are only read where slot_heads >= 0.
   for (ProbeIndex& index : indexes_) {

@@ -51,19 +51,33 @@ class Relation {
   bool empty() const { return num_rows_ == 0; }
 
   /// Inserts the tuple at `values` (arity() consecutive ids); returns true
-  /// when it was new. Appends to all materialized probe indexes.
-  bool Insert(const ConstId* values);
+  /// when it was new. Appends to all materialized probe indexes. The
+  /// two-argument form takes a precomputed TupleFingerprint so hot paths
+  /// that both Contains and Insert the same tuple hash it once.
+  bool Insert(const ConstId* values) {
+    return Insert(values, TupleFingerprint(values));
+  }
+  bool Insert(const ConstId* values, uint64_t fingerprint);
   bool Insert(const Tuple& tuple) {
     TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arity_);
     return Insert(tuple.data());
   }
 
   bool Contains(const ConstId* values) const {
-    return FindRow(values) >= 0;
+    return FindRow(values, TupleFingerprint(values)) >= 0;
+  }
+  bool Contains(const ConstId* values, uint64_t fingerprint) const {
+    return FindRow(values, fingerprint) >= 0;
   }
   bool Contains(const Tuple& tuple) const {
     TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arity_);
     return Contains(tuple.data());
+  }
+
+  /// The dedupe hash of the arity() ids at `values` (relation-independent
+  /// apart from the arity).
+  uint64_t TupleFingerprint(const ConstId* values) const {
+    return FingerprintOf(values, arity_);
   }
 
   /// Pointer to row `row`'s arity() ids inside the arena.
@@ -76,8 +90,29 @@ class Relation {
   }
 
   /// Drops all rows and indexes but keeps allocated capacity (for reusing
-  /// delta relations across fixpoint rounds).
+  /// per-worker staging relations across fixpoint rounds).
   void Clear();
+
+  /// Pre-sizes the arena and dedupe table for `num_rows` total rows (bulk
+  /// EDB loads know their size up front).
+  void Reserve(int64_t num_rows);
+
+  /// Materializes the probe index for `mask` if it does not exist yet.
+  /// Parallel evaluation calls this for every mask a compiled plan probes
+  /// *before* fanning out, so that concurrent Probe() calls are pure reads
+  /// (lazy materialization inside Probe would race).
+  void EnsureProbeIndex(uint32_t mask) const { EnsureIndex(mask); }
+
+  /// Bulk-appends every tuple of `staged` (same arity) that is not already
+  /// present; returns the number of new rows. This is the staged-publish
+  /// half of the parallel round barrier: the arena and dedupe table are
+  /// extended in one scan over `staged`, then each materialized probe index
+  /// is extended once with all new rows (one pass per index) instead of
+  /// being touched per tuple. The new rows land contiguously at the end of
+  /// the arena (their row range is [size-before, size-after)). Probe ranges
+  /// opened before the publish remain valid and do not observe the new
+  /// rows; ranges opened after observe all of them.
+  int64_t BulkInsert(const Relation& staged);
 
   /// Lazy range over the row ids matching a probe; see Probe().
   class MatchRange {
@@ -142,8 +177,9 @@ class Relation {
     int32_t used_slots = 0;
   };
 
-  int32_t FindRow(const ConstId* values) const;
+  int32_t FindRow(const ConstId* values, uint64_t fingerprint) const;
   void GrowDedupe();
+  void RehashDedupe(size_t new_capacity);
   ProbeIndex& EnsureIndex(uint32_t mask) const;
   void AppendToIndex(ProbeIndex* index, int32_t row) const;
   static void GrowIndexSlots(ProbeIndex* index);

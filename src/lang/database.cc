@@ -20,6 +20,34 @@ void Database::Insert(PredId predicate, Tuple tuple) {
   relations_[predicate].insert(std::move(tuple));
 }
 
+void Database::BulkLoad(PredId predicate, std::vector<Tuple>&& tuples) {
+  TIEBREAK_CHECK_GE(predicate, 0);
+  TIEBREAK_CHECK_LT(predicate, num_predicates());
+  for (const Tuple& tuple : tuples) {
+    TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arities_[predicate])
+        << "arity mismatch bulk-loading relation " << predicate;
+  }
+  // Callers that pre-sort (e.g. the engine's result materialization, which
+  // sorts flat keys before building any Tuple) skip the heavy part.
+  if (!std::is_sorted(tuples.begin(), tuples.end())) {
+    std::sort(tuples.begin(), tuples.end());
+  }
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  std::set<Tuple>& relation = relations_[predicate];
+  if (relation.empty()) {
+    // Constructing from a sorted unique range is linear in the range size.
+    relation = std::set<Tuple>(std::make_move_iterator(tuples.begin()),
+                               std::make_move_iterator(tuples.end()));
+  } else {
+    // Ascending hinted inserts keep the merge near-linear.
+    auto hint = relation.begin();
+    for (Tuple& tuple : tuples) {
+      hint = relation.insert(hint, std::move(tuple));
+    }
+  }
+  tuples.clear();
+}
+
 bool Database::Contains(PredId predicate, const Tuple& tuple) const {
   TIEBREAK_CHECK_GE(predicate, 0);
   TIEBREAK_CHECK_LT(predicate, num_predicates());

@@ -24,6 +24,14 @@ class Database {
   /// Inserts a fact; duplicate inserts are no-ops. Arity is CHECKed.
   void Insert(PredId predicate, Tuple tuple);
 
+  /// Streaming-append path for large relations: sorts `tuples`, drops
+  /// duplicates, and loads them in one pass — a linear-time set build when
+  /// the relation is empty, a hinted merge otherwise — instead of one tree
+  /// insert (node allocation + rebalance) per tuple. Million-tuple EDB
+  /// generators and the engine's result materialization use this; the
+  /// resulting database is identical to per-tuple Insert of the same facts.
+  void BulkLoad(PredId predicate, std::vector<Tuple>&& tuples);
+
   /// Convenience for zero-arity predicates.
   void InsertProposition(PredId predicate) { Insert(predicate, Tuple{}); }
 

@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace tiebreak {
+
+int32_t ThreadPool::EffectiveThreads(int32_t requested) {
+  if (requested > 0) return requested;
+  const uint32_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int32_t>(hw);
+}
+
+ThreadPool::ThreadPool(int32_t num_threads)
+    : num_threads_(EffectiveThreads(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int32_t w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  batch_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainTasks(int32_t worker) {
+  const int32_t num_tasks = batch_tasks_;
+  const FunctionView<void(int32_t, int32_t)>& body = *body_;
+  while (true) {
+    const int32_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= num_tasks) return;
+    body(task, worker);
+  }
+}
+
+void ThreadPool::WorkerLoop(int32_t worker) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_cv_.wait(lock, [&] {
+        return shutdown_ || batch_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = batch_generation_;
+    }
+    DrainTasks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int32_t num_tasks, FunctionView<void(int32_t task, int32_t worker)> body) {
+  TIEBREAK_CHECK_GE(num_tasks, 0);
+  if (num_tasks == 0) return;
+  if (num_threads_ == 1) {
+    for (int32_t task = 0; task < num_tasks; ++task) body(task, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TIEBREAK_CHECK_EQ(workers_active_, 0) << "ParallelFor is not reentrant";
+    body_ = &body;
+    batch_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    workers_active_ = num_threads_ - 1;
+    ++batch_generation_;
+  }
+  batch_cv_.notify_all();
+  // The calling thread is worker 0; it drains tasks alongside the pool.
+  DrainTasks(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,79 @@
+// A small fixed-size worker pool for fork/join parallelism: the engine's
+// fixpoint rounds dispatch a batch of independent rule evaluations, block
+// at a barrier, and merge the results on the calling thread. Tasks are
+// distributed by an atomic claim counter (the cheap half of work stealing:
+// idle workers pull the next unclaimed task instead of owning a fixed
+// slice), so uneven task costs self-balance without per-task queues.
+//
+// Threading contract: ParallelFor publishes the batch under a mutex and
+// joins on a condition variable, so everything written by the caller
+// before ParallelFor happens-before every task body, and everything
+// written by task bodies happens-before ParallelFor's return. Callers can
+// therefore hand workers read-only shared state plus a private slot per
+// worker id and never touch an atomic themselves.
+#ifndef TIEBREAK_UTIL_THREAD_POOL_H_
+#define TIEBREAK_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/function_view.h"
+
+namespace tiebreak {
+
+/// A persistent pool of `num_threads - 1` worker threads; the thread that
+/// calls ParallelFor participates as worker 0, so `num_threads = 1` spawns
+/// nothing and runs everything inline (the serial reference path).
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` means std::thread::hardware_concurrency().
+  explicit ThreadPool(int32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int32_t num_threads() const { return num_threads_; }
+
+  /// Runs `body(task, worker)` for every task in [0, num_tasks), spread
+  /// across the pool; blocks until all tasks finished. `worker` is in
+  /// [0, num_threads()) and identifies the executing lane (stable for the
+  /// duration of one task, distinct for concurrently running tasks), so it
+  /// can index per-worker scratch. Not reentrant: one batch at a time.
+  void ParallelFor(int32_t num_tasks,
+                   FunctionView<void(int32_t task, int32_t worker)> body);
+
+  /// Resolves a thread-count request: n <= 0 → hardware concurrency
+  /// (at least 1), otherwise n.
+  static int32_t EffectiveThreads(int32_t requested);
+
+ private:
+  void WorkerLoop(int32_t worker);
+  /// Claims and runs tasks of the current batch until none remain.
+  void DrainTasks(int32_t worker);
+
+  const int32_t num_threads_;
+
+  std::mutex mu_;
+  std::condition_variable batch_cv_;  // signals workers: new batch / shutdown
+  std::condition_variable done_cv_;   // signals caller: workers drained
+  uint64_t batch_generation_ = 0;     // bumped per ParallelFor (guarded by mu_)
+  int32_t batch_tasks_ = 0;
+  int32_t workers_active_ = 0;  // spawned workers still inside current batch
+  bool shutdown_ = false;
+  // Points at ParallelFor's argument; valid while a batch runs because
+  // ParallelFor does not return before every task has finished.
+  const FunctionView<void(int32_t, int32_t)>* body_ = nullptr;
+
+  std::atomic<int32_t> next_task_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_UTIL_THREAD_POOL_H_

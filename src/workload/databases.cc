@@ -93,6 +93,66 @@ Database GridDatabase(Program* program, const std::string& relation,
   return database;
 }
 
+Database LargeRandomDigraphDatabase(Program* program,
+                                    const std::string& relation,
+                                    int32_t num_nodes, int64_t num_edges,
+                                    Rng* rng) {
+  TIEBREAK_CHECK_GE(num_nodes, 1);
+  TIEBREAK_CHECK_GE(num_edges, 0);
+  const std::vector<ConstId> nodes = InternNodes(program, num_nodes);
+  const PredId pred = RequireBinary(program, relation);
+  Database database(*program);
+  std::vector<Tuple> edges;
+  edges.reserve(static_cast<size_t>(num_edges));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const ConstId from = nodes[rng->Below(num_nodes)];
+    const ConstId to = nodes[rng->Below(num_nodes)];
+    edges.push_back({from, to});
+  }
+  database.BulkLoad(pred, std::move(edges));
+  return database;
+}
+
+Database WideGridDatabase(Program* program, const std::string& relation,
+                          int32_t width, int32_t height) {
+  TIEBREAK_CHECK_GE(width, 1);
+  TIEBREAK_CHECK_GE(height, 1);
+  const std::vector<ConstId> nodes = InternNodes(program, width * height);
+  const PredId pred = RequireBinary(program, relation);
+  Database database(*program);
+  std::vector<Tuple> edges;
+  edges.reserve(static_cast<size_t>(2) * width * height);
+  for (int32_t y = 0; y < height; ++y) {
+    for (int32_t x = 0; x < width; ++x) {
+      const int32_t at = y * width + x;
+      if (x + 1 < width) edges.push_back({nodes[at], nodes[at + 1]});
+      if (y + 1 < height) edges.push_back({nodes[at], nodes[at + width]});
+    }
+  }
+  database.BulkLoad(pred, std::move(edges));
+  return database;
+}
+
+Database BalancedTreeDatabase(Program* program, int32_t depth) {
+  TIEBREAK_CHECK_GE(depth, 0);
+  const int32_t nodes = (1 << (depth + 1)) - 1;
+  const std::vector<ConstId> ids = InternNodes(program, nodes);
+  const PredId up = RequireBinary(program, "up");
+  const PredId down = RequireBinary(program, "down");
+  const PredId sibling = RequireBinary(program, "sibling");
+  Database database(*program);
+  for (int32_t i = 1; i < nodes; ++i) {
+    const int32_t parent = (i - 1) / 2;
+    database.Insert(up, {ids[i], ids[parent]});
+    database.Insert(down, {ids[parent], ids[i]});
+  }
+  for (int32_t i = 1; i + 1 < nodes; i += 2) {
+    database.Insert(sibling, {ids[i], ids[i + 1]});
+    database.Insert(sibling, {ids[i + 1], ids[i]});
+  }
+  return database;
+}
+
 Database RandomEdbDatabase(Program* program, int32_t universe_size,
                            double density, Rng* rng) {
   TIEBREAK_CHECK_GE(universe_size, 1);

@@ -37,6 +37,30 @@ Database UnarySetDatabase(Program* program, const std::string& relation,
 Database GridDatabase(Program* program, const std::string& relation,
                       int32_t width, int32_t height);
 
+/// Million-tuple variant of RandomDigraphDatabase: generates all edges into
+/// one flat buffer and publishes them through Database::BulkLoad (one sort +
+/// linear set build) instead of one tree insert per edge, so building the
+/// EDB scales to millions of tuples. `num_edges` counts draws; duplicate
+/// draws collapse.
+Database LargeRandomDigraphDatabase(Program* program,
+                                    const std::string& relation,
+                                    int32_t num_nodes, int64_t num_edges,
+                                    Rng* rng);
+
+/// relation = the directed width x height grid (edges right and down), bulk
+/// loaded like LargeRandomDigraphDatabase. Wide, shallow aspect ratios
+/// (width >> height) keep transitive closure in the millions rather than
+/// quadrillions: each cell reaches only the cells south-east of it.
+Database WideGridDatabase(Program* program, const std::string& relation,
+                          int32_t width, int32_t height);
+
+/// The EDB of the same-generation family: a balanced binary tree of
+/// `depth` levels below the root, with `up(child, parent)`,
+/// `down(parent, child)`, and `sibling` in both directions between the two
+/// children of each internal node. Declares all three binary relations on
+/// `program`.
+Database BalancedTreeDatabase(Program* program, int32_t depth);
+
 /// A random database over `universe_size` node constants for *every* EDB
 /// predicate of the program: each possible fact is included with
 /// probability `density`. Zero-ary EDB predicates are included with the

@@ -32,6 +32,12 @@ Program SameGenerationProgram() {
       "sg(X, Y) :- up(X, A), sg(A, B), down(B, Y).");
 }
 
+Program ReachabilityProgram() {
+  return MustParseInternal(
+      "reach(X) :- start(X).\n"
+      "reach(Y) :- reach(X), e(X, Y).");
+}
+
 Program NegationRingProgram(int32_t k) {
   TIEBREAK_CHECK_GE(k, 1);
   std::string text;

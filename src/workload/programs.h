@@ -23,6 +23,12 @@ Program TransitiveClosureProgram();
 /// down(B,Y). Classic recursive join benchmark.
 Program SameGenerationProgram();
 
+/// Single-source reachability: reach(X) <- start(X); reach(Y) <- reach(X),
+/// e(X,Y). Linear-size closure (at most one derived tuple per node), so it
+/// pairs with million-tuple edge EDBs where full transitive closure would
+/// explode quadratically.
+Program ReachabilityProgram();
+
 /// A ring of k propositions p0 <- ¬p1, p1 <- ¬p2, ..., p_{k-1} <- ¬p0.
 /// Call-consistent (and hence structurally total) iff k is even; for odd k
 /// the ring is the canonical odd cycle.

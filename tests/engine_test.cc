@@ -122,6 +122,107 @@ TEST(RelationTest, ClearKeepsArityAndReusesCapacity) {
   EXPECT_TRUE(ProbeSet(rel, 0b01, {4, 0}).contains(Tuple{4, 4}));
 }
 
+TEST(RelationTest, BulkInsertDedupesWithinAndAcrossBatches) {
+  Relation rel(2);
+  rel.Insert({1, 2});
+  rel.Insert({3, 4});
+
+  Relation staged(2);
+  staged.Insert({1, 2});  // duplicate of existing
+  staged.Insert({5, 6});  // new
+  staged.Insert({3, 4});  // duplicate of existing
+  staged.Insert({7, 8});  // new
+
+  EXPECT_EQ(rel.BulkInsert(staged), 2);
+  EXPECT_EQ(rel.size(), 4);
+  // New rows land contiguously after the pre-existing ones, staged order.
+  EXPECT_EQ(rel.TupleAt(2), (Tuple{5, 6}));
+  EXPECT_EQ(rel.TupleAt(3), (Tuple{7, 8}));
+  EXPECT_TRUE(rel.Contains({5, 6}));
+  EXPECT_TRUE(rel.Contains({7, 8}));
+
+  // Re-publishing the same stage adds nothing (cross-batch dedupe).
+  EXPECT_EQ(rel.BulkInsert(staged), 0);
+  EXPECT_EQ(rel.size(), 4);
+}
+
+TEST(RelationTest, BulkInsertExtendsMaterializedIndexes) {
+  Relation rel(2);
+  for (int32_t i = 0; i < 50; ++i) rel.Insert({i % 5, i});
+  // Materialize two indexes before the bulk publish.
+  EXPECT_EQ(ProbeSet(rel, 0b01, {2, 0}).size(), 10u);
+  EXPECT_EQ(ProbeSet(rel, 0b10, {0, 7}).size(), 1u);
+
+  Relation staged(2);
+  for (int32_t i = 50; i < 300; ++i) staged.Insert({i % 5, i});
+  EXPECT_EQ(rel.BulkInsert(staged), 250);
+
+  // Both previously materialized indexes observe every published row, and
+  // a fresh mask materialized after the publish sees them too.
+  EXPECT_EQ(ProbeSet(rel, 0b01, {2, 0}).size(), 60u);
+  EXPECT_TRUE(ProbeSet(rel, 0b10, {0, 257}).contains(Tuple{257 % 5, 257}));
+  EXPECT_EQ(ProbeSet(rel, 0b11, {3, 153}).size(), 1u);
+}
+
+TEST(RelationTest, StagedPublishesInterleavedWithProbes) {
+  // The round-barrier protocol: probes open against the published state,
+  // bulk publishes land between probes, and every probe observes exactly
+  // the rows published before it — including a probe range held open
+  // across a publish of rows with the *same* probe key (they prepend at
+  // the chain head the walk already passed, so the open range keeps
+  // yielding the pre-publish snapshot; the next probe sees everything).
+  Relation rel(2);
+  Relation staged(2);
+  int32_t next = 0;
+  for (int32_t round = 0; round < 8; ++round) {
+    staged.Clear();
+    // All rows share first column 1 — the key the probes below use — plus
+    // a duplicate of an already-published row after round 0.
+    for (int32_t i = 0; i < 16; ++i) staged.Insert({1, next++});
+    if (round > 0) staged.Insert({1, 0});
+    if (round == 0) {
+      EXPECT_EQ(rel.BulkInsert(staged), 16);
+    } else {
+      // Hold a probe range open across the publish: it must yield exactly
+      // the rows published before it, even though the publish grows the
+      // very chain being walked.
+      int32_t seen = 0;
+      for (int32_t row : rel.Probe(0b01, {1, 0})) {
+        EXPECT_LT(rel.Row(row)[1], round * 16);
+        if (seen == 0) {
+          EXPECT_EQ(rel.BulkInsert(staged), 16);
+        }
+        ++seen;
+      }
+      EXPECT_EQ(seen, round * 16);
+    }
+    // A fresh probe observes every published row.
+    EXPECT_EQ(ProbeSet(rel, 0b01, {1, 0}).size(),
+              static_cast<size_t>((round + 1) * 16));
+    EXPECT_EQ(rel.size(), (round + 1) * 16);
+  }
+}
+
+TEST(RelationTest, BulkInsertZeroArityAndEmptyStage) {
+  Relation rel(0);
+  Relation staged(0);
+  EXPECT_EQ(rel.BulkInsert(staged), 0);  // empty stage is a no-op
+  staged.Insert(Tuple{});
+  EXPECT_EQ(rel.BulkInsert(staged), 1);
+  EXPECT_EQ(rel.BulkInsert(staged), 0);
+  EXPECT_EQ(rel.size(), 1);
+}
+
+TEST(RelationTest, ReserveKeepsContentsAndDedupe) {
+  Relation rel(2);
+  rel.Insert({1, 2});
+  rel.Reserve(10'000);
+  EXPECT_TRUE(rel.Contains({1, 2}));
+  EXPECT_FALSE(rel.Insert({1, 2}));
+  EXPECT_TRUE(rel.Insert({2, 1}));
+  EXPECT_EQ(rel.size(), 2);
+}
+
 TEST(RelationTest, ZeroArityRelationHoldsOneRow) {
   Relation rel(0);
   EXPECT_TRUE(rel.Insert(Tuple{}));

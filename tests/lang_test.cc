@@ -175,6 +175,37 @@ TEST(DatabaseTest, DuplicateInsertIsNoOp) {
   EXPECT_EQ(db.TotalFacts(), 1);
 }
 
+TEST(DatabaseTest, BulkLoadMatchesPerTupleInsert) {
+  // BulkLoad promises the same database as per-tuple Insert of the same
+  // facts — including the merge-into-non-empty branch: load two
+  // overlapping batches (with internal duplicates, unsorted) into one
+  // predicate and compare against the insert-built twin.
+  Program p = MustParse("p(X, Y) :- e(X, Y).");
+  const PredId e = p.LookupPredicate("e");
+  std::vector<ConstId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(p.InternConstant("c" + std::to_string(i)));
+  }
+  std::vector<Tuple> batch1, batch2;
+  for (int i = 39; i >= 0; --i) {
+    batch1.push_back({ids[i], ids[(i * 7) % 40]});
+    batch1.push_back({ids[i], ids[(i * 7) % 40]});  // in-batch duplicate
+  }
+  for (int i = 0; i < 40; i += 3) {
+    batch2.push_back({ids[i], ids[(i * 7) % 40]});   // overlaps batch1
+    batch2.push_back({ids[(i * 11) % 40], ids[i]});  // mostly new
+  }
+
+  Database bulk(p);
+  Database reference(p);
+  for (const Tuple& t : batch1) reference.Insert(e, t);
+  for (const Tuple& t : batch2) reference.Insert(e, t);
+  bulk.BulkLoad(e, std::move(batch1));
+  bulk.BulkLoad(e, std::move(batch2));  // second load merges into non-empty
+  EXPECT_TRUE(bulk == reference);
+  EXPECT_EQ(bulk.TotalFacts(), reference.TotalFacts());
+}
+
 // ---------------------------------------------------------------------------
 // Printing round-trips.
 // ---------------------------------------------------------------------------
