@@ -10,8 +10,22 @@
 //  (c) choice policy: deterministic-first vs seeded-random tie selection —
 //      success rates are choice-invariant on call-consistent inputs
 //      (Theorem 1) and noisy beyond them.
+//  (d) engine join kernels (only with --kernel {row,vector,merge}): runs
+//      the engine's million-tuple workloads under ONE kernel so per-kernel
+//      contributions can be compared across invocations. `row` is the
+//      tuple-at-a-time PR 2 reference, `vector` the batch kernels with
+//      columnar filters + prefetch, `merge` forces sort-merge joins on
+//      every eligible EDB probe step. All kernels compute the identical
+//      fixpoint (verified by engine_kernel_test); this mode measures, not
+//      asserts, the difference. Optional: --reps N, --workload SUBSTR.
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine_workloads.h"
+#include "engine/evaluation.h"
 
 #include "core/alternating.h"
 #include "core/stable.h"
@@ -34,9 +48,89 @@ struct ModeTally {
   int64_t runs = 0, totals = 0, stable = 0;
 };
 
+// EXP-ABL(d): one engine kernel over the million-tuple workloads.
+int RunKernelAblation(JoinKernel kernel, const char* kernel_name, int reps,
+                      const std::vector<std::string>& filters) {
+  std::printf("EXP-ABL(d): engine join-kernel ablation — kernel=%s\n\n",
+              kernel_name);
+  const char* kDefaultWorkloads[] = {"tc_chain_2048", "tc_grid_wide_512x4",
+                                     "reach_random_1m"};
+  auto selected = [&](const char* name) {
+    if (filters.empty()) {
+      for (const char* d : kDefaultWorkloads) {
+        if (std::strcmp(name, d) == 0) return true;
+      }
+      return false;
+    }
+    for (const std::string& filter : filters) {
+      if (std::strstr(name, filter.c_str()) != nullptr) return true;
+    }
+    return false;
+  };
+  std::printf("%-24s %12s %14s %14s %12s\n", "workload", "seconds", "tuples",
+              "tuples/sec", "merge steps");
+  std::printf("%s\n", std::string(80, '-').c_str());
+  for (const benchutil::EngineWorkloadFactory& factory :
+       benchutil::kEngineWorkloads) {
+    if (!selected(factory.name)) continue;
+    const benchutil::EngineWorkload workload = factory.build();
+    EngineOptions options;
+    options.num_threads = 1;  // isolate the kernel, not the fan-out
+    options.kernel = kernel;
+    double best = 1e100;
+    EngineStats stats;
+    for (int rep = 0; rep < reps + 1; ++rep) {  // +1 warm-up
+      WallTimer timer;
+      stats = EngineStats();
+      Result<Database> result = EvaluateStratified(
+          workload.program, workload.database, options, &stats);
+      TIEBREAK_CHECK(result.ok()) << result.status().ToString();
+      const double seconds = timer.Seconds();
+      if (rep > 0 && seconds < best) best = seconds;
+    }
+    std::printf("%-24s %12.6f %14lld %14.0f %12lld\n", workload.name.c_str(),
+                best, static_cast<long long>(stats.tuples_derived),
+                static_cast<double>(stats.tuples_derived) / best,
+                static_cast<long long>(stats.merge_join_steps));
+  }
+  std::printf("\nCompare runs of --kernel row / vector / merge to isolate "
+              "each kernel's\ncontribution; BENCH_engine.json records the "
+              "default (vector) kernel.\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --kernel switches this binary into the engine ablation (d) and skips
+  // the semantic ablations (a)-(c), which take minutes.
+  const char* kernel_name = nullptr;
+  int reps = 3;
+  std::vector<std::string> filters;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      TIEBREAK_CHECK_LT(i + 1, argc) << arg << " needs a value";
+      return argv[++i];
+    };
+    if (arg == "--kernel") {
+      kernel_name = next_value();
+    } else if (arg == "--reps") {
+      reps = std::atoi(next_value());
+    } else if (arg == "--workload") {
+      filters.push_back(next_value());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (kernel_name != nullptr) {
+    TIEBREAK_CHECK_GE(reps, 1) << "--reps must be at least 1";
+    JoinKernel kernel;
+    if (!benchutil::ParseKernelName(kernel_name, &kernel)) return 1;
+    return RunKernelAblation(kernel, kernel_name, reps, filters);
+  }
+
   std::printf("EXP-ABL(a): unfounded-first (paper) vs tie-first ordering\n\n");
   {
     ModeTally wftb, tie_first;

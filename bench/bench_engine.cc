@@ -2,145 +2,51 @@
 // google-benchmark) so it can emit machine-readable BENCH_engine.json next
 // to human-readable rows: per-workload wall time, derived tuples, rule
 // applications, and tuples/sec, plus the recorded baseline so the speedup
-// trajectory is tracked in-repo. Baselines for the original six workloads
-// are the pre-columnar (PR 0) engine; baselines for the million-tuple
-// workloads are the PR 1 engine (flat storage + per-call plan compile,
-// serial, per-tuple result materialization) measured on this container.
+// trajectory is tracked in-repo. The recorded baselines are the PR 2
+// engine (row-at-a-time kernels, serial EDB load, std::set-backed result
+// materialization) measured on this container; docs/benchmarks.md keeps
+// the PR 1 → PR 2 → PR 3 trajectory table.
 //
 // Usage: bench_engine [output.json] [--threads N] [--workload NAME]
-//                     [--reps N] [--json PATH]
+//                     [--reps N] [--json PATH] [--kernel row|vector|merge]
 //   --threads N    EngineOptions::num_threads for measured runs
 //                  (0 = hardware concurrency; default 0)
 //   --workload S   only run workloads whose name contains S (may repeat);
 //                  skips writing JSON unless an output path was given
 //   --reps N       repetitions per workload (best-of; default 3)
+//   --kernel K     JoinKernel for measured runs (default vector); the
+//                  per-kernel ablation harness is bench_ablation --kernel
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "engine_workloads.h"
 #include "engine/evaluation.h"
-#include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
-#include "workload/databases.h"
-#include "workload/programs.h"
 
 namespace tiebreak {
 namespace {
 
 // Recorded throughput baselines (tuples/sec); see the file comment.
 constexpr benchutil::BaselineEntry kBaseline[] = {
-    {"tc_chain_512", 739784.0},       {"tc_cycle_256", 950397.0},
-    {"tc_random_256", 380894.0},      {"tc_grid_24x24", 446335.0},
-    {"same_generation_d7", 421006.0}, {"stratified_tower_32", 2040875.0},
-    {"tc_chain_2048", 2649049.0},     {"tc_grid_wide_512x4", 2406779.0},
-    {"reach_random_1m", 213690.0},
+    {"tc_chain_512", 5298595.0},      {"tc_cycle_256", 5656008.0},
+    {"tc_random_256", 3556283.0},     {"tc_grid_24x24", 4108775.0},
+    {"same_generation_d7", 5465575.0}, {"stratified_tower_32", 7702573.0},
+    {"tc_chain_2048", 3273864.0},     {"tc_grid_wide_512x4", 2855781.0},
+    {"reach_random_1m", 512574.0},
 };
 
-struct Workload {
-  std::string name;
-  Program program;
-  Database database;
-
-  Workload(std::string name, Program program, Database database)
-      : name(std::move(name)),
-        program(std::move(program)),
-        database(std::move(database)) {}
-};
-
-// Registered lazily: million-tuple EDBs take seconds to generate, so only
-// the workloads that will actually run are built.
-struct WorkloadFactory {
-  const char* name;
-  std::function<Workload()> build;
-};
-
-Workload MakeReachRandom1M() {
-  // A million-tuple EDB: 1M nodes, 4M random edges, streamed in through
-  // Database::BulkLoad. Single-source reachability keeps the closure linear
-  // (≈ one derived tuple per reachable node).
-  Program program = ReachabilityProgram();
-  Rng rng(2026);
-  Database db = LargeRandomDigraphDatabase(&program, "e", 1'000'000,
-                                           4'000'000, &rng);
-  const PredId start = program.LookupPredicate("start");
-  const ConstId n0 = program.LookupConstant("n0");
-  db.Insert(start, {n0});
-  return Workload("reach_random_1m", std::move(program), std::move(db));
-}
-
-const WorkloadFactory kWorkloads[] = {
-    {"tc_chain_512",
-     [] {
-       Program program = TransitiveClosureProgram();
-       Database db = ChainDatabase(&program, "e", 512);
-       return Workload("tc_chain_512", std::move(program), std::move(db));
-     }},
-    {"tc_cycle_256",
-     [] {
-       Program program = TransitiveClosureProgram();
-       Database db = CycleDatabase(&program, "e", 256);
-       return Workload("tc_cycle_256", std::move(program), std::move(db));
-     }},
-    {"tc_random_256",
-     [] {
-       Program program = TransitiveClosureProgram();
-       Rng rng(42);
-       Database db = RandomDigraphDatabase(&program, "e", 256, 768, &rng);
-       return Workload("tc_random_256", std::move(program), std::move(db));
-     }},
-    {"tc_grid_24x24",
-     [] {
-       Program program = TransitiveClosureProgram();
-       Database db = GridDatabase(&program, "e", 24, 24);
-       return Workload("tc_grid_24x24", std::move(program), std::move(db));
-     }},
-    {"same_generation_d7",
-     [] {
-       Program program = SameGenerationProgram();
-       Database db = BalancedTreeDatabase(&program, 7);
-       return Workload("same_generation_d7", std::move(program),
-                       std::move(db));
-     }},
-    {"stratified_tower_32",
-     [] {
-       Program program = StratifiedTowerProgram(32);
-       Database db = UnarySetDatabase(&program, "e", 256);
-       return Workload("stratified_tower_32", std::move(program),
-                       std::move(db));
-     }},
-    // Million-tuple workloads: the closure (or the EDB) is in the millions,
-    // so these measure the engine where parallel strata and bulk publishes
-    // actually matter.
-    {"tc_chain_2048",
-     [] {
-       // 2048-node chain: closure = 2048·2047/2 ≈ 2.10M tuples.
-       Program program = TransitiveClosureProgram();
-       Database db = ChainDatabase(&program, "e", 2048);
-       return Workload("tc_chain_2048", std::move(program), std::move(db));
-     }},
-    {"tc_grid_wide_512x4",
-     [] {
-       // Wide grid: closure ≈ (512·513/2)·(4·5/2) ≈ 1.31M tuples with heavy
-       // duplicate-path pressure on the dedupe table.
-       Program program = TransitiveClosureProgram();
-       Database db = WideGridDatabase(&program, "e", 512, 4);
-       return Workload("tc_grid_wide_512x4", std::move(program),
-                       std::move(db));
-     }},
-    {"reach_random_1m", MakeReachRandom1M},
-};
-
-benchutil::Row Measure(const Workload& workload, int reps,
-                       int32_t num_threads) {
+benchutil::Row Measure(const benchutil::EngineWorkload& workload, int reps,
+                       int32_t num_threads, JoinKernel kernel) {
   benchutil::Row out;
   out.name = workload.name;
   EngineOptions options;
   options.num_threads = num_threads;
+  options.kernel = kernel;
   out.num_threads = ThreadPool::EffectiveThreads(num_threads);
   // Warm-up (and correctness sanity) run.
   {
@@ -175,6 +81,7 @@ int Main(int argc, char** argv) {
   std::vector<std::string> name_filters;
   int reps = 3;
   int32_t num_threads = 0;  // hardware concurrency
+  JoinKernel kernel = JoinKernel::kVector;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
@@ -190,6 +97,8 @@ int Main(int argc, char** argv) {
     } else if (arg == "--json") {
       json_path = next_value();
       json_path_explicit = true;
+    } else if (arg == "--kernel") {
+      if (!benchutil::ParseKernelName(next_value(), &kernel)) return 1;
     } else if (!arg.empty() && arg[0] != '-') {
       json_path = arg;
       json_path_explicit = true;
@@ -198,6 +107,7 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
+  TIEBREAK_CHECK_GE(reps, 1) << "--reps must be at least 1";
   if (json_path.empty()) json_path = "BENCH_engine.json";
 
   auto selected = [&](const char* name) {
@@ -209,10 +119,11 @@ int Main(int argc, char** argv) {
   };
 
   std::vector<benchutil::Row> results;
-  for (const WorkloadFactory& factory : kWorkloads) {
+  for (const benchutil::EngineWorkloadFactory& factory :
+       benchutil::kEngineWorkloads) {
     if (!selected(factory.name)) continue;
-    const Workload workload = factory.build();
-    results.push_back(Measure(workload, reps, num_threads));
+    const benchutil::EngineWorkload workload = factory.build();
+    results.push_back(Measure(workload, reps, num_threads, kernel));
   }
   if (results.empty()) {
     std::fprintf(stderr, "no workload matches the --workload filters\n");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <memory>
 #include <utility>
 
@@ -45,11 +46,28 @@ Status CheckSafety(const Program& program) {
 
 namespace {
 
+// Rows per block in the vectorized direct-scan kernel: one selection
+// bitmask word, and a batch small enough that the gathered bind columns
+// and precomputed probe hashes stay L1-resident.
+constexpr int32_t kBlock = 64;
+// Rows a batched derived-tuple sink buffers before flushing through
+// Relation::InsertBatch (the prefetch-pipelined dedupe path).
+constexpr int64_t kSinkBlockRows = 512;
+// Sort-merge joins only pay off against relations big enough for chain
+// walks to miss cache; below this the hash path always wins.
+constexpr int64_t kMergeMinRows = 4096;
+
 struct ArgAction {
   enum Kind : uint8_t {
     kConst,     // column must equal / emits `index` (a ConstId)
     kCheckVar,  // column must equal / emits binding_[index]
     kBindVar,   // column binds variable `index` (join steps only)
+    // Key-only variants: the column is part of an exact probe key (≤ 2
+    // masked columns pack the masked values injectively), so it still
+    // contributes `index` / binding_[index] to the probe pattern but needs
+    // no per-candidate verification — every chain/run member matches it.
+    kConstKey,
+    kVarKey,
   };
   Kind kind;
   int32_t index;
@@ -66,6 +84,11 @@ struct JoinStep {
   int32_t actions_begin = 0;
   int32_t actions_end = 0;
   int64_t size_snapshot = 0;  // source cardinality at compile time
+  // True = probe via the sorted-key index (binary search into a run)
+  // instead of hash chains. Only ever set on non-first steps over EDB
+  // relations — those are static during evaluation, so ProbeSorted's
+  // refresh-on-growth can never invalidate a run mid-join.
+  bool merge = false;
 };
 
 // Ground-atom template for negated literals and the head: actions are
@@ -74,6 +97,34 @@ struct AtomTemplate {
   PredId predicate = -1;
   int32_t actions_begin = 0;
   int32_t actions_end = 0;
+};
+
+// Columnar metadata for the vectorized direct-scan kernel (only populated
+// when the plan's first step is a direct scan; all columns refer to the
+// scanned literal).
+//
+// A repeated variable within the scanned literal (e.g. t(X, X)): column
+// `column` must equal column `eq_column`. Evaluated as a contiguous
+// two-column compare into the selection bitmask.
+struct ScanEq {
+  int32_t column = 0;
+  int32_t eq_column = 0;
+};
+// Column `column` binds variable `var`; the block kernel gathers the
+// column's values up front so the resolve loop never re-touches the
+// scanned relation (whose columns may reallocate while derived tuples are
+// inserted).
+struct ScanBind {
+  int32_t column = 0;
+  int32_t var = 0;
+};
+// One masked pattern position of the fused second step: either a constant
+// or the `bind_slot`-th gathered scan column.
+struct KeySource {
+  int32_t pattern_column = 0;
+  bool from_const = false;
+  ConstId value = -1;
+  int32_t bind_slot = 0;
 };
 
 /// One rule body compiled to a flat join plan for a fixed delta literal.
@@ -93,11 +144,20 @@ struct CompiledPlan {
   int32_t num_variables = 0;
   size_t max_arity = 0;
   /// True when the first join step has an empty probe mask: it is then
-  /// executed as a direct arena scan (descending row order — identical to
+  /// executed as a direct column scan (descending row order — identical to
   /// the newest-first probe order — with no index materialization), and
   /// the scan can be sharded into row ranges for data parallelism within
   /// one (rule, delta-literal) job.
   bool direct_scan = false;
+  // Vectorized-kernel metadata for the direct scan (see the Scan* types).
+  std::vector<ScanEq> scan_eqs;
+  std::vector<ScanBind> scan_binds;
+  // When the second step is a hash probe whose key is fully determined by
+  // the scanned columns and constants, the block kernel hashes all probe
+  // keys of a block up front and prefetches their slot lines (`fused_hash`
+  // = the gather below is valid).
+  std::vector<KeySource> fused_key;
+  bool fused_hash = false;
 };
 
 /// Compiles rule bodies into CompiledPlans and caches them per
@@ -109,10 +169,12 @@ struct CompiledPlan {
 class PlanCache {
  public:
   PlanCache(const Program& program, const std::vector<Relation>& relations,
-            int64_t refresh_drift)
+            const EngineOptions& options)
       : program_(program),
         relations_(relations),
-        refresh_drift_(refresh_drift),
+        refresh_drift_(options.plan_refresh_drift),
+        kernel_(options.kernel),
+        merge_selectivity_(options.merge_join_selectivity),
         plans_(program.num_rules()) {}
 
   /// Returns the plan for (rule_index, delta_literal), compiling or
@@ -131,6 +193,9 @@ class PlanCache {
     if (plan == nullptr) plan = std::make_unique<CompiledPlan>();
     Compile(program_.rule(rule_index), delta_literal, delta_size, plan.get());
     ++stats->plans_compiled;
+    for (const JoinStep& step : plan->steps) {
+      if (step.merge) ++stats->merge_join_steps;
+    }
     return *plan;
   }
 
@@ -148,6 +213,25 @@ class PlanCache {
       if (hi > refresh_drift_ * lo) return true;
     }
     return false;
+  }
+
+  /// True when a non-first probe step over `predicate` should run as a
+  /// sort-merge join: forced under kMerge, chosen by the selectivity
+  /// estimate under kVector. Restricted to EDB predicates — they are
+  /// static during evaluation, so the sorted index never refreshes (and
+  /// never invalidates a run) while a join holds runs open.
+  bool ChooseMergeJoin(PredId predicate, uint32_t mask) const {
+    if (kernel_ == JoinKernel::kRow || mask == 0) return false;
+    if (!program_.IsEdb(predicate)) return false;
+    const Relation& relation = relations_[predicate];
+    if (kernel_ == JoinKernel::kMerge) return true;
+    if (merge_selectivity_ <= 0 || relation.size() < kMergeMinRows) {
+      return false;
+    }
+    const int64_t distinct = relation.DistinctKeysEstimate(mask);
+    return distinct >= 0 &&
+           static_cast<double>(distinct) <
+               merge_selectivity_ * static_cast<double>(relation.size());
   }
 
   void Compile(const Rule& rule, int32_t delta_literal, int64_t delta_size,
@@ -194,6 +278,25 @@ class PlanCache {
         }
       }
       step.actions_end = static_cast<int32_t>(plan->actions.size());
+      if (!plan->steps.empty() && body_index != delta_literal) {
+        step.merge = ChooseMergeJoin(atom.predicate, step.mask);
+      }
+      // With ≤ 2 masked columns the probe key packs the masked values
+      // exactly, so every chain (or sorted-run) candidate already matches
+      // them: demote the masked checks to key-only actions (pattern fill
+      // without per-candidate verification). The row kernel keeps full
+      // verification — it is the tuple-at-a-time reference.
+      if (kernel_ != JoinKernel::kRow && step.mask != 0 &&
+          Relation::ExactProbeKeys(step.mask)) {
+        int32_t column = 0;
+        for (int32_t a = step.actions_begin; a < step.actions_end;
+             ++a, ++column) {
+          if ((step.mask & (1u << column)) == 0) continue;
+          ArgAction& action = plan->actions[a];
+          action.kind = action.kind == ArgAction::kConst ? ArgAction::kConstKey
+                                                         : ArgAction::kVarKey;
+        }
+      }
       plan->steps.push_back(step);
     };
 
@@ -228,6 +331,7 @@ class PlanCache {
       emit_step(body_index);
     }
     plan->direct_scan = !plan->steps.empty() && plan->steps[0].mask == 0;
+    CompileVectorMetadata(plan);
 
     auto add_template = [&](const Atom& atom) {
       AtomTemplate tmpl;
@@ -247,9 +351,76 @@ class PlanCache {
     plan->head = add_template(rule.head);
   }
 
+  // Lowers the direct-scan step (and, when possible, the following probe
+  // step's key gather) to columnar form. A direct scan has mask 0, so its
+  // actions are only kBindVar plus kCheckVar repeats of variables bound
+  // earlier in the same literal — constants and cross-literal checks would
+  // have set mask bits and taken the probe path instead.
+  void CompileVectorMetadata(CompiledPlan* plan) const {
+    plan->scan_eqs.clear();
+    plan->scan_binds.clear();
+    plan->fused_key.clear();
+    plan->fused_hash = false;
+    if (!plan->direct_scan) return;
+    const JoinStep& scan = plan->steps[0];
+    int32_t column = 0;
+    for (int32_t a = scan.actions_begin; a < scan.actions_end;
+         ++a, ++column) {
+      const ArgAction& action = plan->actions[a];
+      if (action.kind == ArgAction::kBindVar) {
+        plan->scan_binds.push_back({column, action.index});
+      } else {
+        // kCheckVar repeat: find the column that bound the same variable.
+        int32_t eq_column = -1;
+        int32_t c = 0;
+        for (int32_t b = scan.actions_begin; b < a; ++b, ++c) {
+          if (plan->actions[b].kind == ArgAction::kBindVar &&
+              plan->actions[b].index == action.index) {
+            eq_column = c;
+            break;
+          }
+        }
+        TIEBREAK_CHECK_GE(eq_column, 0);
+        plan->scan_eqs.push_back({column, eq_column});
+      }
+    }
+    if (plan->steps.size() < 2) return;
+    const JoinStep& probe = plan->steps[1];
+    if (probe.mask == 0 || probe.merge || probe.relation == nullptr) return;
+    column = 0;
+    for (int32_t a = probe.actions_begin; a < probe.actions_end;
+         ++a, ++column) {
+      if ((probe.mask & (1u << column)) == 0) continue;
+      const ArgAction& action = plan->actions[a];
+      KeySource source;
+      source.pattern_column = column;
+      if (action.kind == ArgAction::kConst ||
+          action.kind == ArgAction::kConstKey) {
+        source.from_const = true;
+        source.value = action.index;
+      } else {
+        int32_t bind_slot = -1;
+        for (size_t s = 0; s < plan->scan_binds.size(); ++s) {
+          if (plan->scan_binds[s].var == action.index) {
+            bind_slot = static_cast<int32_t>(s);
+            break;
+          }
+        }
+        // Masked variables of step 1 are always bound by step 0 (nothing
+        // else ran); bail out defensively if not.
+        if (bind_slot < 0) return;
+        source.bind_slot = bind_slot;
+      }
+      plan->fused_key.push_back(source);
+    }
+    plan->fused_hash = true;
+  }
+
   const Program& program_;
   const std::vector<Relation>& relations_;
   const int64_t refresh_drift_;
+  const JoinKernel kernel_;
+  const double merge_selectivity_;
   // plans_[rule][1 + delta_literal]; slot 0 is the full (delta = -1) plan.
   std::vector<std::vector<std::unique_ptr<CompiledPlan>>> plans_;
   // Compiler scratch (reused so steady-state refreshes stop allocating).
@@ -259,9 +430,9 @@ class PlanCache {
 
 /// Executes CompiledPlans: the backtracking join over one rule body. One
 /// instance per worker thread — all mutable state (bindings, probe pattern,
-/// ground-atom scratch) is private to the instance, and during parallel
-/// rounds the shared relations are only read (Probe on pre-materialized
-/// indexes, Contains on the dedupe table).
+/// block scratch, ground-atom scratch) is private to the instance, and
+/// during parallel rounds the shared relations are only read (Probe /
+/// ProbeSorted on pre-materialized indexes, Contains on the dedupe table).
 class RuleEvaluator {
  public:
   using Sink = FunctionView<void(const ConstId*)>;
@@ -269,10 +440,10 @@ class RuleEvaluator {
   explicit RuleEvaluator(const std::vector<Relation>& relations)
       : relations_(relations) {}
 
-  /// Runs `plan`. A null-relation join step (the delta literal) ranges over
-  /// `delta_relation` restricted to the step-0 row range. Each derived head
-  /// tuple is passed to `sink` as a pointer to head-arity ids (valid only
-  /// for the duration of the call).
+  /// Runs `plan` under `kernel`. A null-relation join step (the delta
+  /// literal) ranges over `delta_relation` restricted to the step-0 row
+  /// range. Each derived head tuple is passed to `sink` as a pointer to
+  /// head-arity ids (valid only for the duration of the call).
   ///
   /// `range_begin`/`range_end` restrict the *first* join step to rows
   /// [range_begin, range_end) of its source relation (-1 = unbounded on
@@ -286,10 +457,21 @@ class RuleEvaluator {
   /// true (set by a sink that detected overflow, possibly on another
   /// worker), the join stops matching rows, bounding how far past the
   /// budget any single job can run.
-  void Execute(const CompiledPlan& plan, const Relation* delta_relation,
-               int32_t range_begin, int32_t range_end, Sink sink,
+  ///
+  /// Both kernels visit the rows of every step in the identical order
+  /// (blocks iterate descending, and within a block rows resolve highest-
+  /// first), so kernel choice cannot change visit-order-dependent
+  /// iteration counts.
+  /// `inner_static` promises that no relation read by steps ≥ 1 gains rows
+  /// during this execution (no feedback; parallel fan-outs are always
+  /// static). The vectorized kernel then resolves a whole block's chain
+  /// heads before walking any chain, deepening the prefetch pipeline.
+  void Execute(const CompiledPlan& plan, JoinKernel kernel,
+               const Relation* delta_relation, int32_t range_begin,
+               int32_t range_end, bool inner_static, Sink sink,
                int64_t* applications, const std::atomic<bool>* stop) {
     plan_ = &plan;
+    inner_static_ = inner_static;
     delta_ = delta_relation;
     range_begin_ = range_begin;
     range_end_ = range_end;
@@ -299,7 +481,11 @@ class RuleEvaluator {
     binding_.assign(plan.num_variables, -1);
     if (scratch_.size() < plan.max_arity) scratch_.resize(plan.max_arity);
     if (pattern_.size() < plan.max_arity) pattern_.resize(plan.max_arity);
-    Join(0);
+    if (kernel != JoinKernel::kRow && plan.direct_scan) {
+      VectorScan();
+    } else {
+      Join(0);
+    }
   }
 
  private:
@@ -313,26 +499,30 @@ class RuleEvaluator {
     }
   }
 
+  // All positive steps matched: test the negated literals (safety
+  // guarantees they are ground now) and emit the head tuple.
+  void EmitMatch() {
+    ++*applications_;
+    for (const AtomTemplate& neg : plan_->negatives) {
+      FillScratch(neg);
+      if (relations_[neg.predicate].Contains(scratch_.data())) return;
+    }
+    FillScratch(plan_->head);
+    (*sink_)(scratch_.data());
+  }
+
   void Join(size_t depth) {
     if (depth == plan_->steps.size()) {
-      ++*applications_;
-      // All positives matched: test the negated literals (safety guarantees
-      // they are ground now).
-      for (const AtomTemplate& neg : plan_->negatives) {
-        FillScratch(neg);
-        if (relations_[neg.predicate].Contains(scratch_.data())) return;
-      }
-      FillScratch(plan_->head);
-      (*sink_)(scratch_.data());
+      EmitMatch();
       return;
     }
     const JoinStep& step = plan_->steps[depth];
     const Relation& relation =
         step.relation != nullptr ? *step.relation : *delta_;
     if (depth == 0 && plan_->direct_scan) {
-      // Empty probe mask: scan the arena directly (no index), descending so
-      // the visit order matches the newest-first probe order, restricted to
-      // this execution's step-0 range.
+      // Empty probe mask: scan the columns directly (no index), descending
+      // so the visit order matches the newest-first probe order, restricted
+      // to this execution's step-0 range.
       const int32_t end = range_end_ >= 0
                               ? range_end_
                               : static_cast<int32_t>(relation.size());
@@ -348,12 +538,23 @@ class RuleEvaluator {
       for (int32_t a = step.actions_begin; a < step.actions_end;
            ++a, ++column) {
         const ArgAction& action = plan_->actions[a];
-        if (action.kind == ArgAction::kConst) {
+        if (action.kind == ArgAction::kConst ||
+            action.kind == ArgAction::kConstKey) {
           pattern[column] = action.index;
-        } else if (action.kind == ArgAction::kCheckVar) {
+        } else if (action.kind == ArgAction::kCheckVar ||
+                   action.kind == ArgAction::kVarKey) {
           pattern[column] = binding_[action.index];
         }
       }
+    }
+    if (step.merge) {
+      // Sort-merge path: binary search the sorted-key index, scan the
+      // contiguous run. Merge steps are never the first step, so no range
+      // restriction applies.
+      for (const int32_t row : relation.ProbeSorted(step.mask, pattern)) {
+        MatchRow(step, relation, row);
+      }
+      return;
     }
     if (depth == 0 && (range_begin_ >= 0 || range_end_ >= 0)) {
       // Range-restricted probe (a delta literal with a non-empty mask):
@@ -371,6 +572,128 @@ class RuleEvaluator {
     }
   }
 
+  // The batch-at-a-time direct scan: process the step-0 row range in
+  // 64-row blocks, newest block first. Per block: (1) evaluate the
+  // repeated-variable filters as contiguous column compares into a
+  // selection bitmask, (2) gather the bind columns into block scratch
+  // (after this the scanned relation is never re-read, so inserts that
+  // reallocate its columns during resolution are harmless), (3) when the
+  // second step is a fused hash probe, compute all surviving rows' probe-
+  // key hashes and prefetch their slot lines, then (4) resolve rows
+  // highest-first (identical order to the scalar kernel), probing with the
+  // precomputed hashes.
+  void VectorScan() {
+    const JoinStep& step0 = plan_->steps[0];
+    const Relation& scan =
+        step0.relation != nullptr ? *step0.relation : *delta_;
+    const int32_t end =
+        range_end_ >= 0 ? range_end_ : static_cast<int32_t>(scan.size());
+    const int32_t begin = range_begin_ >= 0 ? range_begin_ : 0;
+    const size_t num_binds = plan_->scan_binds.size();
+    if (block_binds_.size() < num_binds * kBlock) {
+      block_binds_.resize(num_binds * kBlock);
+    }
+    const bool fused = plan_->fused_hash;
+    const JoinStep* step1 =
+        plan_->steps.size() > 1 ? &plan_->steps[1] : nullptr;
+    const Relation* probe_relation = fused ? step1->relation : nullptr;
+    Relation::ProbeRef probe_ref;
+    if (fused) probe_ref = probe_relation->ProbeRefFor(step1->mask);
+    const bool leaf = plan_->steps.size() == 1;
+
+    for (int32_t block_end = end; block_end > begin;) {
+      const int32_t block_begin = std::max(begin, block_end - kBlock);
+      const int32_t n = block_end - block_begin;
+      uint64_t sel =
+          n == kBlock ? ~uint64_t{0} : (uint64_t{1} << n) - uint64_t{1};
+      for (const ScanEq& eq : plan_->scan_eqs) {
+        const ConstId* a = scan.ColumnData(eq.column) + block_begin;
+        const ConstId* b = scan.ColumnData(eq.eq_column) + block_begin;
+        uint64_t keep = 0;
+        for (int32_t i = 0; i < n; ++i) {
+          keep |= uint64_t{a[i] == b[i]} << i;
+        }
+        sel &= keep;
+      }
+      if (sel != 0) {
+        for (size_t slot = 0; slot < num_binds; ++slot) {
+          const ConstId* column =
+              scan.ColumnData(plan_->scan_binds[slot].column) + block_begin;
+          ConstId* out = block_binds_.data() + slot * kBlock;
+          for (int32_t i = 0; i < n; ++i) out[i] = column[i];
+        }
+        if (fused) {
+          ConstId* pattern = pattern_.data();
+          for (uint64_t bits = sel; bits != 0; bits &= bits - 1) {
+            const int32_t i = std::countr_zero(bits);
+            for (const KeySource& source : plan_->fused_key) {
+              pattern[source.pattern_column] =
+                  source.from_const
+                      ? source.value
+                      : block_binds_[source.bind_slot * kBlock + i];
+            }
+            block_hashes_[i] =
+                probe_relation->ProbeKey(step1->mask, pattern);
+            probe_relation->PrefetchProbe(probe_ref, block_hashes_[i]);
+          }
+          if (inner_static_) {
+            // Static inner relation: resolve every chain head of the block
+            // before walking any chain (the slot lines are in flight from
+            // the prefetch above), and prefetch each head row. By the time
+            // the resolve loop reaches a row, its chain link and column
+            // entries are usually resident.
+            for (uint64_t bits = sel; bits != 0; bits &= bits - 1) {
+              const int32_t i = std::countr_zero(bits);
+              const int32_t head =
+                  probe_relation->ProbeChainHead(probe_ref, block_hashes_[i]);
+              block_heads_[i] = head;
+              if (head >= 0) {
+                probe_relation->PrefetchChainRow(probe_ref, head);
+              }
+            }
+          }
+        }
+        for (uint64_t bits = sel; bits != 0;) {
+          const int32_t i = 63 - std::countl_zero(bits);
+          bits &= ~(uint64_t{1} << i);
+          if (stop_->load(std::memory_order_relaxed)) return;
+          for (size_t slot = 0; slot < num_binds; ++slot) {
+            binding_[plan_->scan_binds[slot].var] =
+                block_binds_[slot * kBlock + i];
+          }
+          if (leaf) {
+            EmitMatch();
+          } else if (fused) {
+            // Manual chain walk with one-candidate-ahead prefetch: the
+            // next link and the candidate's column entries are requested
+            // while the current candidate is processed, hiding the
+            // pointer-chase latency of long chains. Chain links are
+            // immutable once written (new rows prepend at heads), so
+            // reading the link before recursing is safe even when the
+            // recursion inserts into the probed relation.
+            int32_t row =
+                inner_static_
+                    ? block_heads_[i]
+                    : probe_relation->ProbeChainHead(probe_ref,
+                                                     block_hashes_[i]);
+            while (row >= 0) {
+              const int32_t ahead =
+                  probe_relation->NextInChain(probe_ref, row);
+              if (ahead >= 0) {
+                probe_relation->PrefetchChainRow(probe_ref, ahead);
+              }
+              MatchRow(*step1, *probe_relation, row);
+              row = ahead;
+            }
+          } else {
+            Join(1);
+          }
+        }
+      }
+      block_end = block_begin;
+    }
+  }
+
   /// Checks row `row` against `step`'s actions (binding fresh variables),
   /// recurses on a match, then unbinds this step's variables. Variables are
   /// statically owned by the step that binds them, so unconditionally
@@ -378,7 +701,6 @@ class RuleEvaluator {
   void MatchRow(const JoinStep& step, const Relation& relation, int32_t row) {
     if (stop_->load(std::memory_order_relaxed)) return;
     const size_t depth = static_cast<size_t>(&step - plan_->steps.data());
-    const ConstId* tuple = relation.Row(row);
     bool match = true;
     int32_t column = 0;
     for (int32_t a = step.actions_begin; match && a < step.actions_end;
@@ -386,13 +708,16 @@ class RuleEvaluator {
       const ArgAction& action = plan_->actions[a];
       switch (action.kind) {
         case ArgAction::kConst:
-          match = tuple[column] == action.index;
+          match = relation.At(row, column) == action.index;
           break;
         case ArgAction::kCheckVar:
-          match = tuple[column] == binding_[action.index];
+          match = relation.At(row, column) == binding_[action.index];
           break;
         case ArgAction::kBindVar:
-          binding_[action.index] = tuple[column];
+          binding_[action.index] = relation.At(row, column);
+          break;
+        case ArgAction::kConstKey:
+        case ArgAction::kVarKey:
           break;
       }
     }
@@ -413,10 +738,15 @@ class RuleEvaluator {
   int64_t* applications_ = nullptr;
   const std::atomic<bool>* stop_ = nullptr;
 
-  // Hot-path scratch: variable bindings, probe pattern, ground-atom buffer.
+  // Hot-path scratch: variable bindings, probe pattern, ground-atom buffer,
+  // and the vector kernel's per-block gathered binds and probe hashes.
   std::vector<ConstId> binding_;
   std::vector<ConstId> pattern_;
   std::vector<ConstId> scratch_;
+  std::vector<ConstId> block_binds_;
+  uint64_t block_hashes_[kBlock] = {};
+  int32_t block_heads_[kBlock] = {};
+  bool inner_static_ = false;
 };
 
 /// One (rule, delta-literal) evaluation of a fixpoint round. Jobs within a
@@ -446,18 +776,37 @@ struct RoundJob {
   int32_t range_end = -1;
 };
 
-/// Materializes every probe index `plan` will touch so the parallel
-/// fan-out performs no lazy index construction (Relation::Probe would
-/// otherwise mutate the shared relation from worker threads). A direct-scan
-/// plan's first step reads the arena, not an index.
+/// Materializes every index `plan` will touch (hash indexes for chained
+/// probes, sorted-key indexes for merge steps) so the parallel fan-out
+/// performs no lazy index construction (Relation::Probe / ProbeSorted
+/// would otherwise mutate the shared relation from worker threads). A
+/// direct-scan plan's first step reads the columns, not an index.
 void PrewarmPlanIndexes(const CompiledPlan& plan,
                         const Relation* delta_relation) {
   for (size_t i = plan.direct_scan ? 1 : 0; i < plan.steps.size(); ++i) {
     const JoinStep& step = plan.steps[i];
     const Relation* relation =
         step.relation != nullptr ? step.relation : delta_relation;
-    relation->EnsureProbeIndex(step.mask);
+    if (step.merge) {
+      relation->EnsureSortedIndex(step.mask);
+    } else {
+      relation->EnsureProbeIndex(step.mask);
+    }
   }
+}
+
+/// True when some non-first join step of `plan` reads `head` — i.e. tuples
+/// this rule derives can feed its own join within one execution (the
+/// transitive-closure round-0 shape). Feedback-free executions may buffer
+/// derived tuples and flush them in batches; feedback executions must
+/// insert immediately so the still-running join observes them (what lets a
+/// chain close in one pass). Step 0 never feeds back: direct scans and
+/// probes are both bounded at entry (see RuleEvaluator::Execute).
+bool PlanFeedsBack(const CompiledPlan& plan, const Relation* head) {
+  for (size_t i = 1; i < plan.steps.size(); ++i) {
+    if (plan.steps[i].relation == head) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -491,24 +840,50 @@ Result<Database> EvaluateStratified(const Program& program,
   for (PredId p = 0; p < num_preds; ++p) {
     relations.emplace_back(program.predicate(p).arity);
   }
-  int64_t total_tuples = 0;
-  for (PredId p = 0; p < num_preds; ++p) {
-    relations[p].Reserve(static_cast<int64_t>(database.Relation(p).size()));
-    for (const Tuple& tuple : database.Relation(p)) {
-      relations[p].Insert(tuple);
-      ++total_tuples;
+
+  const int32_t num_threads = ThreadPool::EffectiveThreads(options.num_threads);
+  stats->threads_used = num_threads;
+  const bool parallel = num_threads > 1;
+  std::unique_ptr<ThreadPool> pool;
+  if (parallel) pool = std::make_unique<ThreadPool>(num_threads);
+
+  // EDB load: stream every database relation into its columns. The source
+  // sets are sorted and duplicate-free, so the uniqueness-exploiting bulk
+  // path applies (no membership checks, prefetch-pipelined fingerprint
+  // stores). Per-predicate loads are independent — with a pool they fan
+  // out as one task per predicate.
+  auto load_predicate = [&](PredId p) {
+    const std::vector<Tuple>& facts = database.Relation(p);
+    Relation& relation = relations[p];
+    relation.Reserve(static_cast<int64_t>(facts.size()));
+    if (facts.empty()) return;
+    const int32_t arity = program.predicate(p).arity;
+    if (arity == 0) {
+      for (const Tuple& tuple : facts) relation.Insert(tuple);
+      return;
     }
+    std::vector<ConstId> flat;
+    flat.reserve(facts.size() * static_cast<size_t>(arity));
+    for (const Tuple& tuple : facts) {
+      flat.insert(flat.end(), tuple.begin(), tuple.end());
+    }
+    relation.InsertUniqueBulk(flat.data(),
+                              static_cast<int64_t>(facts.size()));
+  };
+  if (parallel) {
+    pool->ParallelFor(num_preds,
+                      [&](int32_t task, int32_t) { load_predicate(task); });
+  } else {
+    for (PredId p = 0; p < num_preds; ++p) load_predicate(p);
   }
+  int64_t total_tuples = 0;
+  for (PredId p = 0; p < num_preds; ++p) total_tuples += relations[p].size();
 
   int32_t max_stratum = 0;
   for (PredId p = 0; p < num_preds; ++p) {
     max_stratum = std::max(max_stratum, (*strata)[p]);
   }
   stats->strata = max_stratum + 1;
-
-  const int32_t num_threads = ThreadPool::EffectiveThreads(options.num_threads);
-  stats->threads_used = num_threads;
-  const bool parallel = num_threads > 1;
 
   // Deltas are row ranges, not copies: relations only ever append with
   // stable row ids, so "the tuples predicate p gained last round" is
@@ -518,19 +893,20 @@ Result<Database> EvaluateStratified(const Program& program,
   std::vector<int64_t> delta_begin(num_preds, 0);
   std::vector<int64_t> delta_end(num_preds, 0);
 
-  PlanCache plans(program, relations, options.plan_refresh_drift);
+  PlanCache plans(program, relations, options);
   RuleEvaluator serial_evaluator(relations);
 
-  // Parallel-mode state: the pool, one evaluator + one per-predicate
-  // staging bank per worker, and per-worker counters merged at barriers.
-  std::unique_ptr<ThreadPool> pool;
+  // Parallel-mode state: one evaluator + one per-predicate staging bank +
+  // one sink buffer per worker, and per-worker counters merged at
+  // barriers.
   std::vector<RuleEvaluator> worker_evaluators;
   std::vector<std::vector<Relation>> staging;
   std::vector<int64_t> worker_applications;
   std::vector<int64_t> worker_staged;  // staged rows this round, per worker
   std::vector<double> worker_busy_seconds;
+  std::vector<std::vector<ConstId>> worker_sink_buffers;
+  std::vector<std::vector<uint64_t>> worker_fp_buffers;
   if (parallel) {
-    pool = std::make_unique<ThreadPool>(num_threads);
     worker_evaluators.reserve(num_threads);
     for (int32_t w = 0; w < num_threads; ++w) {
       worker_evaluators.emplace_back(relations);
@@ -545,7 +921,11 @@ Result<Database> EvaluateStratified(const Program& program,
     worker_applications.assign(num_threads, 0);
     worker_staged.assign(num_threads, 0);
     worker_busy_seconds.assign(num_threads, 0.0);
+    worker_sink_buffers.resize(num_threads);
+    worker_fp_buffers.resize(num_threads);
   }
+  // Serial-mode batched-sink scratch (reused across jobs).
+  std::vector<ConstId> serial_sink_buffer;
 
   Status overflow = Status::Ok();
   // Cooperative abort for the tuple budget: sinks set it on overflow and
@@ -554,15 +934,18 @@ Result<Database> EvaluateStratified(const Program& program,
   std::atomic<bool> stop{false};
 
   // Runs one round's jobs and publishes new tuples into `relations`; the
-  // published rows land at the end of each arena, which is what makes them
-  // the next round's delta ranges.
+  // published rows land at the end of each relation's columns, which is
+  // what makes them the next round's delta ranges.
   //
-  // Serial: each derived tuple is inserted immediately (later jobs of the
-  // same round observe it). Parallel: workers stage derivations privately
-  // while all shared relations stay read-only; at the barrier the
-  // coordinating thread merges each stage with Relation::BulkInsert, which
-  // dedupes against the fingerprint table and extends every probe index
-  // once per batch. Both converge to the same least fixpoint.
+  // Serial: derived tuples become visible to later jobs of the same round
+  // — immediately (per-tuple insert) for feedback plans, at the end of the
+  // producing job (batched flush) otherwise. Parallel: workers stage
+  // derivations privately while all shared relations stay read-only; at
+  // the barrier the coordinating thread merges each stage with
+  // Relation::BulkInsert, which re-checks every staged row against the
+  // fingerprint table (the cross-worker dedupe; the stage already
+  // pre-filtered against the published state) and extends every probe
+  // index once per merged stage. Both converge to the same least fixpoint.
   auto run_round = [&](const std::vector<RoundJob>& jobs) -> Status {
     if (!parallel) {
       for (const RoundJob& job : jobs) {
@@ -571,18 +954,52 @@ Result<Database> EvaluateStratified(const Program& program,
                                           : 0;
         const CompiledPlan& plan =
             plans.Get(job.rule, job.delta_literal, delta_size, stats);
-        auto sink = [&](const ConstId* values) {
-          if (relations[job.head].Insert(values)) {
-            ++stats->tuples_derived;
-            if (++total_tuples > options.max_tuples) {
+        Relation& head = relations[job.head];
+        const int32_t head_arity = head.arity();
+        const bool batch_sink = options.kernel != JoinKernel::kRow &&
+                                head_arity > 0 &&
+                                !PlanFeedsBack(plan, &head);
+        if (batch_sink) {
+          serial_sink_buffer.clear();
+          int64_t buffered = 0;
+          auto flush = [&] {
+            if (buffered == 0) return;
+            const int64_t added =
+                head.InsertBatch(serial_sink_buffer.data(), buffered);
+            stats->tuples_derived += added;
+            total_tuples += added;
+            if (total_tuples > options.max_tuples) {
               overflow = Status::ResourceExhausted("tuple budget exceeded");
               stop.store(true, std::memory_order_relaxed);
             }
-          }
-        };
-        serial_evaluator.Execute(plan, job.delta_relation, job.range_begin,
-                                 job.range_end, sink,
-                                 &stats->rule_applications, &stop);
+            serial_sink_buffer.clear();
+            buffered = 0;
+          };
+          auto sink = [&](const ConstId* values) {
+            serial_sink_buffer.insert(serial_sink_buffer.end(), values,
+                                      values + head_arity);
+            if (++buffered >= kSinkBlockRows) flush();
+          };
+          serial_evaluator.Execute(plan, options.kernel, job.delta_relation,
+                                   job.range_begin, job.range_end,
+                                   /*inner_static=*/true, sink,
+                                   &stats->rule_applications, &stop);
+          flush();
+        } else {
+          auto sink = [&](const ConstId* values) {
+            if (head.Insert(values)) {
+              ++stats->tuples_derived;
+              if (++total_tuples > options.max_tuples) {
+                overflow = Status::ResourceExhausted("tuple budget exceeded");
+                stop.store(true, std::memory_order_relaxed);
+              }
+            }
+          };
+          serial_evaluator.Execute(plan, options.kernel, job.delta_relation,
+                                   job.range_begin, job.range_end,
+                                   !PlanFeedsBack(plan, &head), sink,
+                                   &stats->rule_applications, &stop);
+        }
         if (!overflow.ok()) return overflow;
       }
       return Status::Ok();
@@ -602,12 +1019,12 @@ Result<Database> EvaluateStratified(const Program& program,
       Relation& stage = staging[worker][job.head];
       const Relation& published = relations[job.head];
       int64_t& staged = worker_staged[worker];
-      auto sink = [&](const ConstId* values) {
-        // Pre-filter against the published relation (read-only; dedupes
-        // most rediscoveries), then stage; the barrier merge is the
-        // authority on cross-worker duplicates. One fingerprint serves
-        // both tables.
-        const uint64_t fingerprint = published.TupleFingerprint(values);
+      const int32_t head_arity = published.arity();
+      // Stages a row: pre-filter against the published relation (read-only;
+      // dedupes most rediscoveries), then stage; the barrier merge is the
+      // authority on cross-worker duplicates. One fingerprint serves both
+      // tables.
+      auto stage_row = [&](const ConstId* values, uint64_t fingerprint) {
         if (!published.Contains(values, fingerprint) &&
             stage.Insert(values, fingerprint)) {
           if (++staged > round_budget) {
@@ -615,9 +1032,46 @@ Result<Database> EvaluateStratified(const Program& program,
           }
         }
       };
-      worker_evaluators[worker].Execute(*job.plan, job.delta_relation,
-                                        job.range_begin, job.range_end, sink,
-                                        &worker_applications[worker], &stop);
+      if (options.kernel != JoinKernel::kRow && head_arity > 0) {
+        // Batched staging: buffer a block, hash it, prefetch the published
+        // dedupe slots, then stage — same visibility (none until the
+        // barrier), better pipelining.
+        std::vector<ConstId>& buffer = worker_sink_buffers[worker];
+        std::vector<uint64_t>& fps = worker_fp_buffers[worker];
+        buffer.clear();
+        int64_t buffered = 0;
+        auto flush = [&] {
+          if (buffered == 0) return;
+          fps.resize(static_cast<size_t>(buffered));
+          for (int64_t r = 0; r < buffered; ++r) {
+            fps[r] =
+                published.TupleFingerprint(buffer.data() + r * head_arity);
+          }
+          for (int64_t r = 0; r < buffered; ++r) {
+            if (r + 8 < buffered) published.PrefetchDedupe(fps[r + 8]);
+            stage_row(buffer.data() + r * head_arity, fps[r]);
+          }
+          buffer.clear();
+          buffered = 0;
+        };
+        auto sink = [&](const ConstId* values) {
+          buffer.insert(buffer.end(), values, values + head_arity);
+          if (++buffered >= kSinkBlockRows) flush();
+        };
+        worker_evaluators[worker].Execute(
+            *job.plan, options.kernel, job.delta_relation, job.range_begin,
+            job.range_end, /*inner_static=*/true, sink,
+            &worker_applications[worker], &stop);
+        flush();
+      } else {
+        auto sink = [&](const ConstId* values) {
+          stage_row(values, published.TupleFingerprint(values));
+        };
+        worker_evaluators[worker].Execute(
+            *job.plan, options.kernel, job.delta_relation, job.range_begin,
+            job.range_end, /*inner_static=*/true, sink,
+            &worker_applications[worker], &stop);
+      }
       worker_busy_seconds[worker] += busy.Seconds();
     };
     pool->ParallelFor(static_cast<int32_t>(jobs.size()), body);
@@ -625,7 +1079,9 @@ Result<Database> EvaluateStratified(const Program& program,
       stats->rule_applications += worker_applications[w];
       worker_applications[w] = 0;
     }
-    // Barrier merge, on the coordinating thread.
+    // Barrier merge, on the coordinating thread: one BulkInsert per
+    // non-empty worker stage (so up to num_threads merges — and index
+    // passes — per predicate per round).
     for (PredId p = 0; p < num_preds; ++p) {
       for (int32_t w = 0; w < num_threads; ++w) {
         Relation& stage = staging[w][p];
@@ -673,10 +1129,10 @@ Result<Database> EvaluateStratified(const Program& program,
 
     std::vector<RoundJob> jobs;
     // Builds the jobs for one (rule, delta-literal) evaluation. Parallel
-    // mode compiles/refreshes the plan now, pre-materializes the probe
-    // indexes it will read, and splits direct-scan plans with a large
-    // step-0 row range into one job per shard; serial mode defers plan
-    // resolution to execution time (see RoundJob::plan).
+    // mode compiles/refreshes the plan now, pre-materializes the indexes
+    // it will read, and splits direct-scan plans with a large step-0 row
+    // range into one job per shard; serial mode defers plan resolution to
+    // execution time (see RoundJob::plan).
     constexpr int32_t kMinRowsPerShard = 1024;
     auto push_job = [&](int32_t r, int32_t delta_literal,
                         const Relation* delta_relation, int64_t range_begin,
@@ -788,9 +1244,10 @@ Result<Database> EvaluateStratified(const Program& program,
   // Materialize the result database through the bulk loader: relation rows
   // are already unique, so each predicate is one sort + linear set build
   // instead of size() tree inserts. Sorting happens on flat keys (packed
-  // words for arity <= 2, arena-backed row ids above) before any Tuple is
-  // heap-allocated — sorting millions of small heap vectors is exactly the
-  // cache-miss storm this avoids.
+  // words for arity <= 2, row ids above) before any Tuple is heap-
+  // allocated — sorting millions of small heap vectors is exactly the
+  // cache-miss storm this avoids, and the column-major layout makes the
+  // key-packing loops contiguous reads.
   Database result(program);
   std::vector<Tuple> tuples;
   for (PredId p = 0; p < num_preds; ++p) {
@@ -799,19 +1256,25 @@ Result<Database> EvaluateStratified(const Program& program,
     const int32_t rows = static_cast<int32_t>(rel.size());
     tuples.clear();
     tuples.reserve(static_cast<size_t>(rows));
+    if (rows == 0) {
+      result.BulkLoad(p, std::move(tuples));
+      continue;
+    }
     if (arity == 1) {
-      std::vector<ConstId> keys(rel.Row(0), rel.Row(0) + rows);
+      const ConstId* column = rel.ColumnData(0);
+      std::vector<ConstId> keys(column, column + rows);
       std::sort(keys.begin(), keys.end());
       for (const ConstId key : keys) tuples.push_back({key});
     } else if (arity == 2) {
       // ConstIds are nonnegative, so the packed word order is the
       // lexicographic tuple order.
+      const ConstId* c0 = rel.ColumnData(0);
+      const ConstId* c1 = rel.ColumnData(1);
       std::vector<uint64_t> keys;
       keys.reserve(static_cast<size_t>(rows));
       for (int32_t row = 0; row < rows; ++row) {
-        const ConstId* values = rel.Row(row);
-        keys.push_back(static_cast<uint64_t>(values[0]) << 32 |
-                       static_cast<uint32_t>(values[1]));
+        keys.push_back(static_cast<uint64_t>(c0[row]) << 32 |
+                       static_cast<uint32_t>(c1[row]));
       }
       std::sort(keys.begin(), keys.end());
       for (const uint64_t key : keys) {
@@ -822,8 +1285,12 @@ Result<Database> EvaluateStratified(const Program& program,
       std::vector<int32_t> order(rows);
       for (int32_t row = 0; row < rows; ++row) order[row] = row;
       std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-        return std::lexicographical_compare(rel.Row(a), rel.Row(a) + arity,
-                                            rel.Row(b), rel.Row(b) + arity);
+        for (int32_t c = 0; c < arity; ++c) {
+          const ConstId va = rel.At(a, c);
+          const ConstId vb = rel.At(b, c);
+          if (va != vb) return va < vb;
+        }
+        return false;
       });
       for (const int32_t row : order) tuples.push_back(rel.TupleAt(row));
     }

@@ -12,14 +12,14 @@
 // safety; CheckSafety reports violations.)
 //
 // Performance contract:
-//  * Relations store tuples in flat columnar arenas with incrementally
-//    maintained probe indexes (see engine/relation.h).
+//  * Relations store tuples column-major (one contiguous vector per column)
+//    with incrementally maintained probe indexes (see engine/relation.h).
 //  * Semi-naive deltas are row ranges, not copies: relations only append,
 //    with stable row ids, so "the tuples derived last round" is exactly
 //    rows [begin, end) of the global relation. Fixpoint rounds maintain no
 //    second tuple store — a delta-restricted probe filters by row id
 //    (index chains are newest-first, i.e. descending), and a delta scan is
-//    an arena slice.
+//    a slice of the columns.
 //  * Each (rule, delta-literal) pair is compiled once into a flat join
 //    plan — the delta literal outermost, the remaining literals reordered
 //    by bound-argument selectivity — and cached for the rest of the
@@ -27,33 +27,60 @@
 //    cardinality drifts past EngineOptions::plan_refresh_drift of its
 //    compile-time snapshot, so steady-state fixpoint rounds spend zero
 //    time in plan construction. A first step with an empty probe mask runs
-//    as a direct descending arena scan and materializes no index.
+//    as a direct descending column scan and materializes no index.
+//  * With JoinKernel::kVector (the default), a plan whose first step is a
+//    direct scan executes batch-at-a-time: 64-row blocks of the scanned
+//    columns are filtered into a selection bitmask (constant and
+//    repeated-variable tests run as contiguous single-column scans), the
+//    surviving rows' probe-key columns are gathered and hashed up front,
+//    and the dedupe/index slot lines they will touch are software-
+//    prefetched several keys ahead of the probes that consume them.
+//    Derived head tuples from feedback-free plans (no join step reads the
+//    relation the rule writes) are buffered and flushed through the same
+//    prefetch-pipelined batch-insert path. JoinKernel::kRow is the
+//    tuple-at-a-time reference; both kernels visit rows in the identical
+//    order and produce identical statistics.
+//  * A non-delta join step whose probe mask has a low selectivity estimate
+//    (distinct keys / rows below EngineOptions::merge_join_selectivity —
+//    i.e. long hash chains) and whose relation is an EDB predicate (static
+//    during evaluation) is compiled as a sort-merge join: probes binary-
+//    search a sorted-key index and scan a contiguous run instead of
+//    chasing chain links. JoinKernel::kMerge forces this path on every
+//    eligible step for ablation.
 //  * The inner join loop performs no heap allocation: probe patterns,
-//    bindings and derived tuples live in reusable per-evaluator scratch,
-//    and derived head tuples are handed to an internal FunctionView sink
-//    as spans into that scratch.
+//    bindings, selection blocks and derived tuples live in reusable
+//    per-evaluator scratch, and derived head tuples are handed to an
+//    internal FunctionView sink as spans into that scratch.
 //  * With num_threads > 1, each fixpoint round's independent
 //    (rule, delta-literal) jobs are fanned out over a ThreadPool, and a
 //    job whose plan starts with a direct scan is split further into row
 //    shards — the data parallelism that covers the one-big-recursive-rule
 //    shape (transitive closure) where rule-level parallelism alone is a
 //    two-way split. During the fan-out all global relations are strictly
-//    read-only (plans and probe indexes are pre-materialized), each worker
-//    stages its derivations in a private per-predicate staging relation,
-//    and at the round barrier the owning thread merges the stages with
-//    Relation::BulkInsert (dedupe via the fingerprint table, arena append,
-//    then one index-publish pass per probe index instead of per-tuple
-//    maintenance) — which lands the new rows contiguously, making them the
-//    next round's delta ranges for free.
+//    read-only (plans, probe indexes and sorted indexes are
+//    pre-materialized), each worker stages its derivations in a private
+//    per-predicate staging relation, and at the round barrier the owning
+//    thread merges the stages with Relation::BulkInsert (each staged row
+//    is re-checked against the fingerprint table — the stage pre-filtered
+//    against the published state, so publish is the second check, the one
+//    that catches cross-worker duplicates — then every probe index is
+//    extended once per merged stage) — which lands the new rows
+//    contiguously, making them the next round's delta ranges for free.
+//    The initial EDB load also goes through the pool: per-predicate loads
+//    are independent and stream each database relation into its columns
+//    via the uniqueness-exploiting bulk path.
 //  * Parallel and serial evaluation produce the *identical* database (set
 //    semantics: the least fixpoint is unique, and Database stores sorted
-//    sets), enforced by the serial-vs-parallel agreement tests. Iteration
-//    and rule-application counts may differ: the serial path lets later
-//    jobs in a round see earlier jobs' derivations immediately, while the
-//    parallel path publishes them at the barrier.
+//    sets), enforced by the serial-vs-parallel agreement tests, and all
+//    three kernels produce the identical database too (kernel-agreement
+//    tests). Iteration and rule-application counts may differ between
+//    serial and parallel: the serial path lets later jobs in a round see
+//    earlier jobs' derivations immediately, while the parallel path
+//    publishes them at the barrier.
 #ifndef TIEBREAK_ENGINE_EVALUATION_H_
 #define TIEBREAK_ENGINE_EVALUATION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "engine/relation.h"
@@ -65,6 +92,21 @@ namespace tiebreak {
 
 /// Returns OK iff every rule of `program` is range-restricted.
 Status CheckSafety(const Program& program);
+
+/// Which join-kernel implementation the evaluator runs. All kernels compute
+/// the identical least fixpoint; they differ only in the shape of the inner
+/// loops (see the performance contract above).
+enum class JoinKernel : uint8_t {
+  /// Tuple-at-a-time reference loops (the pre-vectorization engine).
+  kRow,
+  /// Batch-at-a-time direct scans with columnar filters, block key hashing
+  /// and slot prefetch; sort-merge joins chosen by selectivity estimate.
+  kVector,
+  /// Like kVector, but every eligible (EDB, non-delta) probe step is forced
+  /// onto the sort-merge path — the ablation that isolates the merge-join
+  /// contribution.
+  kMerge,
+};
 
 /// Evaluation knobs.
 struct EngineOptions {
@@ -82,6 +124,14 @@ struct EngineOptions {
   /// taken at compile time (small sizes are floored so early rounds don't
   /// thrash). 0 = recompile on every use (the pre-cache behavior).
   int64_t plan_refresh_drift = 4;
+  /// Join-kernel implementation; see JoinKernel.
+  JoinKernel kernel = JoinKernel::kVector;
+  /// Selectivity threshold for the sort-merge path under kVector: a
+  /// non-delta EDB probe step switches to a merge join when its mask's
+  /// estimated distinct-key fraction (distinct keys / relation size)
+  /// drops below this value, i.e. when the average hash chain would be
+  /// longer than 1/threshold rows. 0 disables auto merge joins.
+  double merge_join_selectivity = 0.05;
 };
 
 /// Per-stratum timing breakdown (filled when stats are requested).
@@ -105,6 +155,7 @@ struct EngineStats {
   int32_t threads_used = 0;     // effective thread count (>= 1)
   int64_t plans_compiled = 0;   // join-plan compilations (incl. refreshes)
   int64_t plan_cache_hits = 0;  // evaluations served by a cached plan
+  int64_t merge_join_steps = 0;  // join steps compiled onto the merge path
   std::vector<StratumStats> per_stratum;
 };
 

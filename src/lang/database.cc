@@ -17,7 +17,10 @@ void Database::Insert(PredId predicate, Tuple tuple) {
   TIEBREAK_CHECK_LT(predicate, num_predicates());
   TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arities_[predicate])
       << "arity mismatch inserting into relation " << predicate;
-  relations_[predicate].insert(std::move(tuple));
+  std::vector<Tuple>& relation = relations_[predicate];
+  const auto at = std::lower_bound(relation.begin(), relation.end(), tuple);
+  if (at != relation.end() && *at == tuple) return;
+  relation.insert(at, std::move(tuple));
 }
 
 void Database::BulkLoad(PredId predicate, std::vector<Tuple>&& tuples) {
@@ -33,17 +36,20 @@ void Database::BulkLoad(PredId predicate, std::vector<Tuple>&& tuples) {
     std::sort(tuples.begin(), tuples.end());
   }
   tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
-  std::set<Tuple>& relation = relations_[predicate];
+  std::vector<Tuple>& relation = relations_[predicate];
   if (relation.empty()) {
-    // Constructing from a sorted unique range is linear in the range size.
-    relation = std::set<Tuple>(std::make_move_iterator(tuples.begin()),
-                               std::make_move_iterator(tuples.end()));
+    // The common case (fresh relation) is a plain move: no per-tuple cost
+    // at all.
+    relation = std::move(tuples);
   } else {
-    // Ascending hinted inserts keep the merge near-linear.
-    auto hint = relation.begin();
-    for (Tuple& tuple : tuples) {
-      hint = relation.insert(hint, std::move(tuple));
-    }
+    // Linear merge of two sorted runs, then drop cross-run duplicates.
+    const size_t old_size = relation.size();
+    relation.insert(relation.end(), std::make_move_iterator(tuples.begin()),
+                    std::make_move_iterator(tuples.end()));
+    std::inplace_merge(relation.begin(), relation.begin() + old_size,
+                       relation.end());
+    relation.erase(std::unique(relation.begin(), relation.end()),
+                   relation.end());
   }
   tuples.clear();
 }
@@ -51,10 +57,11 @@ void Database::BulkLoad(PredId predicate, std::vector<Tuple>&& tuples) {
 bool Database::Contains(PredId predicate, const Tuple& tuple) const {
   TIEBREAK_CHECK_GE(predicate, 0);
   TIEBREAK_CHECK_LT(predicate, num_predicates());
-  return relations_[predicate].contains(tuple);
+  const std::vector<Tuple>& relation = relations_[predicate];
+  return std::binary_search(relation.begin(), relation.end(), tuple);
 }
 
-const std::set<Tuple>& Database::Relation(PredId predicate) const {
+const std::vector<Tuple>& Database::Relation(PredId predicate) const {
   TIEBREAK_CHECK_GE(predicate, 0);
   TIEBREAK_CHECK_LT(predicate, num_predicates());
   return relations_[predicate];

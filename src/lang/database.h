@@ -5,7 +5,7 @@
 #ifndef TIEBREAK_LANG_DATABASE_H_
 #define TIEBREAK_LANG_DATABASE_H_
 
-#include <set>
+#include <cstdint>
 #include <vector>
 
 #include "lang/program.h"
@@ -13,8 +13,16 @@
 
 namespace tiebreak {
 
-/// A set of ground tuples per predicate. Tuples are stored sorted, so
-/// iteration order (and everything derived from it) is deterministic.
+/// A set of ground tuples per predicate. Each relation is a sorted,
+/// duplicate-free std::vector<Tuple> — set semantics with deterministic
+/// (lexicographic) iteration order, but contiguous storage: bulk loads of
+/// sorted data are O(n) moves with no per-node allocation, which is what
+/// lets the engine hand back million-tuple results cheaply. Per-tuple
+/// Insert shifts the tail (O(n)); callers building large relations use
+/// BulkLoad.
+///
+/// Thread safety: const access (Relation, Contains, TotalFacts, ...) is
+/// safe from multiple threads; any mutation requires exclusive access.
 class Database {
  public:
   /// Creates an empty database shaped after `program`'s predicates. Only the
@@ -22,23 +30,28 @@ class Database {
   explicit Database(const Program& program);
 
   /// Inserts a fact; duplicate inserts are no-ops. Arity is CHECKed.
+  /// O(relation size) per call — intended for small/interactive loads.
   void Insert(PredId predicate, Tuple tuple);
 
-  /// Streaming-append path for large relations: sorts `tuples`, drops
-  /// duplicates, and loads them in one pass — a linear-time set build when
-  /// the relation is empty, a hinted merge otherwise — instead of one tree
-  /// insert (node allocation + rebalance) per tuple. Million-tuple EDB
+  /// Streaming-append path for large relations: sorts `tuples` (skipped
+  /// when already sorted), drops duplicates, and loads them in one pass —
+  /// a plain vector move when the relation is empty, a linear merge
+  /// otherwise — instead of one O(n) insert per tuple. Million-tuple EDB
   /// generators and the engine's result materialization use this; the
-  /// resulting database is identical to per-tuple Insert of the same facts.
+  /// resulting database is identical to per-tuple Insert of the same
+  /// facts.
   void BulkLoad(PredId predicate, std::vector<Tuple>&& tuples);
 
   /// Convenience for zero-arity predicates.
   void InsertProposition(PredId predicate) { Insert(predicate, Tuple{}); }
 
+  /// True iff the fact is present (binary search).
   bool Contains(PredId predicate, const Tuple& tuple) const;
 
-  const std::set<Tuple>& Relation(PredId predicate) const;
+  /// The predicate's facts, sorted lexicographically, duplicate-free.
+  const std::vector<Tuple>& Relation(PredId predicate) const;
 
+  /// Number of relations (one per predicate of the shaping program).
   int32_t num_predicates() const {
     return static_cast<int32_t>(relations_.size());
   }
@@ -53,7 +66,7 @@ class Database {
 
  private:
   std::vector<int32_t> arities_;
-  std::vector<std::set<Tuple>> relations_;
+  std::vector<std::vector<Tuple>> relations_;
 };
 
 }  // namespace tiebreak

@@ -37,6 +37,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// The pool's fixed lane count (including the calling thread as lane 0).
   int32_t num_threads() const { return num_threads_; }
 
   /// Runs `body(task, worker)` for every task in [0, num_tasks), spread

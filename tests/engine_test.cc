@@ -102,7 +102,7 @@ TEST(RelationTest, InsertDuringProbeIterationIsSafe) {
   for (int32_t i = 0; i < 32; ++i) rel.Insert({1, i});
   int32_t seen = 0;
   for (int32_t row : rel.Probe(0b01, {1, 0})) {
-    EXPECT_EQ(rel.Row(row)[0], 1);
+    EXPECT_EQ(rel.At(row, 0), 1);
     rel.Insert({1, 100 + seen});  // grows arena, chains and slot tables
     ++seen;
   }
@@ -188,7 +188,7 @@ TEST(RelationTest, StagedPublishesInterleavedWithProbes) {
       // very chain being walked.
       int32_t seen = 0;
       for (int32_t row : rel.Probe(0b01, {1, 0})) {
-        EXPECT_LT(rel.Row(row)[1], round * 16);
+        EXPECT_LT(rel.At(row, 1), round * 16);
         if (seen == 0) {
           EXPECT_EQ(rel.BulkInsert(staged), 16);
         }
