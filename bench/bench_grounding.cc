@@ -24,13 +24,17 @@
 namespace tiebreak {
 namespace {
 
-// Recorded nodes/sec on this container at the commit that introduced this
-// harness (PR 2); 0 = no baseline recorded.
+// Recorded nodes/sec of the PR 3 grounder (tuple-at-a-time backtracking
+// joins, node-heavy graph), re-measured on this container at the PR that
+// introduced the engine-backed grounder + CSR graph (PR 4), so the speedup
+// column reports that PR's delta; 0 = no baseline recorded.
 constexpr benchutil::BaselineEntry kBaseline[] = {
-    {"ground_faithful_winmove_64", 6250254.0},
-    {"ground_reduced_winmove_4096", 2988620.0},
-    {"ground_theorem6_transfer_t16", 2430460.0},
-    {"ground_random_unary_64", 2921654.0},
+    {"ground_faithful_winmove_64", 6878528.0},
+    {"ground_reduced_winmove_4096", 3347182.0},
+    {"ground_theorem6_transfer_t16", 2627373.0},
+    {"ground_random_unary_64", 3333115.0},
+    {"ground_theorem6_transfer_t64", 2341294.0},
+    {"ground_winmove_65536", 1628388.0},
 };
 
 benchutil::Row Measure(const std::string& name, const Program& program,
@@ -93,6 +97,30 @@ int Main(int argc, char** argv) {
     Database db = RandomEdbDatabase(&program, 64, 0.4, &rng);
     results.push_back(
         Measure("ground_random_unary_64", program, db, {}, 3));
+  }
+  // Million-node workloads: the Theorem 6 machine simulation over 64
+  // naturals (~3.2M ground-graph nodes; long succ-chain generator lists
+  // exercise the engine's join planner) and win-move over a bulk-loaded
+  // 65536-node / 262144-edge random digraph (~330k nodes; single-generator
+  // rules, so throughput is bounded by interning + CSR emission).
+  {
+    const CounterMachine machine = MakeTransferMachine(3);
+    CmReduction reduction = CounterMachineToProgram(machine);
+    const Database db = NaturalDatabase(&reduction, 64);
+    GroundingOptions options;
+    options.max_instances = 50'000'000;
+    results.push_back(Measure("ground_theorem6_transfer_t64",
+                              reduction.program, db, options, 3));
+  }
+  {
+    Program program = WinMoveProgram();
+    Rng rng(21);
+    Database db =
+        LargeRandomDigraphDatabase(&program, "move", 65536, 262144, &rng);
+    GroundingOptions options;
+    options.max_instances = 50'000'000;
+    results.push_back(
+        Measure("ground_winmove_65536", program, db, options, 3));
   }
 
   benchutil::PrintTable(results, kBaseline, "nodes");

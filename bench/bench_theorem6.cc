@@ -100,7 +100,7 @@ int main() {
         UniformTotalityTransform(reduction.program);
     Database database(uniform_program);
     for (PredId p = 0; p < reduction.program.num_predicates(); ++p) {
-      for (const Tuple& tuple : natural.Relation(p)) {
+      for (const Tuple& tuple : natural.Tuples(p)) {
         database.Insert(p, tuple);
       }
     }

@@ -10,6 +10,13 @@
 #                                 concurrency surface (engine_test,
 #                                 engine_parallel_test, engine_kernel_test)
 #                                 under ThreadSanitizer
+#   scripts/check.sh --asan       builds with -DTIEBREAK_SANITIZE=address
+#                                 into build-asan/ and runs the grounding
+#                                 pipeline surface (ground_test,
+#                                 ground_csr_test, core_semantics_test)
+#                                 under AddressSanitizer — the CSR arenas
+#                                 and span accessors live or die by their
+#                                 offset arithmetic
 #   scripts/check.sh --docs       only the docs checks: broken relative
 #                                 links in *.md, and public-header
 #                                 declarations without a doc comment
@@ -52,7 +59,8 @@ check_docs() {
   #    comment-covered group.
   local header
   for header in src/engine/relation.h src/engine/evaluation.h \
-                src/util/thread_pool.h src/lang/database.h; do
+                src/util/thread_pool.h src/lang/database.h \
+                src/ground/ground_graph.h src/ground/grounder.h; do
     if ! awk -v file="$header" '
       BEGIN { in_private = 0; prev_commented = 0; prev_decl = 0; bad = 0 }
       /^ *private:/ { in_private = 1 }
@@ -107,6 +115,17 @@ if [[ "${1:-}" == "--tsan" ]]; then
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
     --output-on-failure -R '^engine_(parallel_|kernel_)?test$'
   echo "check.sh: tsan green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--asan" ]]; then
+  build="$repo/build-asan"
+  cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=address
+  cmake --build "$build" -j "$(nproc)" \
+    --target ground_test ground_csr_test core_semantics_test
+  ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
+    --output-on-failure -R '^(ground_(csr_)?test|core_semantics_test)$'
+  echo "check.sh: asan green"
   exit 0
 fi
 

@@ -8,25 +8,27 @@ namespace {
 
 // Least fixpoint of the positive immediate-consequence operator with
 // negative literals read against `anti` (¬b holds iff !anti[b]).
-// `base` marks the atoms true outright (Δ atoms; EDB atoms per Δ).
+// `base` marks the atoms true outright (Δ atoms; EDB atoms per Δ). Each
+// sweep is one contiguous scan of the CSR rule arenas.
 std::vector<char> LeastModelAgainst(const GroundGraph& graph,
                                     const std::vector<char>& base,
                                     const std::vector<char>& anti) {
   std::vector<char> in(base);
+  const int32_t num_rules = graph.num_rules();
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const RuleInstance& inst : graph.rules()) {
-      if (in[inst.head]) continue;
+    for (int32_t r = 0; r < num_rules; ++r) {
+      if (in[graph.HeadOf(r)]) continue;
       bool body = true;
-      for (AtomId a : inst.positive_body) {
+      for (AtomId a : graph.PositiveBody(r)) {
         if (!in[a]) {
           body = false;
           break;
         }
       }
       if (body) {
-        for (AtomId a : inst.negative_body) {
+        for (AtomId a : graph.NegativeBody(r)) {
           if (anti[a]) {
             body = false;
             break;
@@ -34,7 +36,7 @@ std::vector<char> LeastModelAgainst(const GroundGraph& graph,
         }
       }
       if (body) {
-        in[inst.head] = 1;
+        in[graph.HeadOf(r)] = 1;
         changed = true;
       }
     }
@@ -53,14 +55,9 @@ InterpreterResult AlternatingFixpointWellFounded(const Program& program,
   (void)program;
   const int32_t n = graph.num_atoms();
   // Base facts: Δ atoms are unconditionally true. EDB atoms not in Δ can
-  // never be derived (no rules), so the base covers all their truth.
-  std::vector<char> base(n, 0);
-  for (AtomId a = 0; a < n; ++a) {
-    if (database.Contains(graph.atoms().PredicateOf(a),
-                          graph.atoms().TupleOf(a))) {
-      base[a] = 1;
-    }
-  }
+  // never be derived (no rules), so the base covers all their truth. Built
+  // with one bulk Δ scan instead of a Database::Contains per atom.
+  std::vector<char> base = DeltaAtomMask(database, graph.atoms());
 
   InterpreterResult result;
   std::vector<char> under(base);              // A_0: only certain facts

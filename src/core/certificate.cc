@@ -32,7 +32,7 @@ Status CheckUnfoundedSet(const CloseState& state,
     for (int32_t r : state.graph().Supporters(a)) {
       if (!state.RuleLive(r)) continue;
       bool consumes_member = false;
-      for (AtomId b : state.graph().rule(r).positive_body) {
+      for (AtomId b : state.graph().PositiveBody(r)) {
         if (members.contains(b)) {
           consumes_member = true;
           break;

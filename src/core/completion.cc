@@ -17,24 +17,24 @@ FixpointSearch::FixpointSearch(const Program& program,
   //   d_r <-> conjunction of body literals.
   std::vector<int32_t> body_var(graph.num_rules());
   for (int32_t r = 0; r < graph.num_rules(); ++r) {
-    const RuleInstance& inst = graph.rule(r);
     const int32_t d = solver_.NewVar();
     body_var[r] = d;
     std::vector<SatLit> back{PosLit(d)};  // (l1 & ... & lk) -> d
-    for (AtomId a : inst.positive_body) {
+    for (AtomId a : graph.PositiveBody(r)) {
       solver_.AddBinary(NegLit(d), PosLit(atom_var_[a]));  // d -> a
       back.push_back(NegLit(atom_var_[a]));
     }
-    for (AtomId a : inst.negative_body) {
+    for (AtomId a : graph.NegativeBody(r)) {
       solver_.AddBinary(NegLit(d), NegLit(atom_var_[a]));  // d -> !a
       back.push_back(PosLit(atom_var_[a]));
     }
     solver_.AddClause(std::move(back));
   }
   // Per-atom completion.
+  const std::vector<char> delta_mask = DeltaAtomMask(database, graph.atoms());
   for (AtomId a = 0; a < graph.num_atoms(); ++a) {
     const PredId pred = graph.atoms().PredicateOf(a);
-    const bool in_delta = database.Contains(pred, graph.atoms().TupleOf(a));
+    const bool in_delta = delta_mask[a] != 0;
     if (in_delta) {
       solver_.AddUnit(PosLit(atom_var_[a]));  // Δ atoms are true, supported
       continue;

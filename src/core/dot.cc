@@ -51,13 +51,12 @@ std::string GroundGraphToDot(const Program& program, const GroundGraph& graph,
     out << "];\n";
   }
   for (int32_t r = 0; r < graph.num_rules(); ++r) {
-    const RuleInstance& inst = graph.rule(r);
     out << "  r" << r << " [shape=point, label=\"\"];\n";
-    out << "  r" << r << " -> a" << inst.head << ";\n";
-    for (AtomId a : inst.positive_body) {
+    out << "  r" << r << " -> a" << graph.HeadOf(r) << ";\n";
+    for (AtomId a : graph.PositiveBody(r)) {
       out << "  a" << a << " -> r" << r << ";\n";
     }
-    for (AtomId a : inst.negative_body) {
+    for (AtomId a : graph.NegativeBody(r)) {
       out << "  a" << a << " -> r" << r
           << " [style=dashed, color=red];\n";
     }

@@ -14,9 +14,10 @@
 
 namespace tiebreak {
 
-/// True iff every literal of rule instance `inst` is true under `values`
-/// (positive body atoms true, negated body atoms false).
-bool BodyTrue(const RuleInstance& inst, const std::vector<Truth>& values);
+/// True iff every literal of rule instance `rule` of `graph` is true under
+/// `values` (positive body atoms true, negated body atoms false).
+bool BodyTrue(const GroundGraph& graph, int32_t rule,
+              const std::vector<Truth>& values);
 
 /// True iff `values` is total over the graph's atoms and is a fixpoint of
 /// (program, database). Works on both faithful and reduced graphs (for

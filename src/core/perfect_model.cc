@@ -14,11 +14,10 @@ namespace {
 SignedDigraph FullGraph(const GroundGraph& graph) {
   SignedDigraph g(graph.num_atoms() + graph.num_rules());
   for (int32_t r = 0; r < graph.num_rules(); ++r) {
-    const RuleInstance& inst = graph.rule(r);
     const int32_t rule_node = graph.num_atoms() + r;
-    for (AtomId a : inst.positive_body) g.AddEdge(a, rule_node, false);
-    for (AtomId a : inst.negative_body) g.AddEdge(a, rule_node, true);
-    g.AddEdge(rule_node, inst.head, false);
+    for (AtomId a : graph.PositiveBody(r)) g.AddEdge(a, rule_node, false);
+    for (AtomId a : graph.NegativeBody(r)) g.AddEdge(a, rule_node, true);
+    g.AddEdge(rule_node, graph.HeadOf(r), false);
   }
   g.Finalize();
   return g;
@@ -60,11 +59,9 @@ std::optional<std::vector<Truth>> PerfectModel(const Program& program,
   // Base: everything false except Δ (EDB atoms exist as nodes only in
   // faithful graphs; those not in Δ are already false).
   std::vector<Truth> values(graph.num_atoms(), Truth::kFalse);
+  const std::vector<char> in_delta = DeltaAtomMask(database, graph.atoms());
   for (AtomId a = 0; a < graph.num_atoms(); ++a) {
-    if (database.Contains(graph.atoms().PredicateOf(a),
-                          graph.atoms().TupleOf(a))) {
-      values[a] = Truth::kTrue;
-    }
+    if (in_delta[a]) values[a] = Truth::kTrue;
   }
   (void)program;
 
@@ -74,7 +71,7 @@ std::optional<std::vector<Truth>> PerfectModel(const Program& program,
   // processing components in descending order sees dependencies first.
   std::vector<std::vector<int32_t>> rules_by_comp(scc.num_components);
   for (int32_t r = 0; r < graph.num_rules(); ++r) {
-    rules_by_comp[scc.component[graph.rule(r).head]].push_back(r);
+    rules_by_comp[scc.component[graph.HeadOf(r)]].push_back(r);
   }
   for (int32_t comp = scc.num_components - 1; comp >= 0; --comp) {
     const std::vector<int32_t>& rules = rules_by_comp[comp];
@@ -86,10 +83,10 @@ std::optional<std::vector<Truth>> PerfectModel(const Program& program,
     while (changed) {
       changed = false;
       for (int32_t r : rules) {
-        const RuleInstance& inst = graph.rule(r);
-        if (values[inst.head] == Truth::kTrue) continue;
-        if (BodyTrue(inst, values)) {
-          values[inst.head] = Truth::kTrue;
+        const AtomId head = graph.HeadOf(r);
+        if (values[head] == Truth::kTrue) continue;
+        if (BodyTrue(graph, r, values)) {
+          values[head] = Truth::kTrue;
           changed = true;
         }
       }

@@ -16,12 +16,12 @@ bool IsStable(const Program& program, const Database& database,
   // Build M⁻: true IDB atoms outside Δ become undefined; everything else
   // keeps its value.
   std::vector<Truth> m_minus(values);
+  const std::vector<char> in_delta = DeltaAtomMask(database, graph.atoms());
   for (AtomId a = 0; a < graph.num_atoms(); ++a) {
     TIEBREAK_CHECK(values[a] != Truth::kUndef) << "IsStable needs a total model";
     if (values[a] != Truth::kTrue) continue;
-    const PredId pred = graph.atoms().PredicateOf(a);
-    if (program.IsEdb(pred)) continue;
-    if (database.Contains(pred, graph.atoms().TupleOf(a))) continue;
+    if (program.IsEdb(graph.atoms().PredicateOf(a))) continue;
+    if (in_delta[a]) continue;
     m_minus[a] = Truth::kUndef;
   }
   CloseState closed(graph, m_minus);

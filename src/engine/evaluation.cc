@@ -827,12 +827,15 @@ Result<Database> EvaluateStratified(const Program& program,
 
   const int32_t num_preds = program.num_predicates();
   // Probe masks are 32-bit column sets, so the set-at-a-time engine caps
-  // arity at 32 (the ground-graph interpreters in core/ have no such cap).
+  // arity at kEngineMaxArity (the ground-graph interpreters in core/ have
+  // no such cap).
   for (PredId p = 0; p < num_preds; ++p) {
-    if (program.predicate(p).arity > 32) {
+    if (program.predicate(p).arity > kEngineMaxArity) {
       return Status::InvalidArgument(
-          "predicate " + program.predicate_name(p) +
-          " has arity > 32; the relational engine supports at most 32");
+          "predicate " + program.predicate_name(p) + " has arity > " +
+          std::to_string(kEngineMaxArity) +
+          "; the relational engine supports at most " +
+          std::to_string(kEngineMaxArity));
     }
   }
   std::vector<Relation> relations;
@@ -853,22 +856,19 @@ Result<Database> EvaluateStratified(const Program& program,
   // stores). Per-predicate loads are independent — with a pool they fan
   // out as one task per predicate.
   auto load_predicate = [&](PredId p) {
-    const std::vector<Tuple>& facts = database.Relation(p);
+    const int64_t facts = database.NumFacts(p);
     Relation& relation = relations[p];
-    relation.Reserve(static_cast<int64_t>(facts.size()));
-    if (facts.empty()) return;
-    const int32_t arity = program.predicate(p).arity;
-    if (arity == 0) {
-      for (const Tuple& tuple : facts) relation.Insert(tuple);
+    relation.Reserve(facts);
+    if (facts == 0) return;
+    if (program.predicate(p).arity == 0) {
+      const Tuple empty;
+      relation.Insert(empty);
       return;
     }
-    std::vector<ConstId> flat;
-    flat.reserve(facts.size() * static_cast<size_t>(arity));
-    for (const Tuple& tuple : facts) {
-      flat.insert(flat.end(), tuple.begin(), tuple.end());
-    }
-    relation.InsertUniqueBulk(flat.data(),
-                              static_cast<int64_t>(facts.size()));
+    // The database rows are already one flat, sorted, duplicate-free
+    // row-major arena — exactly the uniqueness-exploiting bulk path's
+    // input format, with no flattening copy.
+    relation.InsertUniqueBulk(database.FactData(p), facts);
   };
   if (parallel) {
     pool->ParallelFor(num_preds,
@@ -1241,60 +1241,38 @@ Result<Database> EvaluateStratified(const Program& program,
     stats->per_stratum.push_back(stratum_stats);
   }
 
-  // Materialize the result database through the bulk loader: relation rows
-  // are already unique, so each predicate is one sort + linear set build
-  // instead of size() tree inserts. Sorting happens on flat keys (packed
-  // words for arity <= 2, row ids above) before any Tuple is heap-
-  // allocated — sorting millions of small heap vectors is exactly the
-  // cache-miss storm this avoids, and the column-major layout makes the
-  // key-packing loops contiguous reads.
+  // Materialize the result database through the flat bulk loader: relation
+  // rows are already unique, so each predicate is one row-major gather
+  // handed to Database::BulkLoadFlat, which owns the sorting (packed-word
+  // sorts for arity <= 2, a row-id permutation above) and the linear set
+  // build — no Tuple heap allocation anywhere. EDB relations skip even the
+  // gather: no rule writes them, so the input arena passes through as a
+  // verbatim (already sorted, duplicate-free) copy.
   Database result(program);
-  std::vector<Tuple> tuples;
+  std::vector<ConstId> flat;
   for (PredId p = 0; p < num_preds; ++p) {
     const Relation& rel = relations[p];
     const int32_t arity = rel.arity();
-    const int32_t rows = static_cast<int32_t>(rel.size());
-    tuples.clear();
-    tuples.reserve(static_cast<size_t>(rows));
-    if (rows == 0) {
-      result.BulkLoad(p, std::move(tuples));
+    const int64_t rows = rel.size();
+    if (rows == 0) continue;
+    if (program.IsEdb(p) && !options.materialize_edb) continue;
+    if (arity == 0) {
+      result.InsertProposition(p);
       continue;
     }
-    if (arity == 1) {
-      const ConstId* column = rel.ColumnData(0);
-      std::vector<ConstId> keys(column, column + rows);
-      std::sort(keys.begin(), keys.end());
-      for (const ConstId key : keys) tuples.push_back({key});
-    } else if (arity == 2) {
-      // ConstIds are nonnegative, so the packed word order is the
-      // lexicographic tuple order.
-      const ConstId* c0 = rel.ColumnData(0);
-      const ConstId* c1 = rel.ColumnData(1);
-      std::vector<uint64_t> keys;
-      keys.reserve(static_cast<size_t>(rows));
-      for (int32_t row = 0; row < rows; ++row) {
-        keys.push_back(static_cast<uint64_t>(c0[row]) << 32 |
-                       static_cast<uint32_t>(c1[row]));
-      }
-      std::sort(keys.begin(), keys.end());
-      for (const uint64_t key : keys) {
-        tuples.push_back({static_cast<ConstId>(key >> 32),
-                          static_cast<ConstId>(key & 0xFFFFFFFF)});
-      }
+    flat.clear();
+    flat.reserve(static_cast<size_t>(rows) * arity);
+    if (program.IsEdb(p)) {
+      const ConstId* data = database.FactData(p);
+      flat.assign(data, data + rows * arity);
     } else {
-      std::vector<int32_t> order(rows);
-      for (int32_t row = 0; row < rows; ++row) order[row] = row;
-      std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      for (int64_t row = 0; row < rows; ++row) {
         for (int32_t c = 0; c < arity; ++c) {
-          const ConstId va = rel.At(a, c);
-          const ConstId vb = rel.At(b, c);
-          if (va != vb) return va < vb;
+          flat.push_back(rel.At(static_cast<int32_t>(row), c));
         }
-        return false;
-      });
-      for (const int32_t row : order) tuples.push_back(rel.TupleAt(row));
+      }
     }
-    result.BulkLoad(p, std::move(tuples));
+    result.BulkLoadFlat(p, std::move(flat));
   }
   return result;
 }

@@ -93,6 +93,11 @@ namespace tiebreak {
 /// Returns OK iff every rule of `program` is range-restricted.
 Status CheckSafety(const Program& program);
 
+/// Maximum predicate arity the relational engine evaluates (probe masks
+/// are 32-bit column sets). EvaluateStratified rejects wider programs with
+/// INVALID_ARGUMENT; the grounder plans around this cap.
+inline constexpr int32_t kEngineMaxArity = 32;
+
 /// Which join-kernel implementation the evaluator runs. All kernels compute
 /// the identical least fixpoint; they differ only in the shape of the inner
 /// loops (see the performance contract above).
@@ -132,6 +137,12 @@ struct EngineOptions {
   /// drops below this value, i.e. when the average hash chain would be
   /// longer than 1/threshold rows. 0 disables auto merge joins.
   double merge_join_selectivity = 0.05;
+  /// Copy the EDB relations into the result database (the default; the
+  /// result then holds the complete perfect model). Callers that only
+  /// read derived relations — the grounder reads just its binding
+  /// predicates — set this false to skip one full copy of a potentially
+  /// million-tuple EDB; the result's EDB relations are then empty.
+  bool materialize_edb = true;
 };
 
 /// Per-stratum timing breakdown (filled when stats are requested).

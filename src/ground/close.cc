@@ -2,6 +2,23 @@
 
 namespace tiebreak {
 
+namespace {
+
+// Shared constructor prologue: per-rule pending counters (unresolved body
+// edges) and per-atom support counters (live rules per head), straight off
+// the CSR arenas.
+void InitCounters(const GroundGraph& graph, std::vector<int32_t>* pending,
+                  std::vector<int32_t>* support) {
+  pending->assign(graph.num_rules(), 0);
+  support->assign(graph.num_atoms(), 0);
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    (*pending)[r] = graph.BodySize(r);
+    ++(*support)[graph.HeadOf(r)];
+  }
+}
+
+}  // namespace
+
 CloseState::CloseState(const Program& program, const Database& database,
                        const GroundGraph& graph)
     : graph_(&graph) {
@@ -10,21 +27,19 @@ CloseState::CloseState(const Program& program, const Database& database,
   value_.assign(n, Truth::kUndef);
   num_live_atoms_ = n;
   rule_dead_.assign(graph.num_rules(), 0);
-  rule_pending_.assign(graph.num_rules(), 0);
-  atom_support_.assign(n, 0);
-  for (int32_t r = 0; r < graph.num_rules(); ++r) {
-    const RuleInstance& inst = graph.rule(r);
-    rule_pending_[r] = static_cast<int32_t>(inst.positive_body.size() +
-                                            inst.negative_body.size());
-    ++atom_support_[inst.head];
+  InitCounters(graph, &rule_pending_, &atom_support_);
+  // M0(Δ), bulk: Δ atoms true (one DeltaAtomMask scan over the columnar
+  // relations), then EDB atoms outside Δ false (one pass over the flat
+  // predicate array; EDB atoms exist as nodes only in faithful graphs).
+  const std::vector<char> in_delta = DeltaAtomMask(database, graph.atoms());
+  std::vector<char> is_edb(program.num_predicates(), 0);
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    is_edb[p] = program.IsEdb(p) ? 1 : 0;
   }
-  // M0(Δ).
   for (AtomId a = 0; a < n; ++a) {
-    const PredId pred = graph.atoms().PredicateOf(a);
-    const bool in_delta = database.Contains(pred, graph.atoms().TupleOf(a));
-    if (in_delta) {
+    if (in_delta[a]) {
       Assign(a, Truth::kTrue);
-    } else if (program.IsEdb(pred)) {
+    } else if (is_edb[graph.atoms().PredicateOf(a)]) {
       Assign(a, Truth::kFalse);
     }
   }
@@ -40,14 +55,7 @@ CloseState::CloseState(const GroundGraph& graph,
   value_.assign(n, Truth::kUndef);
   num_live_atoms_ = n;
   rule_dead_.assign(graph.num_rules(), 0);
-  rule_pending_.assign(graph.num_rules(), 0);
-  atom_support_.assign(n, 0);
-  for (int32_t r = 0; r < graph.num_rules(); ++r) {
-    const RuleInstance& inst = graph.rule(r);
-    rule_pending_[r] = static_cast<int32_t>(inst.positive_body.size() +
-                                            inst.negative_body.size());
-    ++atom_support_[inst.head];
-  }
+  InitCounters(graph, &rule_pending_, &atom_support_);
   for (AtomId a = 0; a < n; ++a) {
     if (initial[a] != Truth::kUndef) Assign(a, initial[a]);
   }
@@ -59,7 +67,7 @@ void CloseState::InitialClose() {
   for (int32_t r = 0; r < graph_->num_rules(); ++r) {
     if (!rule_dead_[r] && rule_pending_[r] == 0) {
       rule_dead_[r] = 1;
-      const AtomId head = graph_->rule(r).head;
+      const AtomId head = graph_->HeadOf(r);
       if (value_[head] == Truth::kUndef) Assign(head, Truth::kTrue);
       TIEBREAK_CHECK(value_[head] == Truth::kTrue)
           << "empty-body rule with false head";
@@ -112,7 +120,7 @@ void CloseState::Drain() {
 void CloseState::KillRule(int32_t rule) {
   if (rule_dead_[rule]) return;
   rule_dead_[rule] = 1;
-  DecSupport(graph_->rule(rule).head);
+  DecSupport(graph_->HeadOf(rule));
 }
 
 void CloseState::DecPending(int32_t rule) {
@@ -120,7 +128,7 @@ void CloseState::DecPending(int32_t rule) {
   if (--rule_pending_[rule] > 0) return;
   // No incoming edges left: the rule fires and is deleted.
   rule_dead_[rule] = 1;
-  const AtomId head = graph_->rule(rule).head;
+  const AtomId head = graph_->HeadOf(rule);
   if (value_[head] == Truth::kUndef) {
     Assign(head, Truth::kTrue);
   } else {
@@ -169,14 +177,14 @@ std::vector<AtomId> CloseState::LargestUnfoundedSet() const {
   for (int32_t r = 0; r < graph_->num_rules(); ++r) {
     if (dead[r]) continue;
     int32_t live_pos = 0;
-    for (AtomId a : graph_->rule(r).positive_body) {
+    for (AtomId a : graph_->PositiveBody(r)) {
       if (value_[a] == Truth::kUndef) ++live_pos;
     }
     pending[r] = live_pos;
     if (live_pos == 0) {
       // Source rule node in G+: its head is founded.
       dead[r] = 1;
-      const AtomId head = graph_->rule(r).head;
+      const AtomId head = graph_->HeadOf(r);
       if (value_[head] == Truth::kUndef && state[head] == 0) mark(head, 1);
       --support[head];
     }
@@ -196,7 +204,7 @@ std::vector<AtomId> CloseState::LargestUnfoundedSet() const {
       if (founded) {
         if (--pending[r] > 0) continue;
         dead[r] = 1;
-        const AtomId head = graph_->rule(r).head;
+        const AtomId head = graph_->HeadOf(r);
         if (value_[head] == Truth::kUndef && state[head] == 0) mark(head, 1);
         --support[head];
         if (support[head] <= 0 && value_[head] == Truth::kUndef &&
@@ -205,7 +213,7 @@ std::vector<AtomId> CloseState::LargestUnfoundedSet() const {
         }
       } else {
         dead[r] = 1;
-        const AtomId head = graph_->rule(r).head;
+        const AtomId head = graph_->HeadOf(r);
         --support[head];
         if (support[head] <= 0 && value_[head] == Truth::kUndef &&
             state[head] == 0) {

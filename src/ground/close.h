@@ -32,7 +32,10 @@ class CloseState {
  public:
   /// Starts from the paper's initial model M0(Δ): atoms listed in Δ are
   /// true, EDB atoms not in Δ are false, IDB atoms not in Δ are undefined —
-  /// then runs the initial close to fixpoint.
+  /// then runs the initial close to fixpoint. M0 is built bulk-first: one
+  /// scan over Δ's columnar relations with atom-store hash lookups, then
+  /// one pass over the EDB atoms — no per-atom Database::Contains, no
+  /// materialized Tuples.
   CloseState(const Program& program, const Database& database,
              const GroundGraph& graph);
 

@@ -2,67 +2,193 @@
 
 namespace tiebreak {
 
-uint64_t GroundAtomStore::HashKey(PredId predicate, const Tuple& tuple) {
-  // FNV-1a over the predicate id and the constants.
+uint64_t GroundAtomStore::KeyOf(const ConstId* args, int32_t arity) {
+  // Arity ≤ 2 packs exactly (ConstIds are nonnegative 31-bit values).
+  // Cross-arity key collisions inside one predicate's table are handled by
+  // the arity compare in AtomEquals / the find loops.
+  if (arity == 0) return 0x9E3779B97F4A7C15ULL;
+  if (arity == 1) return static_cast<uint64_t>(args[0]);
+  if (arity == 2) {
+    return static_cast<uint64_t>(args[0]) << 31 |
+           static_cast<uint64_t>(args[1]);
+  }
+  // FNV-1a over the constants.
   uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](uint64_t x) {
-    h ^= x;
+  for (int32_t i = 0; i < arity; ++i) {
+    h ^= static_cast<uint64_t>(args[i]) + 0x9E3779B9ULL;
     h *= 1099511628211ULL;
-  };
-  mix(static_cast<uint64_t>(predicate));
-  for (ConstId c : tuple) mix(static_cast<uint64_t>(c) + 0x9E3779B9ULL);
+  }
   return h;
 }
 
-AtomId GroundAtomStore::Intern(PredId predicate, const Tuple& tuple) {
-  const uint64_t hash = HashKey(predicate, tuple);
-  std::vector<AtomId>& bucket = index_[hash];
-  for (AtomId id : bucket) {
-    if (atoms_[id].first == predicate && atoms_[id].second == tuple) {
-      return id;
-    }
+void GroundAtomStore::GrowTable(PredTable* table) const {
+  const size_t new_capacity =
+      table->slots.empty() ? 16 : table->slots.size() * 2;
+  std::vector<Slot> old = std::move(table->slots);
+  table->slots.assign(new_capacity, Slot{});
+  const size_t mask = new_capacity - 1;
+  for (const Slot& slot : old) {
+    if (slot.atom < 0) continue;
+    size_t at = MixSlot(slot.key) & mask;
+    while (table->slots[at].atom >= 0) at = (at + 1) & mask;
+    table->slots[at] = slot;
   }
-  const AtomId id = size();
-  atoms_.emplace_back(predicate, tuple);
-  bucket.push_back(id);
-  return id;
 }
 
-AtomId GroundAtomStore::Lookup(PredId predicate, const Tuple& tuple) const {
-  const uint64_t hash = HashKey(predicate, tuple);
-  auto it = index_.find(hash);
-  if (it == index_.end()) return -1;
-  for (AtomId id : it->second) {
-    if (atoms_[id].first == predicate && atoms_[id].second == tuple) {
+AtomId GroundAtomStore::Intern(PredId predicate, const ConstId* args,
+                               int32_t arity) {
+  TIEBREAK_CHECK_GE(predicate, 0);
+  if (predicate >= static_cast<PredId>(tables_.size())) {
+    tables_.resize(predicate + 1);
+  }
+  PredTable& table = tables_[predicate];
+  if (table.used * 2 >= static_cast<int32_t>(table.slots.size())) {
+    GrowTable(&table);
+  }
+  const uint64_t key = KeyOf(args, arity);
+  const bool exact = ExactKeys(arity);
+  const size_t mask = table.slots.size() - 1;
+  size_t at = MixSlot(key) & mask;
+  while (true) {
+    Slot& slot = table.slots[at];
+    if (slot.atom < 0) {
+      const AtomId id = size();
+      pred_.push_back(predicate);
+      args_.insert(args_.end(), args, args + arity);
+      offset_.push_back(static_cast<int64_t>(args_.size()));
+      slot.key = key;
+      slot.atom = id;
+      ++table.used;
       return id;
     }
+    if (slot.key == key &&
+        (exact ? ArityOf(slot.atom) == arity
+               : AtomEquals(slot.atom, args, arity))) {
+      return slot.atom;
+    }
+    at = (at + 1) & mask;
   }
-  return -1;
+}
+
+AtomId GroundAtomStore::Lookup(PredId predicate, const ConstId* args,
+                               int32_t arity) const {
+  TIEBREAK_CHECK_GE(predicate, 0);
+  if (predicate >= static_cast<PredId>(tables_.size())) return -1;
+  const PredTable& table = tables_[predicate];
+  if (table.slots.empty()) return -1;
+  const uint64_t key = KeyOf(args, arity);
+  const bool exact = ExactKeys(arity);
+  const size_t mask = table.slots.size() - 1;
+  size_t at = MixSlot(key) & mask;
+  while (true) {
+    const Slot& slot = table.slots[at];
+    if (slot.atom < 0) return -1;
+    if (slot.key == key &&
+        (exact ? ArityOf(slot.atom) == arity
+               : AtomEquals(slot.atom, args, arity))) {
+      return slot.atom;
+    }
+    at = (at + 1) & mask;
+  }
+}
+
+void GroundAtomStore::Reserve(int64_t num_atoms, int64_t num_args) {
+  pred_.reserve(static_cast<size_t>(num_atoms));
+  offset_.reserve(static_cast<size_t>(num_atoms) + 1);
+  args_.reserve(static_cast<size_t>(num_args));
+}
+
+void GroundGraph::AppendRule(int32_t rule_index, AtomId head,
+                             const AtomId* pos, int32_t num_pos,
+                             const AtomId* neg, int32_t num_neg,
+                             const ConstId* binding, int32_t num_binding) {
+  TIEBREAK_CHECK(!finalized_);
+  rule_index_.push_back(rule_index);
+  head_.push_back(head);
+  if (num_pos > 0) body_.insert(body_.end(), pos, pos + num_pos);
+  pos_end_.push_back(static_cast<int64_t>(body_.size()));
+  if (num_neg > 0) body_.insert(body_.end(), neg, neg + num_neg);
+  body_offset_.push_back(static_cast<int64_t>(body_.size()));
+  if (num_binding > 0) {
+    binding_.insert(binding_.end(), binding, binding + num_binding);
+  }
+  binding_offset_.push_back(static_cast<int64_t>(binding_.size()));
+}
+
+void GroundGraph::ReserveRules(int64_t rules, int64_t body_atoms) {
+  rule_index_.reserve(static_cast<size_t>(rules));
+  head_.reserve(static_cast<size_t>(rules));
+  pos_end_.reserve(static_cast<size_t>(rules));
+  body_offset_.reserve(static_cast<size_t>(rules) + 1);
+  binding_offset_.reserve(static_cast<size_t>(rules) + 1);
+  body_.reserve(static_cast<size_t>(body_atoms));
 }
 
 void GroundGraph::Finalize() {
   TIEBREAK_CHECK(!finalized_);
-  positive_consumers_.assign(num_atoms(), {});
-  negative_consumers_.assign(num_atoms(), {});
-  supporters_.assign(num_atoms(), {});
-  for (int32_t r = 0; r < num_rules(); ++r) {
-    const RuleInstance& inst = rules_[r];
-    TIEBREAK_CHECK_GE(inst.head, 0);
-    TIEBREAK_CHECK_LT(inst.head, num_atoms());
-    supporters_[inst.head].push_back(r);
-    for (AtomId a : inst.positive_body) positive_consumers_[a].push_back(r);
-    for (AtomId a : inst.negative_body) negative_consumers_[a].push_back(r);
+  const int32_t atoms = num_atoms();
+  const int32_t rules = num_rules();
+  // Count per-atom degrees.
+  sup_offset_.assign(atoms + 1, 0);
+  pos_offset_.assign(atoms + 1, 0);
+  neg_offset_.assign(atoms + 1, 0);
+  for (int32_t r = 0; r < rules; ++r) {
+    TIEBREAK_CHECK_GE(head_[r], 0);
+    TIEBREAK_CHECK_LT(head_[r], atoms);
+    ++sup_offset_[head_[r] + 1];
+    for (int64_t i = body_offset_[r]; i < pos_end_[r]; ++i) {
+      ++pos_offset_[body_[i] + 1];
+    }
+    for (int64_t i = pos_end_[r]; i < body_offset_[r + 1]; ++i) {
+      ++neg_offset_[body_[i] + 1];
+    }
   }
+  // Prefix-sum into offsets.
+  for (int32_t a = 0; a < atoms; ++a) {
+    sup_offset_[a + 1] += sup_offset_[a];
+    pos_offset_[a + 1] += pos_offset_[a];
+    neg_offset_[a + 1] += neg_offset_[a];
+  }
+  supporters_.resize(static_cast<size_t>(sup_offset_[atoms]));
+  pos_consumers_.resize(static_cast<size_t>(pos_offset_[atoms]));
+  neg_consumers_.resize(static_cast<size_t>(neg_offset_[atoms]));
+  // Scatter rule ids using the offset arrays themselves as cursors (each
+  // entry advances to the next atom's start), then shift them back — this
+  // avoids allocating three cursor arrays the size of the atom set. Rule
+  // ids land ascending per atom because rules are visited in order.
+  for (int32_t r = 0; r < rules; ++r) {
+    supporters_[sup_offset_[head_[r]]++] = r;
+    for (int64_t i = body_offset_[r]; i < pos_end_[r]; ++i) {
+      pos_consumers_[pos_offset_[body_[i]]++] = r;
+    }
+    for (int64_t i = pos_end_[r]; i < body_offset_[r + 1]; ++i) {
+      neg_consumers_[neg_offset_[body_[i]]++] = r;
+    }
+  }
+  for (int32_t a = atoms; a > 0; --a) {
+    sup_offset_[a] = sup_offset_[a - 1];
+    pos_offset_[a] = pos_offset_[a - 1];
+    neg_offset_[a] = neg_offset_[a - 1];
+  }
+  sup_offset_[0] = 0;
+  pos_offset_[0] = 0;
+  neg_offset_[0] = 0;
   finalized_ = true;
 }
 
-int64_t GroundGraph::num_edges() const {
-  int64_t edges = num_rules();  // one head edge per rule node
-  for (const RuleInstance& inst : rules_) {
-    edges += static_cast<int64_t>(inst.positive_body.size()) +
-             static_cast<int64_t>(inst.negative_body.size());
+std::vector<char> DeltaAtomMask(const Database& database,
+                                const GroundAtomStore& atoms) {
+  std::vector<char> mask(atoms.size(), 0);
+  for (PredId p = 0; p < database.num_predicates(); ++p) {
+    const int32_t arity = database.arity(p);
+    const int64_t facts = database.NumFacts(p);
+    const ConstId* data = database.FactData(p);
+    for (int64_t row = 0; row < facts; ++row) {
+      const AtomId a = atoms.Lookup(p, data + row * arity, arity);
+      if (a >= 0) mask[a] = 1;
+    }
   }
-  return edges;
+  return mask;
 }
 
 }  // namespace tiebreak

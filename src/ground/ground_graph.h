@@ -3,59 +3,157 @@
 // positive edges (rule -> its head; positive body atom -> rule) and negative
 // edges (negated body atom -> rule).
 //
-// Representation notes. Instead of materializing edge objects, each rule
-// instance stores its head and its positive/negative body atom lists, and
-// Finalize() builds the inverse indexes (consumers/supporters per atom).
-// Every algorithm of the paper reads the graph through these adjacency
-// lists; an explicit SignedDigraph over the *live* nodes is constructed by
+// Representation notes. Everything is flat, mirroring engine/relation.h:
+//
+//  * GroundAtomStore interns (predicate, tuple) pairs into one contiguous
+//    ConstId argument arena (per-atom offset + predicate id — no per-atom
+//    heap Tuple), deduplicated by per-predicate open-addressing tables
+//    whose 64-bit keys are the packed tuple itself for arity ≤ 2 (ConstIds
+//    are nonnegative 31-bit values, so one or two pack injectively; key
+//    equality then *is* tuple equality and candidate verification is
+//    skipped) and an FNV hash beyond.
+//
+//  * Rule nodes live in CSR arenas: one contiguous body-atom array holding
+//    each instance's positive atoms followed by its negative atoms, with a
+//    per-rule offset and positive/negative split point, plus flat head /
+//    rule-index / binding arrays. No per-instance vectors exist; accessors
+//    hand out Span views into the arenas.
+//
+//  * Finalize() builds the inverse indexes (consumers/supporters per atom)
+//    as three CSR adjacency structures in one counting pass each: count
+//    per-atom degrees, prefix-sum into offsets, then scatter the rule ids.
+//
+// Every algorithm of the paper reads the graph through these spans; an
+// explicit SignedDigraph over the *live* nodes is constructed by
 // ground/live_graph.h only when the tie-breaking interpreters need SCCs.
 #ifndef TIEBREAK_GROUND_GROUND_GRAPH_H_
 #define TIEBREAK_GROUND_GROUND_GRAPH_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
+#include "lang/database.h"
 #include "lang/symbols.h"
 #include "util/logging.h"
+#include "util/span.h"
 
 namespace tiebreak {
 
 /// Dense id of a ground atom within one GroundGraph.
 using AtomId = int32_t;
 
-/// Interns (predicate, argument tuple) pairs as dense AtomIds.
+/// Non-owning view of consecutive AtomIds / rule ids / ConstIds (all are
+/// int32). Valid until the owning graph structure mutates.
+using IdSpan = Span<int32_t>;
+
+/// Interns (predicate, argument tuple) pairs as dense AtomIds. Storage is
+/// one flat argument arena plus per-predicate open-addressing dedupe
+/// tables; see the file comment.
 class GroundAtomStore {
  public:
-  /// Returns the id of the ground atom, interning it if new.
-  AtomId Intern(PredId predicate, const Tuple& tuple);
-
-  /// Returns the id or -1 when the atom was never interned.
-  AtomId Lookup(PredId predicate, const Tuple& tuple) const;
-
-  PredId PredicateOf(AtomId atom) const { return Entry(atom).first; }
-  const Tuple& TupleOf(AtomId atom) const { return Entry(atom).second; }
-
-  int32_t size() const { return static_cast<int32_t>(atoms_.size()); }
-
- private:
-  const std::pair<PredId, Tuple>& Entry(AtomId atom) const {
-    TIEBREAK_CHECK_GE(atom, 0);
-    TIEBREAK_CHECK_LT(atom, size());
-    return atoms_[atom];
+  /// Returns the id of the ground atom whose arguments are the `arity`
+  /// consecutive ids at `args`, interning it if new.
+  AtomId Intern(PredId predicate, const ConstId* args, int32_t arity);
+  AtomId Intern(PredId predicate, const Tuple& tuple) {
+    return Intern(predicate, tuple.data(),
+                  static_cast<int32_t>(tuple.size()));
   }
 
-  static uint64_t HashKey(PredId predicate, const Tuple& tuple);
+  /// Returns the id or -1 when the atom was never interned.
+  AtomId Lookup(PredId predicate, const ConstId* args, int32_t arity) const;
+  AtomId Lookup(PredId predicate, const Tuple& tuple) const {
+    return Lookup(predicate, tuple.data(),
+                  static_cast<int32_t>(tuple.size()));
+  }
 
-  std::vector<std::pair<PredId, Tuple>> atoms_;
-  std::unordered_map<uint64_t, std::vector<AtomId>> index_;  // hash buckets
+  /// Predicate of an interned atom.
+  PredId PredicateOf(AtomId atom) const {
+    CheckAtom(atom);
+    return pred_[atom];
+  }
+
+  /// Number of arguments of an interned atom.
+  int32_t ArityOf(AtomId atom) const {
+    CheckAtom(atom);
+    return static_cast<int32_t>(offset_[atom + 1] - offset_[atom]);
+  }
+
+  /// The atom's arguments as a view into the flat arena (valid until the
+  /// next Intern).
+  IdSpan ArgsOf(AtomId atom) const {
+    CheckAtom(atom);
+    return IdSpan(args_.data() + offset_[atom],
+                  static_cast<size_t>(offset_[atom + 1] - offset_[atom]));
+  }
+
+  /// Materializes the atom's arguments as an owned Tuple (convenience;
+  /// allocates — hot paths use ArgsOf).
+  Tuple TupleOf(AtomId atom) const {
+    const IdSpan args = ArgsOf(atom);
+    return Tuple(args.begin(), args.end());
+  }
+
+  /// Number of interned atoms.
+  int32_t size() const { return static_cast<int32_t>(pred_.size()); }
+
+  /// Pre-sizes the arenas for `num_atoms` atoms carrying `num_args` total
+  /// arguments (advisory).
+  void Reserve(int64_t num_atoms, int64_t num_args);
+
+ private:
+  // One open-addressing slot: the 64-bit key packed next to the atom it
+  // names. atom < 0 = empty (key is then meaningless).
+  struct Slot {
+    uint64_t key = 0;
+    AtomId atom = -1;
+  };
+  // Per-predicate dedupe table (power-of-two capacity, linear probing,
+  // load factor ≤ 1/2).
+  struct PredTable {
+    std::vector<Slot> slots;
+    int32_t used = 0;
+  };
+
+  void CheckAtom(AtomId atom) const {
+    TIEBREAK_CHECK_GE(atom, 0);
+    TIEBREAK_CHECK_LT(atom, size());
+  }
+  // Packed tuple for arity ≤ 2 (injective), FNV-1a hash beyond.
+  static uint64_t KeyOf(const ConstId* args, int32_t arity);
+  // True when key equality alone proves tuple equality (within one arity).
+  static bool ExactKeys(int32_t arity) { return arity <= 2; }
+  // Slot placement: avalanche the high word, fold the low word in at a
+  // small odd stride so sequentially increasing packed keys (the grounder
+  // interns sorted bindings) probe at a hardware-prefetchable stride.
+  static uint64_t MixSlot(uint64_t x) {
+    uint64_t high = (x >> 32) + 0x9E3779B97F4A7C15ULL;
+    high = (high ^ (high >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    high = (high ^ (high >> 27)) * 0x94D049BB133111EBULL;
+    return (high ^ (high >> 31)) + (x & 0xFFFFFFFFULL) * 431;
+  }
+  bool AtomEquals(AtomId atom, const ConstId* args, int32_t arity) const {
+    if (offset_[atom + 1] - offset_[atom] != arity) return false;
+    const ConstId* stored = args_.data() + offset_[atom];
+    for (int32_t i = 0; i < arity; ++i) {
+      if (stored[i] != args[i]) return false;
+    }
+    return true;
+  }
+  void GrowTable(PredTable* table) const;
+
+  std::vector<PredId> pred_;        // per atom
+  std::vector<int64_t> offset_{0};  // per atom + 1: argument arena offsets
+  std::vector<ConstId> args_;     // flat argument arena
+  std::vector<PredTable> tables_; // per predicate, grown on demand
 };
 
 /// One rule node: the instantiation of `rule_index` under `binding` (the
 /// constant chosen for each rule variable). EDB-resolved body literals may
 /// have been dropped by the reduced grounder; the remaining body atoms are
 /// stored by sign. Duplicate occurrences are preserved (parallel edges).
+/// This is the *builder input* type of AddRuleInstance — the graph stores
+/// the data in CSR arenas, not as RuleInstance objects; hot emitters use
+/// AppendRule and skip the vectors entirely.
 struct RuleInstance {
   int32_t rule_index = 0;
   AtomId head = 0;
@@ -65,59 +163,144 @@ struct RuleInstance {
 };
 
 /// G(Π, Δ) plus the inverse indexes used by close() and the interpreters.
+/// All storage is CSR arenas; see the file comment.
 class GroundGraph {
  public:
+  /// The graph's atom store (atoms are interned through it during build).
   GroundAtomStore& atoms() { return atoms_; }
   const GroundAtomStore& atoms() const { return atoms_; }
 
-  /// Appends a rule node. Must precede Finalize().
-  void AddRuleInstance(RuleInstance instance) {
-    TIEBREAK_CHECK(!finalized_);
-    rules_.push_back(std::move(instance));
+  /// Appends a rule node from borrowed arrays (no allocation beyond arena
+  /// growth): `num_pos` positive body atoms at `pos`, `num_neg` negative
+  /// body atoms at `neg`, `num_binding` binding constants at `binding`
+  /// (may be null/0 for propositional instances). Must precede Finalize().
+  void AppendRule(int32_t rule_index, AtomId head, const AtomId* pos,
+                  int32_t num_pos, const AtomId* neg, int32_t num_neg,
+                  const ConstId* binding, int32_t num_binding);
+
+  /// Convenience wrapper over AppendRule for callers holding a
+  /// RuleInstance.
+  void AddRuleInstance(const RuleInstance& instance) {
+    AppendRule(instance.rule_index, instance.head,
+               instance.positive_body.data(),
+               static_cast<int32_t>(instance.positive_body.size()),
+               instance.negative_body.data(),
+               static_cast<int32_t>(instance.negative_body.size()),
+               instance.binding.data(),
+               static_cast<int32_t>(instance.binding.size()));
   }
 
-  /// Builds consumer/supporter indexes. Call once, after all instances and
-  /// atoms are in.
+  /// Builds the CSR consumer/supporter indexes (one counting pass each).
+  /// Call once, after all instances and atoms are in.
   void Finalize();
 
   int32_t num_atoms() const { return atoms_.size(); }
-  int32_t num_rules() const { return static_cast<int32_t>(rules_.size()); }
+  int32_t num_rules() const { return static_cast<int32_t>(head_.size()); }
   bool finalized() const { return finalized_; }
 
-  const RuleInstance& rule(int32_t r) const {
-    TIEBREAK_CHECK_GE(r, 0);
-    TIEBREAK_CHECK_LT(r, num_rules());
-    return rules_[r];
+  /// Index of the program rule this instance instantiates.
+  int32_t RuleIndexOf(int32_t r) const {
+    CheckRule(r);
+    return rule_index_[r];
   }
-  const std::vector<RuleInstance>& rules() const { return rules_; }
-
+  /// The instance's head atom.
+  AtomId HeadOf(int32_t r) const {
+    CheckRule(r);
+    return head_[r];
+  }
+  /// The instance's positive body atoms (view into the CSR arena).
+  IdSpan PositiveBody(int32_t r) const {
+    CheckRule(r);
+    return IdSpan(body_.data() + body_offset_[r],
+                  static_cast<size_t>(pos_end_[r] - body_offset_[r]));
+  }
+  /// The instance's negative body atoms.
+  IdSpan NegativeBody(int32_t r) const {
+    CheckRule(r);
+    return IdSpan(body_.data() + pos_end_[r],
+                  static_cast<size_t>(body_offset_[r + 1] - pos_end_[r]));
+  }
+  /// Total body atoms (positive + negative) of the instance.
+  int32_t BodySize(int32_t r) const {
+    CheckRule(r);
+    return static_cast<int32_t>(body_offset_[r + 1] - body_offset_[r]);
+  }
+  /// The constants substituted for the rule's variables. Empty unless the
+  /// builder recorded a binding (the grounder does so only under
+  /// GroundingOptions::record_bindings).
+  IdSpan BindingOf(int32_t r) const {
+    CheckRule(r);
+    return IdSpan(binding_.data() + binding_offset_[r],
+                  static_cast<size_t>(binding_offset_[r + 1] -
+                                      binding_offset_[r]));
+  }
   /// Rule nodes with a positive body edge from `atom`.
-  const std::vector<int32_t>& PositiveConsumers(AtomId atom) const {
-    TIEBREAK_CHECK(finalized_);
-    return positive_consumers_[atom];
+  IdSpan PositiveConsumers(AtomId atom) const {
+    CheckFinalizedAtom(atom);
+    return IdSpan(pos_consumers_.data() + pos_offset_[atom],
+                  static_cast<size_t>(pos_offset_[atom + 1] -
+                                      pos_offset_[atom]));
   }
   /// Rule nodes with a negative body edge from `atom`.
-  const std::vector<int32_t>& NegativeConsumers(AtomId atom) const {
-    TIEBREAK_CHECK(finalized_);
-    return negative_consumers_[atom];
+  IdSpan NegativeConsumers(AtomId atom) const {
+    CheckFinalizedAtom(atom);
+    return IdSpan(neg_consumers_.data() + neg_offset_[atom],
+                  static_cast<size_t>(neg_offset_[atom + 1] -
+                                      neg_offset_[atom]));
   }
   /// Rule nodes whose head is `atom`.
-  const std::vector<int32_t>& Supporters(AtomId atom) const {
-    TIEBREAK_CHECK(finalized_);
-    return supporters_[atom];
+  IdSpan Supporters(AtomId atom) const {
+    CheckFinalizedAtom(atom);
+    return IdSpan(supporters_.data() + sup_offset_[atom],
+                  static_cast<size_t>(sup_offset_[atom + 1] -
+                                      sup_offset_[atom]));
   }
 
   /// Total number of edges (head edges + body occurrences).
-  int64_t num_edges() const;
+  int64_t num_edges() const {
+    return static_cast<int64_t>(body_.size()) + num_rules();
+  }
+
+  /// Pre-sizes the rule arenas for `rules` instances carrying `body_atoms`
+  /// total body occurrences (advisory).
+  void ReserveRules(int64_t rules, int64_t body_atoms);
 
  private:
+  void CheckRule(int32_t r) const {
+    TIEBREAK_CHECK_GE(r, 0);
+    TIEBREAK_CHECK_LT(r, num_rules());
+  }
+  void CheckFinalizedAtom(AtomId atom) const {
+    TIEBREAK_CHECK(finalized_);
+    TIEBREAK_CHECK_GE(atom, 0);
+    TIEBREAK_CHECK_LT(atom, num_atoms());
+  }
+
   GroundAtomStore atoms_;
-  std::vector<RuleInstance> rules_;
   bool finalized_ = false;
-  std::vector<std::vector<int32_t>> positive_consumers_;
-  std::vector<std::vector<int32_t>> negative_consumers_;
-  std::vector<std::vector<int32_t>> supporters_;
+
+  // Rule-node arenas; rule r's body occupies body_[body_offset_[r],
+  // body_offset_[r+1]) with positives before pos_end_[r].
+  std::vector<int32_t> rule_index_;
+  std::vector<AtomId> head_;
+  std::vector<int64_t> body_offset_{0};
+  std::vector<int64_t> pos_end_;
+  std::vector<AtomId> body_;
+  std::vector<int64_t> binding_offset_{0};
+  std::vector<ConstId> binding_;
+
+  // CSR inverse indexes (built by Finalize).
+  std::vector<int64_t> sup_offset_, pos_offset_, neg_offset_;
+  std::vector<int32_t> supporters_, pos_consumers_, neg_consumers_;
 };
+
+/// Bulk Δ-membership: out[a] == 1 iff atom a of `atoms` is a fact of
+/// `database`. One scan over Δ with store hash lookups — the flat
+/// replacement for calling Database::Contains once per atom with a freshly
+/// materialized Tuple (the pattern that regressed close-state
+/// construction). Interpreters use it to initialize M0(Δ) / base facts.
+std::vector<char> DeltaAtomMask(const Database& database,
+                                const GroundAtomStore& atoms);
 
 }  // namespace tiebreak
 

@@ -1,24 +1,47 @@
 #include "ground/grounder.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+
+#include "engine/evaluation.h"
 
 namespace tiebreak {
 
 std::vector<ConstId> ComputeUniverse(const Program& program,
                                      const Database& database) {
-  std::vector<ConstId> universe = database.ReferencedConstants();
+  // ConstIds are dense in [0, num_constants), so a seen-bitmap pass over
+  // the flat fact arenas replaces the old gather-sort-unique (which sorted
+  // one id per fact argument — millions of entries on the large EDBs).
+  std::vector<char> seen(program.num_constants(), 0);
+  for (PredId p = 0; p < database.num_predicates(); ++p) {
+    const size_t total =
+        static_cast<size_t>(database.NumFacts(p)) * database.arity(p);
+    const ConstId* data = database.FactData(p);
+    for (size_t i = 0; i < total; ++i) {
+      // Facts normally only mention constants interned in the program; the
+      // resize covers hand-built databases that outgrew the table, and the
+      // CHECK rejects ids that were never valid constants at all.
+      TIEBREAK_CHECK_GE(data[i], 0) << "negative ConstId in database";
+      if (data[i] >= static_cast<ConstId>(seen.size())) {
+        seen.resize(data[i] + 1, 0);
+      }
+      seen[data[i]] = 1;
+    }
+  }
   for (const Rule& rule : program.rules()) {
-    auto scan = [&universe](const Atom& atom) {
+    auto scan = [&seen](const Atom& atom) {
       for (const Term& term : atom.args) {
-        if (term.is_constant()) universe.push_back(term.index);
+        if (term.is_constant()) seen[term.index] = 1;
       }
     };
     scan(rule.head);
     for (const Literal& literal : rule.body) scan(literal.atom);
   }
-  std::sort(universe.begin(), universe.end());
-  universe.erase(std::unique(universe.begin(), universe.end()),
-                 universe.end());
+  std::vector<ConstId> universe;
+  for (ConstId c = 0; c < static_cast<ConstId>(seen.size()); ++c) {
+    if (seen[c]) universe.push_back(c);
+  }
   return universe;
 }
 
@@ -38,18 +61,26 @@ class GrounderImpl {
     // EDB atoms of Δ are nodes only without the EDB reduction.
     for (PredId p = 0; p < database_.num_predicates(); ++p) {
       if (program_.IsEdb(p) && options_.reduce_edb) continue;
-      for (const Tuple& tuple : database_.Relation(p)) {
-        graph_.atoms().Intern(p, tuple);
+      const int32_t arity = database_.arity(p);
+      const ConstId* data = database_.FactData(p);
+      const int64_t facts = database_.NumFacts(p);
+      for (int64_t row = 0; row < facts; ++row) {
+        graph_.atoms().Intern(p, data + row * arity, arity);
       }
     }
     if (options_.include_all_atoms) {
       Status s = InternAllAtoms();
       if (!s.ok()) return s;
     }
-    for (int32_t r = 0; r < program_.num_rules(); ++r) {
-      Status s = options_.reduce_edb ? GroundRuleReduced(r)
-                                     : GroundRuleFaithful(r);
+    if (options_.reduce_edb && options_.engine_bindings) {
+      Status s = GroundReducedEngine();
       if (!s.ok()) return s;
+    } else {
+      for (int32_t r = 0; r < program_.num_rules(); ++r) {
+        Status s = options_.reduce_edb ? GroundRuleReducedLegacy(r)
+                                       : GroundRuleFaithful(r);
+        if (!s.ok()) return s;
+      }
     }
     graph_.Finalize();
     GroundingResult result;
@@ -76,7 +107,7 @@ class GrounderImpl {
       while (true) {
         Status s = Budget();
         if (!s.ok()) return s;
-        graph_.atoms().Intern(p, tuple);
+        graph_.atoms().Intern(p, tuple.data(), arity);
         int32_t pos = arity - 1;
         while (pos >= 0) {
           if (++odo[pos] < universe_.size()) {
@@ -93,19 +124,18 @@ class GrounderImpl {
     return Status::Ok();
   }
 
-  // Substitutes `binding` into `atom`, producing a ground tuple.
-  Tuple Substitute(const Atom& atom, const Tuple& binding) const {
-    Tuple tuple;
-    tuple.reserve(atom.args.size());
+  // Substitutes `binding` into `atom`, writing the ground tuple into the
+  // reusable scratch buffer (no allocation once warm).
+  void SubstituteInto(const Atom& atom, const Tuple& binding, Tuple* out) {
+    out->clear();
     for (const Term& term : atom.args) {
       if (term.is_constant()) {
-        tuple.push_back(term.index);
+        out->push_back(term.index);
       } else {
         TIEBREAK_CHECK_GE(binding[term.index], 0) << "unbound variable";
-        tuple.push_back(binding[term.index]);
+        out->push_back(binding[term.index]);
       }
     }
-    return tuple;
   }
 
   // ----------------------------- faithful ---------------------------------
@@ -137,26 +167,31 @@ class GrounderImpl {
 
   void EmitFaithfulInstance(int32_t rule_index, const Rule& rule,
                             const Tuple& binding) {
-    RuleInstance inst;
-    inst.rule_index = rule_index;
-    inst.binding = binding;
-    inst.head = graph_.atoms().Intern(rule.head.predicate,
-                                      Substitute(rule.head, binding));
+    scratch_pos_.clear();
+    scratch_neg_.clear();
     for (const Literal& literal : rule.body) {
+      SubstituteInto(literal.atom, binding, &scratch_tuple_);
       const AtomId atom = graph_.atoms().Intern(
-          literal.atom.predicate, Substitute(literal.atom, binding));
-      (literal.positive ? inst.positive_body : inst.negative_body)
-          .push_back(atom);
+          literal.atom.predicate, scratch_tuple_.data(),
+          static_cast<int32_t>(scratch_tuple_.size()));
+      (literal.positive ? scratch_pos_ : scratch_neg_).push_back(atom);
     }
-    graph_.AddRuleInstance(std::move(inst));
+    SubstituteInto(rule.head, binding, &scratch_tuple_);
+    const AtomId head = graph_.atoms().Intern(
+        rule.head.predicate, scratch_tuple_.data(),
+        static_cast<int32_t>(scratch_tuple_.size()));
+    graph_.AppendRule(
+        rule_index, head, scratch_pos_.data(),
+        static_cast<int32_t>(scratch_pos_.size()), scratch_neg_.data(),
+        static_cast<int32_t>(scratch_neg_.size()), binding.data(),
+        options_.record_bindings ? static_cast<int32_t>(binding.size()) : 0);
   }
 
   // ----------------------------- reduced ----------------------------------
 
-  Status GroundRuleReduced(int32_t rule_index) {
-    const Rule& rule = program_.rule(rule_index);
-    // Positive EDB literals act as generators (matched against Δ); all other
-    // literals are emitted as graph edges or checked as filters afterwards.
+  // Indexes of the positive EDB literals of `rule` (the generators matched
+  // against Δ).
+  std::vector<int32_t> GeneratorsOf(const Rule& rule) const {
     std::vector<int32_t> generators;
     for (int32_t b = 0; b < static_cast<int32_t>(rule.body.size()); ++b) {
       const Literal& literal = rule.body[b];
@@ -164,6 +199,206 @@ class GrounderImpl {
         generators.push_back(b);
       }
     }
+    return generators;
+  }
+
+  // Engine-backed reduced grounding: compile each rule's generator
+  // conjunction into a "binding rule" over a derived program, evaluate the
+  // whole batch with the relational engine, then stream the materialized
+  // binding rows into instance emission. See grounder.h.
+  Status GroundReducedEngine() {
+    // Per-rule binding plans.
+    struct BindPlan {
+      std::vector<int32_t> generators;
+      std::vector<int32_t> bound_vars;  // ascending variable indexes
+      PredId bind_pred = -1;            // in the binding program
+      bool legacy = false;              // fallback: backtracking join
+    };
+    std::vector<BindPlan> plans(program_.num_rules());
+
+    bool engine_eligible = true;
+    for (PredId p = 0; p < program_.num_predicates(); ++p) {
+      if (program_.predicate(p).arity > kEngineMaxArity) {
+        engine_eligible = false;  // the engine rejects the whole program
+      }
+    }
+
+    bool any_engine = false;
+    Program bind_program;
+    if (engine_eligible) {
+      // Reproduce the vocabulary with identical predicate/constant ids.
+      for (PredId p = 0; p < program_.num_predicates(); ++p) {
+        bind_program.DeclarePredicate(program_.predicate_name(p),
+                                      program_.predicate(p).arity);
+      }
+      for (ConstId c = 0; c < program_.num_constants(); ++c) {
+        bind_program.InternConstant(program_.constant_name(c));
+      }
+    }
+
+    for (int32_t r = 0; r < program_.num_rules(); ++r) {
+      const Rule& rule = program_.rule(r);
+      BindPlan& plan = plans[r];
+      plan.generators = GeneratorsOf(rule);
+      if (plan.generators.empty()) continue;  // pure free-var enumeration
+      std::vector<char> bound(rule.num_variables, 0);
+      for (int32_t b : plan.generators) {
+        for (const Term& term : rule.body[b].atom.args) {
+          if (term.is_variable()) bound[term.index] = 1;
+        }
+      }
+      for (int32_t v = 0; v < rule.num_variables; ++v) {
+        if (bound[v]) plan.bound_vars.push_back(v);
+      }
+      if (!engine_eligible ||
+          static_cast<int32_t>(plan.bound_vars.size()) > kEngineMaxArity) {
+        plan.legacy = true;
+        continue;
+      }
+      // Declare $bind<r>(bound vars) :- generators.
+      std::string name = "$bind" + std::to_string(r);
+      while (bind_program.LookupPredicate(name) >= 0) name += "_";
+      plan.bind_pred = bind_program.DeclarePredicate(
+          name, static_cast<int32_t>(plan.bound_vars.size()));
+      Rule bind_rule;
+      bind_rule.head.predicate = plan.bind_pred;
+      for (int32_t v : plan.bound_vars) {
+        bind_rule.head.args.push_back(Term::Variable(v));
+      }
+      for (int32_t b : plan.generators) bind_rule.body.push_back(rule.body[b]);
+      bind_rule.num_variables = rule.num_variables;
+      bind_rule.variable_names = rule.variable_names;
+      bind_program.AddRule(std::move(bind_rule));
+      any_engine = true;
+    }
+
+    // One engine run computes every rule's binding relation: the EDB facts
+    // are bulk-copied once, join plans are compiled and cached per rule,
+    // and the vectorized kernels enumerate all matches.
+    Database bindings(program_);  // placeholder; replaced when engine runs
+    const Database* bound_db = nullptr;
+    if (any_engine) {
+      Status valid = bind_program.Validate();
+      TIEBREAK_CHECK(valid.ok()) << valid.ToString();
+      Database edb(bind_program);
+      int64_t edb_facts = 0;
+      for (PredId p = 0; p < program_.num_predicates(); ++p) {
+        if (!program_.IsEdb(p) || database_.NumFacts(p) == 0) continue;
+        edb_facts += database_.NumFacts(p);
+        if (database_.arity(p) == 0) {
+          edb.InsertProposition(p);
+          continue;
+        }
+        const ConstId* data = database_.FactData(p);
+        std::vector<ConstId> copy(
+            data, data + database_.NumFacts(p) *
+                             static_cast<int64_t>(database_.arity(p)));
+        edb.BulkLoadFlat(p, std::move(copy));
+      }
+      EngineOptions engine_options;
+      // The engine's tuple budget counts the loaded EDB too; charge only
+      // the derived binding rows against the grounding budget.
+      engine_options.max_tuples = options_.max_instances + edb_facts;
+      engine_options.num_threads = 1;
+      // Only the $bind relations are read back; don't copy the EDB into
+      // the result.
+      engine_options.materialize_edb = false;
+      Result<Database> result =
+          EvaluateStratified(bind_program, edb, engine_options);
+      if (result.ok()) {
+        bindings = std::move(result).value();
+        bound_db = &bindings;
+      } else if (result.status().code() == StatusCode::kResourceExhausted) {
+        // More binding rows than the instance budget allows: emission
+        // could never fit either.
+        return Status::ResourceExhausted(
+            "grounding exceeded max_instances budget");
+      } else {
+        // Any other engine rejection (e.g. an arity past its relational
+        // cap that slipped through the plan check): fall back to the
+        // legacy join for every engine-planned rule rather than failing a
+        // grounding the backtracking path can do.
+        for (BindPlan& plan : plans) {
+          if (plan.bind_pred >= 0) plan.legacy = true;
+        }
+      }
+    }
+
+    // Pre-size the rule arenas from the known binding counts (free-var
+    // enumeration can only add more; the reserve is advisory).
+    if (bound_db != nullptr) {
+      int64_t total_rows = 0;
+      int64_t total_body = 0;
+      for (int32_t r = 0; r < program_.num_rules(); ++r) {
+        const BindPlan& plan = plans[r];
+        if (plan.legacy || plan.generators.empty()) continue;
+        const int64_t rows = bound_db->NumFacts(plan.bind_pred);
+        int64_t idb_literals = 0;
+        for (const Literal& literal : program_.rule(r).body) {
+          if (!program_.IsEdb(literal.atom.predicate)) ++idb_literals;
+        }
+        total_rows += rows;
+        total_body += rows * idb_literals;
+      }
+      graph_.ReserveRules(total_rows, total_body);
+    }
+
+    // Emit instances rule by rule, in rule order (bindings iterate in the
+    // result database's sorted order). The per-rule free-variable set is
+    // computed once and the odometer scratch is reused, so the per-row
+    // loop performs no heap allocation at all.
+    Tuple binding;
+    std::vector<int32_t> free_vars;
+    for (int32_t r = 0; r < program_.num_rules(); ++r) {
+      const Rule& rule = program_.rule(r);
+      const BindPlan& plan = plans[r];
+      if (plan.legacy) {
+        Status s = GroundRuleReducedLegacy(r);
+        if (!s.ok()) return s;
+        continue;
+      }
+      binding.assign(rule.num_variables, -1);
+      if (plan.generators.empty()) {
+        Status s = EnumerateFreeVariables(r, rule, &binding);
+        if (!s.ok()) return s;
+        continue;
+      }
+      TIEBREAK_CHECK(bound_db != nullptr);
+      free_vars.clear();
+      {
+        std::vector<char> bound(rule.num_variables, 0);
+        for (int32_t v : plan.bound_vars) bound[v] = 1;
+        for (int32_t v = 0; v < rule.num_variables; ++v) {
+          if (!bound[v]) free_vars.push_back(v);
+        }
+      }
+      const int32_t arity = static_cast<int32_t>(plan.bound_vars.size());
+      const ConstId* data = bound_db->FactData(plan.bind_pred);
+      const int64_t rows = bound_db->NumFacts(plan.bind_pred);
+      for (int64_t row = 0; row < rows; ++row) {
+        Status s = Budget();
+        if (!s.ok()) return s;
+        const ConstId* values = data + row * arity;
+        for (int32_t j = 0; j < arity; ++j) {
+          binding[plan.bound_vars[j]] = values[j];
+        }
+        if (free_vars.empty()) {
+          EmitReducedInstance(r, rule, binding);
+        } else {
+          s = EnumerateOver(r, rule, free_vars, &binding);
+          if (!s.ok()) return s;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Legacy reduced grounding of one rule: tuple-at-a-time backtracking
+  // join of the generators against Δ (the seed implementation; reference
+  // for the engine path and fallback past the engine's arity cap).
+  Status GroundRuleReducedLegacy(int32_t rule_index) {
+    const Rule& rule = program_.rule(rule_index);
+    const std::vector<int32_t> generators = GeneratorsOf(rule);
     Tuple binding(rule.num_variables, -1);
     return MatchGenerators(rule_index, rule, generators, 0, &binding);
   }
@@ -175,7 +410,12 @@ class GrounderImpl {
       return EnumerateFreeVariables(rule_index, rule, binding);
     }
     const Atom& atom = rule.body[generators[g]].atom;
-    for (const Tuple& tuple : database_.Relation(atom.predicate)) {
+    const PredId pred = atom.predicate;
+    const int32_t arity = database_.arity(pred);
+    const ConstId* data = database_.FactData(pred);
+    const int64_t facts = database_.NumFacts(pred);
+    for (int64_t row = 0; row < facts; ++row) {
+      const ConstId* tuple = data + row * arity;
       Status s = Budget();
       if (!s.ok()) return s;
       // Try to unify `atom` with `tuple` under the current partial binding.
@@ -213,8 +453,18 @@ class GrounderImpl {
     for (int32_t v = 0; v < rule.num_variables; ++v) {
       if ((*binding)[v] < 0) free_vars.push_back(v);
     }
+    return EnumerateOver(rule_index, rule, free_vars, binding);
+  }
+
+  // Emits one instance per assignment of `free_vars` over the universe
+  // (one instance outright when `free_vars` is empty). The odometer lives
+  // in member scratch: the engine-backed path calls this once per binding
+  // row. Leaves the free variables reset to -1.
+  Status EnumerateOver(int32_t rule_index, const Rule& rule,
+                       const std::vector<int32_t>& free_vars,
+                       Tuple* binding) {
     if (!free_vars.empty() && universe_.empty()) return Status::Ok();
-    std::vector<size_t> odo(free_vars.size(), 0);
+    scratch_odo_.assign(free_vars.size(), 0);
     for (int32_t var : free_vars) (*binding)[var] = universe_.front();
     while (true) {
       Status s = Budget();
@@ -225,11 +475,11 @@ class GrounderImpl {
       EmitReducedInstance(rule_index, rule, *binding);
       int32_t pos = static_cast<int32_t>(free_vars.size()) - 1;
       while (pos >= 0) {
-        if (++odo[pos] < universe_.size()) {
-          (*binding)[free_vars[pos]] = universe_[odo[pos]];
+        if (++scratch_odo_[pos] < universe_.size()) {
+          (*binding)[free_vars[pos]] = universe_[scratch_odo_[pos]];
           break;
         }
-        odo[pos] = 0;
+        scratch_odo_[pos] = 0;
         (*binding)[free_vars[pos]] = universe_.front();
         --pos;
       }
@@ -241,9 +491,8 @@ class GrounderImpl {
 
   void EmitReducedInstance(int32_t rule_index, const Rule& rule,
                            const Tuple& binding) {
-    RuleInstance inst;
-    inst.rule_index = rule_index;
-    inst.binding = binding;
+    scratch_pos_.clear();
+    scratch_neg_.clear();
     for (const Literal& literal : rule.body) {
       const PredId pred = literal.atom.predicate;
       if (program_.IsEdb(pred)) {
@@ -251,19 +500,25 @@ class GrounderImpl {
         // Negated EDB literal: a true EDB atom kills the instance outright
         // (the first close would delete this rule node); a false one is a
         // satisfied literal and leaves no edge.
-        if (database_.Contains(pred, Substitute(literal.atom, binding))) {
-          return;
-        }
+        SubstituteInto(literal.atom, binding, &scratch_tuple_);
+        if (database_.ContainsRow(pred, scratch_tuple_.data())) return;
         continue;
       }
-      const AtomId atom =
-          graph_.atoms().Intern(pred, Substitute(literal.atom, binding));
-      (literal.positive ? inst.positive_body : inst.negative_body)
-          .push_back(atom);
+      SubstituteInto(literal.atom, binding, &scratch_tuple_);
+      const AtomId atom = graph_.atoms().Intern(
+          pred, scratch_tuple_.data(),
+          static_cast<int32_t>(scratch_tuple_.size()));
+      (literal.positive ? scratch_pos_ : scratch_neg_).push_back(atom);
     }
-    inst.head = graph_.atoms().Intern(rule.head.predicate,
-                                      Substitute(rule.head, binding));
-    graph_.AddRuleInstance(std::move(inst));
+    SubstituteInto(rule.head, binding, &scratch_tuple_);
+    const AtomId head = graph_.atoms().Intern(
+        rule.head.predicate, scratch_tuple_.data(),
+        static_cast<int32_t>(scratch_tuple_.size()));
+    graph_.AppendRule(
+        rule_index, head, scratch_pos_.data(),
+        static_cast<int32_t>(scratch_pos_.size()), scratch_neg_.data(),
+        static_cast<int32_t>(scratch_neg_.size()), binding.data(),
+        options_.record_bindings ? static_cast<int32_t>(binding.size()) : 0);
   }
 
   const Program& program_;
@@ -272,6 +527,11 @@ class GrounderImpl {
   std::vector<ConstId> universe_;
   GroundGraph graph_;
   int64_t work_ = 0;
+  // Reusable emission scratch (no per-instance heap allocation).
+  Tuple scratch_tuple_;
+  std::vector<AtomId> scratch_pos_;
+  std::vector<AtomId> scratch_neg_;
+  std::vector<size_t> scratch_odo_;
 };
 
 }  // namespace

@@ -16,9 +16,20 @@
 //    nodes. The result is equivalent to the faithful graph *after* the
 //    initial close — tested exhaustively in ground_test.cc — and it is what
 //    makes programs like the Theorem 6 machine-simulation (whose rules
-//    carry long succ-chain variable lists) groundable at all: positive EDB
-//    literals are matched against Δ by backtracking join rather than blind
-//    |U|^k enumeration.
+//    carry long succ-chain variable lists) groundable at all.
+//
+// Binding enumeration in reduced mode is engine-backed by default: the
+// positive EDB literals of each rule become one conjunctive "binding rule"
+// over a derived program, the whole batch is evaluated by the relational
+// engine (columnar relations, compiled/cached join plans, vectorized join
+// kernels — see engine/evaluation.h), and the grounder then streams the
+// materialized binding rows out of the columnar result Database, emitting
+// rule instances straight into the CSR graph arenas with zero per-instance
+// heap allocation. The seed's tuple-at-a-time backtracking join survives as
+// the legacy path (engine_bindings = false) — it is the reference
+// implementation the CSR/engine agreement tests compare against, and the
+// automatic fallback for rules whose bound-variable count exceeds the
+// engine's arity cap.
 #ifndef TIEBREAK_GROUND_GROUNDER_H_
 #define TIEBREAK_GROUND_GROUNDER_H_
 
@@ -39,6 +50,16 @@ struct GroundingOptions {
   /// Faithful mode only: also intern every ground atom over U for every
   /// predicate, exactly matching the paper's VP.
   bool include_all_atoms = false;
+  /// Reduced mode: enumerate generator bindings through the relational
+  /// engine (default). false = the seed's backtracking join, kept as the
+  /// agreement-test reference.
+  bool engine_bindings = true;
+  /// Record each instance's variable binding in the graph
+  /// (GroundGraph::BindingOf). Off by default: no interpreter reads
+  /// bindings, and on million-instance graphs the binding arena costs more
+  /// memory traffic than the rest of the rule arenas combined. Debug tools
+  /// that want `rule_index + binding -> instance` provenance turn it on.
+  bool record_bindings = false;
   /// Abort with RESOURCE_EXHAUSTED beyond this many rule instances /
   /// explored bindings (guards |U|^k blowups).
   int64_t max_instances = 10'000'000;

@@ -26,23 +26,23 @@ LiveGraph BuildLiveGraph(const CloseState& state) {
   live.graph = SignedDigraph(static_cast<int32_t>(live.node_atom.size()));
   for (int32_t r = 0; r < ground.num_rules(); ++r) {
     if (rule_node[r] < 0) continue;
-    const RuleInstance& inst = ground.rule(r);
     // A live rule's body atoms are either live or deleted-satisfied; only
     // live ones still carry edges.
-    for (AtomId a : inst.positive_body) {
+    for (AtomId a : ground.PositiveBody(r)) {
       if (live.atom_node[a] >= 0) {
         live.graph.AddEdge(live.atom_node[a], rule_node[r], false);
       }
     }
-    for (AtomId a : inst.negative_body) {
+    for (AtomId a : ground.NegativeBody(r)) {
       if (live.atom_node[a] >= 0) {
         live.graph.AddEdge(live.atom_node[a], rule_node[r], true);
       }
     }
     // Head edge; the head may itself already be true (deleted), in which
     // case the rule node is a sink.
-    if (live.atom_node[inst.head] >= 0) {
-      live.graph.AddEdge(rule_node[r], live.atom_node[inst.head], false);
+    const AtomId head = ground.HeadOf(r);
+    if (live.atom_node[head] >= 0) {
+      live.graph.AddEdge(rule_node[r], live.atom_node[head], false);
     }
   }
   live.graph.Finalize();

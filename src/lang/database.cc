@@ -1,84 +1,242 @@
 #include "lang/database.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace tiebreak {
+
+namespace {
+
+// Lexicographic three-way compare of two rows of `arity` ids.
+int CompareRows(const ConstId* a, const ConstId* b, int32_t arity) {
+  for (int32_t c = 0; c < arity; ++c) {
+    if (a[c] != b[c]) return a[c] < b[c] ? -1 : 1;
+  }
+  return 0;
+}
+
+bool RowsSorted(const std::vector<ConstId>& values, int32_t arity) {
+  const int64_t count = static_cast<int64_t>(values.size()) / arity;
+  for (int64_t r = 1; r < count; ++r) {
+    if (CompareRows(&values[(r - 1) * arity], &values[r * arity], arity) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Sorts `values` (count × arity, row-major) lexicographically by row.
+// ConstIds are nonnegative 31-bit values, so rows of arity ≤ 2 pack
+// injectively and order-preservingly into one uint64 — those sort as flat
+// machine words; wider rows sort a row-id permutation and gather once.
+void SortRows(std::vector<ConstId>* values, int32_t arity) {
+  if (RowsSorted(*values, arity)) return;
+  const int64_t count = static_cast<int64_t>(values->size()) / arity;
+  if (arity == 1) {
+    std::sort(values->begin(), values->end());
+    return;
+  }
+  if (arity == 2) {
+    std::vector<uint64_t> keys;
+    keys.reserve(count);
+    for (int64_t r = 0; r < count; ++r) {
+      keys.push_back(static_cast<uint64_t>((*values)[2 * r]) << 32 |
+                     static_cast<uint32_t>((*values)[2 * r + 1]));
+    }
+    std::sort(keys.begin(), keys.end());
+    for (int64_t r = 0; r < count; ++r) {
+      (*values)[2 * r] = static_cast<ConstId>(keys[r] >> 32);
+      (*values)[2 * r + 1] = static_cast<ConstId>(keys[r] & 0xFFFFFFFF);
+    }
+    return;
+  }
+  std::vector<int64_t> order(count);
+  for (int64_t r = 0; r < count; ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return CompareRows(&(*values)[a * arity], &(*values)[b * arity], arity) <
+           0;
+  });
+  std::vector<ConstId> sorted(values->size());
+  for (int64_t r = 0; r < count; ++r) {
+    std::memcpy(&sorted[r * arity], &(*values)[order[r] * arity],
+                sizeof(ConstId) * arity);
+  }
+  *values = std::move(sorted);
+}
+
+// Drops adjacent duplicate rows of a sorted row-major buffer in place.
+void DedupeRows(std::vector<ConstId>* values, int32_t arity) {
+  const int64_t count = static_cast<int64_t>(values->size()) / arity;
+  if (count <= 1) return;
+  int64_t out = 1;
+  for (int64_t r = 1; r < count; ++r) {
+    if (CompareRows(&(*values)[(out - 1) * arity], &(*values)[r * arity],
+                    arity) == 0) {
+      continue;
+    }
+    if (out != r) {
+      std::memcpy(&(*values)[out * arity], &(*values)[r * arity],
+                  sizeof(ConstId) * arity);
+    }
+    ++out;
+  }
+  values->resize(out * arity);
+}
+
+}  // namespace
 
 Database::Database(const Program& program) {
   arities_.reserve(program.num_predicates());
   for (PredId p = 0; p < program.num_predicates(); ++p) {
     arities_.push_back(program.predicate(p).arity);
   }
-  relations_.resize(program.num_predicates());
+  num_rows_.assign(program.num_predicates(), 0);
+  rows_.resize(program.num_predicates());
+}
+
+int64_t Database::LowerBound(PredId predicate, const ConstId* row) const {
+  const int32_t arity = arities_[predicate];
+  const ConstId* data = rows_[predicate].data();
+  int64_t lo = 0;
+  int64_t hi = num_rows_[predicate];
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (CompareRows(data + mid * arity, row, arity) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 void Database::Insert(PredId predicate, Tuple tuple) {
-  TIEBREAK_CHECK_GE(predicate, 0);
-  TIEBREAK_CHECK_LT(predicate, num_predicates());
-  TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arities_[predicate])
+  CheckPredicate(predicate);
+  const int32_t arity = arities_[predicate];
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arity)
       << "arity mismatch inserting into relation " << predicate;
-  std::vector<Tuple>& relation = relations_[predicate];
-  const auto at = std::lower_bound(relation.begin(), relation.end(), tuple);
-  if (at != relation.end() && *at == tuple) return;
-  relation.insert(at, std::move(tuple));
+  if (arity == 0) {
+    num_rows_[predicate] = 1;
+    return;
+  }
+  const int64_t at = LowerBound(predicate, tuple.data());
+  std::vector<ConstId>& rows = rows_[predicate];
+  if (at < num_rows_[predicate] &&
+      CompareRows(rows.data() + at * arity, tuple.data(), arity) == 0) {
+    return;
+  }
+  rows.insert(rows.begin() + at * arity, tuple.begin(), tuple.end());
+  ++num_rows_[predicate];
+}
+
+void Database::BulkLoadFlat(PredId predicate, std::vector<ConstId>&& values) {
+  CheckPredicate(predicate);
+  const int32_t arity = arities_[predicate];
+  TIEBREAK_CHECK_GT(arity, 0)
+      << "BulkLoadFlat on zero-arity relation " << predicate
+      << "; use InsertProposition";
+  TIEBREAK_CHECK_EQ(static_cast<int64_t>(values.size()) % arity, 0)
+      << "flat buffer is not a whole number of arity-" << arity << " rows";
+  SortRows(&values, arity);
+  DedupeRows(&values, arity);
+  std::vector<ConstId>& rows = rows_[predicate];
+  if (rows.empty()) {
+    // The common case (fresh relation) is a plain move: no per-row cost at
+    // all.
+    rows = std::move(values);
+  } else {
+    // Linear merge of two sorted row runs, dropping cross-run duplicates.
+    std::vector<ConstId> merged;
+    merged.reserve(rows.size() + values.size());
+    const ConstId* a = rows.data();
+    const ConstId* a_end = a + rows.size();
+    const ConstId* b = values.data();
+    const ConstId* b_end = b + values.size();
+    while (a != a_end && b != b_end) {
+      const int cmp = CompareRows(a, b, arity);
+      if (cmp < 0) {
+        merged.insert(merged.end(), a, a + arity);
+        a += arity;
+      } else if (cmp > 0) {
+        merged.insert(merged.end(), b, b + arity);
+        b += arity;
+      } else {
+        merged.insert(merged.end(), a, a + arity);
+        a += arity;
+        b += arity;
+      }
+    }
+    merged.insert(merged.end(), a, a_end);
+    merged.insert(merged.end(), b, b_end);
+    rows = std::move(merged);
+  }
+  num_rows_[predicate] = static_cast<int64_t>(rows.size()) / arity;
+  values.clear();
 }
 
 void Database::BulkLoad(PredId predicate, std::vector<Tuple>&& tuples) {
-  TIEBREAK_CHECK_GE(predicate, 0);
-  TIEBREAK_CHECK_LT(predicate, num_predicates());
+  CheckPredicate(predicate);
+  const int32_t arity = arities_[predicate];
+  if (arity == 0) {
+    for (const Tuple& tuple : tuples) {
+      TIEBREAK_CHECK(tuple.empty())
+          << "arity mismatch bulk-loading relation " << predicate;
+      num_rows_[predicate] = 1;
+    }
+    tuples.clear();
+    return;
+  }
+  std::vector<ConstId> flat;
+  flat.reserve(tuples.size() * static_cast<size_t>(arity));
   for (const Tuple& tuple : tuples) {
-    TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arities_[predicate])
+    TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arity)
         << "arity mismatch bulk-loading relation " << predicate;
-  }
-  // Callers that pre-sort (e.g. the engine's result materialization, which
-  // sorts flat keys before building any Tuple) skip the heavy part.
-  if (!std::is_sorted(tuples.begin(), tuples.end())) {
-    std::sort(tuples.begin(), tuples.end());
-  }
-  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
-  std::vector<Tuple>& relation = relations_[predicate];
-  if (relation.empty()) {
-    // The common case (fresh relation) is a plain move: no per-tuple cost
-    // at all.
-    relation = std::move(tuples);
-  } else {
-    // Linear merge of two sorted runs, then drop cross-run duplicates.
-    const size_t old_size = relation.size();
-    relation.insert(relation.end(), std::make_move_iterator(tuples.begin()),
-                    std::make_move_iterator(tuples.end()));
-    std::inplace_merge(relation.begin(), relation.begin() + old_size,
-                       relation.end());
-    relation.erase(std::unique(relation.begin(), relation.end()),
-                   relation.end());
+    flat.insert(flat.end(), tuple.begin(), tuple.end());
   }
   tuples.clear();
+  BulkLoadFlat(predicate, std::move(flat));
 }
 
 bool Database::Contains(PredId predicate, const Tuple& tuple) const {
-  TIEBREAK_CHECK_GE(predicate, 0);
-  TIEBREAK_CHECK_LT(predicate, num_predicates());
-  const std::vector<Tuple>& relation = relations_[predicate];
-  return std::binary_search(relation.begin(), relation.end(), tuple);
+  CheckPredicate(predicate);
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(tuple.size()), arities_[predicate]);
+  return ContainsRow(predicate, tuple.data());
 }
 
-const std::vector<Tuple>& Database::Relation(PredId predicate) const {
-  TIEBREAK_CHECK_GE(predicate, 0);
-  TIEBREAK_CHECK_LT(predicate, num_predicates());
-  return relations_[predicate];
+bool Database::ContainsRow(PredId predicate, const ConstId* row) const {
+  CheckPredicate(predicate);
+  const int32_t arity = arities_[predicate];
+  if (arity == 0) return num_rows_[predicate] > 0;
+  const int64_t at = LowerBound(predicate, row);
+  return at < num_rows_[predicate] &&
+         CompareRows(rows_[predicate].data() + at * arity, row, arity) == 0;
+}
+
+Tuple Database::FactTuple(PredId predicate, int64_t row) const {
+  const ConstId* data = FactRow(predicate, row);
+  return Tuple(data, data + arities_[predicate]);
+}
+
+std::vector<Tuple> Database::Tuples(PredId predicate) const {
+  CheckPredicate(predicate);
+  std::vector<Tuple> tuples;
+  tuples.reserve(static_cast<size_t>(num_rows_[predicate]));
+  for (int64_t r = 0; r < num_rows_[predicate]; ++r) {
+    tuples.push_back(FactTuple(predicate, r));
+  }
+  return tuples;
 }
 
 int64_t Database::TotalFacts() const {
   int64_t total = 0;
-  for (const auto& rel : relations_) total += static_cast<int64_t>(rel.size());
+  for (int64_t rows : num_rows_) total += rows;
   return total;
 }
 
 std::vector<ConstId> Database::ReferencedConstants() const {
   std::vector<ConstId> constants;
-  for (const auto& rel : relations_) {
-    for (const Tuple& tuple : rel) {
-      constants.insert(constants.end(), tuple.begin(), tuple.end());
-    }
+  for (const std::vector<ConstId>& rows : rows_) {
+    constants.insert(constants.end(), rows.begin(), rows.end());
   }
   std::sort(constants.begin(), constants.end());
   constants.erase(std::unique(constants.begin(), constants.end()),

@@ -13,15 +13,18 @@
 
 namespace tiebreak {
 
-/// A set of ground tuples per predicate. Each relation is a sorted,
-/// duplicate-free std::vector<Tuple> — set semantics with deterministic
-/// (lexicographic) iteration order, but contiguous storage: bulk loads of
-/// sorted data are O(n) moves with no per-node allocation, which is what
-/// lets the engine hand back million-tuple results cheaply. Per-tuple
-/// Insert shifts the tail (O(n)); callers building large relations use
-/// BulkLoad.
+/// A set of ground tuples per predicate in flat columnar storage: each
+/// relation is one contiguous ConstId arena holding its rows back-to-back
+/// (row r of an arity-k relation occupies entries [r*k, (r+1)*k)), kept
+/// sorted lexicographically and duplicate-free. Set semantics with
+/// deterministic iteration order, zero per-tuple heap vectors: bulk loads
+/// of sorted data are O(n) moves of one flat buffer, membership is a
+/// binary search over rows, and consumers (the grounder, the engine's EDB
+/// loader) read the arena directly without materializing a Tuple per fact.
+/// Per-tuple Insert shifts the arena tail (O(n)); callers building large
+/// relations use BulkLoad / BulkLoadFlat.
 ///
-/// Thread safety: const access (Relation, Contains, TotalFacts, ...) is
+/// Thread safety: const access (FactData, Contains, TotalFacts, ...) is
 /// safe from multiple threads; any mutation requires exclusive access.
 class Database {
  public:
@@ -33,27 +36,68 @@ class Database {
   /// O(relation size) per call — intended for small/interactive loads.
   void Insert(PredId predicate, Tuple tuple);
 
-  /// Streaming-append path for large relations: sorts `tuples` (skipped
-  /// when already sorted), drops duplicates, and loads them in one pass —
-  /// a plain vector move when the relation is empty, a linear merge
-  /// otherwise — instead of one O(n) insert per tuple. Million-tuple EDB
-  /// generators and the engine's result materialization use this; the
-  /// resulting database is identical to per-tuple Insert of the same
-  /// facts.
+  /// Streaming-append path for large relations: takes the rows in one flat
+  /// row-major buffer (count × arity ids), sorts them lexicographically
+  /// (skipped when already sorted; arity ≤ 2 sorts packed machine words
+  /// instead of permuting rows), drops duplicates, and loads them in one
+  /// pass — a plain buffer move when the relation is empty, a linear merge
+  /// otherwise. No Tuple is ever allocated. Million-tuple EDB generators
+  /// and the engine's result materialization use this; the resulting
+  /// database is identical to per-tuple Insert of the same facts. Arity 0
+  /// is rejected (use InsertProposition).
+  void BulkLoadFlat(PredId predicate, std::vector<ConstId>&& values);
+
+  /// Tuple-vector convenience wrapper around BulkLoadFlat (flattens, then
+  /// delegates); kept for callers that naturally hold std::vector<Tuple>.
   void BulkLoad(PredId predicate, std::vector<Tuple>&& tuples);
 
   /// Convenience for zero-arity predicates.
   void InsertProposition(PredId predicate) { Insert(predicate, Tuple{}); }
 
-  /// True iff the fact is present (binary search).
+  /// True iff the fact is present (binary search over the flat rows).
   bool Contains(PredId predicate, const Tuple& tuple) const;
 
-  /// The predicate's facts, sorted lexicographically, duplicate-free.
-  const std::vector<Tuple>& Relation(PredId predicate) const;
+  /// Contains() for a borrowed row of arity(predicate) consecutive ids —
+  /// the no-allocation form hot loops use (scratch buffers, arena rows).
+  bool ContainsRow(PredId predicate, const ConstId* row) const;
+
+  /// Declared arity of `predicate`'s relation.
+  int32_t arity(PredId predicate) const {
+    CheckPredicate(predicate);
+    return arities_[predicate];
+  }
+
+  /// Number of facts in `predicate`'s relation.
+  int64_t NumFacts(PredId predicate) const {
+    CheckPredicate(predicate);
+    return num_rows_[predicate];
+  }
+
+  /// The relation's flat row-major arena: NumFacts() rows of arity() ids,
+  /// sorted lexicographically, duplicate-free. Valid until the next
+  /// mutation of this predicate's relation. Empty (possibly null) for
+  /// zero-arity predicates — presence is NumFacts() ∈ {0, 1}.
+  const ConstId* FactData(PredId predicate) const {
+    CheckPredicate(predicate);
+    return rows_[predicate].data();
+  }
+
+  /// Pointer to fact `row`'s arity() consecutive ids.
+  const ConstId* FactRow(PredId predicate, int64_t row) const {
+    return FactData(predicate) +
+           row * static_cast<int64_t>(arities_[predicate]);
+  }
+
+  /// Materializes fact `row` as an owned Tuple (convenience; allocates).
+  Tuple FactTuple(PredId predicate, int64_t row) const;
+
+  /// Materializes the whole relation as owned Tuples, in sorted order
+  /// (convenience for tests and printing; allocates one vector per fact).
+  std::vector<Tuple> Tuples(PredId predicate) const;
 
   /// Number of relations (one per predicate of the shaping program).
   int32_t num_predicates() const {
-    return static_cast<int32_t>(relations_.size());
+    return static_cast<int32_t>(arities_.size());
   }
 
   /// Total fact count across all relations.
@@ -65,8 +109,20 @@ class Database {
   friend bool operator==(const Database&, const Database&) = default;
 
  private:
+  void CheckPredicate(PredId predicate) const {
+    TIEBREAK_CHECK_GE(predicate, 0);
+    TIEBREAK_CHECK_LT(predicate, num_predicates());
+  }
+  // Index of the first row >= `row` in sorted order (= num rows when all
+  // are smaller).
+  int64_t LowerBound(PredId predicate, const ConstId* row) const;
+
   std::vector<int32_t> arities_;
-  std::vector<std::vector<Tuple>> relations_;
+  // Rows per relation. Tracked separately from the arena size because
+  // arity-0 relations carry no ids at all (0 or 1 row, no data).
+  std::vector<int64_t> num_rows_;
+  // One flat row-major arena per relation; see FactData().
+  std::vector<std::vector<ConstId>> rows_;
 };
 
 }  // namespace tiebreak

@@ -84,8 +84,9 @@ std::string DatabaseToString(const Program& program,
                              const Database& database) {
   std::ostringstream out;
   for (PredId p = 0; p < database.num_predicates(); ++p) {
-    for (const Tuple& tuple : database.Relation(p)) {
-      out << GroundAtomToString(program, p, tuple) << ".\n";
+    for (int64_t row = 0; row < database.NumFacts(p); ++row) {
+      out << GroundAtomToString(program, p, database.FactTuple(p, row))
+          << ".\n";
     }
   }
   return out.str();

@@ -1,0 +1,41 @@
+// A minimal non-owning view over a contiguous array (the subset of
+// std::span the CSR structures need, kept dependency-free and implicitly
+// constructible from (pointer, length) pairs). Used by the ground graph's
+// flat arenas: accessors hand out Span<int32_t> views into CSR storage
+// instead of per-node std::vector adjacency lists.
+#ifndef TIEBREAK_UTIL_SPAN_H_
+#define TIEBREAK_UTIL_SPAN_H_
+
+#include <cstddef>
+
+#include "util/logging.h"
+
+namespace tiebreak {
+
+/// Non-owning view of `size` consecutive `T`s. Valid only while the
+/// underlying storage is neither destroyed nor reallocated (for the ground
+/// graph: until the next mutation of the owning structure).
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_UTIL_SPAN_H_

@@ -102,14 +102,13 @@ Database LargeRandomDigraphDatabase(Program* program,
   const std::vector<ConstId> nodes = InternNodes(program, num_nodes);
   const PredId pred = RequireBinary(program, relation);
   Database database(*program);
-  std::vector<Tuple> edges;
-  edges.reserve(static_cast<size_t>(num_edges));
+  std::vector<ConstId> edges;
+  edges.reserve(static_cast<size_t>(num_edges) * 2);
   for (int64_t e = 0; e < num_edges; ++e) {
-    const ConstId from = nodes[rng->Below(num_nodes)];
-    const ConstId to = nodes[rng->Below(num_nodes)];
-    edges.push_back({from, to});
+    edges.push_back(nodes[rng->Below(num_nodes)]);
+    edges.push_back(nodes[rng->Below(num_nodes)]);
   }
-  database.BulkLoad(pred, std::move(edges));
+  database.BulkLoadFlat(pred, std::move(edges));
   return database;
 }
 
@@ -120,16 +119,22 @@ Database WideGridDatabase(Program* program, const std::string& relation,
   const std::vector<ConstId> nodes = InternNodes(program, width * height);
   const PredId pred = RequireBinary(program, relation);
   Database database(*program);
-  std::vector<Tuple> edges;
-  edges.reserve(static_cast<size_t>(2) * width * height);
+  std::vector<ConstId> edges;
+  edges.reserve(static_cast<size_t>(4) * width * height);
   for (int32_t y = 0; y < height; ++y) {
     for (int32_t x = 0; x < width; ++x) {
       const int32_t at = y * width + x;
-      if (x + 1 < width) edges.push_back({nodes[at], nodes[at + 1]});
-      if (y + 1 < height) edges.push_back({nodes[at], nodes[at + width]});
+      if (x + 1 < width) {
+        edges.push_back(nodes[at]);
+        edges.push_back(nodes[at + 1]);
+      }
+      if (y + 1 < height) {
+        edges.push_back(nodes[at]);
+        edges.push_back(nodes[at + width]);
+      }
     }
   }
-  database.BulkLoad(pred, std::move(edges));
+  database.BulkLoadFlat(pred, std::move(edges));
   return database;
 }
 

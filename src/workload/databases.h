@@ -38,8 +38,9 @@ Database GridDatabase(Program* program, const std::string& relation,
                       int32_t width, int32_t height);
 
 /// Million-tuple variant of RandomDigraphDatabase: generates all edges into
-/// one flat buffer and publishes them through Database::BulkLoad (one sort +
-/// linear set build) instead of one tree insert per edge, so building the
+/// one flat row-major buffer and publishes it through
+/// Database::BulkLoadFlat (one packed-key sort + linear set build, no
+/// per-edge Tuple) instead of one ordered insert per edge, so building the
 /// EDB scales to millions of tuples. `num_edges` counts draws; duplicate
 /// draws collapse.
 Database LargeRandomDigraphDatabase(Program* program,

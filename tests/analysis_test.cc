@@ -262,7 +262,7 @@ TEST(WitnessTest, Theorem3BinaryOnWinMove) {
   // Nonuniform: IDB relations must start empty.
   for (PredId p = 0; p < witness->program.num_predicates(); ++p) {
     if (!witness->program.IsEdb(p)) {
-      EXPECT_TRUE(witness->database.Relation(p).empty());
+      EXPECT_EQ(witness->database.NumFacts(p), 0);
     }
   }
   EXPECT_FALSE(WitnessHasFixpoint(*witness));

@@ -275,7 +275,7 @@ TEST(EngineTest, TransitiveClosureMatchesFloydWarshall) {
       const std::string& name = program.constant_name(c);
       return std::stoi(name.substr(1));
     };
-    for (const Tuple& tuple : db.Relation(e)) {
+    for (const Tuple& tuple : db.Tuples(e)) {
       reach[node_index(tuple[0])][node_index(tuple[1])] = 1;
     }
     for (int k = 0; k < n; ++k) {
@@ -290,8 +290,7 @@ TEST(EngineTest, TransitiveClosureMatchesFloydWarshall) {
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) expected += reach[i][j];
     }
-    EXPECT_EQ(static_cast<int64_t>(result->Relation(t).size()), expected)
-        << "round " << round;
+    EXPECT_EQ(result->NumFacts(t), expected) << "round " << round;
   }
 }
 
@@ -392,6 +391,27 @@ TEST(EngineTest, StratifiedNegation) {
   const ConstId n1 = inst.program.LookupConstant("n1");
   EXPECT_TRUE(result->Contains(blocked, {n3}));
   EXPECT_FALSE(result->Contains(blocked, {n1}));
+}
+
+TEST(EngineTest, MaterializeEdbOffLeavesEdbRelationsEmpty) {
+  Instance inst = ParseInstance(
+      "p(X) :- e(X), go.", "e(a). e(b). go. q(c).");
+  EngineOptions options;
+  options.materialize_edb = false;
+  Result<Database> result =
+      EvaluateStratified(inst.program, inst.database, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Derived relations are present; every EDB relation — including the
+  // zero-arity proposition and the unreferenced q — is left empty.
+  EXPECT_EQ(result->NumFacts(inst.program.LookupPredicate("p")), 2);
+  EXPECT_EQ(result->NumFacts(inst.program.LookupPredicate("e")), 0);
+  EXPECT_EQ(result->NumFacts(inst.program.LookupPredicate("go")), 0);
+  EXPECT_EQ(result->NumFacts(inst.program.LookupPredicate("q")), 0);
+  // Default: EDB copied through.
+  Result<Database> full = EvaluateStratified(inst.program, inst.database);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->NumFacts(inst.program.LookupPredicate("e")), 2);
+  EXPECT_EQ(full->NumFacts(inst.program.LookupPredicate("go")), 1);
 }
 
 TEST(EngineTest, MatchesPerfectModelOnStratifiedPrograms) {

@@ -78,7 +78,7 @@ TEST(GameCorrespondenceTest, WellFoundedEqualsRetrogradeOnRandomBoards) {
     auto index_of = [&program](ConstId c) {
       return std::stoi(program.constant_name(c).substr(1));
     };
-    for (const Tuple& tuple : board.Relation(move)) {
+    for (const Tuple& tuple : board.Tuples(move)) {
       moves[index_of(tuple[0])].push_back(index_of(tuple[1]));
     }
     const std::vector<GameValue> oracle = SolveGame(moves);

@@ -128,10 +128,10 @@ TEST(GrounderTest, ReducedDropsInstancesWithTrueNegatedEdb) {
   // Only the X=b instance survives; X=a has blocked(a) true.
   ASSERT_EQ(g.graph.num_rules(), 1);
   const ConstId b = inst.program.LookupConstant("b");
-  EXPECT_EQ(g.graph.atoms().TupleOf(g.graph.rule(0).head), (Tuple{b}));
+  EXPECT_EQ(g.graph.atoms().TupleOf(g.graph.HeadOf(0)), (Tuple{b}));
   // The satisfied literals leave no body edges.
-  EXPECT_TRUE(g.graph.rule(0).positive_body.empty());
-  EXPECT_TRUE(g.graph.rule(0).negative_body.empty());
+  EXPECT_TRUE(g.graph.PositiveBody(0).empty());
+  EXPECT_TRUE(g.graph.NegativeBody(0).empty());
 }
 
 TEST(GrounderTest, UnsafeRuleEnumeratesFreeVariables) {
@@ -140,8 +140,8 @@ TEST(GrounderTest, UnsafeRuleEnumeratesFreeVariables) {
   const GroundingResult g = MustGround(inst);
   // One instance per value of X in U = {a, b}.
   EXPECT_EQ(g.graph.num_rules(), 2);
-  for (const RuleInstance& r : g.graph.rules()) {
-    EXPECT_EQ(r.negative_body.size(), 1u);  // not P(x); E(b) satisfied
+  for (int32_t r = 0; r < g.graph.num_rules(); ++r) {
+    EXPECT_EQ(g.graph.NegativeBody(r).size(), 1u);  // not P(x); E(b) satisfied
   }
 }
 
@@ -176,7 +176,7 @@ TEST(GrounderTest, RepeatedVariableInGeneratorLiteral) {
   const GroundingResult g = MustGround(inst);
   ASSERT_EQ(g.graph.num_rules(), 1);  // only e(a,a) matches e(X,X)
   const ConstId a = inst.program.LookupConstant("a");
-  EXPECT_EQ(g.graph.atoms().TupleOf(g.graph.rule(0).head), (Tuple{a}));
+  EXPECT_EQ(g.graph.atoms().TupleOf(g.graph.HeadOf(0)), (Tuple{a}));
 }
 
 // ---------------------------------------------------------------------------

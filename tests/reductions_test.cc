@@ -285,7 +285,7 @@ TEST(CmReductionTest, UniformTransformPreservesHaltingBehaviour) {
   // the shared prefix; q_total is new and empty).
   Database database(uniform_program);
   for (PredId p = 0; p < reduction.program.num_predicates(); ++p) {
-    for (const Tuple& tuple : natural.Relation(p)) {
+    for (const Tuple& tuple : natural.Tuples(p)) {
       database.Insert(p, tuple);
     }
   }

@@ -40,7 +40,9 @@ std::vector<Truth> ReferenceClose(const Program& program,
   std::vector<char> atom_deleted(n, 0);
   std::vector<char> rule_deleted(graph.num_rules(), 0);
 
-  // M0(Δ).
+  // M0(Δ). The reference stays on the per-atom Contains path on purpose —
+  // it is the independent implementation CloseState's bulk init is checked
+  // against.
   for (AtomId a = 0; a < n; ++a) {
     const PredId pred = graph.atoms().PredicateOf(a);
     if (database.Contains(pred, graph.atoms().TupleOf(a))) {
@@ -75,18 +77,18 @@ std::vector<Truth> ReferenceClose(const Program& program,
     // Rule 3: a live rule node with no incoming edges fires.
     for (int32_t r : rule_order) {
       if (rule_deleted[r]) continue;
-      const RuleInstance& inst = graph.rule(r);
       bool has_incoming = false;
-      for (AtomId a : inst.positive_body) {
+      for (AtomId a : graph.PositiveBody(r)) {
         if (!atom_deleted[a]) has_incoming = true;
       }
-      for (AtomId a : inst.negative_body) {
+      for (AtomId a : graph.NegativeBody(r)) {
         if (!atom_deleted[a]) has_incoming = true;
       }
       if (has_incoming) continue;
       rule_deleted[r] = 1;
       changed = true;
-      if (value[inst.head] == Truth::kUndef) value[inst.head] = Truth::kTrue;
+      const AtomId head = graph.HeadOf(r);
+      if (value[head] == Truth::kUndef) value[head] = Truth::kTrue;
     }
     // Rule 4: a live atom with no incoming edges becomes false.
     for (AtomId a : atom_order) {
