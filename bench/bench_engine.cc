@@ -58,8 +58,7 @@ benchutil::Row Measure(const benchutil::EngineWorkload& workload, int reps,
     out.items = stats.tuples_derived;
     out.applications = stats.rule_applications;
   }
-  double best = 1e100;
-  for (int rep = 0; rep < reps; ++rep) {
+  out.seconds = benchutil::BestOfReps(reps, [&]() -> double {
     WallTimer timer;
     EngineStats stats;
     Result<Database> result = EvaluateStratified(workload.program,
@@ -68,10 +67,10 @@ benchutil::Row Measure(const benchutil::EngineWorkload& workload, int reps,
     const double seconds = timer.Seconds();
     TIEBREAK_CHECK(result.ok());
     TIEBREAK_CHECK_EQ(stats.tuples_derived, out.items);
-    if (seconds < best) best = seconds;
-  }
-  out.seconds = best;
-  out.items_per_sec = best > 0 ? static_cast<double>(out.items) / best : 0;
+    return seconds;
+  });
+  out.items_per_sec =
+      out.seconds > 0 ? static_cast<double>(out.items) / out.seconds : 0;
   return out;
 }
 

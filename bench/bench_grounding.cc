@@ -5,10 +5,16 @@
 //
 // Standalone harness in the BENCH_engine.json style (shared scaffolding in
 // bench_util.h): emits BENCH_grounding.json with per-workload wall time,
-// ground-graph nodes (atoms + ground rules), nodes/sec, and the recorded
-// baseline so every PR can show its perf delta.
+// ground-graph nodes (atoms + ground rules), nodes/sec, the thread count,
+// and the recorded serial baseline so every PR can show its perf delta.
 //
-// Usage: bench_grounding [output.json]   (default BENCH_grounding.json)
+// Usage: bench_grounding [output.json] [--threads N] [--reps N]
+//   --threads N   GroundingOptions::num_threads for the reduced workloads
+//                 (0 = hardware concurrency; default 1 — the committed
+//                 JSON records the serial reference path)
+//   --reps N      repetitions per workload (best-of; default 3)
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -17,6 +23,7 @@
 #include "reductions/cm_reduction.h"
 #include "reductions/counter_machine.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "workload/databases.h"
 #include "workload/programs.h"
@@ -24,69 +31,99 @@
 namespace tiebreak {
 namespace {
 
-// Recorded nodes/sec of the PR 3 grounder (tuple-at-a-time backtracking
-// joins, node-heavy graph), re-measured on this container at the PR that
-// introduced the engine-backed grounder + CSR graph (PR 4), so the speedup
-// column reports that PR's delta; 0 = no baseline recorded.
+// Recorded serial nodes/sec of the PR 4 grounder (engine-backed bindings,
+// CSR graph, but row-at-a-time interning and a copied engine EDB),
+// re-measured on this container at the PR that introduced the zero-copy /
+// batch-interning / parallel grounding path (PR 5), so the speedup column
+// reports that PR's delta; 0 = no baseline recorded.
 constexpr benchutil::BaselineEntry kBaseline[] = {
-    {"ground_faithful_winmove_64", 6878528.0},
-    {"ground_reduced_winmove_4096", 3347182.0},
-    {"ground_theorem6_transfer_t16", 2627373.0},
-    {"ground_random_unary_64", 3333115.0},
-    {"ground_theorem6_transfer_t64", 2341294.0},
-    {"ground_winmove_65536", 1628388.0},
+    {"ground_faithful_winmove_64", 20526016.0},
+    {"ground_reduced_winmove_4096", 6436400.0},
+    {"ground_theorem6_transfer_t16", 6561070.0},
+    {"ground_random_unary_64", 8525887.0},
+    {"ground_theorem6_transfer_t64", 5638368.0},
+    {"ground_winmove_65536", 5148112.0},
 };
 
 benchutil::Row Measure(const std::string& name, const Program& program,
-                       const Database& database,
-                       const GroundingOptions& options, int reps) {
+                       const Database& database, GroundingOptions options,
+                       int reps, int32_t num_threads) {
+  options.num_threads = num_threads;
   benchutil::Row out;
   out.name = name;
+  out.num_threads = ThreadPool::EffectiveThreads(num_threads);
   {
     Result<GroundingResult> g = Ground(program, database, options);
     TIEBREAK_CHECK(g.ok()) << g.status().ToString();
     out.items = static_cast<int64_t>(g->graph.num_atoms()) +
                 g->graph.num_rules();
   }
-  double best = 1e100;
-  for (int rep = 0; rep < reps; ++rep) {
+  out.seconds = benchutil::BestOfReps(reps, [&]() -> double {
     WallTimer timer;
     Result<GroundingResult> g = Ground(program, database, options);
     const double seconds = timer.Seconds();
     TIEBREAK_CHECK(g.ok());
-    if (seconds < best) best = seconds;
-  }
-  out.seconds = best;
-  out.items_per_sec = best > 0 ? static_cast<double>(out.items) / best : 0;
+    return seconds;
+  });
+  out.items_per_sec =
+      out.seconds > 0 ? static_cast<double>(out.items) / out.seconds : 0;
   return out;
 }
 
 int Main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_grounding.json";
-  std::vector<benchutil::Row> results;
+  std::string json_path = "BENCH_grounding.json";
+  int reps = 3;
+  int32_t num_threads = 1;  // serial reference; see the usage comment
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Strict integer parse: a typo like "--threads 4x" must not silently
+    // become 0 (= all cores) and pollute the recorded serial numbers.
+    auto next_int = [&]() -> long {
+      TIEBREAK_CHECK_LT(i + 1, argc) << arg << " needs a value";
+      char* end = nullptr;
+      const long value = std::strtol(argv[++i], &end, 10);
+      TIEBREAK_CHECK(end != argv[i] && *end == '\0')
+          << arg << " needs an integer, got " << argv[i];
+      return value;
+    };
+    if (arg == "--threads") {
+      num_threads = static_cast<int32_t>(next_int());
+      TIEBREAK_CHECK_GE(num_threads, 0)
+          << "--threads must be >= 0 (0 = hardware concurrency)";
+    } else if (arg == "--reps") {
+      reps = static_cast<int>(next_int());
+    } else if (!arg.empty() && arg[0] != '-') {
+      json_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  TIEBREAK_CHECK_GE(reps, 1) << "--reps must be at least 1";
 
+  std::vector<benchutil::Row> results;
   {
     Program program = WinMoveProgram();
     Rng rng(1);
     Database db = RandomDigraphDatabase(&program, "move", 64, 128, &rng);
     GroundingOptions options;
-    options.reduce_edb = false;
-    results.push_back(
-        Measure("ground_faithful_winmove_64", program, db, options, 3));
+    options.reduce_edb = false;  // faithful mode grounds serially
+    results.push_back(Measure("ground_faithful_winmove_64", program, db,
+                              options, reps, 1));
   }
   {
     Program program = WinMoveProgram();
     Rng rng(1);
     Database db = RandomDigraphDatabase(&program, "move", 4096, 8192, &rng);
-    results.push_back(
-        Measure("ground_reduced_winmove_4096", program, db, {}, 3));
+    results.push_back(Measure("ground_reduced_winmove_4096", program, db, {},
+                              reps, num_threads));
   }
   {
     const CounterMachine machine = MakeTransferMachine(3);
     CmReduction reduction = CounterMachineToProgram(machine);
     const Database db = NaturalDatabase(&reduction, 16);
     results.push_back(Measure("ground_theorem6_transfer_t16",
-                              reduction.program, db, {}, 3));
+                              reduction.program, db, {}, reps, num_threads));
   }
   {
     Rng rng(9);
@@ -95,8 +132,8 @@ int Main(int argc, char** argv) {
     options.num_rules = 10;
     Program program = RandomProgram(&rng, options);
     Database db = RandomEdbDatabase(&program, 64, 0.4, &rng);
-    results.push_back(
-        Measure("ground_random_unary_64", program, db, {}, 3));
+    results.push_back(Measure("ground_random_unary_64", program, db, {},
+                              reps, num_threads));
   }
   // Million-node workloads: the Theorem 6 machine simulation over 64
   // naturals (~3.2M ground-graph nodes; long succ-chain generator lists
@@ -110,7 +147,8 @@ int Main(int argc, char** argv) {
     GroundingOptions options;
     options.max_instances = 50'000'000;
     results.push_back(Measure("ground_theorem6_transfer_t64",
-                              reduction.program, db, options, 3));
+                              reduction.program, db, options, reps,
+                              num_threads));
   }
   {
     Program program = WinMoveProgram();
@@ -119,8 +157,8 @@ int Main(int argc, char** argv) {
         LargeRandomDigraphDatabase(&program, "move", 65536, 262144, &rng);
     GroundingOptions options;
     options.max_instances = 50'000'000;
-    results.push_back(
-        Measure("ground_winmove_65536", program, db, options, 3));
+    results.push_back(Measure("ground_winmove_65536", program, db, options,
+                              reps, num_threads));
   }
 
   benchutil::PrintTable(results, kBaseline, "nodes");

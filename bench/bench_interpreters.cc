@@ -73,15 +73,13 @@ benchutil::Row Measure(const std::string& name, const Board& board,
   out.items = static_cast<int64_t>(board.ground.graph.num_atoms()) +
               board.ground.graph.num_rules();
   run(board);  // warm-up
-  double best = 1e100;
-  for (int rep = 0; rep < reps; ++rep) {
+  out.seconds = benchutil::BestOfReps(reps, [&]() -> double {
     WallTimer timer;
     run(board);
-    const double seconds = timer.Seconds();
-    if (seconds < best) best = seconds;
-  }
-  out.seconds = best;
-  out.items_per_sec = best > 0 ? static_cast<double>(out.items) / best : 0;
+    return timer.Seconds();
+  });
+  out.items_per_sec =
+      out.seconds > 0 ? static_cast<double>(out.items) / out.seconds : 0;
   return out;
 }
 

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "engine/evaluation.h"
+#include "util/function_view.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace tiebreak {
 namespace benchutil {
@@ -30,6 +32,21 @@ inline bool ParseKernelName(const char* name, JoinKernel* kernel) {
     return false;
   }
   return true;
+}
+
+/// Best-of-`reps` measurement loop shared by the three harnesses (each
+/// runs its workload once for warm-up/sanity before calling this). `run`
+/// performs one repetition and returns its own measured wall seconds —
+/// the callee owns the timer so it can exclude result destruction (and
+/// any other teardown) from the timed region, exactly as the recorded
+/// baselines were measured.
+inline double BestOfReps(int reps, FunctionView<double()> run) {
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double seconds = run();
+    if (seconds < best) best = seconds;
+  }
+  return best;
 }
 
 /// Recorded throughput baseline (items/sec) for one workload; 0 = none.

@@ -6,10 +6,11 @@
 #   scripts/check.sh [--bench]    --bench additionally runs bench_engine
 #                                 and refreshes BENCH_engine.json
 #   scripts/check.sh --tsan       builds with -DTIEBREAK_SANITIZE=thread
-#                                 into build-tsan/ and runs the engine
-#                                 concurrency surface (engine_test,
+#                                 into build-tsan/ and runs the concurrency
+#                                 surface — the engine (engine_test,
 #                                 engine_parallel_test, engine_kernel_test)
-#                                 under ThreadSanitizer
+#                                 and the parallel grounder (ground_test,
+#                                 ground_csr_test) — under ThreadSanitizer
 #   scripts/check.sh --asan       builds with -DTIEBREAK_SANITIZE=address
 #                                 into build-asan/ and runs the grounding
 #                                 pipeline surface (ground_test,
@@ -109,11 +110,13 @@ if [[ "${1:-}" == "--tsan" ]]; then
   build="$repo/build-tsan"
   cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=thread
   cmake --build "$build" -j "$(nproc)" \
-    --target engine_test engine_parallel_test engine_kernel_test
+    --target engine_test engine_parallel_test engine_kernel_test \
+             ground_test ground_csr_test
   # TSan aborts with a non-zero exit on the first data race; halt_on_error
   # keeps the report readable.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
-    --output-on-failure -R '^engine_(parallel_|kernel_)?test$'
+    --output-on-failure \
+    -R '^(engine_(parallel_|kernel_)?test|ground_(csr_)?test)$'
   echo "check.sh: tsan green"
   exit 0
 fi

@@ -815,6 +815,27 @@ Result<Database> EvaluateStratified(const Program& program,
                                     const Database& database,
                                     const EngineOptions& options,
                                     EngineStats* stats) {
+  // The Database overload is a thin shim over the borrowed-span path: the
+  // per-predicate arenas are already in the span layout, so borrowing them
+  // costs one pointer per predicate.
+  TIEBREAK_CHECK_EQ(program.num_predicates(), database.num_predicates())
+      << "database was built for a different program";
+  std::vector<FactSpan> facts(program.num_predicates());
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    facts[p] = database.Facts(p);
+  }
+  return EvaluateStratified(
+      program, Span<const FactSpan>(facts.data(), facts.size()), options,
+      stats);
+}
+
+Result<Database> EvaluateStratified(const Program& program,
+                                    Span<const FactSpan> facts,
+                                    const EngineOptions& options,
+                                    EngineStats* stats) {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(facts.size()),
+                    program.num_predicates())
+      << "one FactSpan per predicate required";
   Status safety = CheckSafety(program);
   if (!safety.ok()) return safety;
   const auto strata = ComputeStrata(program);
@@ -850,25 +871,26 @@ Result<Database> EvaluateStratified(const Program& program,
   std::unique_ptr<ThreadPool> pool;
   if (parallel) pool = std::make_unique<ThreadPool>(num_threads);
 
-  // EDB load: stream every database relation into its columns. The source
-  // sets are sorted and duplicate-free, so the uniqueness-exploiting bulk
+  // EDB load: stream every borrowed fact span into its columns. The source
+  // spans are sorted and duplicate-free, so the uniqueness-exploiting bulk
   // path applies (no membership checks, prefetch-pipelined fingerprint
   // stores). Per-predicate loads are independent — with a pool they fan
   // out as one task per predicate.
   auto load_predicate = [&](PredId p) {
-    const int64_t facts = database.NumFacts(p);
+    const int64_t rows = facts[p].rows;
     Relation& relation = relations[p];
-    relation.Reserve(facts);
-    if (facts == 0) return;
+    relation.Reserve(rows);
+    if (rows == 0) return;
     if (program.predicate(p).arity == 0) {
+      TIEBREAK_CHECK_EQ(rows, 1) << "arity-0 span with more than one row";
       const Tuple empty;
       relation.Insert(empty);
       return;
     }
-    // The database rows are already one flat, sorted, duplicate-free
-    // row-major arena — exactly the uniqueness-exploiting bulk path's
-    // input format, with no flattening copy.
-    relation.InsertUniqueBulk(database.FactData(p), facts);
+    // The span rows are already one flat, sorted, duplicate-free row-major
+    // arena — exactly the uniqueness-exploiting bulk path's input format,
+    // with no flattening copy.
+    relation.InsertUniqueBulk(facts[p].data, rows);
   };
   if (parallel) {
     pool->ParallelFor(num_preds,
@@ -1263,7 +1285,7 @@ Result<Database> EvaluateStratified(const Program& program,
     flat.clear();
     flat.reserve(static_cast<size_t>(rows) * arity);
     if (program.IsEdb(p)) {
-      const ConstId* data = database.FactData(p);
+      const ConstId* data = facts[p].data;
       flat.assign(data, data + rows * arity);
     } else {
       for (int64_t row = 0; row < rows; ++row) {

@@ -86,6 +86,7 @@
 #include "engine/relation.h"
 #include "lang/database.h"
 #include "lang/program.h"
+#include "util/span.h"
 #include "util/status.h"
 
 namespace tiebreak {
@@ -178,6 +179,22 @@ struct EngineStats {
 /// through).
 Result<Database> EvaluateStratified(const Program& program,
                                     const Database& database,
+                                    const EngineOptions& options = {},
+                                    EngineStats* stats = nullptr);
+
+/// Borrowed-EDB evaluation: identical semantics to the Database overload,
+/// but the initial facts arrive as one FactSpan per predicate of `program`
+/// (in predicate order; `facts.size()` must equal num_predicates). Each
+/// span's rows must be sorted, duplicate-free, row-major of the
+/// predicate's arity — exactly the layout Database::Facts() hands out —
+/// and must stay valid and unmutated for the duration of the call. The
+/// spans are streamed straight into the engine's relations through the
+/// uniqueness-exploiting bulk path with no intermediate Database: this is
+/// the grounder's zero-copy hot path (its binding programs used to copy
+/// the EDB arena into a scratch Database only for evaluation to copy it
+/// again into Relations).
+Result<Database> EvaluateStratified(const Program& program,
+                                    Span<const FactSpan> facts,
                                     const EngineOptions& options = {},
                                     EngineStats* stats = nullptr);
 

@@ -39,6 +39,10 @@
 
 namespace tiebreak {
 
+// Forward-declared (util/thread_pool.h): Finalize optionally fans its
+// three index builds out over a pool.
+class ThreadPool;
+
 /// Dense id of a ground atom within one GroundGraph.
 using AtomId = int32_t;
 
@@ -58,6 +62,33 @@ class GroundAtomStore {
     return Intern(predicate, tuple.data(),
                   static_cast<int32_t>(tuple.size()));
   }
+
+  /// The dedupe key of an argument tuple, precomputable ahead of the
+  /// intern that consumes it. Batch emitters hash a block of atoms with
+  /// this, PrefetchIntern each slot line, then InternHashed the block —
+  /// the same pipeline-ahead trick as Relation::InsertBatch, hiding the
+  /// dedupe-table latency that dominates million-atom emission.
+  uint64_t InternKey(const ConstId* args, int32_t arity) const {
+    return KeyOf(args, arity);
+  }
+
+  /// Prefetches the dedupe slot line `key` maps to in `predicate`'s table
+  /// (`key` must come from InternKey). Advisory only; safe on predicates
+  /// without a table yet.
+  void PrefetchIntern(PredId predicate, uint64_t key) const {
+    if (predicate < static_cast<PredId>(tables_.size())) {
+      const PredTable& table = tables_[predicate];
+      if (!table.slots.empty()) {
+        __builtin_prefetch(
+            &table.slots[MixSlot(key) & (table.slots.size() - 1)]);
+      }
+    }
+  }
+
+  /// Intern() with a precomputed key (`key` must equal
+  /// InternKey(args, arity)) — the consuming half of the batch pipeline.
+  AtomId InternHashed(PredId predicate, const ConstId* args, int32_t arity,
+                      uint64_t key);
 
   /// Returns the id or -1 when the atom was never interned.
   AtomId Lookup(PredId predicate, const ConstId* args, int32_t arity) const;
@@ -95,6 +126,10 @@ class GroundAtomStore {
 
   /// Number of interned atoms.
   int32_t size() const { return static_cast<int32_t>(pred_.size()); }
+
+  /// Total argument-arena entries across all atoms (for pre-sizing a merge
+  /// target's Reserve).
+  int64_t num_args() const { return offset_.back(); }
 
   /// Pre-sizes the arenas for `num_atoms` atoms carrying `num_args` total
   /// arguments (advisory).
@@ -190,9 +225,25 @@ class GroundGraph {
                static_cast<int32_t>(instance.binding.size()));
   }
 
+  /// Absorbs another (unfinalized) graph built over the same program and
+  /// constant table: every shard atom is interned into this graph's store
+  /// (deduplicating against atoms already present) to build a shard-local
+  /// → global AtomId remap, then the shard's rule instances are appended
+  /// wholesale with their head/body ids rewritten through the remap and
+  /// their CSR offsets shifted by this graph's arena sizes. This is the
+  /// merge half of parallel grounding's shard-and-merge: workers emit into
+  /// private GroundGraph shards with no synchronization at all, and the
+  /// coordinating thread folds the shards in afterwards. Rule-instance
+  /// multiplicity is preserved (the result holds the concatenation).
+  void MergeFrom(const GroundGraph& shard);
+
   /// Builds the CSR consumer/supporter indexes (one counting pass each).
-  /// Call once, after all instances and atoms are in.
-  void Finalize();
+  /// Call once, after all instances and atoms are in. The three inverse
+  /// indexes (supporters, positive/negative consumers) touch disjoint
+  /// arrays, so a non-null `pool` with more than one lane builds them as
+  /// three concurrent tasks (the shard-aware finalize the parallel
+  /// grounder drives); serially the result is identical.
+  void Finalize(ThreadPool* pool = nullptr);
 
   int32_t num_atoms() const { return atoms_.size(); }
   int32_t num_rules() const { return static_cast<int32_t>(head_.size()); }

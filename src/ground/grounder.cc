@@ -1,10 +1,13 @@
 #include "ground/grounder.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "engine/evaluation.h"
+#include "util/thread_pool.h"
 
 namespace tiebreak {
 
@@ -47,6 +50,19 @@ std::vector<ConstId> ComputeUniverse(const Program& program,
 
 namespace {
 
+// Binding rows per block in the batched emission path: bounded by the
+// 64-bit live mask, and small enough that a block's substituted atoms and
+// intern keys stay L1-resident.
+constexpr int32_t kEmitBlock = 64;
+// Minimum binding rows per parallel emission shard; a rule's binding
+// relation splits into at most 4 × threads shards above it.
+constexpr int64_t kMinEmitShardRows = 1024;
+// Budget increments a shard context accumulates before flushing them into
+// the shared atomic counter (a locked add per emitted row would tax the
+// hot loop; the trip decision stays deterministic because the total work
+// is fixed by the job list).
+constexpr int64_t kWorkFlushBlock = 256;
+
 // Shared state for grounding one program.
 class GrounderImpl {
  public:
@@ -54,9 +70,12 @@ class GrounderImpl {
                const GroundingOptions& options)
       : program_(program), database_(database), options_(options) {
     universe_ = ComputeUniverse(program, database);
+    num_threads_ = ThreadPool::EffectiveThreads(options.num_threads);
   }
 
   Result<GroundingResult> Run() {
+    if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+    root_ctx_.graph = &graph_;
     // Δ's IDB atoms always become nodes: they carry initial truth values.
     // EDB atoms of Δ are nodes only without the EDB reduction.
     for (PredId p = 0; p < database_.num_predicates(); ++p) {
@@ -75,14 +94,23 @@ class GrounderImpl {
     if (options_.reduce_edb && options_.engine_bindings) {
       Status s = GroundReducedEngine();
       if (!s.ok()) return s;
+    } else if (options_.reduce_edb && num_threads_ > 1) {
+      // Legacy bindings, parallel: one backtracking-join job per rule.
+      std::vector<EmitJob> jobs;
+      for (int32_t r = 0; r < program_.num_rules(); ++r) {
+        jobs.push_back(EmitJob{r, /*whole_rule=*/true, 0, 0});
+      }
+      Status s = EmitJobs(/*plans=*/nullptr, /*bound_db=*/nullptr, jobs);
+      if (!s.ok()) return s;
     } else {
       for (int32_t r = 0; r < program_.num_rules(); ++r) {
-        Status s = options_.reduce_edb ? GroundRuleReducedLegacy(r)
-                                       : GroundRuleFaithful(r);
+        Status s = options_.reduce_edb
+                       ? GroundRuleReducedLegacy(&root_ctx_, r)
+                       : GroundRuleFaithful(r);
         if (!s.ok()) return s;
       }
     }
-    graph_.Finalize();
+    graph_.Finalize(pool_.get());
     GroundingResult result;
     result.graph = std::move(graph_);
     result.universe = std::move(universe_);
@@ -90,12 +118,77 @@ class GrounderImpl {
   }
 
  private:
-  Status Budget() {
-    if (++work_ > options_.max_instances) {
-      return Status::ResourceExhausted(
-          "grounding exceeded max_instances budget");
+  // Per-worker emission state: the target graph (the final graph on the
+  // serial path, a private shard during parallel emission) plus every
+  // piece of reusable scratch, so no emission path allocates per instance
+  // and workers never share mutable state.
+  struct EmitContext {
+    GroundGraph* graph = nullptr;
+    bool parallel = false;     // charge the budget through the shared atomic
+    int64_t pending_work = 0;  // budget increments not yet flushed
+    Tuple binding;
+    Tuple scratch_tuple;
+    std::vector<AtomId> scratch_pos;
+    std::vector<AtomId> scratch_neg;
+    std::vector<size_t> scratch_odo;
+    std::vector<int32_t> scratch_free_vars;
+    // Batched-emission scratch: one block's substituted argument tuples,
+    // their intern keys, per-row intern counts, and (only under
+    // record_bindings) the full per-row variable bindings.
+    std::vector<ConstId> block_args;
+    std::vector<uint64_t> block_keys;
+    std::vector<ConstId> block_bindings;
+    int32_t block_interned[kEmitBlock] = {};
+  };
+
+  // One parallel emission job: either a row range of one rule's binding
+  // relation, or a whole rule grounded by the backtracking join /
+  // free-variable enumeration.
+  struct EmitJob {
+    int32_t rule = -1;
+    bool whole_rule = false;
+    int64_t row_begin = 0;
+    int64_t row_end = 0;
+  };
+
+  // Per-rule binding plan of the engine-backed path.
+  struct BindPlan {
+    std::vector<int32_t> generators;
+    std::vector<int32_t> bound_vars;  // ascending variable indexes
+    PredId bind_pred = -1;            // in the binding program
+    bool legacy = false;              // fallback: backtracking join
+  };
+
+  static Status Exhausted() {
+    return Status::ResourceExhausted(
+        "grounding exceeded max_instances budget");
+  }
+
+  // Budget bookkeeping: one unit per explored binding / emitted instance.
+  // Serial contexts count on the plain member; shard contexts batch
+  // increments into the shared atomic (kWorkFlushBlock at a time) and poll
+  // the stop flag. The parallel trip decision is deterministic: the job
+  // list fixes the total work, so the counter crosses the budget iff the
+  // serial path's would.
+  Status Budget(EmitContext* ctx) {
+    if (!ctx->parallel) {
+      if (++work_ > options_.max_instances) return Exhausted();
+      return Status::Ok();
     }
+    if (++ctx->pending_work >= kWorkFlushBlock) FlushWork(ctx);
+    if (stop_.load(std::memory_order_relaxed)) return Exhausted();
     return Status::Ok();
+  }
+
+  void FlushWork(EmitContext* ctx) {
+    if (ctx->pending_work == 0) return;
+    const int64_t total = shared_work_.fetch_add(ctx->pending_work,
+                                                 std::memory_order_relaxed) +
+                          ctx->pending_work;
+    ctx->pending_work = 0;
+    if (total > options_.max_instances) {
+      stop_.store(true, std::memory_order_relaxed);
+    }
   }
 
   Status InternAllAtoms() {
@@ -105,7 +198,7 @@ class GrounderImpl {
       Tuple tuple(arity, arity > 0 ? universe_.front() : 0);
       std::vector<size_t> odo(arity, 0);
       while (true) {
-        Status s = Budget();
+        Status s = Budget(&root_ctx_);
         if (!s.ok()) return s;
         graph_.atoms().Intern(p, tuple.data(), arity);
         int32_t pos = arity - 1;
@@ -147,7 +240,7 @@ class GrounderImpl {
     Tuple binding(k, k > 0 ? universe_.front() : 0);
     std::vector<size_t> odo(k, 0);
     while (true) {
-      Status s = Budget();
+      Status s = Budget(&root_ctx_);
       if (!s.ok()) return s;
       EmitFaithfulInstance(rule_index, rule, binding);
       int32_t pos = k - 1;
@@ -167,23 +260,26 @@ class GrounderImpl {
 
   void EmitFaithfulInstance(int32_t rule_index, const Rule& rule,
                             const Tuple& binding) {
-    scratch_pos_.clear();
-    scratch_neg_.clear();
+    EmitContext* ctx = &root_ctx_;
+    ctx->scratch_pos.clear();
+    ctx->scratch_neg.clear();
     for (const Literal& literal : rule.body) {
-      SubstituteInto(literal.atom, binding, &scratch_tuple_);
+      SubstituteInto(literal.atom, binding, &ctx->scratch_tuple);
       const AtomId atom = graph_.atoms().Intern(
-          literal.atom.predicate, scratch_tuple_.data(),
-          static_cast<int32_t>(scratch_tuple_.size()));
-      (literal.positive ? scratch_pos_ : scratch_neg_).push_back(atom);
+          literal.atom.predicate, ctx->scratch_tuple.data(),
+          static_cast<int32_t>(ctx->scratch_tuple.size()));
+      (literal.positive ? ctx->scratch_pos : ctx->scratch_neg)
+          .push_back(atom);
     }
-    SubstituteInto(rule.head, binding, &scratch_tuple_);
+    SubstituteInto(rule.head, binding, &ctx->scratch_tuple);
     const AtomId head = graph_.atoms().Intern(
-        rule.head.predicate, scratch_tuple_.data(),
-        static_cast<int32_t>(scratch_tuple_.size()));
+        rule.head.predicate, ctx->scratch_tuple.data(),
+        static_cast<int32_t>(ctx->scratch_tuple.size()));
     graph_.AppendRule(
-        rule_index, head, scratch_pos_.data(),
-        static_cast<int32_t>(scratch_pos_.size()), scratch_neg_.data(),
-        static_cast<int32_t>(scratch_neg_.size()), binding.data(),
+        rule_index, head, ctx->scratch_pos.data(),
+        static_cast<int32_t>(ctx->scratch_pos.size()),
+        ctx->scratch_neg.data(),
+        static_cast<int32_t>(ctx->scratch_neg.size()), binding.data(),
         options_.record_bindings ? static_cast<int32_t>(binding.size()) : 0);
   }
 
@@ -204,16 +300,11 @@ class GrounderImpl {
 
   // Engine-backed reduced grounding: compile each rule's generator
   // conjunction into a "binding rule" over a derived program, evaluate the
-  // whole batch with the relational engine, then stream the materialized
-  // binding rows into instance emission. See grounder.h.
+  // whole batch with the relational engine (borrowing Δ's fact arenas —
+  // zero copies in), then stream the materialized binding rows into
+  // instance emission, batched and (num_threads > 1) sharded over the
+  // pool. See grounder.h.
   Status GroundReducedEngine() {
-    // Per-rule binding plans.
-    struct BindPlan {
-      std::vector<int32_t> generators;
-      std::vector<int32_t> bound_vars;  // ascending variable indexes
-      PredId bind_pred = -1;            // in the binding program
-      bool legacy = false;              // fallback: backtracking join
-    };
     std::vector<BindPlan> plans(program_.num_rules());
 
     bool engine_eligible = true;
@@ -272,47 +363,41 @@ class GrounderImpl {
       any_engine = true;
     }
 
-    // One engine run computes every rule's binding relation: the EDB facts
-    // are bulk-copied once, join plans are compiled and cached per rule,
-    // and the vectorized kernels enumerate all matches.
+    // One engine run computes every rule's binding relation: Δ's EDB fact
+    // arenas are borrowed as FactSpans (the engine streams them straight
+    // into its relations — no intermediate Database, no copy), join plans
+    // are compiled and cached per rule, and the vectorized kernels
+    // enumerate all matches, fanned over the pool when num_threads > 1.
     Database bindings(program_);  // placeholder; replaced when engine runs
     const Database* bound_db = nullptr;
     if (any_engine) {
       Status valid = bind_program.Validate();
       TIEBREAK_CHECK(valid.ok()) << valid.ToString();
-      Database edb(bind_program);
+      std::vector<FactSpan> edb(bind_program.num_predicates());
       int64_t edb_facts = 0;
       for (PredId p = 0; p < program_.num_predicates(); ++p) {
-        if (!program_.IsEdb(p) || database_.NumFacts(p) == 0) continue;
-        edb_facts += database_.NumFacts(p);
-        if (database_.arity(p) == 0) {
-          edb.InsertProposition(p);
-          continue;
-        }
-        const ConstId* data = database_.FactData(p);
-        std::vector<ConstId> copy(
-            data, data + database_.NumFacts(p) *
-                             static_cast<int64_t>(database_.arity(p)));
-        edb.BulkLoadFlat(p, std::move(copy));
+        if (!program_.IsEdb(p)) continue;
+        edb[p] = database_.Facts(p);
+        edb_facts += edb[p].rows;
       }
       EngineOptions engine_options;
       // The engine's tuple budget counts the loaded EDB too; charge only
       // the derived binding rows against the grounding budget.
       engine_options.max_tuples = options_.max_instances + edb_facts;
-      engine_options.num_threads = 1;
+      engine_options.num_threads = num_threads_;
       // Only the $bind relations are read back; don't copy the EDB into
       // the result.
       engine_options.materialize_edb = false;
-      Result<Database> result =
-          EvaluateStratified(bind_program, edb, engine_options);
+      Result<Database> result = EvaluateStratified(
+          bind_program, Span<const FactSpan>(edb.data(), edb.size()),
+          engine_options);
       if (result.ok()) {
         bindings = std::move(result).value();
         bound_db = &bindings;
       } else if (result.status().code() == StatusCode::kResourceExhausted) {
         // More binding rows than the instance budget allows: emission
         // could never fit either.
-        return Status::ResourceExhausted(
-            "grounding exceeded max_instances budget");
+        return Exhausted();
       } else {
         // Any other engine rejection (e.g. an arity past its relational
         // cap that slipped through the plan check): fall back to the
@@ -343,71 +428,369 @@ class GrounderImpl {
       graph_.ReserveRules(total_rows, total_body);
     }
 
-    // Emit instances rule by rule, in rule order (bindings iterate in the
-    // result database's sorted order). The per-rule free-variable set is
-    // computed once and the odometer scratch is reused, so the per-row
-    // loop performs no heap allocation at all.
-    Tuple binding;
-    std::vector<int32_t> free_vars;
+    if (num_threads_ > 1) {
+      // Parallel emission: one job per legacy/free-var rule, one job per
+      // row shard of each engine rule's binding relation.
+      std::vector<EmitJob> jobs;
+      for (int32_t r = 0; r < program_.num_rules(); ++r) {
+        const BindPlan& plan = plans[r];
+        if (plan.legacy || plan.generators.empty()) {
+          jobs.push_back(EmitJob{r, /*whole_rule=*/true, 0, 0});
+          continue;
+        }
+        TIEBREAK_CHECK(bound_db != nullptr);
+        const int64_t rows = bound_db->NumFacts(plan.bind_pred);
+        if (rows == 0) continue;
+        const int64_t shards =
+            std::clamp<int64_t>(rows / kMinEmitShardRows, 1,
+                                4 * static_cast<int64_t>(num_threads_));
+        for (int64_t s = 0; s < shards; ++s) {
+          jobs.push_back(EmitJob{r, /*whole_rule=*/false,
+                                 rows * s / shards,
+                                 rows * (s + 1) / shards});
+        }
+      }
+      return EmitJobs(&plans, bound_db, jobs);
+    }
+
+    // Serial emission, rule by rule in rule order (bindings iterate in the
+    // result database's sorted order) — the bit-identical reference path.
     for (int32_t r = 0; r < program_.num_rules(); ++r) {
       const Rule& rule = program_.rule(r);
       const BindPlan& plan = plans[r];
       if (plan.legacy) {
-        Status s = GroundRuleReducedLegacy(r);
+        Status s = GroundRuleReducedLegacy(&root_ctx_, r);
         if (!s.ok()) return s;
         continue;
       }
-      binding.assign(rule.num_variables, -1);
       if (plan.generators.empty()) {
-        Status s = EnumerateFreeVariables(r, rule, &binding);
+        root_ctx_.binding.assign(rule.num_variables, -1);
+        Status s = EnumerateFreeVariables(&root_ctx_, r, rule,
+                                          &root_ctx_.binding);
         if (!s.ok()) return s;
         continue;
       }
       TIEBREAK_CHECK(bound_db != nullptr);
-      free_vars.clear();
-      {
-        std::vector<char> bound(rule.num_variables, 0);
-        for (int32_t v : plan.bound_vars) bound[v] = 1;
-        for (int32_t v = 0; v < rule.num_variables; ++v) {
-          if (!bound[v]) free_vars.push_back(v);
-        }
+      Status s = EmitEngineRows(&root_ctx_, r, plan, *bound_db, 0,
+                                bound_db->NumFacts(plan.bind_pred));
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  // Runs `jobs` over the pool: each worker emits into a private GroundGraph
+  // shard (no shared mutable state during the fan-out — the program, Δ and
+  // the binding relations are read-only), then the shards merge into the
+  // final graph with an atom-id remap. Returns RESOURCE_EXHAUSTED when the
+  // combined work crossed the instance budget.
+  Status EmitJobs(const std::vector<BindPlan>* plans, const Database* bound_db,
+                  const std::vector<EmitJob>& jobs) {
+    const int32_t workers = pool_->num_threads();
+    std::vector<GroundGraph> shards(workers);
+    std::vector<EmitContext> contexts(workers);
+    std::vector<Status> statuses(workers, Status::Ok());
+    for (int32_t w = 0; w < workers; ++w) {
+      contexts[w].graph = &shards[w];
+      contexts[w].parallel = true;
+    }
+    shared_work_.store(work_, std::memory_order_relaxed);
+    stop_.store(false, std::memory_order_relaxed);
+    pool_->ParallelFor(
+        static_cast<int32_t>(jobs.size()), [&](int32_t task, int32_t worker) {
+          EmitContext* ctx = &contexts[worker];
+          if (!statuses[worker].ok()) return;  // this lane already failed
+          const EmitJob& job = jobs[task];
+          Status s;
+          if (job.whole_rule) {
+            s = GroundRuleReducedLegacy(ctx, job.rule);
+          } else {
+            s = EmitEngineRows(ctx, job.rule, (*plans)[job.rule], *bound_db,
+                               job.row_begin, job.row_end);
+          }
+          FlushWork(ctx);
+          if (!s.ok()) statuses[worker] = s;
+        });
+    work_ = shared_work_.load(std::memory_order_relaxed);
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    if (work_ > options_.max_instances) return Exhausted();
+    for (const GroundGraph& shard : shards) graph_.MergeFrom(shard);
+    return Status::Ok();
+  }
+
+  // Per-rule batched-emission program, in body order with the head last:
+  // kill checks (negated EDB) interleave with intern ops (IDB literals),
+  // exactly the literal order the row-at-a-time path walks.
+  struct EmitOp {
+    const Atom* atom = nullptr;
+    bool positive = true;  // body sign (head entry unused)
+    bool head = false;     // the head intern op (always last)
+    bool kill = false;     // negated-EDB membership check, no intern
+    int32_t offset = 0;    // argument offset within one row's stride
+  };
+  struct EmitProgram {
+    std::vector<EmitOp> ops;
+    std::vector<PredId> op_preds;  // intern-op ordinal -> predicate
+    int32_t stride = 0;            // substituted args per instance
+    int32_t num_intern = 0;        // intern ops per instance (incl. head)
+  };
+
+  EmitProgram BuildEmitProgram(const Rule& rule) const {
+    EmitProgram prog;
+    for (const Literal& literal : rule.body) {
+      const PredId pred = literal.atom.predicate;
+      if (program_.IsEdb(pred)) {
+        if (literal.positive) continue;  // matched against Δ already
+        prog.ops.push_back(
+            EmitOp{&literal.atom, false, false, /*kill=*/true, 0});
+        continue;
       }
-      const int32_t arity = static_cast<int32_t>(plan.bound_vars.size());
-      const ConstId* data = bound_db->FactData(plan.bind_pred);
-      const int64_t rows = bound_db->NumFacts(plan.bind_pred);
-      for (int64_t row = 0; row < rows; ++row) {
-        Status s = Budget();
-        if (!s.ok()) return s;
-        const ConstId* values = data + row * arity;
-        for (int32_t j = 0; j < arity; ++j) {
-          binding[plan.bound_vars[j]] = values[j];
+      prog.ops.push_back(
+          EmitOp{&literal.atom, literal.positive, false, false, prog.stride});
+      prog.stride += static_cast<int32_t>(literal.atom.args.size());
+      ++prog.num_intern;
+    }
+    prog.ops.push_back(EmitOp{&rule.head, true, true, false, prog.stride});
+    prog.stride += static_cast<int32_t>(rule.head.args.size());
+    ++prog.num_intern;
+    for (const EmitOp& op : prog.ops) {
+      if (!op.kill) prog.op_preds.push_back(op.atom->predicate);
+    }
+    return prog;
+  }
+
+  // Sizes a context's block scratch for `prog` (idempotent).
+  void ReserveBlockScratch(EmitContext* ctx, const EmitProgram& prog,
+                           const Rule& rule) const {
+    ctx->block_args.resize(static_cast<size_t>(prog.stride) * kEmitBlock);
+    ctx->block_keys.resize(static_cast<size_t>(prog.num_intern) * kEmitBlock);
+    if (options_.record_bindings) {
+      ctx->block_bindings.resize(
+          static_cast<size_t>(rule.num_variables) * kEmitBlock);
+    }
+  }
+
+  // Stages the instance under ctx->binding into block slot `i`: walks the
+  // emission program in literal order — a true negated-EDB atom kills the
+  // instance exactly where the row-at-a-time path did (atoms substituted
+  // before the kill still intern, preserving the historical atom set) —
+  // substituting each surviving atom into block scratch and precomputing
+  // its dedupe key. Returns whether the instance survived.
+  bool StageInstance(EmitContext* ctx, const EmitProgram& prog,
+                     const Rule& rule, int32_t i) {
+    ConstId* args = ctx->block_args.data() +
+                    static_cast<size_t>(i) * prog.stride;
+    uint64_t* keys = ctx->block_keys.data() +
+                     static_cast<size_t>(i) * prog.num_intern;
+    const GroundAtomStore& atoms = ctx->graph->atoms();
+    int32_t interned = 0;
+    bool killed = false;
+    for (const EmitOp& op : prog.ops) {
+      if (op.kill) {
+        // A true negated-EDB atom kills the instance outright (the first
+        // close would delete this rule node); a false one is a satisfied
+        // literal and leaves no edge.
+        SubstituteInto(*op.atom, ctx->binding, &ctx->scratch_tuple);
+        if (database_.ContainsRow(op.atom->predicate,
+                                  ctx->scratch_tuple.data())) {
+          killed = true;
+          break;
         }
-        if (free_vars.empty()) {
-          EmitReducedInstance(r, rule, binding);
+        continue;
+      }
+      ConstId* out = args + op.offset;
+      int32_t k = 0;
+      for (const Term& term : op.atom->args) {
+        out[k++] =
+            term.is_constant() ? term.index : ctx->binding[term.index];
+      }
+      keys[interned++] = atoms.InternKey(out, k);
+    }
+    ctx->block_interned[i] = interned;
+    if (options_.record_bindings && !killed) {
+      std::copy(ctx->binding.begin(), ctx->binding.end(),
+                ctx->block_bindings.begin() +
+                    static_cast<size_t>(i) * rule.num_variables);
+    }
+    return !killed;
+  }
+
+  // Prefetches every dedupe slot line block rows [0, n) will touch, in the
+  // order the interns will consume them (the Relation::InsertBatch trick:
+  // the lines are in flight while pass 2 walks up to them).
+  void PrefetchBlock(const EmitContext* ctx, const EmitProgram& prog,
+                     int32_t n) const {
+    const GroundAtomStore& atoms = ctx->graph->atoms();
+    for (int32_t i = 0; i < n; ++i) {
+      const uint64_t* keys = ctx->block_keys.data() +
+                             static_cast<size_t>(i) * prog.num_intern;
+      for (int32_t j = 0; j < ctx->block_interned[i]; ++j) {
+        atoms.PrefetchIntern(prog.op_preds[j], keys[j]);
+      }
+    }
+  }
+
+  // Interns and appends the staged block rows [0, n): ascending rows, body
+  // before head — the exact order of the row-at-a-time path, so the serial
+  // graph stays bit-identical. Killed rows (bit clear in `live`) intern
+  // their pre-kill prefix but append no rule node.
+  void AppendBlock(EmitContext* ctx, int32_t rule_index, const Rule& rule,
+                   const EmitProgram& prog, int32_t n, uint64_t live) {
+    GroundAtomStore& atoms = ctx->graph->atoms();
+    for (int32_t i = 0; i < n; ++i) {
+      const ConstId* args = ctx->block_args.data() +
+                            static_cast<size_t>(i) * prog.stride;
+      const uint64_t* keys = ctx->block_keys.data() +
+                             static_cast<size_t>(i) * prog.num_intern;
+      ctx->scratch_pos.clear();
+      ctx->scratch_neg.clear();
+      AtomId head = -1;
+      int32_t o = 0;
+      for (const EmitOp& op : prog.ops) {
+        if (op.kill) continue;
+        if (o >= ctx->block_interned[i]) break;
+        const AtomId id = atoms.InternHashed(
+            op.atom->predicate, args + op.offset,
+            static_cast<int32_t>(op.atom->args.size()), keys[o]);
+        ++o;
+        if (op.head) {
+          head = id;
         } else {
-          s = EnumerateOver(r, rule, free_vars, &binding);
-          if (!s.ok()) return s;
+          (op.positive ? ctx->scratch_pos : ctx->scratch_neg).push_back(id);
         }
       }
+      if (((live >> i) & 1) == 0) continue;
+      TIEBREAK_CHECK_GE(head, 0);
+      const ConstId* binding =
+          options_.record_bindings
+              ? ctx->block_bindings.data() +
+                    static_cast<size_t>(i) * rule.num_variables
+              : nullptr;
+      ctx->graph->AppendRule(
+          rule_index, head, ctx->scratch_pos.data(),
+          static_cast<int32_t>(ctx->scratch_pos.size()),
+          ctx->scratch_neg.data(),
+          static_cast<int32_t>(ctx->scratch_neg.size()), binding,
+          options_.record_bindings ? rule.num_variables : 0);
+    }
+  }
+
+  // Streams rows [row_begin, row_end) of `plan.bind_pred`'s binding
+  // relation into instance emission for rule `r` through the block-batched
+  // pipeline: fully-bound rules stage one instance per binding row; rules
+  // with residual free variables expand each row through the universe
+  // odometer, staging one instance per odometer step — either way every
+  // instance's atoms are hashed a block ahead of the interns that consume
+  // them.
+  Status EmitEngineRows(EmitContext* ctx, int32_t r, const BindPlan& plan,
+                        const Database& bound_db, int64_t row_begin,
+                        int64_t row_end) {
+    const Rule& rule = program_.rule(r);
+    const int32_t arity = static_cast<int32_t>(plan.bound_vars.size());
+    const ConstId* rows =
+        bound_db.FactData(plan.bind_pred) + row_begin * arity;
+    const int64_t num_rows = row_end - row_begin;
+    ctx->binding.assign(rule.num_variables, -1);
+    ctx->scratch_free_vars.clear();
+    {
+      std::vector<char> bound(rule.num_variables, 0);
+      for (int32_t v : plan.bound_vars) bound[v] = 1;
+      for (int32_t v = 0; v < rule.num_variables; ++v) {
+        if (!bound[v]) ctx->scratch_free_vars.push_back(v);
+      }
+    }
+    const EmitProgram prog = BuildEmitProgram(rule);
+    ReserveBlockScratch(ctx, prog, rule);
+
+    if (ctx->scratch_free_vars.empty()) {
+      // Fully bound: one instance per binding row, kEmitBlock rows per
+      // block.
+      for (int64_t block_begin = 0; block_begin < num_rows;
+           block_begin += kEmitBlock) {
+        const int32_t n = static_cast<int32_t>(
+            std::min<int64_t>(kEmitBlock, num_rows - block_begin));
+        uint64_t live = 0;
+        for (int32_t i = 0; i < n; ++i) {
+          Status s = Budget(ctx);
+          if (!s.ok()) return s;
+          const ConstId* values = rows + (block_begin + i) * arity;
+          for (int32_t j = 0; j < arity; ++j) {
+            ctx->binding[plan.bound_vars[j]] = values[j];
+          }
+          if (StageInstance(ctx, prog, rule, i)) live |= uint64_t{1} << i;
+        }
+        PrefetchBlock(ctx, prog, n);
+        AppendBlock(ctx, r, rule, prog, n, live);
+      }
+      return Status::Ok();
+    }
+
+    // Residual free variables: every binding row expands over the
+    // universe odometer. Odometer steps stream through the same block
+    // pipeline — this is the path the Theorem 6 machine workloads live on
+    // (few binding rows, |U|^k instances each).
+    const std::vector<int32_t>& free_vars = ctx->scratch_free_vars;
+    for (int64_t row = 0; row < num_rows; ++row) {
+      Status s = Budget(ctx);
+      if (!s.ok()) return s;
+      const ConstId* values = rows + row * arity;
+      for (int32_t j = 0; j < arity; ++j) {
+        ctx->binding[plan.bound_vars[j]] = values[j];
+      }
+      if (universe_.empty()) continue;  // free variables cannot bind
+      ctx->scratch_odo.assign(free_vars.size(), 0);
+      for (int32_t var : free_vars) ctx->binding[var] = universe_.front();
+      bool done = false;
+      while (!done) {
+        int32_t n = 0;
+        uint64_t live = 0;
+        while (n < kEmitBlock && !done) {
+          s = Budget(ctx);
+          if (!s.ok()) {
+            for (int32_t var : free_vars) ctx->binding[var] = -1;
+            return s;
+          }
+          if (StageInstance(ctx, prog, rule, n)) live |= uint64_t{1} << n;
+          ++n;
+          int32_t pos = static_cast<int32_t>(free_vars.size()) - 1;
+          while (pos >= 0) {
+            if (++ctx->scratch_odo[pos] < universe_.size()) {
+              ctx->binding[free_vars[pos]] = universe_[ctx->scratch_odo[pos]];
+              break;
+            }
+            ctx->scratch_odo[pos] = 0;
+            ctx->binding[free_vars[pos]] = universe_.front();
+            --pos;
+          }
+          if (pos < 0) done = true;
+        }
+        PrefetchBlock(ctx, prog, n);
+        AppendBlock(ctx, r, rule, prog, n, live);
+      }
+      for (int32_t var : free_vars) ctx->binding[var] = -1;
     }
     return Status::Ok();
   }
 
   // Legacy reduced grounding of one rule: tuple-at-a-time backtracking
   // join of the generators against Δ (the seed implementation; reference
-  // for the engine path and fallback past the engine's arity cap).
-  Status GroundRuleReducedLegacy(int32_t rule_index) {
+  // for the engine path and fallback past the engine's arity cap). Safe
+  // from worker threads: all mutation lands in `ctx`.
+  Status GroundRuleReducedLegacy(EmitContext* ctx, int32_t rule_index) {
     const Rule& rule = program_.rule(rule_index);
     const std::vector<int32_t> generators = GeneratorsOf(rule);
-    Tuple binding(rule.num_variables, -1);
-    return MatchGenerators(rule_index, rule, generators, 0, &binding);
+    ctx->binding.assign(rule.num_variables, -1);
+    return MatchGenerators(ctx, rule_index, rule, generators, 0,
+                           &ctx->binding);
   }
 
-  Status MatchGenerators(int32_t rule_index, const Rule& rule,
+  Status MatchGenerators(EmitContext* ctx, int32_t rule_index,
+                         const Rule& rule,
                          const std::vector<int32_t>& generators, size_t g,
                          Tuple* binding) {
     if (g == generators.size()) {
-      return EnumerateFreeVariables(rule_index, rule, binding);
+      return EnumerateFreeVariables(ctx, rule_index, rule, binding);
     }
     const Atom& atom = rule.body[generators[g]].atom;
     const PredId pred = atom.predicate;
@@ -416,7 +799,7 @@ class GrounderImpl {
     const int64_t facts = database_.NumFacts(pred);
     for (int64_t row = 0; row < facts; ++row) {
       const ConstId* tuple = data + row * arity;
-      Status s = Budget();
+      Status s = Budget(ctx);
       if (!s.ok()) return s;
       // Try to unify `atom` with `tuple` under the current partial binding.
       std::vector<int32_t> bound_here;
@@ -439,7 +822,8 @@ class GrounderImpl {
         }
       }
       if (match) {
-        s = MatchGenerators(rule_index, rule, generators, g + 1, binding);
+        s = MatchGenerators(ctx, rule_index, rule, generators, g + 1,
+                            binding);
         if (!s.ok()) return s;
       }
       for (int32_t var : bound_here) (*binding)[var] = -1;
@@ -447,39 +831,39 @@ class GrounderImpl {
     return Status::Ok();
   }
 
-  Status EnumerateFreeVariables(int32_t rule_index, const Rule& rule,
-                                Tuple* binding) {
+  Status EnumerateFreeVariables(EmitContext* ctx, int32_t rule_index,
+                                const Rule& rule, Tuple* binding) {
     std::vector<int32_t> free_vars;
     for (int32_t v = 0; v < rule.num_variables; ++v) {
       if ((*binding)[v] < 0) free_vars.push_back(v);
     }
-    return EnumerateOver(rule_index, rule, free_vars, binding);
+    return EnumerateOver(ctx, rule_index, rule, free_vars, binding);
   }
 
   // Emits one instance per assignment of `free_vars` over the universe
   // (one instance outright when `free_vars` is empty). The odometer lives
-  // in member scratch: the engine-backed path calls this once per binding
+  // in context scratch: the engine-backed path calls this once per binding
   // row. Leaves the free variables reset to -1.
-  Status EnumerateOver(int32_t rule_index, const Rule& rule,
+  Status EnumerateOver(EmitContext* ctx, int32_t rule_index, const Rule& rule,
                        const std::vector<int32_t>& free_vars,
                        Tuple* binding) {
     if (!free_vars.empty() && universe_.empty()) return Status::Ok();
-    scratch_odo_.assign(free_vars.size(), 0);
+    ctx->scratch_odo.assign(free_vars.size(), 0);
     for (int32_t var : free_vars) (*binding)[var] = universe_.front();
     while (true) {
-      Status s = Budget();
+      Status s = Budget(ctx);
       if (!s.ok()) {
         for (int32_t var : free_vars) (*binding)[var] = -1;
         return s;
       }
-      EmitReducedInstance(rule_index, rule, *binding);
+      EmitReducedInstance(ctx, rule_index, rule, *binding);
       int32_t pos = static_cast<int32_t>(free_vars.size()) - 1;
       while (pos >= 0) {
-        if (++scratch_odo_[pos] < universe_.size()) {
-          (*binding)[free_vars[pos]] = universe_[scratch_odo_[pos]];
+        if (++ctx->scratch_odo[pos] < universe_.size()) {
+          (*binding)[free_vars[pos]] = universe_[ctx->scratch_odo[pos]];
           break;
         }
-        scratch_odo_[pos] = 0;
+        ctx->scratch_odo[pos] = 0;
         (*binding)[free_vars[pos]] = universe_.front();
         --pos;
       }
@@ -489,10 +873,11 @@ class GrounderImpl {
     return Status::Ok();
   }
 
-  void EmitReducedInstance(int32_t rule_index, const Rule& rule,
-                           const Tuple& binding) {
-    scratch_pos_.clear();
-    scratch_neg_.clear();
+  void EmitReducedInstance(EmitContext* ctx, int32_t rule_index,
+                           const Rule& rule, const Tuple& binding) {
+    GroundAtomStore& atoms = ctx->graph->atoms();
+    ctx->scratch_pos.clear();
+    ctx->scratch_neg.clear();
     for (const Literal& literal : rule.body) {
       const PredId pred = literal.atom.predicate;
       if (program_.IsEdb(pred)) {
@@ -500,38 +885,43 @@ class GrounderImpl {
         // Negated EDB literal: a true EDB atom kills the instance outright
         // (the first close would delete this rule node); a false one is a
         // satisfied literal and leaves no edge.
-        SubstituteInto(literal.atom, binding, &scratch_tuple_);
-        if (database_.ContainsRow(pred, scratch_tuple_.data())) return;
+        SubstituteInto(literal.atom, binding, &ctx->scratch_tuple);
+        if (database_.ContainsRow(pred, ctx->scratch_tuple.data())) return;
         continue;
       }
-      SubstituteInto(literal.atom, binding, &scratch_tuple_);
-      const AtomId atom = graph_.atoms().Intern(
-          pred, scratch_tuple_.data(),
-          static_cast<int32_t>(scratch_tuple_.size()));
-      (literal.positive ? scratch_pos_ : scratch_neg_).push_back(atom);
+      SubstituteInto(literal.atom, binding, &ctx->scratch_tuple);
+      const AtomId atom = atoms.Intern(
+          pred, ctx->scratch_tuple.data(),
+          static_cast<int32_t>(ctx->scratch_tuple.size()));
+      (literal.positive ? ctx->scratch_pos : ctx->scratch_neg)
+          .push_back(atom);
     }
-    SubstituteInto(rule.head, binding, &scratch_tuple_);
-    const AtomId head = graph_.atoms().Intern(
-        rule.head.predicate, scratch_tuple_.data(),
-        static_cast<int32_t>(scratch_tuple_.size()));
-    graph_.AppendRule(
-        rule_index, head, scratch_pos_.data(),
-        static_cast<int32_t>(scratch_pos_.size()), scratch_neg_.data(),
-        static_cast<int32_t>(scratch_neg_.size()), binding.data(),
+    SubstituteInto(rule.head, binding, &ctx->scratch_tuple);
+    const AtomId head = atoms.Intern(
+        rule.head.predicate, ctx->scratch_tuple.data(),
+        static_cast<int32_t>(ctx->scratch_tuple.size()));
+    ctx->graph->AppendRule(
+        rule_index, head, ctx->scratch_pos.data(),
+        static_cast<int32_t>(ctx->scratch_pos.size()),
+        ctx->scratch_neg.data(),
+        static_cast<int32_t>(ctx->scratch_neg.size()), binding.data(),
         options_.record_bindings ? static_cast<int32_t>(binding.size()) : 0);
   }
 
   const Program& program_;
   const Database& database_;
   const GroundingOptions& options_;
+  int32_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<ConstId> universe_;
   GroundGraph graph_;
+  // Instance budget: the serial counter, plus the shared atomic + stop
+  // flag shard contexts flush into during parallel emission.
   int64_t work_ = 0;
-  // Reusable emission scratch (no per-instance heap allocation).
-  Tuple scratch_tuple_;
-  std::vector<AtomId> scratch_pos_;
-  std::vector<AtomId> scratch_neg_;
-  std::vector<size_t> scratch_odo_;
+  std::atomic<int64_t> shared_work_{0};
+  std::atomic<bool> stop_{false};
+  // The serial path's emission context, bound to the final graph.
+  EmitContext root_ctx_;
 };
 
 }  // namespace

@@ -22,14 +22,21 @@
 // positive EDB literals of each rule become one conjunctive "binding rule"
 // over a derived program, the whole batch is evaluated by the relational
 // engine (columnar relations, compiled/cached join plans, vectorized join
-// kernels — see engine/evaluation.h), and the grounder then streams the
+// kernels — see engine/evaluation.h) through the borrowed-EDB entry point
+// (Δ's flat fact arenas are handed to the engine as FactSpans, no
+// intermediate Database copy), and the grounder then streams the
 // materialized binding rows out of the columnar result Database, emitting
 // rule instances straight into the CSR graph arenas with zero per-instance
-// heap allocation. The seed's tuple-at-a-time backtracking join survives as
-// the legacy path (engine_bindings = false) — it is the reference
-// implementation the CSR/engine agreement tests compare against, and the
-// automatic fallback for rules whose bound-variable count exceeds the
-// engine's arity cap.
+// heap allocation. Emission is block-batched: the substituted atoms of a
+// block of binding rows are hashed ahead and their dedupe slot lines
+// prefetched before any intern touches them (the Relation::InsertBatch
+// trick), and with num_threads > 1 per-rule emission jobs (row-sharded for
+// large binding relations) fan out over a thread pool into per-worker
+// graph shards that merge with an atom-id remap. The seed's
+// tuple-at-a-time backtracking join survives as the legacy path
+// (engine_bindings = false) — it is the reference implementation the
+// CSR/engine agreement tests compare against, and the automatic fallback
+// for rules whose bound-variable count exceeds the engine's arity cap.
 #ifndef TIEBREAK_GROUND_GROUNDER_H_
 #define TIEBREAK_GROUND_GROUNDER_H_
 
@@ -54,6 +61,20 @@ struct GroundingOptions {
   /// engine (default). false = the seed's backtracking join, kept as the
   /// agreement-test reference.
   bool engine_bindings = true;
+  /// Worker threads for reduced-mode grounding: the engine evaluation of
+  /// the binding program and instance emission both fan out (the engine
+  /// constructs its own pool for the evaluation phase; emission uses the
+  /// grounder's — the phases are sequential, so at most one set of
+  /// workers is running). Emission parallelizes as per-rule jobs (large
+  /// binding relations additionally split into row shards); each worker
+  /// emits into a private GroundGraph shard with no synchronization, and
+  /// the shards merge into the final CSR arenas with an atom-id remap
+  /// (GroundGraph::MergeFrom). 1 = the serial reference (the arenas it
+  /// produces are bit-identical to pre-parallel grounding; parallel runs
+  /// agree on atom sets and rule-instance multisets but may order them
+  /// differently), 0 = hardware concurrency. Faithful mode ignores this
+  /// and always grounds serially.
+  int32_t num_threads = 1;
   /// Record each instance's variable binding in the graph
   /// (GroundGraph::BindingOf). Off by default: no interpreter reads
   /// bindings, and on million-instance graphs the binding arena costs more

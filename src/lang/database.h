@@ -13,6 +13,18 @@
 
 namespace tiebreak {
 
+/// A borrowed, read-only view of one relation's flat fact arena: `rows`
+/// row-major facts (each arity consecutive ConstIds) at `data`. The
+/// engine's borrowed-EDB entry point (the Span<const FactSpan> overload of
+/// EvaluateStratified) consumes these directly, so callers that already
+/// hold a Database — the grounder above all — hand its arenas to the
+/// engine with zero copies. Valid until the owning storage mutates. For
+/// arity-0 relations `data` is meaningless and `rows` is 0 or 1.
+struct FactSpan {
+  const ConstId* data = nullptr;
+  int64_t rows = 0;
+};
+
 /// A set of ground tuples per predicate in flat columnar storage: each
 /// relation is one contiguous ConstId arena holding its rows back-to-back
 /// (row r of an arity-k relation occupies entries [r*k, (r+1)*k)), kept
@@ -80,6 +92,12 @@ class Database {
   const ConstId* FactData(PredId predicate) const {
     CheckPredicate(predicate);
     return rows_[predicate].data();
+  }
+
+  /// The relation's arena as a borrowed FactSpan — the zero-copy handle
+  /// the engine's borrowed-EDB evaluation path consumes (see FactSpan).
+  FactSpan Facts(PredId predicate) const {
+    return FactSpan{FactData(predicate), NumFacts(predicate)};
   }
 
   /// Pointer to fact `row`'s arity() consecutive ids.

@@ -1,9 +1,12 @@
-// A small fixed-size worker pool for fork/join parallelism: the engine's
-// fixpoint rounds dispatch a batch of independent rule evaluations, block
-// at a barrier, and merge the results on the calling thread. Tasks are
-// distributed by an atomic claim counter (the cheap half of work stealing:
-// idle workers pull the next unclaimed task instead of owning a fixed
-// slice), so uneven task costs self-balance without per-task queues.
+// A small fixed-size worker pool for fork/join parallelism: a caller
+// dispatches a batch of independent tasks, blocks at a barrier, and merges
+// the results on the calling thread. The engine's fixpoint rounds fan out
+// (rule, delta-literal) evaluations this way, and the grounder fans out
+// per-rule instance-emission jobs into per-worker graph shards plus the
+// three CSR index builds of GroundGraph::Finalize. Tasks are distributed
+// by an atomic claim counter (the cheap half of work stealing: idle
+// workers pull the next unclaimed task instead of owning a fixed slice),
+// so uneven task costs self-balance without per-task queues.
 //
 // Threading contract: ParallelFor publishes the batch under a mutex and
 // joins on a condition variable, so everything written by the caller

@@ -113,6 +113,55 @@ void ExpectAtomStoreConsistent(const Instance& inst,
   }
 }
 
+// Structural agreement between two groundings of the same instance: same
+// universe, same atom set (ids may differ; compared via keys) and the same
+// rule-instance multiset. This is the equivalence contract shared by the
+// engine-vs-legacy and the parallel-vs-serial grounder comparisons.
+void ExpectGraphsAgree(const GroundingResult& actual,
+                       const GroundingResult& expected) {
+  EXPECT_EQ(actual.universe, expected.universe);
+
+  ASSERT_EQ(actual.graph.num_atoms(), expected.graph.num_atoms());
+  for (AtomId a = 0; a < expected.graph.num_atoms(); ++a) {
+    EXPECT_GE(actual.graph.atoms().Lookup(
+                  expected.graph.atoms().PredicateOf(a),
+                  expected.graph.atoms().TupleOf(a)),
+              0)
+        << "expected atom " << a << " missing from the actual graph";
+  }
+
+  ASSERT_EQ(actual.graph.num_rules(), expected.graph.num_rules());
+  std::vector<InstanceKey> actual_rules, expected_rules;
+  for (int32_t r = 0; r < actual.graph.num_rules(); ++r) {
+    actual_rules.push_back(InstanceKeyOf(actual.graph, r));
+    expected_rules.push_back(InstanceKeyOf(expected.graph, r));
+  }
+  std::sort(actual_rules.begin(), actual_rules.end());
+  std::sort(expected_rules.begin(), expected_rules.end());
+  ASSERT_EQ(actual_rules, expected_rules);
+}
+
+// Semantic agreement by atom key: close() values and the well-founded
+// model computed over both graphs must coincide atom-for-atom.
+void ExpectSemanticsAgree(const Instance& inst, const GroundingResult& actual,
+                          const GroundingResult& expected) {
+  CloseState actual_close(inst.program, inst.database, actual.graph);
+  CloseState expected_close(inst.program, inst.database, expected.graph);
+  const InterpreterResult actual_wf =
+      WellFounded(inst.program, inst.database, actual.graph);
+  const InterpreterResult expected_wf =
+      WellFounded(inst.program, inst.database, expected.graph);
+  for (AtomId a = 0; a < expected.graph.num_atoms(); ++a) {
+    const AtomId b = actual.graph.atoms().Lookup(
+        expected.graph.atoms().PredicateOf(a),
+        expected.graph.atoms().TupleOf(a));
+    ASSERT_GE(b, 0);
+    EXPECT_EQ(actual_close.Value(b), expected_close.Value(a))
+        << "atom " << a;
+    EXPECT_EQ(actual_wf.values[b], expected_wf.values[a]) << "atom " << a;
+  }
+}
+
 // Grounds `inst` with both binding enumerators and checks full structural
 // and semantic agreement.
 void ExpectEngineMatchesLegacy(const Instance& inst) {
@@ -123,28 +172,7 @@ void ExpectEngineMatchesLegacy(const Instance& inst) {
   const GroundingResult engine = GroundOrDie(inst, engine_options);
   const GroundingResult legacy = GroundOrDie(inst, legacy_options);
 
-  EXPECT_EQ(engine.universe, legacy.universe);
-
-  // Atom sets agree (ids may differ; compare via keys).
-  ASSERT_EQ(engine.graph.num_atoms(), legacy.graph.num_atoms());
-  for (AtomId a = 0; a < legacy.graph.num_atoms(); ++a) {
-    EXPECT_GE(engine.graph.atoms().Lookup(
-                  legacy.graph.atoms().PredicateOf(a),
-                  legacy.graph.atoms().TupleOf(a)),
-              0)
-        << "legacy atom " << a << " missing from engine graph";
-  }
-
-  // Rule-instance multisets agree.
-  ASSERT_EQ(engine.graph.num_rules(), legacy.graph.num_rules());
-  std::vector<InstanceKey> engine_rules, legacy_rules;
-  for (int32_t r = 0; r < engine.graph.num_rules(); ++r) {
-    engine_rules.push_back(InstanceKeyOf(engine.graph, r));
-    legacy_rules.push_back(InstanceKeyOf(legacy.graph, r));
-  }
-  std::sort(engine_rules.begin(), engine_rules.end());
-  std::sort(legacy_rules.begin(), legacy_rules.end());
-  ASSERT_EQ(engine_rules, legacy_rules);
+  ExpectGraphsAgree(engine, legacy);
 
   // CSR inverse indexes match a naive rebuild, on both graphs.
   ExpectCsrIndexesConsistent(engine.graph);
@@ -206,6 +234,140 @@ void ExpectEngineMatchesLegacy(const Instance& inst) {
       EXPECT_TRUE(
           IsStable(inst.program, inst.database, g.graph, wftb.values));
     }
+  }
+}
+
+// Grounds `inst` serially (the bit-identical reference) and with 2 and 8
+// worker threads, and checks that every parallel grounding agrees
+// structurally (atom set, rule-instance multiset) and semantically
+// (close/WF values by atom key) with the serial one — for the engine-backed
+// binding path and for the legacy backtracking path.
+void ExpectParallelMatchesSerial(const Instance& inst) {
+  GroundingOptions serial_options;
+  serial_options.num_threads = 1;
+  const GroundingResult serial = GroundOrDie(inst, serial_options);
+  for (const int32_t threads : {2, 8}) {
+    GroundingOptions parallel_options;
+    parallel_options.num_threads = threads;
+    const GroundingResult parallel = GroundOrDie(inst, parallel_options);
+    ExpectGraphsAgree(parallel, serial);
+    ExpectCsrIndexesConsistent(parallel.graph);
+    ExpectSemanticsAgree(inst, parallel, serial);
+
+    GroundingOptions legacy_options = parallel_options;
+    legacy_options.engine_bindings = false;
+    const GroundingResult legacy = GroundOrDie(inst, legacy_options);
+    ExpectGraphsAgree(legacy, serial);
+  }
+}
+
+TEST(GroundCsrTest, ParallelMatchesSerialCurated) {
+  ExpectParallelMatchesSerial(ParseInstance(
+      "win(X) :- move(X, Y), not win(Y).",
+      "move(a, b). move(b, c). move(c, a). move(c, d)."));
+  ExpectParallelMatchesSerial(
+      ParseInstance("P(a) :- not P(X), E(b).", "E(b)."));
+  ExpectParallelMatchesSerial(ParseInstance(
+      "t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z).",
+      "e(a, b). e(b, c)."));
+  ExpectParallelMatchesSerial(ParseInstance(
+      "p(X) :- e(X), not blocked(X).\nq(X) :- p(X), e(X).",
+      "e(a). e(b). blocked(a)."));
+  ExpectParallelMatchesSerial(
+      ParseInstance("p :- not q.\nq :- not p.\nr :- p, q.", ""));
+  // Rules with residual free variables (the odometer emission path) and a
+  // zero-arity generator.
+  ExpectParallelMatchesSerial(
+      ParseInstance("P(X, Y) :- not P(Y, Y), E(X).", "E(a). E(b)."));
+  ExpectParallelMatchesSerial(
+      ParseInstance("p(X) :- go, e(X).", "go. e(a). e(b)."));
+}
+
+TEST(GroundCsrTest, ParallelMatchesSerialWorkloads) {
+  {
+    // Large enough that binding relations split into several row shards.
+    Program program = WinMoveProgram();
+    Rng rng(31);
+    Database database =
+        RandomDigraphDatabase(&program, "move", 1024, 4096, &rng);
+    ExpectParallelMatchesSerial(Instance{std::move(program),
+                                         std::move(database)});
+  }
+  {
+    Program program = SameGenerationProgram();
+    Database database = BalancedTreeDatabase(&program, 3);
+    ExpectParallelMatchesSerial(Instance{std::move(program),
+                                         std::move(database)});
+  }
+  {
+    Program program = StratifiedTowerProgram(4);
+    Database database = UnarySetDatabase(&program, "e", 5);
+    ExpectParallelMatchesSerial(Instance{std::move(program),
+                                         std::move(database)});
+  }
+}
+
+TEST(GroundCsrTest, ParallelMatchesSerialRandomPrograms) {
+  Rng rng(0x7E11);
+  for (int round = 0; round < 10; ++round) {
+    RandomProgramOptions options;
+    options.arity = 1 + static_cast<int>(rng.Below(2));
+    options.num_idb = 3;
+    options.num_edb = 2;
+    options.num_rules = 3 + static_cast<int>(rng.Below(5));
+    options.negation_probability = 0.35;
+    Program program = RandomProgram(&rng, options);
+    Database database = RandomEdbDatabase(
+        &program, options.arity == 1 ? 4 : 3, 0.4, &rng);
+    ExpectParallelMatchesSerial(Instance{std::move(program),
+                                         std::move(database)});
+  }
+}
+
+TEST(GroundCsrTest, ParallelRecordedBindingsReproduceInstances) {
+  // The parallel path stages bindings in block scratch and MergeFrom
+  // shifts them into the final binding arena; every recorded binding must
+  // still reproduce its instance's head under substitution.
+  Program program = WinMoveProgram();
+  Rng rng(13);
+  Database database = RandomDigraphDatabase(&program, "move", 48, 96, &rng);
+  for (const int32_t threads : {2, 8}) {
+    GroundingOptions options;
+    options.num_threads = threads;
+    options.record_bindings = true;
+    const GroundingResult g =
+        Ground(program, database, options).value();
+    ASSERT_GT(g.graph.num_rules(), 0);
+    for (int32_t r = 0; r < g.graph.num_rules(); ++r) {
+      const Rule& rule = program.rule(g.graph.RuleIndexOf(r));
+      const IdSpan binding = g.graph.BindingOf(r);
+      ASSERT_EQ(static_cast<int32_t>(binding.size()), rule.num_variables)
+          << "threads=" << threads << " rule " << r;
+      Tuple head;
+      for (const Term& term : rule.head.args) {
+        head.push_back(term.is_constant() ? term.index
+                                          : binding[term.index]);
+      }
+      EXPECT_EQ(g.graph.atoms().TupleOf(g.graph.HeadOf(r)), head)
+          << "threads=" << threads << " rule " << r;
+    }
+  }
+}
+
+TEST(GroundCsrTest, ParallelBudgetExhausts) {
+  // The shared budget counter must trip in parallel mode exactly as the
+  // serial counter does: total work is fixed by the job list.
+  Program program = WinMoveProgram();
+  Rng rng(5);
+  Database database = RandomDigraphDatabase(&program, "move", 256, 512, &rng);
+  for (const int32_t threads : {1, 2, 8}) {
+    GroundingOptions options;
+    options.num_threads = threads;
+    options.max_instances = 100;  // far below the ~1k instances
+    Result<GroundingResult> g = Ground(program, database, options);
+    ASSERT_FALSE(g.ok()) << "threads=" << threads;
+    EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted)
+        << "threads=" << threads;
   }
 }
 
