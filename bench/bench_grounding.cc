@@ -121,7 +121,7 @@ int Main(int argc, char** argv) {
   {
     const CounterMachine machine = MakeTransferMachine(3);
     CmReduction reduction = CounterMachineToProgram(machine);
-    const Database db = NaturalDatabase(&reduction, 16);
+    const Database db = NaturalDatabase(&reduction, 16).value();
     results.push_back(Measure("ground_theorem6_transfer_t16",
                               reduction.program, db, {}, reps, num_threads));
   }
@@ -143,7 +143,7 @@ int Main(int argc, char** argv) {
   {
     const CounterMachine machine = MakeTransferMachine(3);
     CmReduction reduction = CounterMachineToProgram(machine);
-    const Database db = NaturalDatabase(&reduction, 64);
+    const Database db = NaturalDatabase(&reduction, 64).value();
     GroundingOptions options;
     options.max_instances = 50'000'000;
     results.push_back(Measure("ground_theorem6_transfer_t64",

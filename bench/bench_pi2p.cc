@@ -28,9 +28,9 @@ int main() {
     const int clauses = 1 + static_cast<int>(rng.Below(5));
     const ForAllExistsCnf formula =
         RandomForAllExistsCnf(&rng, nx, ny, clauses);
-    const bool expected = ForAllExistsHolds(formula);
+    const bool expected = ForAllExistsHolds(formula).value();
     holds_count += expected ? 1 : 0;
-    const Program program = QbfToProgram(formula);
+    const Program program = QbfToProgram(formula).value();
     ++instances;
     Result<TotalityReport> nonuniform =
         CheckTotality(program, /*uniform=*/false);
@@ -56,10 +56,10 @@ int main() {
     // Use a *valid* formula so the enumeration cannot exit early on a
     // counterexample: all 2^n_x databases must be checked.
     ForAllExistsCnf formula = RandomForAllExistsCnf(&rng, nx, 2, 6);
-    while (!ForAllExistsHolds(formula)) {
+    while (!ForAllExistsHolds(formula).value()) {
       formula = RandomForAllExistsCnf(&rng, nx, 2, 6);
     }
-    const Program program = QbfToProgram(formula);
+    const Program program = QbfToProgram(formula).value();
     WallTimer brute_timer;
     Result<TotalityReport> report =
         CheckTotality(program, /*uniform=*/false);

@@ -62,7 +62,7 @@ int main() {
     std::vector<bool> bits(inputs);
     for (int i = 0; i < inputs; ++i) bits[i] = rng.Chance(0.5);
     const bool value = circuit.Value(bits);
-    const Program program = CvpToProgram(circuit, bits);
+    const Program program = CvpToProgram(circuit, bits).value();
     ++instances;
     value_one += value ? 1 : 0;
     if (IsStructurallyNonuniformlyTotal(program) == !value) ++agreements;

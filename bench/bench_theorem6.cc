@@ -38,7 +38,7 @@ void Report(const ZooEntry& entry) {
       run.halted ? static_cast<int32_t>(run.steps) : 1 << 30;
   for (int32_t t : {2, 4, 6, 8, 10, 12}) {
     CmReduction fresh = CounterMachineToProgram(entry.machine);
-    const Database database = NaturalDatabase(&fresh, t);
+    const Database database = NaturalDatabase(&fresh, t).value();
     WallTimer timer;
     Result<GroundingResult> ground = Ground(fresh.program, database);
     if (!ground.ok()) {
@@ -95,7 +95,7 @@ int main() {
     CmReduction reduction = CounterMachineToProgram(machine);
     const int32_t t =
         static_cast<int32_t>(run.steps) + machine.num_states() + 1;
-    const Database natural = NaturalDatabase(&reduction, t);
+    const Database natural = NaturalDatabase(&reduction, t).value();
     const Program uniform_program =
         UniformTotalityTransform(reduction.program);
     Database database(uniform_program);

@@ -156,7 +156,7 @@ int main() {
                 reduction.program.num_rules());
     for (int t : {2, 6}) {
       CmReduction fresh = CounterMachineToProgram(machine);
-      const Database db = NaturalDatabase(&fresh, t);
+      const Database db = NaturalDatabase(&fresh, t).value();
       GroundingResult g = Ground(fresh.program, db).value();
       std::printf("  natural database {0..%d}: fixpoint %s\n", t,
                   HasFixpoint(fresh.program, db, g.graph)

@@ -15,9 +15,17 @@
 #                                 into build-asan/ and runs the grounding
 #                                 pipeline surface (ground_test,
 #                                 ground_csr_test, core_semantics_test)
-#                                 under AddressSanitizer — the CSR arenas
-#                                 and span accessors live or die by their
-#                                 offset arithmetic
+#                                 plus the fault-injection sweep
+#                                 (fault_injection_test) under
+#                                 AddressSanitizer — the CSR arenas and
+#                                 span accessors live or die by their
+#                                 offset arithmetic, and every truncation
+#                                 unwind path must stay leak-free
+#   scripts/check.sh --ubsan      builds with -DTIEBREAK_SANITIZE=undefined
+#                                 into build-ubsan/ and runs the resource-
+#                                 governance surface (fault sweep, context
+#                                 unit tests, engine, grounding, reductions)
+#                                 under UndefinedBehaviorSanitizer
 #   scripts/check.sh --docs       only the docs checks: broken relative
 #                                 links in *.md, and public-header
 #                                 declarations without a doc comment
@@ -125,10 +133,25 @@ if [[ "${1:-}" == "--asan" ]]; then
   build="$repo/build-asan"
   cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=address
   cmake --build "$build" -j "$(nproc)" \
-    --target ground_test ground_csr_test core_semantics_test
+    --target ground_test ground_csr_test core_semantics_test \
+             fault_injection_test
   ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
-    --output-on-failure -R '^(ground_(csr_)?test|core_semantics_test)$'
+    --output-on-failure \
+    -R '^(ground_(csr_)?test|core_semantics_test|fault_injection_test)$'
   echo "check.sh: asan green"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--ubsan" ]]; then
+  build="$repo/build-ubsan"
+  cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=undefined
+  cmake --build "$build" -j "$(nproc)" \
+    --target fault_injection_test execution_context_test engine_test \
+             ground_test ground_csr_test reductions_test
+  UBSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
+    --output-on-failure \
+    -R '^(fault_injection_test|execution_context_test|engine_test|ground_(csr_)?test|reductions_test)$'
+  echo "check.sh: ubsan green"
   exit 0
 fi
 

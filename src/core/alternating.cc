@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "util/execution_context.h"
+
 namespace tiebreak {
 
 namespace {
@@ -9,14 +11,21 @@ namespace {
 // Least fixpoint of the positive immediate-consequence operator with
 // negative literals read against `anti` (¬b holds iff !anti[b]).
 // `base` marks the atoms true outright (Δ atoms; EDB atoms per Δ). Each
-// sweep is one contiguous scan of the CSR rule arenas.
+// sweep is one contiguous scan of the CSR rule arenas, and with a non-null
+// `exec` each sweep is a resource checkpoint — a trip returns the partial
+// set, which the caller discards (it is below the fixpoint).
 std::vector<char> LeastModelAgainst(const GroundGraph& graph,
                                     const std::vector<char>& base,
-                                    const std::vector<char>& anti) {
+                                    const std::vector<char>& anti,
+                                    ExecutionContext* exec) {
   std::vector<char> in(base);
   const int32_t num_rules = graph.num_rules();
   bool changed = true;
   while (changed) {
+    if (exec != nullptr &&
+        !exec->Checkpoint("alternating", num_rules).ok()) {
+      return in;
+    }
     changed = false;
     for (int32_t r = 0; r < num_rules; ++r) {
       if (in[graph.HeadOf(r)]) continue;
@@ -48,7 +57,8 @@ std::vector<char> LeastModelAgainst(const GroundGraph& graph,
 
 InterpreterResult AlternatingFixpointWellFounded(const Program& program,
                                                  const Database& database,
-                                                 const GroundGraph& graph) {
+                                                 const GroundGraph& graph,
+                                                 ExecutionContext* context) {
   // `program` is part of the interpreter signature for symmetry; the
   // alternating fixpoint needs only Δ (EDB atoms without rules can never be
   // derived, so the base covers them).
@@ -60,12 +70,27 @@ InterpreterResult AlternatingFixpointWellFounded(const Program& program,
   std::vector<char> base = DeltaAtomMask(database, graph.atoms());
 
   InterpreterResult result;
-  std::vector<char> under(base);              // A_0: only certain facts
-  std::vector<char> over;                     // B_k
+  std::vector<char> under(base);  // A_0: only certain facts
+  // B_{-1}: the trivially sound overestimate (no atom declared false), in
+  // case a trip lands before the first B_k completes.
+  std::vector<char> over(n, 1);
   while (true) {
     ++result.iterations;
-    over = LeastModelAgainst(graph, base, under);
-    std::vector<char> next_under = LeastModelAgainst(graph, base, over);
+    if (context != nullptr &&
+        !context->Checkpoint("alternating", 1).ok()) {
+      break;
+    }
+    // A trip mid-inner-fixpoint leaves that set below its fixpoint —
+    // discard it and report the last completed alternation boundary, where
+    // A_k underestimates the true atoms and B_k overestimates them at
+    // every k (the ascending/descending invariant).
+    std::vector<char> next_over = LeastModelAgainst(graph, base, under,
+                                                    context);
+    if (context != nullptr && context->stopped()) break;
+    over = std::move(next_over);
+    std::vector<char> next_under = LeastModelAgainst(graph, base, over,
+                                                     context);
+    if (context != nullptr && context->stopped()) break;
     if (next_under == under) break;
     under = std::move(next_under);
   }
@@ -78,7 +103,12 @@ InterpreterResult AlternatingFixpointWellFounded(const Program& program,
       result.values[a] = Truth::kFalse;
     }
   }
-  result.total = result.CountUndefined() == 0;
+  if (context != nullptr && context->stopped()) {
+    result.truncation = context->status();
+    result.total = false;
+  } else {
+    result.total = result.CountUndefined() == 0;
+  }
   return result;
 }
 

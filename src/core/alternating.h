@@ -18,12 +18,20 @@
 
 namespace tiebreak {
 
+class ExecutionContext;
+
 /// Computes the well-founded model by alternating fixpoints. Semantically
 /// identical to WellFounded(); asymptotically slower (naive inner fixpoints)
 /// but completely independent code.
-InterpreterResult AlternatingFixpointWellFounded(const Program& program,
-                                                 const Database& database,
-                                                 const GroundGraph& graph);
+///
+/// With a non-null `context`, inner fixpoint sweeps checkpoint; on a trip
+/// the run stops at the last *completed* alternation boundary and returns a
+/// sound partial result (truncation set): A_k only contains atoms true in
+/// the well-founded model and the complement of B_k only atoms false in it,
+/// at every k — everything else is left kUndef.
+InterpreterResult AlternatingFixpointWellFounded(
+    const Program& program, const Database& database, const GroundGraph& graph,
+    ExecutionContext* context = nullptr);
 
 }  // namespace tiebreak
 

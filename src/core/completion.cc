@@ -1,13 +1,16 @@
 #include "core/completion.h"
 
 #include "core/stable.h"
+#include "util/execution_context.h"
 
 namespace tiebreak {
 
 FixpointSearch::FixpointSearch(const Program& program,
                                const Database& database,
-                               const GroundGraph& graph)
-    : graph_(&graph) {
+                               const GroundGraph& graph,
+                               ExecutionContext* context)
+    : graph_(&graph), context_(context) {
+  solver_.SetExecutionContext(context);
   TIEBREAK_CHECK(graph.finalized());
   atom_var_.resize(graph.num_atoms());
   for (AtomId a = 0; a < graph.num_atoms(); ++a) {
@@ -57,7 +60,16 @@ FixpointSearch::FixpointSearch(const Program& program,
 std::optional<std::vector<Truth>> FixpointSearch::SolveOne() {
   if (exhausted_) return std::nullopt;
   const SatResult result = solver_.Solve();
-  TIEBREAK_CHECK(result != SatResult::kUnknown);
+  if (result == SatResult::kUnknown) {
+    // Only a governing context can interrupt the search (no conflict
+    // budget is ever set on this solver): record the trip and stop
+    // enumerating. The solver backtracked to level 0, so the object stays
+    // valid.
+    TIEBREAK_CHECK(context_ != nullptr && context_->stopped());
+    truncation_ = context_->status();
+    exhausted_ = true;
+    return std::nullopt;
+  }
   if (result == SatResult::kUnsat) {
     exhausted_ = true;
     return std::nullopt;
@@ -98,27 +110,34 @@ bool HasFixpoint(const Program& program, const Database& database,
 }
 
 bool HasStableModel(const Program& program, const Database& database,
-                    const GroundGraph& graph, int64_t limit) {
-  FixpointSearch search(program, database, graph);
+                    const GroundGraph& graph, int64_t limit,
+                    ExecutionContext* context) {
+  FixpointSearch search(program, database, graph, context);
   int64_t inspected = 0;
   while (limit == 0 || inspected < limit) {
     std::optional<std::vector<Truth>> model = search.Next();
     if (!model.has_value()) return false;
     ++inspected;
-    if (IsStable(program, database, graph, *model)) return true;
+    Result<bool> stable =
+        IsStableGoverned(program, database, graph, *model, context);
+    if (!stable.ok()) return false;  // tripped: "none found before the trip"
+    if (stable.value()) return true;
   }
   return false;
 }
 
 std::vector<std::vector<Truth>> EnumerateStableModels(
     const Program& program, const Database& database, const GroundGraph& graph,
-    int64_t limit) {
+    int64_t limit, ExecutionContext* context) {
   std::vector<std::vector<Truth>> stable_models;
-  FixpointSearch search(program, database, graph);
+  FixpointSearch search(program, database, graph, context);
   while (true) {
     std::optional<std::vector<Truth>> model = search.Next();
     if (!model.has_value()) break;
-    if (IsStable(program, database, graph, *model)) {
+    Result<bool> stable =
+        IsStableGoverned(program, database, graph, *model, context);
+    if (!stable.ok()) break;  // tripped: the list is a sound prefix
+    if (stable.value()) {
       stable_models.push_back(std::move(*model));
       if (limit > 0 &&
           static_cast<int64_t>(stable_models.size()) >= limit) {

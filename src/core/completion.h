@@ -20,15 +20,23 @@
 #include "lang/database.h"
 #include "lang/program.h"
 #include "sat/solver.h"
+#include "util/status.h"
 
 namespace tiebreak {
+
+class ExecutionContext;
 
 /// SAT-backed search over the fixpoints of one ground instance.
 class FixpointSearch {
  public:
   /// Builds the completion encoding. Works on reduced or faithful graphs.
+  /// A non-null `context` governs every solver call: on a trip the search
+  /// stops (Next/HasFixpoint report exhaustion, Count stops counting) and
+  /// truncation() carries the trip Status — callers must consult it before
+  /// reading "no more fixpoints" as a semantic answer.
   FixpointSearch(const Program& program, const Database& database,
-                 const GroundGraph& graph);
+                 const GroundGraph& graph,
+                 ExecutionContext* context = nullptr);
 
   /// Returns the next fixpoint (total model, Truth per AtomId) or nullopt
   /// when all fixpoints have been enumerated. Each call adds a blocking
@@ -42,6 +50,11 @@ class FixpointSearch {
   /// Counts fixpoints up to `limit` (enumeration with blocking clauses).
   int64_t Count(int64_t limit);
 
+  /// OK unless the governing context tripped mid-search; then the trip
+  /// Status, and the enumeration so far is a (sound but possibly
+  /// incomplete) prefix of the fixpoint space.
+  const Status& truncation() const { return truncation_; }
+
  private:
   /// Solves for one more model and immediately blocks it; nullopt when the
   /// space is exhausted.
@@ -49,8 +62,10 @@ class FixpointSearch {
 
   const GroundGraph* graph_;
   SatSolver solver_;
-  std::vector<int32_t> atom_var_;  // AtomId -> SAT var
+  ExecutionContext* context_ = nullptr;  // not owned; null = ungoverned
+  std::vector<int32_t> atom_var_;        // AtomId -> SAT var
   bool exhausted_ = false;
+  Status truncation_ = Status::Ok();
   std::optional<std::vector<Truth>> cached_;  // found but not yet returned
 };
 
@@ -60,14 +75,19 @@ bool HasFixpoint(const Program& program, const Database& database,
 
 /// One-shot convenience: is there a *stable* model? Enumerates fixpoints and
 /// filters through the stability check; `limit` caps the number of fixpoint
-/// candidates inspected (0 = unbounded).
+/// candidates inspected (0 = unbounded). With a non-null tripped `context`
+/// the answer `false` means "none found before the trip" — check the
+/// context's status before reading it semantically.
 bool HasStableModel(const Program& program, const Database& database,
-                    const GroundGraph& graph, int64_t limit = 0);
+                    const GroundGraph& graph, int64_t limit = 0,
+                    ExecutionContext* context = nullptr);
 
-/// Enumerates up to `limit` stable models (0 = all).
+/// Enumerates up to `limit` stable models (0 = all). With a non-null
+/// tripped `context` the list is a sound prefix — every returned model is
+/// stable, but later ones may be missing; check the context's status.
 std::vector<std::vector<Truth>> EnumerateStableModels(
     const Program& program, const Database& database, const GroundGraph& graph,
-    int64_t limit = 0);
+    int64_t limit = 0, ExecutionContext* context = nullptr);
 
 }  // namespace tiebreak
 

@@ -9,6 +9,7 @@
 #include "ground/ground_graph.h"
 #include "ground/truth.h"
 #include "lang/program.h"
+#include "util/status.h"
 
 namespace tiebreak {
 
@@ -25,6 +26,14 @@ struct InterpreterResult {
   int32_t ties_broken = 0;
   /// Number of nonempty unfounded sets falsified (WF / WFTB only).
   int32_t unfounded_rounds = 0;
+  /// OK for a run that finished on its own. Non-OK (kCancelled /
+  /// kDeadlineExceeded / kResourceExhausted) when a governing
+  /// ExecutionContext tripped mid-run: `values` then holds a sound partial
+  /// answer — every kTrue/kFalse entry agrees with the full model the
+  /// interpreter was converging to, and atoms the truncated run could not
+  /// decide are kUndef — but kUndef entries can no longer be read as "the
+  /// semantics leaves this undefined".
+  Status truncation = Status::Ok();
 
   int64_t CountTrue() const {
     int64_t n = 0;

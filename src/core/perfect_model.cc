@@ -1,9 +1,12 @@
 #include "core/perfect_model.h"
 
+#include <utility>
+
 #include "core/fixpoint.h"
 #include "graph/digraph.h"
 #include "graph/scc.h"
 #include "graph/tie.h"
+#include "util/execution_context.h"
 
 namespace tiebreak {
 
@@ -47,12 +50,24 @@ bool IsGroundCallConsistent(const GroundGraph& graph) {
 std::optional<std::vector<Truth>> PerfectModel(const Program& program,
                                                const Database& database,
                                                const GroundGraph& graph) {
+  Result<InterpreterResult> result =
+      PerfectModelGoverned(program, database, graph, /*context=*/nullptr);
+  if (!result.ok()) return std::nullopt;  // not locally stratified
+  return std::move(result.value().values);
+}
+
+Result<InterpreterResult> PerfectModelGoverned(const Program& program,
+                                               const Database& database,
+                                               const GroundGraph& graph,
+                                               ExecutionContext* context) {
   const SignedDigraph g = FullGraph(graph);
   const SccResult scc = ComputeScc(g);
   for (int32_t e = 0; e < g.num_edges(); ++e) {
     const SignedEdge& edge = g.edge(e);
     if (edge.negative && scc.component[edge.from] == scc.component[edge.to]) {
-      return std::nullopt;  // not locally stratified
+      return Status::FailedPrecondition(
+          "instance is not locally stratified: a ground SCC contains a "
+          "negative edge");
     }
   }
 
@@ -65,6 +80,8 @@ std::optional<std::vector<Truth>> PerfectModel(const Program& program,
   }
   (void)program;
 
+  InterpreterResult result;
+
   // Group rule instances by the component of their head. Tarjan ids are
   // reverse-topological (edge u -> v implies comp(v) < comp(u)), and body
   // atoms point *toward* heads, so dependencies have larger component ids:
@@ -73,7 +90,10 @@ std::optional<std::vector<Truth>> PerfectModel(const Program& program,
   for (int32_t r = 0; r < graph.num_rules(); ++r) {
     rules_by_comp[scc.component[graph.HeadOf(r)]].push_back(r);
   }
-  for (int32_t comp = scc.num_components - 1; comp >= 0; --comp) {
+  bool tripped = false;
+  int32_t trip_comp = -1;
+  for (int32_t comp = scc.num_components - 1; comp >= 0 && !tripped;
+       --comp) {
     const std::vector<int32_t>& rules = rules_by_comp[comp];
     if (rules.empty()) continue;
     // Least fixpoint within the component: negated atoms are in strictly
@@ -81,6 +101,18 @@ std::optional<std::vector<Truth>> PerfectModel(const Program& program,
     // same-component atoms converge by iteration.
     bool changed = true;
     while (changed) {
+      ++result.iterations;
+      // One checkpoint per sweep; a trip abandons the run at this
+      // component.
+      if (context != nullptr &&
+          !context
+               ->Checkpoint("perfect_model",
+                            static_cast<int64_t>(rules.size()))
+               .ok()) {
+        tripped = true;
+        trip_comp = comp;
+        break;
+      }
       changed = false;
       for (int32_t r : rules) {
         const AtomId head = graph.HeadOf(r);
@@ -92,7 +124,21 @@ std::optional<std::vector<Truth>> PerfectModel(const Program& program,
       }
     }
   }
-  return values;
+  if (tripped) {
+    // Unfinished components (ids <= trip_comp): kTrue atoms are sound —
+    // every derivation was justified by final dependencies — but kFalse is
+    // merely "not derived yet", so those atoms become kUndef (Δ atoms are
+    // kTrue and unaffected).
+    for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+      if (scc.component[a] <= trip_comp && values[a] == Truth::kFalse) {
+        values[a] = Truth::kUndef;
+      }
+    }
+    result.truncation = context->status();
+  }
+  result.values = std::move(values);
+  result.total = result.CountUndefined() == 0 && !tripped;
+  return result;
 }
 
 }  // namespace tiebreak

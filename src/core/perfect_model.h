@@ -11,12 +11,15 @@
 #include <optional>
 #include <vector>
 
+#include "core/interpreter_result.h"
 #include "ground/ground_graph.h"
 #include "ground/truth.h"
 #include "lang/database.h"
 #include "lang/program.h"
 
 namespace tiebreak {
+
+class ExecutionContext;
 
 /// True iff no SCC of the ground graph contains a negative edge. (On
 /// reduced graphs this judges the *relevant* instantiations — EDB-dead rule
@@ -38,6 +41,18 @@ bool IsGroundCallConsistent(const GroundGraph& graph);
 std::optional<std::vector<Truth>> PerfectModel(const Program& program,
                                                const Database& database,
                                                const GroundGraph& graph);
+
+/// Resource-governed perfect model. Fails with FAILED_PRECONDITION when the
+/// instance is not locally stratified. With a non-null tripping `context`,
+/// returns OK with InterpreterResult::truncation set and a sound partial
+/// model: components processed before the trip are final, atoms of
+/// unfinished components keep kTrue only when already derived (within-
+/// component fixpoints are monotone over final dependencies) and are
+/// otherwise kUndef.
+Result<InterpreterResult> PerfectModelGoverned(const Program& program,
+                                               const Database& database,
+                                               const GroundGraph& graph,
+                                               ExecutionContext* context);
 
 }  // namespace tiebreak
 

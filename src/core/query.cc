@@ -1,12 +1,14 @@
 #include "core/query.h"
 
 #include "lang/parser.h"
+#include "util/execution_context.h"
 
 namespace tiebreak {
 
 Result<QueryResult> EvaluateQuery(Program* program, const GroundGraph& graph,
                                   const std::vector<Truth>& values,
-                                  std::string_view pattern_text) {
+                                  std::string_view pattern_text,
+                                  ExecutionContext* context) {
   TIEBREAK_CHECK_EQ(static_cast<int32_t>(values.size()), graph.num_atoms());
   Result<AtomPattern> pattern = ParseAtomPattern(pattern_text, program);
   if (!pattern.ok()) return pattern.status();
@@ -16,7 +18,15 @@ Result<QueryResult> EvaluateQuery(Program* program, const GroundGraph& graph,
 
   QueryResult result;
   result.variables = pattern->variable_names;
+  constexpr int32_t kQueryPollBlock = 1024;
   for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (context != nullptr && (a & (kQueryPollBlock - 1)) == 0 &&
+        !context->Checkpoint("query", kQueryPollBlock).ok()) {
+      // Partial answers survive the trip: everything scanned so far is
+      // reported, tagged with the trip status.
+      result.truncation = context->status();
+      return result;
+    }
     if (graph.atoms().PredicateOf(a) != atom.predicate) continue;
     if (values[a] == Truth::kFalse) continue;
     const Tuple& tuple = graph.atoms().TupleOf(a);

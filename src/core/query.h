@@ -16,6 +16,8 @@
 
 namespace tiebreak {
 
+class ExecutionContext;
+
 /// Result of one pattern query.
 struct QueryResult {
   /// Variable names of the pattern, in first-occurrence order; the tuples
@@ -23,8 +25,14 @@ struct QueryResult {
   std::vector<std::string> variables;
   /// Bindings whose instantiated atom is true in the model.
   std::vector<Tuple> true_bindings;
-  /// Bindings left undefined (nonempty only for partial models).
+  /// Bindings left undefined (nonempty only for partial models — including
+  /// models truncated by a resource trip, whose undecided atoms are
+  /// kUndef).
   std::vector<Tuple> undefined_bindings;
+  /// OK for a complete scan. The trip Status when a governing context
+  /// tripped mid-query: the bindings above are a sound prefix (every entry
+  /// correct, later atoms unscanned).
+  Status truncation = Status::Ok();
 };
 
 /// Evaluates `pattern` (e.g. "win(X)", "t(a, Y)", "p") against `values`
@@ -34,9 +42,14 @@ struct QueryResult {
 /// are not reported. EDB patterns under reduced grounding therefore query Δ
 /// content only through rules — query the database directly for raw EDB
 /// facts. Mutates `program` only by interning constants in the pattern.
+/// With a non-null `context`, the atom scan checkpoints every 1024 atoms;
+/// a trip returns OK with QueryResult::truncation set and the bindings
+/// found so far (partial answers stay available instead of vanishing
+/// behind an error).
 Result<QueryResult> EvaluateQuery(Program* program, const GroundGraph& graph,
                                   const std::vector<Truth>& values,
-                                  std::string_view pattern);
+                                  std::string_view pattern,
+                                  ExecutionContext* context = nullptr);
 
 }  // namespace tiebreak
 

@@ -2,6 +2,7 @@
 
 #include "core/fixpoint.h"
 #include "ground/close.h"
+#include "util/execution_context.h"
 
 namespace tiebreak {
 
@@ -27,6 +28,36 @@ bool IsStable(const Program& program, const Database& database,
   CloseState closed(graph, m_minus);
   // Reconstruction: every previously undefined atom must come back true (and
   // nothing may flip); equivalently the closure equals M.
+  return closed.values() == values;
+}
+
+Result<bool> IsStableGoverned(const Program& program, const Database& database,
+                              const GroundGraph& graph,
+                              const std::vector<Truth>& values,
+                              ExecutionContext* context) {
+  if (context == nullptr) {
+    return IsStable(program, database, graph, values);
+  }
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(values.size()), graph.num_atoms());
+  // The fixpoint pre-check is one linear scan of the rule arenas; charge it
+  // as a single checkpoint.
+  Status entry = context->Checkpoint("stable", graph.num_rules() + 1);
+  if (!entry.ok()) return entry;
+  if (!IsFixpoint(program, database, graph, values)) return false;
+  std::vector<Truth> m_minus(values);
+  const std::vector<char> in_delta = DeltaAtomMask(database, graph.atoms());
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    TIEBREAK_CHECK(values[a] != Truth::kUndef)
+        << "IsStable needs a total model";
+    if (values[a] != Truth::kTrue) continue;
+    if (program.IsEdb(graph.atoms().PredicateOf(a))) continue;
+    if (in_delta[a]) continue;
+    m_minus[a] = Truth::kUndef;
+  }
+  CloseState closed(graph, m_minus, context);
+  // A partial closure (trip mid-Drain) proves nothing about
+  // reconstruction: report the trip, not a verdict.
+  if (context->stopped()) return context->status();
   return closed.values() == values;
 }
 

@@ -10,13 +10,24 @@
 #include "ground/truth.h"
 #include "lang/database.h"
 #include "lang/program.h"
+#include "util/status.h"
 
 namespace tiebreak {
+
+class ExecutionContext;
 
 /// True iff the total model `values` is a stable model of (program,
 /// database) over `graph`. CHECK-fails if `values` is not total.
 bool IsStable(const Program& program, const Database& database,
               const GroundGraph& graph, const std::vector<Truth>& values);
+
+/// Resource-governed stability check: close(M⁻, G) checkpoints through
+/// `context`, and a trip returns the context's Status instead of a
+/// (meaningless) verdict from a partial closure.
+Result<bool> IsStableGoverned(const Program& program, const Database& database,
+                              const GroundGraph& graph,
+                              const std::vector<Truth>& values,
+                              ExecutionContext* context);
 
 }  // namespace tiebreak
 

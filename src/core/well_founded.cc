@@ -4,15 +4,23 @@
 #include <vector>
 
 #include "ground/close.h"
+#include "util/execution_context.h"
 
 namespace tiebreak {
 
 InterpreterResult WellFounded(const Program& program, const Database& database,
-                              const GroundGraph& graph) {
-  CloseState state(program, database, graph);
+                              const GroundGraph& graph,
+                              ExecutionContext* context) {
+  CloseState state(program, database, graph, context);
   InterpreterResult result;
   while (true) {
     ++result.iterations;
+    // One checkpoint per outer round; a tripped context also empties
+    // LargestUnfoundedSet, so the loop is guaranteed to exit.
+    if (context != nullptr &&
+        !context->Checkpoint("well_founded", 1).ok()) {
+      break;
+    }
     const std::vector<AtomId> unfounded = state.LargestUnfoundedSet();
     if (unfounded.empty()) break;
     ++result.unfounded_rounds;
@@ -22,15 +30,26 @@ InterpreterResult WellFounded(const Program& program, const Database& database,
     state.SetAndClose(assignments);
   }
   result.values = state.values();
-  result.total = state.IsTotal();
+  // A tripped run is a prefix of the full computation: all its assignments
+  // are forced, but undecided atoms may merely be unreached, so the model
+  // is not claimed total even if no kUndef remains visible.
+  if (context != nullptr && context->stopped()) {
+    result.truncation = context->status();
+    result.total = false;
+  } else {
+    result.total = state.IsTotal();
+  }
   return result;
 }
 
 Result<InterpreterResult> WellFounded(const Program& program,
-                                      const Database& database) {
-  Result<GroundingResult> ground = Ground(program, database);
+                                      const Database& database,
+                                      ExecutionContext* context) {
+  GroundingOptions options;
+  options.context = context;
+  Result<GroundingResult> ground = Ground(program, database, options);
   if (!ground.ok()) return ground.status();
-  return WellFounded(program, database, ground->graph);
+  return WellFounded(program, database, ground->graph, context);
 }
 
 }  // namespace tiebreak

@@ -11,13 +11,25 @@
 
 namespace tiebreak {
 
-/// Runs the well-founded interpreter on a previously grounded instance.
-InterpreterResult WellFounded(const Program& program, const Database& database,
-                              const GroundGraph& graph);
+class ExecutionContext;
 
-/// Convenience overload: grounds (reduced mode) and interprets.
+/// Runs the well-founded interpreter on a previously grounded instance.
+/// With a non-null `context`, the run checkpoints inside close/unfounded
+/// propagation and once per outer round; on a trip it stops early and
+/// returns a sound partial result with InterpreterResult::truncation set
+/// (close only makes forced assignments and unfounded-set falsification is
+/// monotone, so every decided atom agrees with the full well-founded
+/// model).
+InterpreterResult WellFounded(const Program& program, const Database& database,
+                              const GroundGraph& graph,
+                              ExecutionContext* context = nullptr);
+
+/// Convenience overload: grounds (reduced mode) and interprets. `context`
+/// governs both phases: a trip during grounding returns its Status, a trip
+/// during interpretation returns a truncated partial result (see above).
 Result<InterpreterResult> WellFounded(const Program& program,
-                                      const Database& database);
+                                      const Database& database,
+                                      ExecutionContext* context = nullptr);
 
 }  // namespace tiebreak
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/stratification.h"
+#include "util/execution_context.h"
 #include "util/function_view.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -469,7 +470,8 @@ class RuleEvaluator {
   void Execute(const CompiledPlan& plan, JoinKernel kernel,
                const Relation* delta_relation, int32_t range_begin,
                int32_t range_end, bool inner_static, Sink sink,
-               int64_t* applications, const std::atomic<bool>* stop) {
+               int64_t* applications, const std::atomic<bool>* stop,
+               ExecutionContext* ctx = nullptr) {
     plan_ = &plan;
     inner_static_ = inner_static;
     delta_ = delta_relation;
@@ -478,6 +480,7 @@ class RuleEvaluator {
     sink_ = &sink;
     applications_ = applications;
     stop_ = stop;
+    ctx_ = ctx;
     binding_.assign(plan.num_variables, -1);
     if (scratch_.size() < plan.max_arity) scratch_.resize(plan.max_arity);
     if (pattern_.size() < plan.max_arity) pattern_.resize(plan.max_arity);
@@ -528,6 +531,12 @@ class RuleEvaluator {
                               : static_cast<int32_t>(relation.size());
       const int32_t begin = range_begin_ >= 0 ? range_begin_ : 0;
       for (int32_t row = end - 1; row >= begin; --row) {
+        // Resource checkpoint once per kBlock scanned rows — the scalar
+        // kernel's analogue of VectorScan's per-block checkpoint.
+        if (ctx_ != nullptr && (row & (kBlock - 1)) == 0 &&
+            !ctx_->Checkpoint("engine", kBlock).ok()) {
+          return;
+        }
         MatchRow(step, relation, row);
       }
       return;
@@ -560,9 +569,25 @@ class RuleEvaluator {
       // Range-restricted probe (a delta literal with a non-empty mask):
       // chains are newest-first, i.e. strictly descending row ids, so rows
       // past the range end are skipped and the walk stops below the start.
+      int32_t chain_rows = 0;
       for (const int32_t row : relation.Probe(step.mask, pattern)) {
         if (range_end_ >= 0 && row >= range_end_) continue;
         if (row < range_begin_) break;
+        if (ctx_ != nullptr && (++chain_rows & (kBlock - 1)) == 0 &&
+            !ctx_->Checkpoint("engine", kBlock).ok()) {
+          return;
+        }
+        MatchRow(step, relation, row);
+      }
+      return;
+    }
+    if (depth == 0 && ctx_ != nullptr) {
+      int32_t chain_rows = 0;
+      for (const int32_t row : relation.Probe(step.mask, pattern)) {
+        if ((++chain_rows & (kBlock - 1)) == 0 &&
+            !ctx_->Checkpoint("engine", kBlock).ok()) {
+          return;
+        }
         MatchRow(step, relation, row);
       }
       return;
@@ -604,6 +629,9 @@ class RuleEvaluator {
     for (int32_t block_end = end; block_end > begin;) {
       const int32_t block_begin = std::max(begin, block_end - kBlock);
       const int32_t n = block_end - block_begin;
+      // Resource checkpoint once per 64-row block: one relaxed fetch_add
+      // amortized over the whole block's filter/gather/probe work.
+      if (ctx_ != nullptr && !ctx_->Checkpoint("engine", n).ok()) return;
       uint64_t sel =
           n == kBlock ? ~uint64_t{0} : (uint64_t{1} << n) - uint64_t{1};
       for (const ScanEq& eq : plan_->scan_eqs) {
@@ -737,6 +765,7 @@ class RuleEvaluator {
   const Sink* sink_ = nullptr;
   int64_t* applications_ = nullptr;
   const std::atomic<bool>* stop_ = nullptr;
+  ExecutionContext* ctx_ = nullptr;
 
   // Hot-path scratch: variable bindings, probe pattern, ground-atom buffer,
   // and the vector kernel's per-block gathered binds and probe hashes.
@@ -871,6 +900,15 @@ Result<Database> EvaluateStratified(const Program& program,
   std::unique_ptr<ThreadPool> pool;
   if (parallel) pool = std::make_unique<ThreadPool>(num_threads);
 
+  // Resource governance: the entry checkpoint makes an already-tripped
+  // context (pre-cancelled, pre-expired deadline) fail here, before any
+  // work, identically for every thread count.
+  ExecutionContext* const ctx = options.context;
+  if (ctx != nullptr) {
+    Status entry = ctx->Checkpoint("engine", 1);
+    if (!entry.ok()) return entry;
+  }
+
   // EDB load: stream every borrowed fact span into its columns. The source
   // spans are sorted and duplicate-free, so the uniqueness-exploiting bulk
   // path applies (no membership checks, prefetch-pipelined fingerprint
@@ -894,12 +932,23 @@ Result<Database> EvaluateStratified(const Program& program,
   };
   if (parallel) {
     pool->ParallelFor(num_preds,
-                      [&](int32_t task, int32_t) { load_predicate(task); });
+                      [&](int32_t task, int32_t) { load_predicate(task); },
+                      ctx);
   } else {
     for (PredId p = 0; p < num_preds; ++p) load_predicate(p);
   }
   int64_t total_tuples = 0;
   for (PredId p = 0; p < num_preds; ++p) total_tuples += relations[p].size();
+  if (ctx != nullptr) {
+    int64_t edb_bytes = 0;
+    for (PredId p = 0; p < num_preds; ++p) {
+      edb_bytes += relations[p].size() *
+                   std::max<int64_t>(program.predicate(p).arity, 1) *
+                   static_cast<int64_t>(sizeof(ConstId));
+    }
+    Status loaded = ctx->ChargeBytes("engine", edb_bytes);
+    if (!loaded.ok()) return loaded;
+  }
 
   int32_t max_stratum = 0;
   for (PredId p = 0; p < num_preds; ++p) {
@@ -969,6 +1018,13 @@ Result<Database> EvaluateStratified(const Program& program,
   // pre-filtered against the published state) and extends every probe
   // index once per merged stage. Both converge to the same least fixpoint.
   auto run_round = [&](const std::vector<RoundJob>& jobs) -> Status {
+    // Per-round checkpoint: catches trips between rounds (and charges the
+    // round's dispatch overhead) even when every job is tiny.
+    if (ctx != nullptr) {
+      Status round_entry =
+          ctx->Checkpoint("engine", 1 + static_cast<int64_t>(jobs.size()));
+      if (!round_entry.ok()) return round_entry;
+    }
     if (!parallel) {
       for (const RoundJob& job : jobs) {
         const int64_t delta_size =
@@ -994,6 +1050,12 @@ Result<Database> EvaluateStratified(const Program& program,
               overflow = Status::ResourceExhausted("tuple budget exceeded");
               stop.store(true, std::memory_order_relaxed);
             }
+            if (ctx != nullptr && added > 0) {
+              Status charge = ctx->ChargeBytes(
+                  "engine", added * head_arity *
+                                static_cast<int64_t>(sizeof(ConstId)));
+              if (!charge.ok()) stop.store(true, std::memory_order_relaxed);
+            }
             serial_sink_buffer.clear();
             buffered = 0;
           };
@@ -1005,12 +1067,14 @@ Result<Database> EvaluateStratified(const Program& program,
           serial_evaluator.Execute(plan, options.kernel, job.delta_relation,
                                    job.range_begin, job.range_end,
                                    /*inner_static=*/true, sink,
-                                   &stats->rule_applications, &stop);
+                                   &stats->rule_applications, &stop, ctx);
           flush();
         } else {
+          int64_t job_bytes = 0;
           auto sink = [&](const ConstId* values) {
             if (head.Insert(values)) {
               ++stats->tuples_derived;
+              job_bytes += head_arity * static_cast<int64_t>(sizeof(ConstId));
               if (++total_tuples > options.max_tuples) {
                 overflow = Status::ResourceExhausted("tuple budget exceeded");
                 stop.store(true, std::memory_order_relaxed);
@@ -1020,9 +1084,14 @@ Result<Database> EvaluateStratified(const Program& program,
           serial_evaluator.Execute(plan, options.kernel, job.delta_relation,
                                    job.range_begin, job.range_end,
                                    !PlanFeedsBack(plan, &head), sink,
-                                   &stats->rule_applications, &stop);
+                                   &stats->rule_applications, &stop, ctx);
+          if (ctx != nullptr && job_bytes > 0) {
+            Status charge = ctx->ChargeBytes("engine", job_bytes);
+            if (!charge.ok()) stop.store(true, std::memory_order_relaxed);
+          }
         }
         if (!overflow.ok()) return overflow;
+        if (ctx != nullptr && ctx->stopped()) return ctx->status();
       }
       return Status::Ok();
     }
@@ -1083,7 +1152,7 @@ Result<Database> EvaluateStratified(const Program& program,
         worker_evaluators[worker].Execute(
             *job.plan, options.kernel, job.delta_relation, job.range_begin,
             job.range_end, /*inner_static=*/true, sink,
-            &worker_applications[worker], &stop);
+            &worker_applications[worker], &stop, ctx);
         flush();
       } else {
         auto sink = [&](const ConstId* values) {
@@ -1092,11 +1161,11 @@ Result<Database> EvaluateStratified(const Program& program,
         worker_evaluators[worker].Execute(
             *job.plan, options.kernel, job.delta_relation, job.range_begin,
             job.range_end, /*inner_static=*/true, sink,
-            &worker_applications[worker], &stop);
+            &worker_applications[worker], &stop, ctx);
       }
       worker_busy_seconds[worker] += busy.Seconds();
     };
-    pool->ParallelFor(static_cast<int32_t>(jobs.size()), body);
+    pool->ParallelFor(static_cast<int32_t>(jobs.size()), body, ctx);
     for (int32_t w = 0; w < num_threads; ++w) {
       stats->rule_applications += worker_applications[w];
       worker_applications[w] = 0;
@@ -1104,6 +1173,7 @@ Result<Database> EvaluateStratified(const Program& program,
     // Barrier merge, on the coordinating thread: one BulkInsert per
     // non-empty worker stage (so up to num_threads merges — and index
     // passes — per predicate per round).
+    int64_t merged_bytes = 0;
     for (PredId p = 0; p < num_preds; ++p) {
       for (int32_t w = 0; w < num_threads; ++w) {
         Relation& stage = staging[w][p];
@@ -1111,11 +1181,25 @@ Result<Database> EvaluateStratified(const Program& program,
         const int64_t added = relations[p].BulkInsert(stage);
         stats->tuples_derived += added;
         total_tuples += added;
+        merged_bytes += added * relations[p].arity() *
+                        static_cast<int64_t>(sizeof(ConstId));
         stage.Clear();
       }
     }
     if (total_tuples > options.max_tuples) {
       return Status::ResourceExhausted("tuple budget exceeded");
+    }
+    // Byte accounting at the barrier: every worker stage has been merged
+    // (the relations are in a valid published state), so a trip here
+    // unwinds cleanly between rounds. Charging only merged (deduplicated)
+    // rows keeps the charge equal across thread counts — the least
+    // fixpoint is a set, so its byte total is schedule-independent.
+    if (ctx != nullptr) {
+      if (merged_bytes > 0) {
+        Status charge = ctx->ChargeBytes("engine", merged_bytes);
+        if (!charge.ok()) return charge;
+      }
+      if (ctx->stopped()) return ctx->status();
     }
     return Status::Ok();
   };
@@ -1270,6 +1354,10 @@ Result<Database> EvaluateStratified(const Program& program,
   // build — no Tuple heap allocation anywhere. EDB relations skip even the
   // gather: no rule writes them, so the input arena passes through as a
   // verbatim (already sorted, duplicate-free) copy.
+  if (ctx != nullptr) {
+    Status final_check = ctx->CheckNow("engine");
+    if (!final_check.ok()) return final_check;
+  }
   Database result(program);
   std::vector<ConstId> flat;
   for (PredId p = 0; p < num_preds; ++p) {

@@ -91,6 +91,9 @@
 
 namespace tiebreak {
 
+// Forward-declared; see util/execution_context.h.
+class ExecutionContext;
+
 /// Returns OK iff every rule of `program` is range-restricted.
 Status CheckSafety(const Program& program);
 
@@ -144,6 +147,14 @@ struct EngineOptions {
   /// predicates — set this false to skip one full copy of a potentially
   /// million-tuple EDB; the result's EDB relations are then empty.
   bool materialize_edb = true;
+  /// Resource governance for this evaluation (not owned; null = none).
+  /// Checkpoints fire per 64-row kernel block and per fixpoint round;
+  /// derived rows charge the byte budget at flush/merge barriers. On a
+  /// trip the evaluation unwinds from the next round barrier and returns
+  /// the context's Status (kResourceExhausted / kDeadlineExceeded /
+  /// kCancelled) instead of a database. The context's step/byte charges
+  /// and EngineOptions::max_tuples are independent limits; both apply.
+  ExecutionContext* context = nullptr;
 };
 
 /// Per-stratum timing breakdown (filled when stats are requested).

@@ -1,6 +1,14 @@
 #include "ground/close.h"
 
+#include "util/execution_context.h"
+
 namespace tiebreak {
+
+namespace {
+// Worklist pops between resource checkpoints in Drain and
+// LargestUnfoundedSet; each pop is a few cache lines of CSR arc work.
+constexpr int32_t kClosePollBlock = 256;
+}  // namespace
 
 namespace {
 
@@ -20,8 +28,8 @@ void InitCounters(const GroundGraph& graph, std::vector<int32_t>* pending,
 }  // namespace
 
 CloseState::CloseState(const Program& program, const Database& database,
-                       const GroundGraph& graph)
-    : graph_(&graph) {
+                       const GroundGraph& graph, ExecutionContext* context)
+    : graph_(&graph), exec_(context) {
   TIEBREAK_CHECK(graph.finalized());
   const int32_t n = graph.num_atoms();
   value_.assign(n, Truth::kUndef);
@@ -47,8 +55,9 @@ CloseState::CloseState(const Program& program, const Database& database,
 }
 
 CloseState::CloseState(const GroundGraph& graph,
-                       const std::vector<Truth>& initial)
-    : graph_(&graph) {
+                       const std::vector<Truth>& initial,
+                       ExecutionContext* context)
+    : graph_(&graph), exec_(context) {
   TIEBREAK_CHECK(graph.finalized());
   const int32_t n = graph.num_atoms();
   TIEBREAK_CHECK_EQ(static_cast<int32_t>(initial.size()), n);
@@ -93,7 +102,16 @@ void CloseState::Assign(AtomId atom, Truth value) {
 }
 
 void CloseState::Drain() {
+  int32_t drained = 0;
   while (!worklist_.empty()) {
+    // A trip stops between pops: every assignment made so far was forced
+    // (close is monotone), so the partial state stays sound; the remaining
+    // worklist entries are left unpropagated and the caller reads the trip
+    // from the context.
+    if (exec_ != nullptr && (++drained & (kClosePollBlock - 1)) == 0 &&
+        !exec_->Checkpoint("close", kClosePollBlock).ok()) {
+      return;
+    }
     const AtomId atom = worklist_.back();
     worklist_.pop_back();
     const bool is_true = value_[atom] == Truth::kTrue;
@@ -195,7 +213,15 @@ std::vector<AtomId> CloseState::LargestUnfoundedSet() const {
     }
   }
 
+  int32_t drained = 0;
   while (!queue.empty()) {
+    // A partial simulation proves nothing about which atoms are unfounded,
+    // so a trip abandons it and reports the empty set — the caller's loop
+    // terminates and reads the trip from the context.
+    if (exec_ != nullptr && (++drained & (kClosePollBlock - 1)) == 0 &&
+        !exec_->Checkpoint("close", kClosePollBlock).ok()) {
+      return {};
+    }
     const AtomId atom = queue.back();
     queue.pop_back();
     const bool founded = state[atom] == 1;

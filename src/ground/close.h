@@ -27,7 +27,18 @@
 
 namespace tiebreak {
 
+class ExecutionContext;
+
 /// Persistent close(M, G) state over one ground graph.
+///
+/// Resource governance: with a non-null context, Drain checkpoints every
+/// 256 worklist pops and LargestUnfoundedSet every 256 queue pops. On a
+/// trip, Drain stops between pops — every value assigned so far stays
+/// sound (close is monotone: each assignment was forced by the rules), the
+/// remaining worklist is simply not propagated — and LargestUnfoundedSet
+/// returns an empty set (a partial simulation proves nothing about
+/// unfoundedness). Callers distinguish a trip from completion through the
+/// context's status.
 class CloseState {
  public:
   /// Starts from the paper's initial model M0(Δ): atoms listed in Δ are
@@ -37,12 +48,13 @@ class CloseState {
   /// one pass over the EDB atoms — no per-atom Database::Contains, no
   /// materialized Tuples.
   CloseState(const Program& program, const Database& database,
-             const GroundGraph& graph);
+             const GroundGraph& graph, ExecutionContext* context = nullptr);
 
   /// Starts from an explicit initial assignment (Truth per AtomId; kUndef
   /// entries stay open) and closes. Used by the stable-model check's
   /// close(M⁻, G) and by tests.
-  CloseState(const GroundGraph& graph, const std::vector<Truth>& initial);
+  CloseState(const GroundGraph& graph, const std::vector<Truth>& initial,
+             ExecutionContext* context = nullptr);
 
   /// Assigns `value` to the live atom `atom` and propagates to fixpoint.
   void SetAndClose(AtomId atom, bool value) {
@@ -94,6 +106,7 @@ class CloseState {
   void InitialClose();
 
   const GroundGraph* graph_;
+  ExecutionContext* exec_ = nullptr;  // not owned; null = ungoverned
   std::vector<Truth> value_;
   std::vector<char> rule_dead_;
   std::vector<int32_t> rule_pending_;  // unresolved body edges per rule

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "engine/evaluation.h"
+#include "util/execution_context.h"
 #include "util/thread_pool.h"
 
 namespace tiebreak {
@@ -68,12 +69,22 @@ class GrounderImpl {
  public:
   GrounderImpl(const Program& program, const Database& database,
                const GroundingOptions& options)
-      : program_(program), database_(database), options_(options) {
+      : program_(program),
+        database_(database),
+        options_(options),
+        exec_(options.context) {
     universe_ = ComputeUniverse(program, database);
     num_threads_ = ThreadPool::EffectiveThreads(options.num_threads);
   }
 
   Result<GroundingResult> Run() {
+    // Entry checkpoint: an already-tripped context (pre-cancelled,
+    // pre-expired deadline) fails here before any work, identically for
+    // every thread count.
+    if (exec_ != nullptr) {
+      Status entry = exec_->Checkpoint("ground", 1);
+      if (!entry.ok()) return entry;
+    }
     if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
     root_ctx_.graph = &graph_;
     // Δ's IDB atoms always become nodes: they carry initial truth values.
@@ -109,6 +120,12 @@ class GrounderImpl {
                        : GroundRuleFaithful(r);
         if (!s.ok()) return s;
       }
+    }
+    // Final deadline check before the CSR index builds; a trip during the
+    // last emission block that no path returned yet also surfaces here.
+    if (exec_ != nullptr) {
+      Status final_check = exec_->CheckNow("ground");
+      if (!final_check.ok()) return final_check;
     }
     graph_.Finalize(pool_.get());
     GroundingResult result;
@@ -173,20 +190,37 @@ class GrounderImpl {
   Status Budget(EmitContext* ctx) {
     if (!ctx->parallel) {
       if (++work_ > options_.max_instances) return Exhausted();
+      // Resource checkpoint amortized over kWorkFlushBlock emissions — the
+      // serial analogue of FlushWork's per-flush checkpoint.
+      if (exec_ != nullptr && (work_ & (kWorkFlushBlock - 1)) == 0) {
+        Status s = exec_->Checkpoint("ground", kWorkFlushBlock);
+        if (!s.ok()) return s;
+      }
       return Status::Ok();
     }
     if (++ctx->pending_work >= kWorkFlushBlock) FlushWork(ctx);
-    if (stop_.load(std::memory_order_relaxed)) return Exhausted();
+    if (stop_.load(std::memory_order_relaxed)) return TripStatus();
     return Status::Ok();
+  }
+
+  // What a tripped stop flag means: the shared context's trip if it has
+  // one (cancellation / deadline / its budgets), the instance budget
+  // otherwise.
+  Status TripStatus() const {
+    if (exec_ != nullptr && exec_->stopped()) return exec_->status();
+    return Exhausted();
   }
 
   void FlushWork(EmitContext* ctx) {
     if (ctx->pending_work == 0) return;
-    const int64_t total = shared_work_.fetch_add(ctx->pending_work,
-                                                 std::memory_order_relaxed) +
-                          ctx->pending_work;
+    const int64_t flushed = ctx->pending_work;
+    const int64_t total =
+        shared_work_.fetch_add(flushed, std::memory_order_relaxed) + flushed;
     ctx->pending_work = 0;
     if (total > options_.max_instances) {
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    if (exec_ != nullptr && !exec_->Checkpoint("ground", flushed).ok()) {
       stop_.store(true, std::memory_order_relaxed);
     }
   }
@@ -388,9 +422,19 @@ class GrounderImpl {
       // Only the $bind relations are read back; don't copy the EDB into
       // the result.
       engine_options.materialize_edb = false;
+      // The grounding's context governs the engine evaluation too: its
+      // checkpoints run inside the join kernels, and a trip there aborts
+      // the whole grounding below.
+      engine_options.context = exec_;
       Result<Database> result = EvaluateStratified(
           bind_program, Span<const FactSpan>(edb.data(), edb.size()),
           engine_options);
+      if (!result.ok() && exec_ != nullptr && exec_->stopped()) {
+        // A context trip (cancellation, deadline, its step/byte budgets) is
+        // a real abort, never a reason to fall back to the legacy join —
+        // that would restart the work the user just cancelled.
+        return exec_->status();
+      }
       if (result.ok()) {
         bindings = std::move(result).value();
         bound_db = &bindings;
@@ -496,7 +540,8 @@ class GrounderImpl {
     shared_work_.store(work_, std::memory_order_relaxed);
     stop_.store(false, std::memory_order_relaxed);
     pool_->ParallelFor(
-        static_cast<int32_t>(jobs.size()), [&](int32_t task, int32_t worker) {
+        static_cast<int32_t>(jobs.size()),
+        [&](int32_t task, int32_t worker) {
           EmitContext* ctx = &contexts[worker];
           if (!statuses[worker].ok()) return;  // this lane already failed
           const EmitJob& job = jobs[task];
@@ -509,11 +554,16 @@ class GrounderImpl {
           }
           FlushWork(ctx);
           if (!s.ok()) statuses[worker] = s;
-        });
+        },
+        exec_);
     work_ = shared_work_.load(std::memory_order_relaxed);
     for (const Status& s : statuses) {
       if (!s.ok()) return s;
     }
+    // A context trip that raced past every worker's return (e.g. set by
+    // the last FlushWork) still aborts the grounding here, before the
+    // merge.
+    if (exec_ != nullptr && exec_->stopped()) return exec_->status();
     if (work_ > options_.max_instances) return Exhausted();
     for (const GroundGraph& shard : shards) graph_.MergeFrom(shard);
     return Status::Ok();
@@ -911,6 +961,8 @@ class GrounderImpl {
   const Program& program_;
   const Database& database_;
   const GroundingOptions& options_;
+  // Shared execution context (null = ungoverned); see GroundingOptions.
+  ExecutionContext* const exec_;
   int32_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<ConstId> universe_;

@@ -50,6 +50,9 @@
 
 namespace tiebreak {
 
+// Forward-declared; see util/execution_context.h.
+class ExecutionContext;
+
 /// Grounding knobs.
 struct GroundingOptions {
   /// Apply the EDB reduction (see file comment). Default on.
@@ -84,6 +87,14 @@ struct GroundingOptions {
   /// Abort with RESOURCE_EXHAUSTED beyond this many rule instances /
   /// explored bindings (guards |U|^k blowups).
   int64_t max_instances = 10'000'000;
+  /// Resource governance for this grounding (not owned; null = none).
+  /// Checkpoints fire per emission block (serial) / per budget-flush block
+  /// (parallel shards), and the context threads through to the engine
+  /// evaluation of the binding program. On a trip, Ground returns the
+  /// context's Status (kResourceExhausted / kDeadlineExceeded /
+  /// kCancelled); parallel shards abandon cleanly at the merge barrier.
+  /// Independent of max_instances — both limits apply.
+  ExecutionContext* context = nullptr;
 };
 
 /// A finalized ground graph plus the universe it was built over.

@@ -199,8 +199,11 @@ CmReduction CounterMachineToProgram(const CounterMachine& machine) {
   return handles;
 }
 
-Database NaturalDatabase(CmReduction* reduction, int32_t t) {
-  TIEBREAK_CHECK_GE(t, 0);
+Result<Database> NaturalDatabase(CmReduction* reduction, int32_t t) {
+  if (t < 0) {
+    return Status::InvalidArgument("time bound must be nonnegative, got " +
+                                   std::to_string(t));
+  }
   Program& program = reduction->program;
   std::vector<ConstId> numbers;
   numbers.reserve(t + 1);

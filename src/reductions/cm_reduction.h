@@ -38,7 +38,9 @@ CmReduction CounterMachineToProgram(const CounterMachine& machine);
 
 /// The natural database over universe {0, ..., t}: zero(0), succ(i, i+1),
 /// less(i, j) for i < j. Interns the numeric constants into the program.
-Database NaturalDatabase(CmReduction* reduction, int32_t t);
+/// InvalidArgument for t < 0 (the time bound typically comes from user
+/// input, e.g. a CLI flag).
+Result<Database> NaturalDatabase(CmReduction* reduction, int32_t t);
 
 /// The uniform-case transform Π -> Π' from the proof of Theorem 6: new IDB
 /// proposition q_total, ¬q_total added to every existing body, and

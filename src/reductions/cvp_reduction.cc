@@ -8,10 +8,16 @@ std::string CvpGatePredicateName(int32_t gate) {
   return "g" + std::to_string(gate);
 }
 
-Program CvpToProgram(const MonotoneCircuit& circuit,
-                     const std::vector<bool>& input_bits) {
-  TIEBREAK_CHECK_EQ(static_cast<int32_t>(input_bits.size()),
-                    circuit.num_inputs());
+Result<Program> CvpToProgram(const MonotoneCircuit& circuit,
+                             const std::vector<bool>& input_bits) {
+  if (circuit.num_gates() == 0) {
+    return Status::InvalidArgument("circuit has no gates");
+  }
+  if (static_cast<int32_t>(input_bits.size()) != circuit.num_inputs()) {
+    return Status::InvalidArgument(
+        "input has " + std::to_string(input_bits.size()) + " bits, circuit " +
+        std::to_string(circuit.num_inputs()) + " inputs");
+  }
   Program program;
   std::vector<PredId> gate_pred(circuit.num_gates());
   for (int32_t g = 0; g < circuit.num_gates(); ++g) {

@@ -23,8 +23,10 @@ namespace tiebreak {
 
 /// Builds the Theorem 4 program for circuit `circuit` on input `input_bits`.
 /// All predicates are zero-ary (the reduction only needs the skeleton).
-Program CvpToProgram(const MonotoneCircuit& circuit,
-                     const std::vector<bool>& input_bits);
+/// InvalidArgument when the circuit has no gates or `input_bits` does not
+/// match num_inputs().
+Result<Program> CvpToProgram(const MonotoneCircuit& circuit,
+                             const std::vector<bool>& input_bits);
 
 /// Name of the gate predicate for gate `g` ("g0", "g1", ...). The odd-cycle
 /// predicate is named "p_odd".

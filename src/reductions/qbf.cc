@@ -1,5 +1,7 @@
 #include "reductions/qbf.h"
 
+#include <string>
+
 namespace tiebreak {
 
 bool ClauseSatisfied(const std::vector<QbfLiteral>& clause, uint32_t x_mask,
@@ -20,9 +22,33 @@ bool Satisfies(const ForAllExistsCnf& formula, uint32_t x_mask,
   return true;
 }
 
-bool ForAllExistsHolds(const ForAllExistsCnf& formula) {
-  TIEBREAK_CHECK_LE(formula.num_x, 20);
-  TIEBREAK_CHECK_LE(formula.num_y, 20);
+Status ValidateForAllExistsCnf(const ForAllExistsCnf& formula) {
+  if (formula.num_x < 0 || formula.num_y < 0) {
+    return Status::InvalidArgument("negative block size");
+  }
+  for (size_t c = 0; c < formula.clauses.size(); ++c) {
+    for (const QbfLiteral& lit : formula.clauses[c]) {
+      const int32_t block = lit.is_x ? formula.num_x : formula.num_y;
+      if (lit.index < 0 || lit.index >= block) {
+        return Status::InvalidArgument(
+            "clause " + std::to_string(c) + ": literal index " +
+            std::to_string(lit.index) + " outside its " +
+            (lit.is_x ? "x" : "y") + "-block of size " +
+            std::to_string(block));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<bool> ForAllExistsHolds(const ForAllExistsCnf& formula) {
+  Status valid = ValidateForAllExistsCnf(formula);
+  if (!valid.ok()) return valid;
+  if (formula.num_x > 20 || formula.num_y > 20) {
+    return Status::InvalidArgument(
+        "brute-force QBF evaluation needs num_x, num_y <= 20; got " +
+        std::to_string(formula.num_x) + ", " + std::to_string(formula.num_y));
+  }
   for (uint32_t x = 0; x < (1u << formula.num_x); ++x) {
     bool exists = false;
     for (uint32_t y = 0; y < (1u << formula.num_y); ++y) {

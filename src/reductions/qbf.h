@@ -10,6 +10,7 @@
 
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace tiebreak {
 
@@ -37,8 +38,15 @@ bool ClauseSatisfied(const std::vector<QbfLiteral>& clause, uint32_t x_mask,
 bool Satisfies(const ForAllExistsCnf& formula, uint32_t x_mask,
                uint32_t y_mask);
 
-/// Brute-force evaluation of ∀x ∃y F(x, y). Requires num_x, num_y <= 20.
-bool ForAllExistsHolds(const ForAllExistsCnf& formula);
+/// OK iff `formula` is well formed: nonnegative block sizes and every
+/// literal index within its block. Malformed formulas (the kind a file
+/// loader or fuzzer can produce) get InvalidArgument, never an abort.
+Status ValidateForAllExistsCnf(const ForAllExistsCnf& formula);
+
+/// Brute-force evaluation of ∀x ∃y F(x, y). InvalidArgument when the
+/// formula is malformed or a block exceeds 20 variables (the enumeration
+/// is exponential in the block sizes).
+Result<bool> ForAllExistsHolds(const ForAllExistsCnf& formula);
 
 /// Random formula with the given shape; clause width 1..3.
 ForAllExistsCnf RandomForAllExistsCnf(Rng* rng, int32_t num_x, int32_t num_y,

@@ -5,7 +5,9 @@
 
 namespace tiebreak {
 
-Program QbfToProgram(const ForAllExistsCnf& formula) {
+Result<Program> QbfToProgram(const ForAllExistsCnf& formula) {
+  Status valid = ValidateForAllExistsCnf(formula);
+  if (!valid.ok()) return valid;
   Program program;
   std::vector<PredId> x_pred(formula.num_x), y_pred(formula.num_y);
   for (int32_t i = 0; i < formula.num_x; ++i) {

@@ -19,8 +19,10 @@
 namespace tiebreak {
 
 /// Builds the Proposition's program for `formula`. Predicates are "x0"...,
-/// "y0"..., "p_sel", "q_sel" (all zero-ary).
-Program QbfToProgram(const ForAllExistsCnf& formula);
+/// "y0"..., "p_sel", "q_sel" (all zero-ary). InvalidArgument when the
+/// formula fails ValidateForAllExistsCnf (no block-size cap here — the
+/// program is linear in the formula).
+Result<Program> QbfToProgram(const ForAllExistsCnf& formula);
 
 }  // namespace tiebreak
 

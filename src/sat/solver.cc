@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/execution_context.h"
+
 namespace tiebreak {
 
 namespace {
@@ -265,6 +267,12 @@ SatResult SatSolver::Solve() {
     last_result_ = SatResult::kUnsat;
     return SatResult::kUnsat;
   }
+  // Entry checkpoint: an already-tripped context returns kUnknown before
+  // any search.
+  if (context_ != nullptr && !context_->Checkpoint("sat", 1).ok()) {
+    last_result_ = SatResult::kUnknown;
+    return SatResult::kUnknown;
+  }
   if (Propagate() != -1) {
     unsat_ = true;
     last_result_ = SatResult::kUnsat;
@@ -303,9 +311,28 @@ SatResult SatSolver::Solve() {
         last_result_ = SatResult::kUnknown;
         return SatResult::kUnknown;
       }
+      // Cooperative cancellation: one relaxed load per conflict. Budget
+      // and deadline work is charged at restart boundaries below.
+      if (context_ != nullptr && context_->stopped()) {
+        Backtrack(0);
+        last_result_ = SatResult::kUnknown;
+        return SatResult::kUnknown;
+      }
       continue;
     }
     if (conflicts_since_restart >= static_cast<int64_t>(restart_limit)) {
+      // Restart boundary: fold the restart's conflicts into the shared
+      // step budget and check the deadline with a real clock read
+      // (restarts grow geometrically, so this stays rare).
+      if (context_ != nullptr) {
+        Status governed = context_->Checkpoint("sat", conflicts_since_restart);
+        if (governed.ok()) governed = context_->CheckNow("sat");
+        if (!governed.ok()) {
+          Backtrack(0);
+          last_result_ = SatResult::kUnknown;
+          return SatResult::kUnknown;
+        }
+      }
       conflicts_since_restart = 0;
       restart_limit *= 1.5;
       Backtrack(0);

@@ -22,6 +22,8 @@
 
 namespace tiebreak {
 
+class ExecutionContext;
+
 /// Literal encoding: variable v >= 0; positive literal 2v, negative 2v+1.
 using SatLit = int32_t;
 
@@ -39,7 +41,8 @@ inline SatLit MakeLit(int32_t var, bool positive) {
 enum class SatResult {
   kSat,
   kUnsat,
-  kUnknown,  ///< conflict budget exhausted (only with SetConflictBudget)
+  kUnknown,  ///< conflict budget exhausted (SetConflictBudget) or the
+             ///< execution context tripped (SetExecutionContext)
 };
 
 /// Conflict-driven clause-learning solver.
@@ -64,6 +67,15 @@ class SatSolver {
 
   /// Caps the number of conflicts in subsequent Solve() calls; 0 = no cap.
   void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
+
+  /// Governs subsequent Solve() calls by `context` (not owned; null =
+  /// ungoverned): conflicts charge the context's step budget at restart
+  /// boundaries, deadlines are checked there too (an unconditional clock
+  /// read per restart — restarts are geometric, so rare), and every
+  /// conflict polls the cooperative stop flag (one relaxed load). On a
+  /// trip, Solve backtracks to level 0 — the solver stays valid and
+  /// incremental — and returns kUnknown; read the context for the cause.
+  void SetExecutionContext(ExecutionContext* context) { context_ = context; }
 
   /// Runs the CDCL search.
   SatResult Solve();
@@ -138,6 +150,7 @@ class SatSolver {
   bool unsat_ = false;
   SatResult last_result_ = SatResult::kUnknown;
   int64_t conflict_budget_ = 0;
+  ExecutionContext* context_ = nullptr;
 
   int64_t stats_conflicts_ = 0;
   int64_t stats_decisions_ = 0;

@@ -1,0 +1,124 @@
+#include "util/execution_context.h"
+
+#include "util/fault_injection.h"
+
+namespace tiebreak {
+
+namespace {
+
+const char* TripVerb(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "budget exhausted";
+    default:
+      return "tripped";
+  }
+}
+
+}  // namespace
+
+std::string TruncationReport::ToString() const {
+  if (code == StatusCode::kOk) return "";
+  std::string out = StatusCodeName(code);
+  out += " at ";
+  out += layer;
+  out += " after ";
+  out += std::to_string(steps);
+  out += " steps, ";
+  out += std::to_string(bytes);
+  out += " bytes";
+  return out;
+}
+
+ExecutionContext::ExecutionContext(const ResourceLimits& limits)
+    : max_steps_(limits.max_steps),
+      max_bytes_(limits.max_bytes),
+      has_deadline_(limits.deadline_seconds > 0) {
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(limits.deadline_seconds));
+  }
+}
+
+void ExecutionContext::Cancel() { Trip(StatusCode::kCancelled, "external"); }
+
+Status ExecutionContext::Trip(StatusCode code, const char* layer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tripped_.load(std::memory_order_relaxed)) {
+    report_.code = code;
+    report_.layer = layer;
+    report_.steps = steps_.load(std::memory_order_relaxed);
+    report_.bytes = bytes_.load(std::memory_order_relaxed);
+    tripped_.store(true, std::memory_order_relaxed);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  return Status(report_.code,
+                std::string(TripVerb(report_.code)) + " in " + report_.layer +
+                    " layer (" + report_.ToString() + ")");
+}
+
+Status ExecutionContext::TrippedStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Status(report_.code,
+                std::string(TripVerb(report_.code)) + " in " + report_.layer +
+                    " layer (" + report_.ToString() + ")");
+}
+
+Status ExecutionContext::status() const {
+  if (!stop_.load(std::memory_order_relaxed)) return Status::Ok();
+  return TrippedStatus();
+}
+
+TruncationReport ExecutionContext::truncation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+Status ExecutionContext::Checkpoint(const char* layer, int64_t steps) {
+  if (stop_.load(std::memory_order_relaxed)) return TrippedStatus();
+  // Test-only hook; one relaxed load while disarmed.
+  if (fault_injection::Armed() && fault_injection::Tick()) {
+    return Trip(StatusCode::kCancelled, layer);
+  }
+  const int64_t before = steps_.fetch_add(steps, std::memory_order_relaxed);
+  const int64_t after = before + steps;
+  if (max_steps_ > 0 && after > max_steps_) {
+    return Trip(StatusCode::kResourceExhausted, layer);
+  }
+  if (has_deadline_ &&
+      (before / kDeadlineStrideSteps != after / kDeadlineStrideSteps ||
+       before == 0)) {
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      return Trip(StatusCode::kDeadlineExceeded, layer);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ExecutionContext::ChargeBytes(const char* layer, int64_t bytes) {
+  if (stop_.load(std::memory_order_relaxed)) return TrippedStatus();
+  const int64_t after =
+      bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (max_bytes_ > 0 && after > max_bytes_) {
+    return Trip(StatusCode::kResourceExhausted, layer);
+  }
+  return Status::Ok();
+}
+
+Status ExecutionContext::CheckNow(const char* layer) {
+  if (stop_.load(std::memory_order_relaxed)) return TrippedStatus();
+  if (fault_injection::Armed() && fault_injection::Tick()) {
+    return Trip(StatusCode::kCancelled, layer);
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Trip(StatusCode::kDeadlineExceeded, layer);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tiebreak

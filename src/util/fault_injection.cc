@@ -1,0 +1,37 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+
+namespace tiebreak {
+namespace fault_injection {
+
+namespace {
+std::atomic<bool> g_armed{false};
+std::atomic<int64_t> g_counter{0};
+// INT64_MAX in counting mode: every Tick() increments but never trips.
+std::atomic<int64_t> g_trip_at{0};
+}  // namespace
+
+void TripAtCheckpoint(int64_t index) {
+  g_counter.store(0, std::memory_order_relaxed);
+  g_trip_at.store(index, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void CountCheckpoints() { TripAtCheckpoint(INT64_MAX); }
+
+void Disarm() { g_armed.store(false, std::memory_order_relaxed); }
+
+int64_t CheckpointsObserved() {
+  return g_counter.load(std::memory_order_relaxed);
+}
+
+bool Armed() { return g_armed.load(std::memory_order_relaxed); }
+
+bool Tick() {
+  const int64_t index = g_counter.fetch_add(1, std::memory_order_relaxed);
+  return index == g_trip_at.load(std::memory_order_relaxed);
+}
+
+}  // namespace fault_injection
+}  // namespace tiebreak

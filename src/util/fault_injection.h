@@ -1,0 +1,52 @@
+// Test-only fault injection for ExecutionContext checkpoints: when armed,
+// the N-th checkpoint observed process-wide cancels the context that
+// reached it. The sweep test (tests/fault_injection_test.cc) first runs a
+// workload in counting mode to learn how many checkpoints it executes,
+// then replays it tripping cancellation at every index, asserting clean
+// unwinding (well-formed error Status, no abort, agreement on a clean
+// rerun) at each.
+//
+// The hook is compiled into every checkpoint but costs one relaxed load of
+// a global flag while disarmed; production builds simply never arm it.
+// Arming is inherently process-global and not thread-safe against
+// concurrent Arm/Disarm calls — tests arm before starting a workload and
+// disarm after it returns (checkpoints themselves may run on many
+// threads).
+#ifndef TIEBREAK_UTIL_FAULT_INJECTION_H_
+#define TIEBREAK_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+namespace tiebreak {
+
+class ExecutionContext;
+
+namespace fault_injection {
+
+/// Arms the hook: checkpoint number `index` (0-based, counted from this
+/// call across all contexts and threads) cancels its context. Resets the
+/// observed-checkpoint counter.
+void TripAtCheckpoint(int64_t index);
+
+/// Arms counting only: checkpoints are counted but never tripped. Resets
+/// the counter.
+void CountCheckpoints();
+
+/// Disarms the hook; checkpoints return to the zero-bookkeeping path.
+void Disarm();
+
+/// Checkpoints observed since the last TripAtCheckpoint/CountCheckpoints.
+int64_t CheckpointsObserved();
+
+/// Internal: called by ExecutionContext::Checkpoint. Returns true when
+/// this checkpoint is the armed trip index (the caller then cancels
+/// `context`).
+bool Tick();
+
+/// Internal: the disarmed fast-path test (one relaxed load).
+bool Armed();
+
+}  // namespace fault_injection
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_UTIL_FAULT_INJECTION_H_

@@ -21,6 +21,8 @@ enum class StatusCode {
                         ///< program given to the stratified engine).
   kResourceExhausted,   ///< Configured limit exceeded (grounding budget...).
   kInternal,            ///< Invariant violation surfaced as an error.
+  kDeadlineExceeded,    ///< ExecutionContext wall-clock deadline passed.
+  kCancelled,           ///< Cooperative cancellation was requested.
 };
 
 /// Returns a short stable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -53,6 +55,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include "util/execution_context.h"
 #include "util/logging.h"
 
 namespace tiebreak {
@@ -30,7 +31,12 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::DrainTasks(int32_t worker) {
   const int32_t num_tasks = batch_tasks_;
   const FunctionView<void(int32_t, int32_t)>& body = *body_;
+  const ExecutionContext* context = context_;
   while (true) {
+    // Between claimed tasks is the cancellation point: a tripped context
+    // stops this lane from claiming more work (running bodies observe the
+    // trip through their own checkpoints).
+    if (context != nullptr && context->stopped()) return;
     const int32_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
     if (task >= num_tasks) return;
     body(task, worker);
@@ -57,20 +63,29 @@ void ThreadPool::WorkerLoop(int32_t worker) {
 }
 
 void ThreadPool::ParallelFor(
-    int32_t num_tasks, FunctionView<void(int32_t task, int32_t worker)> body) {
+    int32_t num_tasks, FunctionView<void(int32_t task, int32_t worker)> body,
+    const ExecutionContext* context) {
   TIEBREAK_CHECK_GE(num_tasks, 0);
   if (num_tasks == 0) return;
   if (num_threads_ == 1) {
-    for (int32_t task = 0; task < num_tasks; ++task) body(task, 0);
+    TIEBREAK_CHECK(!InParallelRegion()) << "ParallelFor is not reentrant";
+    in_batch_.store(true, std::memory_order_relaxed);
+    for (int32_t task = 0; task < num_tasks; ++task) {
+      if (context != nullptr && context->stopped()) break;
+      body(task, 0);
+    }
+    in_batch_.store(false, std::memory_order_relaxed);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     TIEBREAK_CHECK_EQ(workers_active_, 0) << "ParallelFor is not reentrant";
     body_ = &body;
+    context_ = context;
     batch_tasks_ = num_tasks;
     next_task_.store(0, std::memory_order_relaxed);
     workers_active_ = num_threads_ - 1;
+    in_batch_.store(true, std::memory_order_relaxed);
     ++batch_generation_;
   }
   batch_cv_.notify_all();
@@ -79,6 +94,8 @@ void ThreadPool::ParallelFor(
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return workers_active_ == 0; });
   body_ = nullptr;
+  context_ = nullptr;
+  in_batch_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace tiebreak

@@ -28,6 +28,9 @@
 
 namespace tiebreak {
 
+// Forward-declared; see util/execution_context.h.
+class ExecutionContext;
+
 /// A persistent pool of `num_threads - 1` worker threads; the thread that
 /// calls ParallelFor participates as worker 0, so `num_threads = 1` spawns
 /// nothing and runs everything inline (the serial reference path).
@@ -47,9 +50,25 @@ class ThreadPool {
   /// across the pool; blocks until all tasks finished. `worker` is in
   /// [0, num_threads()) and identifies the executing lane (stable for the
   /// duration of one task, distinct for concurrently running tasks), so it
-  /// can index per-worker scratch. Not reentrant: one batch at a time.
+  /// can index per-worker scratch. Not reentrant: one batch at a time
+  /// (violations abort; see InParallelRegion for the testable predicate).
+  ///
+  /// With a non-null `context`, workers poll it between claimed tasks and
+  /// stop claiming once it trips — tasks already running finish (their
+  /// bodies observe the trip through their own checkpoints), unclaimed
+  /// tasks are abandoned, and ParallelFor still joins normally, so callers
+  /// unwind from a barrier-consistent state.
   void ParallelFor(int32_t num_tasks,
-                   FunctionView<void(int32_t task, int32_t worker)> body);
+                   FunctionView<void(int32_t task, int32_t worker)> body,
+                   const ExecutionContext* context = nullptr);
+
+  /// True while a ParallelFor batch is in flight on this pool. Calling
+  /// ParallelFor when this holds is the non-reentrancy violation (it
+  /// aborts); exposed so callers and tests can detect the condition
+  /// without dying.
+  bool InParallelRegion() const {
+    return in_batch_.load(std::memory_order_relaxed);
+  }
 
   /// Resolves a thread-count request: n <= 0 → hardware concurrency
   /// (at least 1), otherwise n.
@@ -72,6 +91,11 @@ class ThreadPool {
   // Points at ParallelFor's argument; valid while a batch runs because
   // ParallelFor does not return before every task has finished.
   const FunctionView<void(int32_t, int32_t)>* body_ = nullptr;
+  // Current batch's cancellation context (null = none); same lifetime
+  // argument as body_.
+  const ExecutionContext* context_ = nullptr;
+  // Set for the duration of one batch, including serial (1-thread) runs.
+  std::atomic<bool> in_batch_{false};
 
   std::atomic<int32_t> next_task_{0};
 

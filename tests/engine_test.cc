@@ -13,6 +13,7 @@
 #include "engine/relation.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "util/execution_context.h"
 #include "util/random.h"
 #include "workload/databases.h"
 #include "workload/programs.h"
@@ -624,6 +625,115 @@ TEST(WorkloadTest, DatabaseGenerators) {
   EXPECT_LE(random.TotalFacts(), 30);
   Database edb = RandomEdbDatabase(&program, 3, 0.5, &rng);
   EXPECT_LE(edb.TotalFacts(), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Resource-governed evaluation.
+// ---------------------------------------------------------------------------
+
+TEST(EngineGovernanceTest, StepBudgetTripsDeterministicallyAcrossThreads) {
+  // The engine's step total (rows scanned per round) is fixed by set
+  // semantics, so a too-small budget trips at every thread count.
+  Program program = TransitiveClosureProgram();
+  Rng rng(21);
+  Database db = RandomDigraphDatabase(&program, "e", 64, 256, &rng);
+  for (const int32_t threads : {1, 2, 8}) {
+    ResourceLimits limits;
+    limits.max_steps = 50;
+    ExecutionContext context(limits);
+    EngineOptions options;
+    options.num_threads = threads;
+    options.context = &context;
+    Result<Database> result = EvaluateStratified(program, db, options);
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << "threads=" << threads;
+    EXPECT_EQ(context.truncation().code, StatusCode::kResourceExhausted)
+        << "threads=" << threads;
+  }
+}
+
+TEST(EngineGovernanceTest, ByteBudgetDecisionIsThreadCountInvariant) {
+  // The byte charge counts deduplicated derived rows only, so whether a
+  // byte budget trips is a property of the workload, not of the thread
+  // count: measure the total once, then check both sides of the line at
+  // every thread count.
+  Program program = TransitiveClosureProgram();
+  Rng rng(22);
+  Database db = RandomDigraphDatabase(&program, "e", 48, 128, &rng);
+  ExecutionContext probe;
+  EngineOptions probe_options;
+  probe_options.context = &probe;
+  ASSERT_TRUE(EvaluateStratified(program, db, probe_options).ok());
+  const int64_t total_bytes = probe.bytes_charged();
+  ASSERT_GT(total_bytes, 0);
+  for (const int32_t threads : {1, 2, 8}) {
+    ResourceLimits tight;
+    tight.max_bytes = total_bytes / 2;
+    ExecutionContext tight_context(tight);
+    EngineOptions options;
+    options.num_threads = threads;
+    options.context = &tight_context;
+    Result<Database> tripped = EvaluateStratified(program, db, options);
+    ASSERT_FALSE(tripped.ok()) << "threads=" << threads;
+    EXPECT_EQ(tripped.status().code(), StatusCode::kResourceExhausted)
+        << "threads=" << threads;
+
+    ResourceLimits roomy;
+    roomy.max_bytes = total_bytes * 2;
+    ExecutionContext roomy_context(roomy);
+    options.context = &roomy_context;
+    Result<Database> complete = EvaluateStratified(program, db, options);
+    ASSERT_TRUE(complete.ok()) << "threads=" << threads;
+    EXPECT_EQ(roomy_context.bytes_charged(), total_bytes)
+        << "threads=" << threads;
+  }
+}
+
+TEST(EngineGovernanceTest, ExpiredDeadlineAndCancelTripAcrossThreads) {
+  Program program = TransitiveClosureProgram();
+  Rng rng(23);
+  Database db = RandomDigraphDatabase(&program, "e", 32, 64, &rng);
+  for (const int32_t threads : {1, 2, 8}) {
+    ResourceLimits limits;
+    limits.deadline_seconds = 1e-9;
+    ExecutionContext expired(limits);
+    EngineOptions options;
+    options.num_threads = threads;
+    options.context = &expired;
+    Result<Database> late = EvaluateStratified(program, db, options);
+    ASSERT_FALSE(late.ok()) << "threads=" << threads;
+    EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded)
+        << "threads=" << threads;
+
+    ExecutionContext cancelled;
+    cancelled.Cancel();
+    options.context = &cancelled;
+    Result<Database> stopped = EvaluateStratified(program, db, options);
+    ASSERT_FALSE(stopped.ok()) << "threads=" << threads;
+    EXPECT_EQ(stopped.status().code(), StatusCode::kCancelled)
+        << "threads=" << threads;
+  }
+}
+
+TEST(EngineGovernanceTest, GenerousContextDoesNotPerturbResults) {
+  Program program = TransitiveClosureProgram();
+  Rng rng(24);
+  Database db = RandomDigraphDatabase(&program, "e", 48, 128, &rng);
+  Result<Database> plain = EvaluateStratified(program, db);
+  ASSERT_TRUE(plain.ok());
+  ResourceLimits limits;
+  limits.max_steps = 1'000'000'000;
+  limits.max_bytes = 1'000'000'000;
+  limits.deadline_seconds = 3600;
+  ExecutionContext context(limits);
+  EngineOptions options;
+  options.context = &context;
+  Result<Database> governed = EvaluateStratified(program, db, options);
+  ASSERT_TRUE(governed.ok());
+  EXPECT_TRUE(*governed == *plain);
+  EXPECT_FALSE(context.stopped());
+  EXPECT_GT(context.steps_charged(), 0);
 }
 
 }  // namespace

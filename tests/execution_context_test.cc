@@ -1,0 +1,204 @@
+// Unit tests for the resource-governance primitive: ExecutionContext
+// budgets, deadlines and cancellation, plus the ThreadPool's
+// cancellation-aware ParallelFor and its non-reentrancy contract.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/execution_context.h"
+#include "util/thread_pool.h"
+
+namespace tiebreak {
+namespace {
+
+TEST(ExecutionContextTest, UnlimitedContextNeverTrips) {
+  ExecutionContext context;
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(context.Checkpoint("test", 64).ok());
+  }
+  EXPECT_TRUE(context.ChargeBytes("test", 1'000'000'000).ok());
+  EXPECT_TRUE(context.CheckNow("test").ok());
+  EXPECT_FALSE(context.stopped());
+  EXPECT_TRUE(context.status().ok());
+  EXPECT_EQ(context.truncation().code, StatusCode::kOk);
+  EXPECT_EQ(context.steps_charged(), 10'000 * 64);
+}
+
+TEST(ExecutionContextTest, StepBudgetTrips) {
+  ResourceLimits limits;
+  limits.max_steps = 100;
+  ExecutionContext context(limits);
+  EXPECT_TRUE(context.Checkpoint("engine", 64).ok());
+  const Status trip = context.Checkpoint("engine", 64);
+  ASSERT_FALSE(trip.ok());
+  EXPECT_EQ(trip.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(context.stopped());
+  // Subsequent checkpoints return the recorded trip without charging more.
+  const int64_t charged = context.steps_charged();
+  EXPECT_EQ(context.Checkpoint("engine", 64).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(context.steps_charged(), charged);
+  const TruncationReport report = context.truncation();
+  EXPECT_EQ(report.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(report.layer, "engine");
+  EXPECT_EQ(report.steps, 128);
+  EXPECT_NE(report.ToString(), "");
+}
+
+TEST(ExecutionContextTest, ByteBudgetTrips) {
+  ResourceLimits limits;
+  limits.max_bytes = 4096;
+  ExecutionContext context(limits);
+  EXPECT_TRUE(context.ChargeBytes("engine", 4096).ok());
+  const Status trip = context.ChargeBytes("engine", 1);
+  ASSERT_FALSE(trip.ok());
+  EXPECT_EQ(trip.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(context.truncation().bytes, 4097);
+}
+
+TEST(ExecutionContextTest, ExpiredDeadlineTripsAtFirstCheckpoint) {
+  // The first checkpoint always reads the clock (no stride decimation
+  // before any charge), so an already-past deadline trips deterministically
+  // regardless of how much work one stride represents.
+  ResourceLimits limits;
+  limits.deadline_seconds = 1e-9;
+  ExecutionContext context(limits);
+  const Status trip = context.Checkpoint("ground", 1);
+  ASSERT_FALSE(trip.ok());
+  EXPECT_EQ(trip.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(context.truncation().layer, "ground");
+}
+
+TEST(ExecutionContextTest, CheckNowObservesDeadlineWithoutCharge) {
+  ResourceLimits limits;
+  limits.deadline_seconds = 1e-9;
+  ExecutionContext context(limits);
+  const Status trip = context.CheckNow("sat");
+  ASSERT_FALSE(trip.ok());
+  EXPECT_EQ(trip.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(context.steps_charged(), 0);
+}
+
+TEST(ExecutionContextTest, CancelObservedByNextCheckpoint) {
+  ExecutionContext context;
+  EXPECT_TRUE(context.Checkpoint("close", 256).ok());
+  context.Cancel();
+  EXPECT_TRUE(context.stopped());
+  const Status trip = context.Checkpoint("close", 256);
+  ASSERT_FALSE(trip.ok());
+  EXPECT_EQ(trip.code(), StatusCode::kCancelled);
+  EXPECT_EQ(context.status().code(), StatusCode::kCancelled);
+  context.Cancel();  // idempotent
+  EXPECT_EQ(context.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContextTest, FirstTripWins) {
+  ResourceLimits limits;
+  limits.max_steps = 10;
+  ExecutionContext context(limits);
+  EXPECT_EQ(context.Checkpoint("engine", 64).code(),
+            StatusCode::kResourceExhausted);
+  context.Cancel();  // later cancellation does not overwrite the report
+  EXPECT_EQ(context.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(context.truncation().code, StatusCode::kResourceExhausted);
+}
+
+TEST(ExecutionContextTest, SharedAcrossThreadsTripsOnce) {
+  // Many threads hammer one context; exactly one trip is recorded and every
+  // thread converges on the same Status.
+  ResourceLimits limits;
+  limits.max_steps = 1'000'000;
+  ExecutionContext context(limits);
+  std::vector<std::thread> threads;
+  std::atomic<int> trips{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&context, &trips] {
+      while (true) {
+        const Status status = context.Checkpoint("engine", 64);
+        if (!status.ok()) {
+          EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+          trips.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(trips.load(), 8);
+  EXPECT_EQ(context.truncation().code, StatusCode::kResourceExhausted);
+  EXPECT_GE(context.steps_charged(), 1'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool cancellation and non-reentrancy.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, PreCancelledContextRunsNoTasks) {
+  for (const int32_t threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ExecutionContext context;
+    context.Cancel();
+    std::atomic<int32_t> executed{0};
+    pool.ParallelFor(
+        1000, [&executed](int32_t, int32_t) { executed.fetch_add(1); },
+        &context);
+    EXPECT_EQ(executed.load(), 0) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, CancellationStopsClaimsMidBatch) {
+  // Every body cancels, so after the first task at most one in-flight task
+  // per lane can still run: executed is bounded by the lane count, not the
+  // batch size.
+  for (const int32_t threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ExecutionContext context;
+    std::atomic<int32_t> executed{0};
+    pool.ParallelFor(
+        100'000,
+        [&executed, &context](int32_t, int32_t) {
+          context.Cancel();
+          executed.fetch_add(1);
+        },
+        &context);
+    EXPECT_GE(executed.load(), 1) << "threads=" << threads;
+    EXPECT_LE(executed.load(), threads) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, NullContextRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int32_t> executed{0};
+  pool.ParallelFor(1000, [&executed](int32_t, int32_t) {
+    executed.fetch_add(1);
+  });
+  EXPECT_EQ(executed.load(), 1000);
+}
+
+TEST(ThreadPoolTest, InParallelRegionTracksBatches) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InParallelRegion());
+  std::atomic<bool> saw_region{false};
+  pool.ParallelFor(8, [&pool, &saw_region](int32_t, int32_t) {
+    if (pool.InParallelRegion()) saw_region.store(true);
+  });
+  EXPECT_TRUE(saw_region.load());
+  EXPECT_FALSE(pool.InParallelRegion());
+}
+
+TEST(ThreadPoolDeathTest, ReentrantParallelForAborts) {
+  // ThreadPool(1) runs the serial path: the death-test child stays
+  // single-threaded, so the default (fork-based) style is safe.
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.ParallelFor(1, [&pool](int32_t, int32_t) {
+          pool.ParallelFor(1, [](int32_t, int32_t) {});
+        });
+      },
+      "not reentrant");
+}
+
+}  // namespace
+}  // namespace tiebreak

@@ -21,6 +21,7 @@
 #include "ground/grounder.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "util/execution_context.h"
 #include "util/random.h"
 #include "workload/databases.h"
 #include "workload/programs.h"
@@ -369,6 +370,90 @@ TEST(GroundCsrTest, ParallelBudgetExhausts) {
     EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted)
         << "threads=" << threads;
   }
+}
+
+TEST(GroundCsrTest, ContextStepBudgetTripsAcrossThreadCounts) {
+  // Same determinism contract for the unified ExecutionContext budget: the
+  // step total is fixed by the workload, so a too-small budget trips at
+  // every thread count and surfaces the context's own Status.
+  Program program = WinMoveProgram();
+  Rng rng(5);
+  Database database = RandomDigraphDatabase(&program, "move", 256, 512, &rng);
+  for (const int32_t threads : {1, 2, 8}) {
+    ResourceLimits limits;
+    limits.max_steps = 100;  // far below the pipeline's step total
+    ExecutionContext context(limits);
+    GroundingOptions options;
+    options.num_threads = threads;
+    options.context = &context;
+    Result<GroundingResult> g = Ground(program, database, options);
+    ASSERT_FALSE(g.ok()) << "threads=" << threads;
+    EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted)
+        << "threads=" << threads;
+    EXPECT_TRUE(context.stopped()) << "threads=" << threads;
+    EXPECT_EQ(context.truncation().code, StatusCode::kResourceExhausted)
+        << "threads=" << threads;
+  }
+}
+
+TEST(GroundCsrTest, ExpiredDeadlineTripsGroundingAcrossThreadCounts) {
+  // A deadline already past at entry trips the grounder's first checkpoint
+  // deterministically, before any parallel fan-out.
+  Program program = WinMoveProgram();
+  Rng rng(5);
+  Database database = RandomDigraphDatabase(&program, "move", 64, 128, &rng);
+  for (const int32_t threads : {1, 2, 8}) {
+    ResourceLimits limits;
+    limits.deadline_seconds = 1e-9;
+    ExecutionContext context(limits);
+    GroundingOptions options;
+    options.num_threads = threads;
+    options.context = &context;
+    Result<GroundingResult> g = Ground(program, database, options);
+    ASSERT_FALSE(g.ok()) << "threads=" << threads;
+    EXPECT_EQ(g.status().code(), StatusCode::kDeadlineExceeded)
+        << "threads=" << threads;
+  }
+}
+
+TEST(GroundCsrTest, PreCancelledContextTripsGroundingAcrossThreadCounts) {
+  Program program = WinMoveProgram();
+  Rng rng(5);
+  Database database = RandomDigraphDatabase(&program, "move", 64, 128, &rng);
+  for (const int32_t threads : {1, 2, 8}) {
+    ExecutionContext context;
+    context.Cancel();
+    GroundingOptions options;
+    options.num_threads = threads;
+    options.context = &context;
+    Result<GroundingResult> g = Ground(program, database, options);
+    ASSERT_FALSE(g.ok()) << "threads=" << threads;
+    EXPECT_EQ(g.status().code(), StatusCode::kCancelled)
+        << "threads=" << threads;
+  }
+}
+
+TEST(GroundCsrTest, GenerousContextDoesNotPerturbGrounding) {
+  // A context with room to spare must not change the grounder's output:
+  // same graph as the ungoverned run, and the charges are visible.
+  Program program = WinMoveProgram();
+  Rng rng(5);
+  Database database = RandomDigraphDatabase(&program, "move", 48, 96, &rng);
+  const GroundingResult plain = Ground(program, database).value();
+  ResourceLimits limits;
+  limits.max_steps = 100'000'000;
+  limits.max_bytes = 1'000'000'000;
+  limits.deadline_seconds = 3600;
+  ExecutionContext context(limits);
+  GroundingOptions options;
+  options.context = &context;
+  const GroundingResult governed =
+      Ground(program, database, options).value();
+  EXPECT_FALSE(context.stopped());
+  EXPECT_GT(context.steps_charged(), 0);
+  EXPECT_EQ(governed.graph.num_atoms(), plain.graph.num_atoms());
+  EXPECT_EQ(governed.graph.num_rules(), plain.graph.num_rules());
+  EXPECT_EQ(governed.graph.num_edges(), plain.graph.num_edges());
 }
 
 // A hand-built graph through the RuleInstance builder: the CSR arenas,

@@ -7,6 +7,7 @@
 #include "core/well_founded.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
+#include "util/execution_context.h"
 
 namespace tiebreak {
 namespace {
@@ -114,6 +115,35 @@ TEST(QueryTest, ZeroArityQuery) {
   auto p = EvaluateQuery(&inst.program, g.graph, wf.values, "p");
   ASSERT_TRUE(p.ok());
   EXPECT_TRUE(p->true_bindings.empty());    // p is false
+}
+
+TEST(QueryTest, TrippedContextReturnsPartialAnswersTagged) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).",
+                                "move(a, b). move(b, c). move(c, d).");
+  const GroundingResult g = GroundOrDie(inst);
+  const InterpreterResult wf =
+      WellFounded(inst.program, inst.database, g.graph);
+  // A cancelled context still yields an OK QueryResult — with no bindings
+  // scanned and the trip recorded in `truncation` — instead of losing the
+  // partial answer behind an error.
+  ExecutionContext cancelled;
+  cancelled.Cancel();
+  auto q = EvaluateQuery(&inst.program, g.graph, wf.values, "win(X)",
+                         &cancelled);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->truncation.ok());
+  EXPECT_EQ(q->truncation.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(q->true_bindings.empty());
+  // A generous context leaves the answer identical to the ungoverned one.
+  ExecutionContext roomy;
+  auto governed = EvaluateQuery(&inst.program, g.graph, wf.values, "win(X)",
+                                &roomy);
+  auto plain = EvaluateQuery(&inst.program, g.graph, wf.values, "win(X)");
+  ASSERT_TRUE(governed.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(governed->truncation.ok());
+  EXPECT_EQ(governed->true_bindings, plain->true_bindings);
+  EXPECT_EQ(governed->undefined_bindings, plain->undefined_bindings);
 }
 
 }  // namespace

@@ -66,7 +66,7 @@ TEST(CvpReductionTest, UsefulGatePredicatesMatchCircuitValues) {
     for (int i = 0; i < inputs; ++i) bits[i] = rng.Chance(0.5);
     const std::vector<bool> values = circuit.Evaluate(bits);
 
-    const Program program = CvpToProgram(circuit, bits);
+    const Program program = CvpToProgram(circuit, bits).value();
     const std::vector<bool> useless = UselessPredicates(program);
     for (int g = 0; g < circuit.num_gates(); ++g) {
       const PredId pred = program.LookupPredicate(CvpGatePredicateName(g));
@@ -90,7 +90,7 @@ TEST(CvpReductionTest, StructuralNonuniformTotalityDecidesCircuitValue) {
     const bool value = circuit.Value(bits);
     (value ? ones : zeros) += 1;
 
-    const Program program = CvpToProgram(circuit, bits);
+    const Program program = CvpToProgram(circuit, bits).value();
     EXPECT_EQ(IsStructurallyNonuniformlyTotal(program), !value)
         << "round " << round;
     // The uniform notion must NOT be fooled: the odd cycle on p_odd is
@@ -107,9 +107,30 @@ TEST(CvpReductionTest, HandCheckedTinyCircuits) {
   const int x0 = c.AddInput();
   const int x1 = c.AddInput();
   c.AddGate(MonotoneCircuit::GateKind::kAnd, {x0, x1});
-  EXPECT_FALSE(IsStructurallyNonuniformlyTotal(CvpToProgram(c, {true, true})));
-  EXPECT_TRUE(IsStructurallyNonuniformlyTotal(CvpToProgram(c, {true, false})));
-  EXPECT_TRUE(IsStructurallyNonuniformlyTotal(CvpToProgram(c, {false, true})));
+  EXPECT_FALSE(
+      IsStructurallyNonuniformlyTotal(*CvpToProgram(c, {true, true})));
+  EXPECT_TRUE(
+      IsStructurallyNonuniformlyTotal(*CvpToProgram(c, {true, false})));
+  EXPECT_TRUE(
+      IsStructurallyNonuniformlyTotal(*CvpToProgram(c, {false, true})));
+}
+
+TEST(CvpReductionTest, RejectsMalformedInputInsteadOfAborting) {
+  MonotoneCircuit c;
+  const int x0 = c.AddInput();
+  const int x1 = c.AddInput();
+  c.AddGate(MonotoneCircuit::GateKind::kAnd, {x0, x1});
+  // Wrong input width (the shape a file loader can hand us).
+  Result<Program> narrow = CvpToProgram(c, {true});
+  ASSERT_FALSE(narrow.ok());
+  EXPECT_EQ(narrow.status().code(), StatusCode::kInvalidArgument);
+  Result<Program> wide = CvpToProgram(c, {true, true, true});
+  ASSERT_FALSE(wide.ok());
+  EXPECT_EQ(wide.status().code(), StatusCode::kInvalidArgument);
+  // Empty circuit has no output gate.
+  Result<Program> empty = CvpToProgram(MonotoneCircuit(), {});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
@@ -123,13 +144,46 @@ TEST(QbfTest, BruteForceEvaluator) {
   f.num_y = 1;
   f.clauses = {{{true, 0, false}, {false, 0, false}},
                {{true, 0, true}, {false, 0, true}}};
-  EXPECT_TRUE(ForAllExistsHolds(f));
+  EXPECT_TRUE(ForAllExistsHolds(f).value());
   // F = (x0 and y0 appear as unit clauses x0), (y0): fails when x0 = 0.
   ForAllExistsCnf g;
   g.num_x = 1;
   g.num_y = 1;
   g.clauses = {{{true, 0, false}}, {{false, 0, false}}};
-  EXPECT_FALSE(ForAllExistsHolds(g));
+  EXPECT_FALSE(ForAllExistsHolds(g).value());
+}
+
+TEST(QbfTest, RejectsMalformedFormulasInsteadOfAborting) {
+  // Oversized blocks: the brute-force evaluator refuses rather than
+  // enumerating 2^40 assignments (these bounds used to be CHECKs).
+  ForAllExistsCnf big;
+  big.num_x = 21;
+  big.num_y = 1;
+  Result<bool> oversized = ForAllExistsHolds(big);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kInvalidArgument);
+  // Negative block size.
+  ForAllExistsCnf negative;
+  negative.num_x = -1;
+  negative.num_y = 1;
+  EXPECT_EQ(ForAllExistsHolds(negative).status().code(),
+            StatusCode::kInvalidArgument);
+  // Literal index outside its block: rejected by evaluator AND reduction
+  // (the reduction would otherwise index out of bounds).
+  ForAllExistsCnf bad_index;
+  bad_index.num_x = 1;
+  bad_index.num_y = 1;
+  bad_index.clauses = {{{true, 3, false}}};
+  EXPECT_EQ(ForAllExistsHolds(bad_index).status().code(),
+            StatusCode::kInvalidArgument);
+  Result<Program> program = QbfToProgram(bad_index);
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kInvalidArgument);
+  // The reduction itself has no 20-variable cap (it is linear in the
+  // formula): an oversized-but-well-formed formula still reduces.
+  big.num_x = 21;
+  big.num_y = 1;
+  EXPECT_TRUE(QbfToProgram(big).ok());
 }
 
 TEST(QbfReductionTest, TotalityMatchesForAllExists) {
@@ -141,10 +195,10 @@ TEST(QbfReductionTest, TotalityMatchesForAllExists) {
     const int clauses = 1 + static_cast<int>(rng.Below(4));
     const ForAllExistsCnf formula =
         RandomForAllExistsCnf(&rng, nx, ny, clauses);
-    const bool expected = ForAllExistsHolds(formula);
+    const bool expected = ForAllExistsHolds(formula).value();
     (expected ? holds_count : fails_count) += 1;
 
-    const Program program = QbfToProgram(formula);
+    const Program program = QbfToProgram(formula).value();
     for (bool uniform : {false, true}) {
       Result<TotalityReport> report = CheckTotality(program, uniform);
       ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -163,7 +217,7 @@ TEST(QbfReductionTest, CounterexampleEncodesFailingUniversalAssignment) {
   f.num_x = 1;
   f.num_y = 1;
   f.clauses = {{{true, 0, false}}};
-  const Program program = QbfToProgram(f);
+  const Program program = QbfToProgram(f).value();
   Result<TotalityReport> report = CheckTotality(program, /*uniform=*/false);
   ASSERT_TRUE(report.ok());
   ASSERT_FALSE(report->total);
@@ -212,7 +266,7 @@ TEST(CmReductionTest, HaltingMachineNaturalDatabaseHasNoFixpoint) {
   // t >= halting time and t > h.
   const int32_t t =
       static_cast<int32_t>(run.steps) + machine.num_states() + 1;
-  const Database database = NaturalDatabase(&reduction, t);
+  const Database database = NaturalDatabase(&reduction, t).value();
   Result<GroundingResult> g = Ground(reduction.program, database);
   ASSERT_TRUE(g.ok()) << g.status().ToString();
   EXPECT_FALSE(HasFixpoint(reduction.program, database, g->graph));
@@ -225,7 +279,7 @@ TEST(CmReductionTest, HaltingTransferMachineAlsoUnsat) {
   CmReduction reduction = CounterMachineToProgram(machine);
   const int32_t t =
       static_cast<int32_t>(run.steps) + machine.num_states() + 1;
-  const Database database = NaturalDatabase(&reduction, t);
+  const Database database = NaturalDatabase(&reduction, t).value();
   Result<GroundingResult> g = Ground(reduction.program, database);
   ASSERT_TRUE(g.ok()) << g.status().ToString();
   EXPECT_FALSE(HasFixpoint(reduction.program, database, g->graph));
@@ -236,7 +290,7 @@ TEST(CmReductionTest, ShortNaturalDatabaseStillHasFixpoint) {
   // the universe, so a fixpoint exists.
   const CounterMachine machine = MakeCountingMachine(5);  // halts in 6 steps
   CmReduction reduction = CounterMachineToProgram(machine);
-  const Database database = NaturalDatabase(&reduction, 3);
+  const Database database = NaturalDatabase(&reduction, 3).value();
   Result<GroundingResult> g = Ground(reduction.program, database);
   ASSERT_TRUE(g.ok());
   EXPECT_TRUE(HasFixpoint(reduction.program, database, g->graph));
@@ -248,7 +302,7 @@ TEST(CmReductionTest, DivergingMachineNaturalDatabasesHaveFixpoints) {
     CmReduction reduction = CounterMachineToProgram(machine);
     for (int32_t t : {1, 4, 9}) {
       CmReduction fresh = CounterMachineToProgram(machine);
-      const Database database = NaturalDatabase(&fresh, t);
+      const Database database = NaturalDatabase(&fresh, t).value();
       Result<GroundingResult> g = Ground(fresh.program, database);
       ASSERT_TRUE(g.ok()) << g.status().ToString();
       EXPECT_TRUE(HasFixpoint(fresh.program, database, g->graph)) << "t=" << t;
@@ -279,7 +333,7 @@ TEST(CmReductionTest, UniformTransformPreservesHaltingBehaviour) {
   CmReduction reduction = CounterMachineToProgram(machine);
   const int32_t t =
       static_cast<int32_t>(run.steps) + machine.num_states() + 1;
-  const Database natural = NaturalDatabase(&reduction, t);
+  const Database natural = NaturalDatabase(&reduction, t).value();
   const Program uniform_program = UniformTotalityTransform(reduction.program);
   // Rebuild the database against the transformed program (same pred ids for
   // the shared prefix; q_total is new and empty).
@@ -310,7 +364,7 @@ TEST(CmReductionTest, DivergingMachineWellFoundedModelIsTotal) {
   // halting state is never reached inside the universe).
   const CounterMachine machine = MakeDivergingMachine();
   CmReduction reduction = CounterMachineToProgram(machine);
-  const Database database = NaturalDatabase(&reduction, 8);
+  const Database database = NaturalDatabase(&reduction, 8).value();
   Result<GroundingResult> g = Ground(reduction.program, database);
   ASSERT_TRUE(g.ok());
   const InterpreterResult wf =
