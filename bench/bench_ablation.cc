@@ -150,7 +150,7 @@ int main(int argc, char** argv) {
         text += "gA :- gA, not gB.\ngB :- gB, not gA.\n";
       }
       Program program = ParseProgram(text).value();
-      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
       const GroundingResult g = Ground(program, database).value();
       for (auto [mode, tally] :
            {std::pair{TieBreakingMode::kWellFounded, &wftb},
@@ -189,7 +189,7 @@ int main(int argc, char** argv) {
     Program program = WinMoveProgram();
     Rng rng(n);
     Database database =
-        RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+        *RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
     const GroundingResult g = Ground(program, database).value();
     WallTimer t1;
     const InterpreterResult wf = WellFounded(program, database, g.graph);
@@ -219,7 +219,7 @@ int main(int argc, char** argv) {
       Program program = RandomProgram(&rng, options);
       if (!IsCallConsistent(program)) continue;
       ++accepted;
-      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
       const GroundingResult g = Ground(program, database).value();
       ++runs;
       FirstChoicePolicy first;

@@ -105,7 +105,7 @@ int Main(int argc, char** argv) {
   {
     Program program = WinMoveProgram();
     Rng rng(1);
-    Database db = RandomDigraphDatabase(&program, "move", 64, 128, &rng);
+    Database db = *RandomDigraphDatabase(&program, "move", 64, 128, &rng);
     GroundingOptions options;
     options.reduce_edb = false;  // faithful mode grounds serially
     results.push_back(Measure("ground_faithful_winmove_64", program, db,
@@ -114,7 +114,7 @@ int Main(int argc, char** argv) {
   {
     Program program = WinMoveProgram();
     Rng rng(1);
-    Database db = RandomDigraphDatabase(&program, "move", 4096, 8192, &rng);
+    Database db = *RandomDigraphDatabase(&program, "move", 4096, 8192, &rng);
     results.push_back(Measure("ground_reduced_winmove_4096", program, db, {},
                               reps, num_threads));
   }
@@ -131,7 +131,7 @@ int Main(int argc, char** argv) {
     options.arity = 1;
     options.num_rules = 10;
     Program program = RandomProgram(&rng, options);
-    Database db = RandomEdbDatabase(&program, 64, 0.4, &rng);
+    Database db = *RandomEdbDatabase(&program, 64, 0.4, &rng);
     results.push_back(Measure("ground_random_unary_64", program, db, {},
                               reps, num_threads));
   }
@@ -154,7 +154,7 @@ int Main(int argc, char** argv) {
     Program program = WinMoveProgram();
     Rng rng(21);
     Database db =
-        LargeRandomDigraphDatabase(&program, "move", 65536, 262144, &rng);
+        *LargeRandomDigraphDatabase(&program, "move", 65536, 262144, &rng);
     GroundingOptions options;
     options.max_instances = 50'000'000;
     results.push_back(Measure("ground_winmove_65536", program, db, options,

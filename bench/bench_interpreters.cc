@@ -53,7 +53,7 @@ struct Board {
 
 Board MakeChainBoard(int n) {
   Program program = WinMoveProgram();
-  Database database = ChainDatabase(&program, "move", n);
+  Database database = *ChainDatabase(&program, "move", n);
   GroundingResult ground = Ground(program, database).value();
   return Board{std::move(program), std::move(database), std::move(ground)};
 }
@@ -61,7 +61,7 @@ Board MakeChainBoard(int n) {
 Board MakeRandomBoard(int n, uint64_t seed) {
   Program program = WinMoveProgram();
   Rng rng(seed);
-  Database database = RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+  Database database = *RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
   GroundingResult ground = Ground(program, database).value();
   return Board{std::move(program), std::move(database), std::move(ground)};
 }

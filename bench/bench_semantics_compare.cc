@@ -85,7 +85,7 @@ int main() {
     row.name = buf;
     for (int i = 0; i < 40; ++i) {
       Program program = WinMoveProgram();
-      Database board = RandomDigraphDatabase(
+      Database board = *RandomDigraphDatabase(
           &program, "move", 12, static_cast<int>(12 * density), &rng);
       Account(program, board, &row);
     }
@@ -138,7 +138,7 @@ int main() {
       options.num_rules = 7;
       options.negation_probability = neg;
       Program program = RandomProgram(&rng, options);
-      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
       Account(program, database, &row);
     }
     Print(row);

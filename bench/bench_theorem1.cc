@@ -46,7 +46,7 @@ void RunFamily(const char* name, bool want_call_consistent, double neg_prob,
     if (IsCallConsistent(program) != want_call_consistent) continue;
     ++accepted;
     for (int db_round = 0; db_round < 4; ++db_round) {
-      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
       GroundingResult ground = Ground(program, database).value();
       for (int seed = 0; seed < 4; ++seed) {
         for (TieBreakingMode mode :

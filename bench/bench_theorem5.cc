@@ -37,7 +37,7 @@ int main() {
     if (!IsStratified(program)) continue;
     ++stratified_programs;
     for (int db = 0; db < 6; ++db) {
-      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
       const GroundingResult ground = Ground(program, database).value();
       ++stratified_runs;
       if (WellFounded(program, database, ground.graph).total) {

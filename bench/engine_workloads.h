@@ -46,7 +46,7 @@ inline EngineWorkload MakeReachRandom1M() {
   // (≈ one derived tuple per reachable node).
   Program program = ReachabilityProgram();
   Rng rng(2026);
-  Database db = LargeRandomDigraphDatabase(&program, "e", 1'000'000,
+  Database db = *LargeRandomDigraphDatabase(&program, "e", 1'000'000,
                                            4'000'000, &rng);
   const PredId start = program.LookupPredicate("start");
   const ConstId n0 = program.LookupConstant("n0");
@@ -58,14 +58,14 @@ inline const EngineWorkloadFactory kEngineWorkloads[] = {
     {"tc_chain_512",
      [] {
        Program program = TransitiveClosureProgram();
-       Database db = ChainDatabase(&program, "e", 512);
+       Database db = *ChainDatabase(&program, "e", 512);
        return EngineWorkload("tc_chain_512", std::move(program),
                              std::move(db));
      }},
     {"tc_cycle_256",
      [] {
        Program program = TransitiveClosureProgram();
-       Database db = CycleDatabase(&program, "e", 256);
+       Database db = *CycleDatabase(&program, "e", 256);
        return EngineWorkload("tc_cycle_256", std::move(program),
                              std::move(db));
      }},
@@ -73,28 +73,28 @@ inline const EngineWorkloadFactory kEngineWorkloads[] = {
      [] {
        Program program = TransitiveClosureProgram();
        Rng rng(42);
-       Database db = RandomDigraphDatabase(&program, "e", 256, 768, &rng);
+       Database db = *RandomDigraphDatabase(&program, "e", 256, 768, &rng);
        return EngineWorkload("tc_random_256", std::move(program),
                              std::move(db));
      }},
     {"tc_grid_24x24",
      [] {
        Program program = TransitiveClosureProgram();
-       Database db = GridDatabase(&program, "e", 24, 24);
+       Database db = *GridDatabase(&program, "e", 24, 24);
        return EngineWorkload("tc_grid_24x24", std::move(program),
                              std::move(db));
      }},
     {"same_generation_d7",
      [] {
        Program program = SameGenerationProgram();
-       Database db = BalancedTreeDatabase(&program, 7);
+       Database db = *BalancedTreeDatabase(&program, 7);
        return EngineWorkload("same_generation_d7", std::move(program),
                              std::move(db));
      }},
     {"stratified_tower_32",
      [] {
        Program program = StratifiedTowerProgram(32);
-       Database db = UnarySetDatabase(&program, "e", 256);
+       Database db = *UnarySetDatabase(&program, "e", 256);
        return EngineWorkload("stratified_tower_32", std::move(program),
                              std::move(db));
      }},
@@ -105,7 +105,7 @@ inline const EngineWorkloadFactory kEngineWorkloads[] = {
      [] {
        // 2048-node chain: closure = 2048·2047/2 ≈ 2.10M tuples.
        Program program = TransitiveClosureProgram();
-       Database db = ChainDatabase(&program, "e", 2048);
+       Database db = *ChainDatabase(&program, "e", 2048);
        return EngineWorkload("tc_chain_2048", std::move(program),
                              std::move(db));
      }},
@@ -114,7 +114,7 @@ inline const EngineWorkloadFactory kEngineWorkloads[] = {
        // Wide grid: closure ≈ (512·513/2)·(4·5/2) ≈ 1.31M tuples with heavy
        // duplicate-path pressure on the dedupe table.
        Program program = TransitiveClosureProgram();
-       Database db = WideGridDatabase(&program, "e", 512, 4);
+       Database db = *WideGridDatabase(&program, "e", 512, 4);
        return EngineWorkload("tc_grid_wide_512x4", std::move(program),
                              std::move(db));
      }},

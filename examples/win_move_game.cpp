@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   Program program = WinMoveProgram();
   Rng rng(seed);
   Database board =
-      RandomDigraphDatabase(&program, "move", num_nodes, num_edges, &rng);
+      *RandomDigraphDatabase(&program, "move", num_nodes, num_edges, &rng);
   std::printf("Board (%d nodes, %lld edges):\n%s\n", num_nodes,
               static_cast<long long>(board.TotalFacts()),
               DatabaseToString(program, board).c_str());

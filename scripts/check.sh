@@ -20,12 +20,19 @@
 #                                 AddressSanitizer — the CSR arenas and
 #                                 span accessors live or die by their
 #                                 offset arithmetic, and every truncation
-#                                 unwind path must stay leak-free
+#                                 unwind path must stay leak-free — plus
+#                                 the snapshot corruption-injection sweep
+#                                 (storage_test, storage_corruption_test,
+#                                 workload_test): hostile bytes must fail
+#                                 with a Status, never an overread
 #   scripts/check.sh --ubsan      builds with -DTIEBREAK_SANITIZE=undefined
 #                                 into build-ubsan/ and runs the resource-
 #                                 governance surface (fault sweep, context
 #                                 unit tests, engine, grounding, reductions)
-#                                 under UndefinedBehaviorSanitizer
+#                                 and the snapshot corruption sweep under
+#                                 UndefinedBehaviorSanitizer — the bytewise
+#                                 codec must stay free of misaligned loads
+#                                 and shift/overflow UB on hostile input
 #   scripts/check.sh --docs       only the docs checks: broken relative
 #                                 links in *.md, and public-header
 #                                 declarations without a doc comment
@@ -134,10 +141,11 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=address
   cmake --build "$build" -j "$(nproc)" \
     --target ground_test ground_csr_test core_semantics_test \
-             fault_injection_test
+             fault_injection_test storage_test storage_corruption_test \
+             workload_test
   ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
     --output-on-failure \
-    -R '^(ground_(csr_)?test|core_semantics_test|fault_injection_test)$'
+    -R '^(ground_(csr_)?test|core_semantics_test|fault_injection_test|storage_(corruption_)?test|workload_test)$'
   echo "check.sh: asan green"
   exit 0
 fi
@@ -147,10 +155,11 @@ if [[ "${1:-}" == "--ubsan" ]]; then
   cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=undefined
   cmake --build "$build" -j "$(nproc)" \
     --target fault_injection_test execution_context_test engine_test \
-             ground_test ground_csr_test reductions_test
+             ground_test ground_csr_test reductions_test storage_test \
+             storage_corruption_test workload_test
   UBSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
     --output-on-failure \
-    -R '^(fault_injection_test|execution_context_test|engine_test|ground_(csr_)?test|reductions_test)$'
+    -R '^(fault_injection_test|execution_context_test|engine_test|ground_(csr_)?test|reductions_test|storage_(corruption_)?test|workload_test)$'
   echo "check.sh: ubsan green"
   exit 0
 fi

@@ -104,6 +104,157 @@ void GroundAtomStore::Reserve(int64_t num_atoms, int64_t num_args) {
   args_.reserve(static_cast<size_t>(num_args));
 }
 
+Result<GroundAtomStore> GroundAtomStore::FromArenas(Span<PredId> preds,
+                                                    Span<int64_t> offsets,
+                                                    Span<ConstId> args,
+                                                    int32_t num_predicates,
+                                                    int32_t num_constants) {
+  const size_t atoms = preds.size();
+  if (atoms > static_cast<size_t>(INT32_MAX)) {
+    return Status::DataLoss("atom count overflows int32");
+  }
+  if (offsets.size() != atoms + 1) {
+    return Status::DataLoss("atom offset array has " +
+                            std::to_string(offsets.size()) +
+                            " entries, expected " + std::to_string(atoms + 1));
+  }
+  if (offsets[0] != 0) {
+    return Status::DataLoss("atom offsets do not start at 0");
+  }
+  for (size_t a = 0; a < atoms; ++a) {
+    if (offsets[a + 1] < offsets[a]) {
+      return Status::DataLoss("atom offsets not monotone at atom " +
+                              std::to_string(a));
+    }
+  }
+  if (offsets[atoms] != static_cast<int64_t>(args.size())) {
+    return Status::DataLoss("atom offsets end at " +
+                            std::to_string(offsets[atoms]) +
+                            ", argument arena holds " +
+                            std::to_string(args.size()));
+  }
+  for (size_t a = 0; a < atoms; ++a) {
+    if (preds[a] < 0 || preds[a] >= num_predicates) {
+      return Status::DataLoss("atom " + std::to_string(a) + ": predicate " +
+                              std::to_string(preds[a]) + " outside [0, " +
+                              std::to_string(num_predicates) + ")");
+    }
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] < 0 || args[i] >= num_constants) {
+      return Status::DataLoss("atom argument " + std::to_string(i) + ": " +
+                              std::to_string(args[i]) + " outside [0, " +
+                              std::to_string(num_constants) + ")");
+    }
+  }
+  // Re-intern in id order: rebuilds the arenas and dedupe tables exactly
+  // as the original interning sequence did (ids are assigned densely in
+  // call order). An intern that returns an id below its position names an
+  // atom the file stored twice — corrupt, since interning dedupes.
+  GroundAtomStore store;
+  store.Reserve(static_cast<int64_t>(atoms),
+                static_cast<int64_t>(args.size()));
+  for (size_t a = 0; a < atoms; ++a) {
+    const int32_t arity = static_cast<int32_t>(offsets[a + 1] - offsets[a]);
+    const AtomId id =
+        store.Intern(preds[a], args.data() + offsets[a], arity);
+    if (id != static_cast<AtomId>(a)) {
+      return Status::DataLoss("duplicate interned atom at id " +
+                              std::to_string(a));
+    }
+  }
+  return store;
+}
+
+Result<GroundGraph> GroundGraph::FromArenas(GroundAtomStore atoms,
+                                            Span<int32_t> rule_indices,
+                                            Span<AtomId> heads,
+                                            Span<int64_t> pos_ends,
+                                            Span<int64_t> body_offsets,
+                                            Span<AtomId> body,
+                                            Span<int64_t> binding_offsets,
+                                            Span<ConstId> bindings,
+                                            int32_t num_constants,
+                                            int32_t num_program_rules) {
+  const size_t rules = rule_indices.size();
+  if (rules > static_cast<size_t>(INT32_MAX)) {
+    return Status::DataLoss("rule count overflows int32");
+  }
+  if (heads.size() != rules || pos_ends.size() != rules) {
+    return Status::DataLoss("per-rule arrays disagree on rule count");
+  }
+  if (body_offsets.size() != rules + 1 ||
+      binding_offsets.size() != rules + 1) {
+    return Status::DataLoss("rule offset arrays disagree on rule count");
+  }
+  if (body_offsets[0] != 0 || binding_offsets[0] != 0) {
+    return Status::DataLoss("rule offsets do not start at 0");
+  }
+  if (body_offsets[rules] != static_cast<int64_t>(body.size())) {
+    return Status::DataLoss("body offsets end at " +
+                            std::to_string(body_offsets[rules]) +
+                            ", body arena holds " +
+                            std::to_string(body.size()));
+  }
+  if (binding_offsets[rules] != static_cast<int64_t>(bindings.size())) {
+    return Status::DataLoss("binding offsets end at " +
+                            std::to_string(binding_offsets[rules]) +
+                            ", binding arena holds " +
+                            std::to_string(bindings.size()));
+  }
+  const int32_t num_atoms = atoms.size();
+  for (size_t r = 0; r < rules; ++r) {
+    const std::string where = "rule instance " + std::to_string(r);
+    if (body_offsets[r + 1] < body_offsets[r] ||
+        binding_offsets[r + 1] < binding_offsets[r]) {
+      return Status::DataLoss(where + ": offsets not monotone");
+    }
+    if (pos_ends[r] < body_offsets[r] || pos_ends[r] > body_offsets[r + 1]) {
+      return Status::DataLoss(where + ": positive split " +
+                              std::to_string(pos_ends[r]) +
+                              " outside body range");
+    }
+    if (rule_indices[r] < 0 ||
+        (num_program_rules >= 0 && rule_indices[r] >= num_program_rules)) {
+      return Status::DataLoss(where + ": program rule index " +
+                              std::to_string(rule_indices[r]) +
+                              " out of range");
+    }
+    if (heads[r] < 0 || heads[r] >= num_atoms) {
+      return Status::DataLoss(where + ": head atom " +
+                              std::to_string(heads[r]) + " outside [0, " +
+                              std::to_string(num_atoms) + ")");
+    }
+  }
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] < 0 || body[i] >= num_atoms) {
+      return Status::DataLoss("body occurrence " + std::to_string(i) +
+                              ": atom " + std::to_string(body[i]) +
+                              " outside [0, " + std::to_string(num_atoms) +
+                              ")");
+    }
+  }
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (bindings[i] < 0 || bindings[i] >= num_constants) {
+      return Status::DataLoss("binding entry " + std::to_string(i) + ": " +
+                              std::to_string(bindings[i]) + " outside [0, " +
+                              std::to_string(num_constants) + ")");
+    }
+  }
+  GroundGraph graph;
+  graph.atoms_ = std::move(atoms);
+  graph.rule_index_.assign(rule_indices.begin(), rule_indices.end());
+  graph.head_.assign(heads.begin(), heads.end());
+  graph.pos_end_.assign(pos_ends.begin(), pos_ends.end());
+  graph.body_offset_.assign(body_offsets.begin(), body_offsets.end());
+  graph.body_.assign(body.begin(), body.end());
+  graph.binding_offset_.assign(binding_offsets.begin(),
+                               binding_offsets.end());
+  graph.binding_.assign(bindings.begin(), bindings.end());
+  graph.Finalize();
+  return graph;
+}
+
 void GroundGraph::AppendRule(int32_t rule_index, AtomId head,
                              const AtomId* pos, int32_t num_pos,
                              const AtomId* neg, int32_t num_neg,

@@ -36,6 +36,7 @@
 #include "lang/symbols.h"
 #include "util/logging.h"
 #include "util/span.h"
+#include "util/status.h"
 
 namespace tiebreak {
 
@@ -134,6 +135,35 @@ class GroundAtomStore {
   /// Pre-sizes the arenas for `num_atoms` atoms carrying `num_args` total
   /// arguments (advisory).
   void Reserve(int64_t num_atoms, int64_t num_args);
+
+  /// Storage dump views (src/storage/): the per-atom predicate array, the
+  /// argument-arena offsets (size()+1 entries), and the flat argument
+  /// arena itself. Valid until the next Intern.
+  Span<PredId> atom_predicates() const {
+    return Span<PredId>(pred_.data(), pred_.size());
+  }
+  /// Per-atom argument offsets; see atom_predicates().
+  Span<int64_t> arg_offsets() const {
+    return Span<int64_t>(offset_.data(), offset_.size());
+  }
+  /// The flat argument arena; see atom_predicates().
+  Span<ConstId> arg_arena() const {
+    return Span<ConstId>(args_.data(), args_.size());
+  }
+
+  /// Storage restore path: rebuilds a store from arenas read off disk,
+  /// treating them as untrusted. Validates shape (offsets start at 0,
+  /// monotone, ending exactly at the arena size; one offset per atom plus
+  /// one), every PredId in [0, num_predicates) and every ConstId in
+  /// [0, num_constants), then re-interns the atoms in id order — which
+  /// rebuilds the dedupe tables exactly as the original interning did and
+  /// detects duplicate atoms (kDataLoss) as a side effect. The returned
+  /// store is bit-identical, arena for arena, to the one that was dumped.
+  static Result<GroundAtomStore> FromArenas(Span<PredId> preds,
+                                            Span<int64_t> offsets,
+                                            Span<ConstId> args,
+                                            int32_t num_predicates,
+                                            int32_t num_constants);
 
  private:
   // One open-addressing slot: the 64-bit key packed next to the atom it
@@ -315,6 +345,61 @@ class GroundGraph {
   /// Pre-sizes the rule arenas for `rules` instances carrying `body_atoms`
   /// total body occurrences (advisory).
   void ReserveRules(int64_t rules, int64_t body_atoms);
+
+  /// Storage dump views (src/storage/) over the rule arenas, in the same
+  /// layout FromArenas consumes: per-rule program-rule indexes, heads and
+  /// positive-split points, the body offsets (num_rules()+1 entries), the
+  /// flat body arena, and the binding offsets/arena. Valid until the next
+  /// AppendRule/MergeFrom.
+  Span<int32_t> rule_indices() const {
+    return Span<int32_t>(rule_index_.data(), rule_index_.size());
+  }
+  /// Per-rule head atoms; see rule_indices().
+  Span<AtomId> heads() const {
+    return Span<AtomId>(head_.data(), head_.size());
+  }
+  /// Per-rule positive-body end offsets; see rule_indices().
+  Span<int64_t> pos_ends() const {
+    return Span<int64_t>(pos_end_.data(), pos_end_.size());
+  }
+  /// Body-arena offsets (num_rules()+1 entries); see rule_indices().
+  Span<int64_t> body_offsets() const {
+    return Span<int64_t>(body_offset_.data(), body_offset_.size());
+  }
+  /// The flat body-atom arena; see rule_indices().
+  Span<AtomId> body_arena() const {
+    return Span<AtomId>(body_.data(), body_.size());
+  }
+  /// Binding-arena offsets (num_rules()+1 entries); see rule_indices().
+  Span<int64_t> binding_offsets() const {
+    return Span<int64_t>(binding_offset_.data(), binding_offset_.size());
+  }
+  /// The flat binding-constant arena; see rule_indices().
+  Span<ConstId> binding_arena() const {
+    return Span<ConstId>(binding_.data(), binding_.size());
+  }
+
+  /// Storage restore path: rebuilds a *finalized* graph from an atom store
+  /// (already validated/restored via GroundAtomStore::FromArenas) plus
+  /// untrusted rule arenas in the dump layout. Validates every
+  /// cross-arena invariant — equal per-rule array lengths, offset arrays
+  /// starting at 0, monotone and ending exactly at their arena sizes,
+  /// pos_end within each rule's body range, every head/body AtomId within
+  /// the store, every binding ConstId in [0, num_constants), every rule
+  /// index nonnegative (and < num_program_rules when >= 0 is passed) —
+  /// returning kDataLoss on any violation, then rebuilds the inverse CSR
+  /// indexes with the serial Finalize. The rule arenas of the returned
+  /// graph are bit-identical to the dumped ones.
+  static Result<GroundGraph> FromArenas(GroundAtomStore atoms,
+                                        Span<int32_t> rule_indices,
+                                        Span<AtomId> heads,
+                                        Span<int64_t> pos_ends,
+                                        Span<int64_t> body_offsets,
+                                        Span<AtomId> body,
+                                        Span<int64_t> binding_offsets,
+                                        Span<ConstId> bindings,
+                                        int32_t num_constants,
+                                        int32_t num_program_rules);
 
  private:
   void CheckRule(int32_t r) const {

@@ -94,6 +94,63 @@ Database::Database(const Program& program) {
   rows_.resize(program.num_predicates());
 }
 
+Result<Database> Database::FromArenas(std::vector<int32_t> arities,
+                                      std::vector<int64_t> num_rows,
+                                      std::vector<std::vector<ConstId>> rows,
+                                      int32_t num_constants) {
+  const size_t predicates = arities.size();
+  if (num_rows.size() != predicates || rows.size() != predicates) {
+    return Status::DataLoss("database arenas disagree on predicate count");
+  }
+  if (predicates > static_cast<size_t>(INT32_MAX)) {
+    return Status::DataLoss("database predicate count overflows int32");
+  }
+  for (size_t p = 0; p < predicates; ++p) {
+    const std::string where = "relation " + std::to_string(p);
+    const int32_t arity = arities[p];
+    const int64_t count = num_rows[p];
+    if (arity < 0) return Status::DataLoss(where + ": negative arity");
+    if (count < 0) return Status::DataLoss(where + ": negative row count");
+    if (arity == 0) {
+      if (!rows[p].empty()) {
+        return Status::DataLoss(where + ": zero-arity relation carries data");
+      }
+      if (count > 1) {
+        return Status::DataLoss(where + ": zero-arity relation with " +
+                                std::to_string(count) + " rows");
+      }
+      continue;
+    }
+    // Overflow-safe count * arity == rows[p].size().
+    const int64_t ids = static_cast<int64_t>(rows[p].size());
+    if (ids % arity != 0 || ids / arity != count) {
+      return Status::DataLoss(where + ": arena holds " + std::to_string(ids) +
+                              " ids, expected " + std::to_string(count) +
+                              " rows of arity " + std::to_string(arity));
+    }
+    const ConstId* data = rows[p].data();
+    for (int64_t i = 0; i < ids; ++i) {
+      if (data[i] < 0 || data[i] >= num_constants) {
+        return Status::DataLoss(where + ": constant id " +
+                                std::to_string(data[i]) +
+                                " outside [0, " +
+                                std::to_string(num_constants) + ")");
+      }
+    }
+    for (int64_t r = 1; r < count; ++r) {
+      if (CompareRows(data + (r - 1) * arity, data + r * arity, arity) >= 0) {
+        return Status::DataLoss(where + ": rows not sorted and unique at row " +
+                                std::to_string(r));
+      }
+    }
+  }
+  Database database;
+  database.arities_ = std::move(arities);
+  database.num_rows_ = std::move(num_rows);
+  database.rows_ = std::move(rows);
+  return database;
+}
+
 int64_t Database::LowerBound(PredId predicate, const ConstId* row) const {
   const int32_t arity = arities_[predicate];
   const ConstId* data = rows_[predicate].data();

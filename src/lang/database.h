@@ -44,6 +44,20 @@ class Database {
   /// arity vector is captured; the program may intern more constants later.
   explicit Database(const Program& program);
 
+  /// Storage restore path (src/storage/): reconstructs a database from
+  /// arenas read off disk, treating every input as untrusted. Validates
+  /// the full invariant set — matching vector sizes, nonnegative arities
+  /// and row counts, `rows[p].size() == num_rows[p] * arity[p]` (zero-arity
+  /// relations carry no data and 0 or 1 row), every ConstId in
+  /// [0, num_constants), and every relation sorted lexicographically with
+  /// no duplicate rows — and returns kDataLoss instead of constructing on
+  /// any violation. A database this returns is indistinguishable from one
+  /// built through Insert/BulkLoadFlat of the same facts.
+  static Result<Database> FromArenas(std::vector<int32_t> arities,
+                                     std::vector<int64_t> num_rows,
+                                     std::vector<std::vector<ConstId>> rows,
+                                     int32_t num_constants);
+
   /// Inserts a fact; duplicate inserts are no-ops. Arity is CHECKed.
   /// O(relation size) per call — intended for small/interactive loads.
   void Insert(PredId predicate, Tuple tuple);
@@ -127,6 +141,9 @@ class Database {
   friend bool operator==(const Database&, const Database&) = default;
 
  private:
+  // Uninitialized shell for FromArenas, which fills the members directly.
+  Database() = default;
+
   void CheckPredicate(PredId predicate) const {
     TIEBREAK_CHECK_GE(predicate, 0);
     TIEBREAK_CHECK_LT(predicate, num_predicates());

@@ -1,0 +1,767 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/file_io.h"
+
+namespace tiebreak {
+namespace storage {
+
+namespace {
+
+// Section kinds, in the (ascending) order they appear in a canonical file.
+enum SectionKind : uint32_t {
+  kMeta = 1,                // fixed counts block, kMetaLength bytes
+  kArities = 2,             // int32 × num_predicates
+  kDbNumRows = 3,           // int64 × num_predicates
+  kDbRows = 4,              // ConstId, relations concatenated in pred order
+  kAtomPredicates = 5,      // int32 × num_atoms
+  kAtomOffsets = 6,         // int64 × (num_atoms + 1)
+  kAtomArgs = 7,            // ConstId × num_args
+  kRuleIndices = 8,         // int32 × num_rule_instances
+  kRuleHeads = 9,           // int32 × num_rule_instances
+  kRulePosEnds = 10,        // int64 × num_rule_instances
+  kRuleBodyOffsets = 11,    // int64 × (num_rule_instances + 1)
+  kRuleBody = 12,           // int32 × num_body
+  kRuleBindingOffsets = 13, // int64 × (num_rule_instances + 1)
+  kRuleBindings = 14,       // ConstId × num_bindings
+};
+
+constexpr size_t kHeaderLength = 32;
+constexpr size_t kTableEntryLength = 32;
+constexpr size_t kMetaLength = 56;
+// Far above the 14 kinds of format v1; purely an allocation bound against
+// hostile section counts.
+constexpr uint32_t kMaxSections = 64;
+
+const char* SectionName(uint32_t kind) {
+  switch (kind) {
+    case kMeta: return "meta";
+    case kArities: return "arities";
+    case kDbNumRows: return "db_num_rows";
+    case kDbRows: return "db_rows";
+    case kAtomPredicates: return "atom_predicates";
+    case kAtomOffsets: return "atom_offsets";
+    case kAtomArgs: return "atom_args";
+    case kRuleIndices: return "rule_indices";
+    case kRuleHeads: return "rule_heads";
+    case kRulePosEnds: return "rule_pos_ends";
+    case kRuleBodyOffsets: return "rule_body_offsets";
+    case kRuleBody: return "rule_body";
+    case kRuleBindingOffsets: return "rule_binding_offsets";
+    case kRuleBindings: return "rule_bindings";
+    default: return "?";
+  }
+}
+
+// Bytewise little-endian codec. No reinterpret_cast of the buffer: the
+// input may be arbitrarily aligned (fuzzed substrings), and bytewise
+// assembly is well-defined regardless.
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 |
+         static_cast<uint32_t>(b[3]) << 24;
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+// Appends `n` elements of `data` byte-for-byte (little-endian host).
+template <typename T>
+void AppendArray(std::string* out, const T* data, size_t n) {
+  if (n == 0) return;
+  out->append(reinterpret_cast<const char*>(data), n * sizeof(T));
+}
+
+// Copies a payload into a typed vector (memcpy: the payload may be
+// misaligned within the buffer, so no pointer reinterpretation).
+template <typename T>
+std::vector<T> DecodeArray(std::string_view payload) {
+  std::vector<T> out(payload.size() / sizeof(T));
+  if (!out.empty()) {
+    std::memcpy(out.data(), payload.data(), out.size() * sizeof(T));
+  }
+  return out;
+}
+
+Status Charge(ExecutionContext* context, int64_t bytes) {
+  if (context == nullptr) return Status::Ok();
+  Status s = context->ChargeBytes("storage", bytes);
+  if (!s.ok()) return s;
+  return context->Checkpoint("storage", 1);
+}
+
+uint64_t Align8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+// The fixed counts block (section kMeta). Decoded from untrusted bytes,
+// so counts are validated against int32/int64 range before use.
+struct Meta {
+  int32_t num_predicates = 0;
+  int32_t num_constants = 0;
+  int32_t num_program_rules = 0;
+  int32_t num_atoms = 0;
+  int32_t num_rule_instances = 0;
+  int64_t total_facts = 0;
+  int64_t num_args = 0;
+  int64_t num_body = 0;
+  int64_t num_bindings = 0;
+};
+
+std::string EncodeMeta(const Meta& meta) {
+  std::string out;
+  out.reserve(kMetaLength);
+  PutU32(&out, static_cast<uint32_t>(meta.num_predicates));
+  PutU32(&out, static_cast<uint32_t>(meta.num_constants));
+  PutU32(&out, static_cast<uint32_t>(meta.num_program_rules));
+  PutU32(&out, static_cast<uint32_t>(meta.num_atoms));
+  PutU32(&out, static_cast<uint32_t>(meta.num_rule_instances));
+  PutU32(&out, 0);  // reserved
+  PutU64(&out, static_cast<uint64_t>(meta.total_facts));
+  PutU64(&out, static_cast<uint64_t>(meta.num_args));
+  PutU64(&out, static_cast<uint64_t>(meta.num_bindings));
+  PutU64(&out, static_cast<uint64_t>(meta.num_body));
+  return out;
+}
+
+Result<Meta> DecodeMeta(std::string_view payload) {
+  if (payload.size() != kMetaLength) {
+    return Status::DataLoss("meta section is " +
+                            std::to_string(payload.size()) +
+                            " bytes, expected " + std::to_string(kMetaLength));
+  }
+  const char* p = payload.data();
+  Meta meta;
+  const uint32_t counts32[5] = {GetU32(p), GetU32(p + 4), GetU32(p + 8),
+                                GetU32(p + 12), GetU32(p + 16)};
+  for (uint32_t c : counts32) {
+    if (c > static_cast<uint32_t>(INT32_MAX)) {
+      return Status::DataLoss("meta count " + std::to_string(c) +
+                              " overflows int32");
+    }
+  }
+  if (GetU32(p + 20) != 0) {
+    return Status::DataLoss("meta reserved field is nonzero");
+  }
+  const uint64_t counts64[4] = {GetU64(p + 24), GetU64(p + 32),
+                                GetU64(p + 40), GetU64(p + 48)};
+  for (uint64_t c : counts64) {
+    if (c > static_cast<uint64_t>(INT64_MAX)) {
+      return Status::DataLoss("meta count " + std::to_string(c) +
+                              " overflows int64");
+    }
+  }
+  meta.num_predicates = static_cast<int32_t>(counts32[0]);
+  meta.num_constants = static_cast<int32_t>(counts32[1]);
+  meta.num_program_rules = static_cast<int32_t>(counts32[2]);
+  meta.num_atoms = static_cast<int32_t>(counts32[3]);
+  meta.num_rule_instances = static_cast<int32_t>(counts32[4]);
+  meta.total_facts = static_cast<int64_t>(counts64[0]);
+  meta.num_args = static_cast<int64_t>(counts64[1]);
+  meta.num_bindings = static_cast<int64_t>(counts64[2]);
+  meta.num_body = static_cast<int64_t>(counts64[3]);
+  return meta;
+}
+
+struct TableEntry {
+  uint32_t kind = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+};
+
+struct ParsedFile {
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  std::vector<TableEntry> entries;
+};
+
+// Validates the header and section table (bounds, CRCs, canonical layout)
+// without touching payload contents. Shared by the load and info paths.
+Result<ParsedFile> ParseHeaderAndTable(std::string_view bytes) {
+  if (bytes.size() < kHeaderLength) {
+    return Status::DataLoss("snapshot is " + std::to_string(bytes.size()) +
+                            " bytes; the header alone needs " +
+                            std::to_string(kHeaderLength));
+  }
+  const char* p = bytes.data();
+  const uint32_t magic = GetU32(p);
+  if (magic != kSnapshotMagic) {
+    return Status::DataLoss("bad magic 0x" + std::to_string(magic) +
+                            ": not a snapshot (or byte-order mismatch)");
+  }
+  const uint32_t header_crc = GetU32(p + 28);
+  if (Crc32c(p, kHeaderLength - 4) != header_crc) {
+    return Status::DataLoss("header checksum mismatch");
+  }
+  ParsedFile parsed;
+  parsed.version = GetU32(p + 4);
+  if (parsed.version != kSnapshotVersion) {
+    return Status::DataLoss("unsupported snapshot format version " +
+                            std::to_string(parsed.version) + " (reader is " +
+                            std::to_string(kSnapshotVersion) + ")");
+  }
+  parsed.flags = GetU32(p + 8);
+  const uint32_t section_count = GetU32(p + 12);
+  const uint64_t file_length = GetU64(p + 16);
+  if (file_length != bytes.size()) {
+    return Status::DataLoss("header says " + std::to_string(file_length) +
+                            " bytes but the file holds " +
+                            std::to_string(bytes.size()));
+  }
+  if (section_count == 0 || section_count > kMaxSections) {
+    return Status::DataLoss("implausible section count " +
+                            std::to_string(section_count));
+  }
+  const uint64_t table_end =
+      kHeaderLength + uint64_t{section_count} * kTableEntryLength;
+  if (table_end > bytes.size()) {
+    return Status::DataLoss("section table overruns the file");
+  }
+  const uint32_t table_crc = GetU32(p + 24);
+  if (Crc32c(p + kHeaderLength, table_end - kHeaderLength) != table_crc) {
+    return Status::DataLoss("section table checksum mismatch");
+  }
+  // Canonical layout: kinds strictly ascending, each payload at the
+  // 8-aligned position after its predecessor, zero gap bytes, the file
+  // ending exactly at the last payload byte. Every deviation is data loss
+  // — there is exactly one valid byte encoding per snapshot.
+  parsed.entries.reserve(section_count);
+  uint64_t cursor = table_end;  // table_end is 8-aligned (32 | 32·n)
+  uint32_t prev_kind = 0;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const char* e = p + kHeaderLength + uint64_t{i} * kTableEntryLength;
+    TableEntry entry;
+    entry.kind = GetU32(e);
+    entry.offset = GetU64(e + 8);
+    entry.length = GetU64(e + 16);
+    entry.crc = GetU32(e + 24);
+    const std::string where =
+        "section " + std::to_string(i) + " (" + SectionName(entry.kind) + ")";
+    if (GetU32(e + 4) != 0 || GetU32(e + 28) != 0) {
+      return Status::DataLoss(where + ": reserved table field is nonzero");
+    }
+    if (entry.kind <= prev_kind) {
+      return Status::DataLoss(where + ": section kinds not strictly " +
+                              "ascending");
+    }
+    prev_kind = entry.kind;
+    const uint64_t expected = Align8(cursor);
+    if (entry.offset != expected) {
+      return Status::DataLoss(where + ": payload at offset " +
+                              std::to_string(entry.offset) +
+                              ", canonical layout requires " +
+                              std::to_string(expected));
+    }
+    if (entry.offset > bytes.size() ||
+        entry.length > bytes.size() - entry.offset) {
+      return Status::DataLoss(where + ": payload overruns the file");
+    }
+    for (uint64_t g = cursor; g < entry.offset; ++g) {
+      if (p[g] != 0) {
+        return Status::DataLoss(where + ": nonzero padding byte before " +
+                                "payload");
+      }
+    }
+    cursor = entry.offset + entry.length;
+    parsed.entries.push_back(entry);
+  }
+  if (cursor != bytes.size()) {
+    return Status::DataLoss("file holds " +
+                            std::to_string(bytes.size() - cursor) +
+                            " trailing bytes past the last section");
+  }
+  return parsed;
+}
+
+std::string_view Payload(std::string_view bytes, const TableEntry& entry) {
+  return bytes.substr(entry.offset, entry.length);
+}
+
+const TableEntry* FindSection(const ParsedFile& parsed, uint32_t kind) {
+  for (const TableEntry& entry : parsed.entries) {
+    if (entry.kind == kind) return &entry;
+  }
+  return nullptr;
+}
+
+// The exact section-kind list a canonical v1 file with these flags holds.
+std::vector<uint32_t> ExpectedKinds(uint32_t flags) {
+  std::vector<uint32_t> kinds = {kMeta, kArities};
+  if (flags & kFlagHasDatabase) {
+    kinds.push_back(kDbNumRows);
+    kinds.push_back(kDbRows);
+  }
+  if (flags & kFlagHasGraph) {
+    for (uint32_t k = kAtomPredicates; k <= kRuleBindings; ++k) {
+      kinds.push_back(k);
+    }
+  }
+  return kinds;
+}
+
+// Fetches section `kind`, requiring its length to be exactly
+// `count` × `element_size` bytes and its payload to match its CRC.
+Result<std::string_view> CheckedPayload(std::string_view bytes,
+                                        const ParsedFile& parsed,
+                                        uint32_t kind, uint64_t count,
+                                        uint64_t element_size,
+                                        ExecutionContext* context) {
+  const TableEntry* entry = FindSection(parsed, kind);
+  if (entry == nullptr) {
+    return Status::DataLoss(std::string("missing section ") +
+                            SectionName(kind));
+  }
+  const std::string name = SectionName(kind);
+  // count ≤ INT32_MAX+1 and element_size ≤ 8, so the product fits easily.
+  if (entry->length != count * element_size) {
+    return Status::DataLoss("section " + name + " is " +
+                            std::to_string(entry->length) +
+                            " bytes, expected " + std::to_string(count) +
+                            " × " + std::to_string(element_size));
+  }
+  Status charged = Charge(context, static_cast<int64_t>(entry->length));
+  if (!charged.ok()) return charged;
+  const std::string_view payload = Payload(bytes, *entry);
+  if (Crc32c(payload.data(), payload.size()) != entry->crc) {
+    return Status::DataLoss("section " + name + " checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace
+
+Result<std::string> SerializeSnapshot(const Program& program,
+                                      const Database* database,
+                                      const GroundGraph* graph,
+                                      const SnapshotWriteOptions& options) {
+  if (database == nullptr && graph == nullptr) {
+    return Status::InvalidArgument(
+        "snapshot must carry a database, a graph, or both");
+  }
+  if (graph != nullptr && !graph->finalized()) {
+    return Status::InvalidArgument("snapshot requires a finalized graph");
+  }
+  const int32_t num_predicates = program.num_predicates();
+  if (database != nullptr) {
+    if (database->num_predicates() != num_predicates) {
+      return Status::InvalidArgument(
+          "database has " + std::to_string(database->num_predicates()) +
+          " relations but the program declares " +
+          std::to_string(num_predicates) + " predicates");
+    }
+    for (PredId pr = 0; pr < num_predicates; ++pr) {
+      if (database->arity(pr) != program.predicate(pr).arity) {
+        return Status::InvalidArgument("database arity mismatch at predicate " +
+                                       std::to_string(pr));
+      }
+    }
+  }
+
+  Meta meta;
+  meta.num_predicates = num_predicates;
+  meta.num_constants = program.num_constants();
+  meta.num_program_rules = program.num_rules();
+  if (database != nullptr) meta.total_facts = database->TotalFacts();
+  if (graph != nullptr) {
+    meta.num_atoms = graph->num_atoms();
+    meta.num_rule_instances = graph->num_rules();
+    meta.num_args = graph->atoms().num_args();
+    meta.num_body = static_cast<int64_t>(graph->body_arena().size());
+    meta.num_bindings = static_cast<int64_t>(graph->binding_arena().size());
+  }
+
+  uint32_t flags = 0;
+  if (database != nullptr) flags |= kFlagHasDatabase;
+  if (graph != nullptr) flags |= kFlagHasGraph;
+
+  // Build each payload in ascending kind order.
+  std::vector<std::pair<uint32_t, std::string>> sections;
+  sections.emplace_back(kMeta, EncodeMeta(meta));
+  {
+    std::string arities;
+    for (PredId pr = 0; pr < num_predicates; ++pr) {
+      PutU32(&arities, static_cast<uint32_t>(program.predicate(pr).arity));
+    }
+    sections.emplace_back(kArities, std::move(arities));
+  }
+  if (database != nullptr) {
+    std::string num_rows;
+    std::string rows;
+    for (PredId pr = 0; pr < num_predicates; ++pr) {
+      PutU64(&num_rows, static_cast<uint64_t>(database->NumFacts(pr)));
+      AppendArray(&rows, database->FactData(pr),
+                  static_cast<size_t>(database->NumFacts(pr)) *
+                      static_cast<size_t>(database->arity(pr)));
+    }
+    sections.emplace_back(kDbNumRows, std::move(num_rows));
+    sections.emplace_back(kDbRows, std::move(rows));
+  }
+  if (graph != nullptr) {
+    const GroundAtomStore& atoms = graph->atoms();
+    auto add = [&sections](uint32_t kind, auto span) {
+      std::string bytes;
+      AppendArray(&bytes, span.data(), span.size());
+      sections.emplace_back(kind, std::move(bytes));
+    };
+    add(kAtomPredicates, atoms.atom_predicates());
+    add(kAtomOffsets, atoms.arg_offsets());
+    add(kAtomArgs, atoms.arg_arena());
+    add(kRuleIndices, graph->rule_indices());
+    add(kRuleHeads, graph->heads());
+    add(kRulePosEnds, graph->pos_ends());
+    add(kRuleBodyOffsets, graph->body_offsets());
+    add(kRuleBody, graph->body_arena());
+    add(kRuleBindingOffsets, graph->binding_offsets());
+    add(kRuleBindings, graph->binding_arena());
+  }
+
+  // Lay the payloads out: each at the 8-aligned position after its
+  // predecessor, starting right after the section table.
+  const uint64_t table_end =
+      kHeaderLength + sections.size() * kTableEntryLength;
+  std::vector<TableEntry> entries(sections.size());
+  uint64_t cursor = table_end;
+  for (size_t i = 0; i < sections.size(); ++i) {
+    Status charged =
+        Charge(options.context, static_cast<int64_t>(sections[i].second.size()));
+    if (!charged.ok()) return charged;
+    entries[i].kind = sections[i].first;
+    entries[i].offset = Align8(cursor);
+    entries[i].length = sections[i].second.size();
+    entries[i].crc =
+        Crc32c(sections[i].second.data(), sections[i].second.size());
+    cursor = entries[i].offset + entries[i].length;
+  }
+  const uint64_t file_length = cursor;
+
+  std::string table;
+  table.reserve(sections.size() * kTableEntryLength);
+  for (const TableEntry& entry : entries) {
+    PutU32(&table, entry.kind);
+    PutU32(&table, 0);  // reserved
+    PutU64(&table, entry.offset);
+    PutU64(&table, entry.length);
+    PutU32(&table, entry.crc);
+    PutU32(&table, 0);  // reserved
+  }
+
+  std::string out;
+  out.reserve(file_length);
+  PutU32(&out, kSnapshotMagic);
+  PutU32(&out, kSnapshotVersion);
+  PutU32(&out, flags);
+  PutU32(&out, static_cast<uint32_t>(sections.size()));
+  PutU64(&out, file_length);
+  PutU32(&out, Crc32c(table.data(), table.size()));
+  PutU32(&out, Crc32c(out.data(), out.size()));  // header CRC over [0, 28)
+  out += table;
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out.append(entries[i].offset - out.size(), '\0');  // zero padding
+    out += sections[i].second;
+  }
+  return out;
+}
+
+Result<SnapshotContents> LoadSnapshotFromBuffer(
+    std::string_view bytes, const SnapshotReadOptions& options) {
+  Result<ParsedFile> parsed = ParseHeaderAndTable(bytes);
+  if (!parsed.ok()) return parsed.status();
+
+  if (parsed->flags &
+      ~(kFlagHasDatabase | kFlagHasGraph)) {
+    return Status::DataLoss("unknown header flag bits");
+  }
+  if ((parsed->flags & (kFlagHasDatabase | kFlagHasGraph)) == 0) {
+    return Status::DataLoss("snapshot carries neither database nor graph");
+  }
+  {
+    const std::vector<uint32_t> expected = ExpectedKinds(parsed->flags);
+    bool match = parsed->entries.size() == expected.size();
+    for (size_t i = 0; match && i < expected.size(); ++i) {
+      match = parsed->entries[i].kind == expected[i];
+    }
+    if (!match) {
+      return Status::DataLoss(
+          "section list does not match the header flags");
+    }
+  }
+
+  Result<std::string_view> meta_payload =
+      CheckedPayload(bytes, *parsed, kMeta, 1, kMetaLength, options.context);
+  if (!meta_payload.ok()) return meta_payload.status();
+  Result<Meta> meta = DecodeMeta(*meta_payload);
+  if (!meta.ok()) return meta.status();
+  const uint64_t predicates = static_cast<uint64_t>(meta->num_predicates);
+  const uint64_t atoms_count = static_cast<uint64_t>(meta->num_atoms);
+  const uint64_t rules_count =
+      static_cast<uint64_t>(meta->num_rule_instances);
+
+  Result<std::string_view> arities_payload = CheckedPayload(
+      bytes, *parsed, kArities, predicates, 4, options.context);
+  if (!arities_payload.ok()) return arities_payload.status();
+  const std::vector<int32_t> arities = DecodeArray<int32_t>(*arities_payload);
+  for (size_t pr = 0; pr < arities.size(); ++pr) {
+    if (arities[pr] < 0) {
+      return Status::DataLoss("predicate " + std::to_string(pr) +
+                              " has negative arity");
+    }
+  }
+
+  if (options.program != nullptr) {
+    const Program& program = *options.program;
+    if (meta->num_predicates != program.num_predicates()) {
+      return Status::DataLoss(
+          "snapshot has " + std::to_string(meta->num_predicates) +
+          " predicates but the program declares " +
+          std::to_string(program.num_predicates()));
+    }
+    for (PredId pr = 0; pr < meta->num_predicates; ++pr) {
+      if (arities[pr] != program.predicate(pr).arity) {
+        return Status::DataLoss("snapshot arity mismatch at predicate " +
+                                std::to_string(pr));
+      }
+    }
+    if (meta->num_program_rules != program.num_rules()) {
+      return Status::DataLoss(
+          "snapshot was written under " +
+          std::to_string(meta->num_program_rules) +
+          " program rules, the program has " +
+          std::to_string(program.num_rules()));
+    }
+    if (meta->num_constants > program.num_constants()) {
+      return Status::DataLoss(
+          "snapshot uses " + std::to_string(meta->num_constants) +
+          " constants, the program has interned only " +
+          std::to_string(program.num_constants()));
+    }
+  }
+
+  SnapshotContents contents;
+  contents.num_predicates = meta->num_predicates;
+  contents.num_constants = meta->num_constants;
+  contents.num_program_rules = meta->num_program_rules;
+
+  if (parsed->flags & kFlagHasDatabase) {
+    Result<std::string_view> counts_payload = CheckedPayload(
+        bytes, *parsed, kDbNumRows, predicates, 8, options.context);
+    if (!counts_payload.ok()) return counts_payload.status();
+    std::vector<int64_t> num_rows = DecodeArray<int64_t>(*counts_payload);
+
+    const TableEntry* rows_entry = FindSection(*parsed, kDbRows);
+    // Present by the section-list check; its length is validated against
+    // the row counts below rather than a single product.
+    Status charged =
+        Charge(options.context, static_cast<int64_t>(rows_entry->length));
+    if (!charged.ok()) return charged;
+    if (rows_entry->length % sizeof(ConstId) != 0) {
+      return Status::DataLoss("db_rows length is not a whole id count");
+    }
+    const std::string_view rows_payload = Payload(bytes, *rows_entry);
+    if (Crc32c(rows_payload.data(), rows_payload.size()) != rows_entry->crc) {
+      return Status::DataLoss("section db_rows checksum mismatch");
+    }
+    const std::vector<ConstId> flat = DecodeArray<ConstId>(rows_payload);
+
+    // Slice the concatenated arena by the per-relation counts; every id
+    // must be accounted for. Multiplications are guarded by division.
+    std::vector<std::vector<ConstId>> rows(num_rows.size());
+    int64_t facts = 0;
+    uint64_t at = 0;
+    for (size_t pr = 0; pr < num_rows.size(); ++pr) {
+      const int64_t count = num_rows[pr];
+      const int64_t arity = arities[pr];
+      if (count < 0) {
+        return Status::DataLoss("relation " + std::to_string(pr) +
+                                ": negative row count");
+      }
+      facts += count;
+      if (arity == 0 || count == 0) continue;
+      const uint64_t need = static_cast<uint64_t>(count);
+      if (need > (flat.size() - at) / static_cast<uint64_t>(arity)) {
+        return Status::DataLoss("db_rows arena ends inside relation " +
+                                std::to_string(pr));
+      }
+      const uint64_t ids = need * static_cast<uint64_t>(arity);
+      rows[pr].assign(flat.begin() + static_cast<int64_t>(at),
+                      flat.begin() + static_cast<int64_t>(at + ids));
+      at += ids;
+    }
+    if (at != flat.size()) {
+      return Status::DataLoss("db_rows arena holds " +
+                              std::to_string(flat.size() - at) +
+                              " ids past the last relation");
+    }
+    if (facts != meta->total_facts) {
+      return Status::DataLoss("meta total_facts disagrees with db_num_rows");
+    }
+    Result<Database> database =
+        Database::FromArenas(arities, std::move(num_rows), std::move(rows),
+                             meta->num_constants);
+    if (!database.ok()) return database.status();
+    contents.database.emplace(*std::move(database));
+  } else if (meta->total_facts != 0) {
+    return Status::DataLoss("meta total_facts nonzero without a database");
+  }
+
+  if (parsed->flags & kFlagHasGraph) {
+    Result<std::string_view> payload = CheckedPayload(
+        bytes, *parsed, kAtomPredicates, atoms_count, 4, options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<PredId> atom_preds = DecodeArray<PredId>(*payload);
+
+    payload = CheckedPayload(bytes, *parsed, kAtomOffsets, atoms_count + 1, 8,
+                             options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<int64_t> atom_offsets = DecodeArray<int64_t>(*payload);
+
+    payload = CheckedPayload(bytes, *parsed, kAtomArgs,
+                             static_cast<uint64_t>(meta->num_args), 4,
+                             options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<ConstId> atom_args = DecodeArray<ConstId>(*payload);
+
+    Result<GroundAtomStore> store = GroundAtomStore::FromArenas(
+        Span<PredId>(atom_preds.data(), atom_preds.size()),
+        Span<int64_t>(atom_offsets.data(), atom_offsets.size()),
+        Span<ConstId>(atom_args.data(), atom_args.size()),
+        meta->num_predicates, meta->num_constants);
+    if (!store.ok()) return store.status();
+    // Atoms must respect the declared arities — the interpreters and the
+    // Δ-mask assume ArityOf(a) == arity(PredicateOf(a)).
+    for (AtomId a = 0; a < store->size(); ++a) {
+      if (store->ArityOf(a) != arities[store->PredicateOf(a)]) {
+        return Status::DataLoss("atom " + std::to_string(a) +
+                                " has arity " +
+                                std::to_string(store->ArityOf(a)) +
+                                ", predicate declares " +
+                                std::to_string(arities[store->PredicateOf(a)]));
+      }
+    }
+
+    payload = CheckedPayload(bytes, *parsed, kRuleIndices, rules_count, 4,
+                             options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<int32_t> rule_indices = DecodeArray<int32_t>(*payload);
+
+    payload = CheckedPayload(bytes, *parsed, kRuleHeads, rules_count, 4,
+                             options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<AtomId> heads = DecodeArray<AtomId>(*payload);
+
+    payload = CheckedPayload(bytes, *parsed, kRulePosEnds, rules_count, 8,
+                             options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<int64_t> pos_ends = DecodeArray<int64_t>(*payload);
+
+    payload = CheckedPayload(bytes, *parsed, kRuleBodyOffsets,
+                             rules_count + 1, 8, options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<int64_t> body_offsets = DecodeArray<int64_t>(*payload);
+
+    payload = CheckedPayload(bytes, *parsed, kRuleBody,
+                             static_cast<uint64_t>(meta->num_body), 4,
+                             options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<AtomId> body = DecodeArray<AtomId>(*payload);
+
+    payload = CheckedPayload(bytes, *parsed, kRuleBindingOffsets,
+                             rules_count + 1, 8, options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<int64_t> binding_offsets =
+        DecodeArray<int64_t>(*payload);
+
+    payload = CheckedPayload(bytes, *parsed, kRuleBindings,
+                             static_cast<uint64_t>(meta->num_bindings), 4,
+                             options.context);
+    if (!payload.ok()) return payload.status();
+    const std::vector<ConstId> bindings = DecodeArray<ConstId>(*payload);
+
+    Result<GroundGraph> graph = GroundGraph::FromArenas(
+        *std::move(store),
+        Span<int32_t>(rule_indices.data(), rule_indices.size()),
+        Span<AtomId>(heads.data(), heads.size()),
+        Span<int64_t>(pos_ends.data(), pos_ends.size()),
+        Span<int64_t>(body_offsets.data(), body_offsets.size()),
+        Span<AtomId>(body.data(), body.size()),
+        Span<int64_t>(binding_offsets.data(), binding_offsets.size()),
+        Span<ConstId>(bindings.data(), bindings.size()),
+        meta->num_constants, meta->num_program_rules);
+    if (!graph.ok()) return graph.status();
+    contents.graph.emplace(*std::move(graph));
+  } else if (meta->num_atoms != 0 || meta->num_rule_instances != 0 ||
+             meta->num_args != 0 || meta->num_body != 0 ||
+             meta->num_bindings != 0) {
+    return Status::DataLoss("meta graph counts nonzero without a graph");
+  }
+
+  return contents;
+}
+
+Status SaveSnapshot(const std::string& path, const Program& program,
+                    const Database* database, const GroundGraph* graph,
+                    const SnapshotWriteOptions& options) {
+  Result<std::string> bytes =
+      SerializeSnapshot(program, database, graph, options);
+  if (!bytes.ok()) return bytes.status();
+  return WriteFileAtomic(path, *bytes);
+}
+
+Result<SnapshotContents> LoadSnapshotFile(const std::string& path,
+                                          const SnapshotReadOptions& options) {
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return LoadSnapshotFromBuffer(*bytes, options);
+}
+
+Result<SnapshotInfo> ReadSnapshotInfo(std::string_view bytes) {
+  Result<ParsedFile> parsed = ParseHeaderAndTable(bytes);
+  if (!parsed.ok()) return parsed.status();
+  SnapshotInfo info;
+  info.version = parsed->version;
+  info.flags = parsed->flags;
+  info.file_length = bytes.size();
+  for (const TableEntry& entry : parsed->entries) {
+    SectionInfo section;
+    section.kind = entry.kind;
+    section.name = SectionName(entry.kind);
+    section.offset = entry.offset;
+    section.length = entry.length;
+    section.crc = entry.crc;
+    const std::string_view payload = Payload(bytes, entry);
+    section.crc_ok = Crc32c(payload.data(), payload.size()) == entry.crc;
+    info.sections.push_back(section);
+    if (entry.kind == kMeta && entry.length == kMetaLength) {
+      // Diagnostic counts: reported even when the payload CRC fails, so
+      // `info` remains useful on a damaged file.
+      Result<Meta> meta = DecodeMeta(payload);
+      if (meta.ok()) {
+        info.num_predicates = meta->num_predicates;
+        info.num_constants = meta->num_constants;
+        info.num_program_rules = meta->num_program_rules;
+        info.num_atoms = meta->num_atoms;
+        info.num_rule_instances = meta->num_rule_instances;
+        info.total_facts = meta->total_facts;
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace storage
+}  // namespace tiebreak

@@ -1,0 +1,72 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace tiebreak {
+
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// 8 tables of 256 entries: table[0] is the classic byte-at-a-time table,
+// table[k][b] is the CRC of byte b followed by k zero bytes. Built once at
+// first use (function-local static, thread-safe since C++11).
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+  const Tables& tables = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte aligned.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  // Slice-by-8 over the aligned middle.
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= crc;  // fold the running CRC into the low word
+    crc = tables.t[7][chunk & 0xFF] ^ tables.t[6][(chunk >> 8) & 0xFF] ^
+          tables.t[5][(chunk >> 16) & 0xFF] ^
+          tables.t[4][(chunk >> 24) & 0xFF] ^
+          tables.t[3][(chunk >> 32) & 0xFF] ^
+          tables.t[2][(chunk >> 40) & 0xFF] ^
+          tables.t[1][(chunk >> 48) & 0xFF] ^ tables.t[0][(chunk >> 56)];
+    p += 8;
+    n -= 8;
+  }
+  // Byte-at-a-time tail.
+  while (n > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFF];
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,177 @@
+#include "util/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tiebreak {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  const std::string msg = op + " " + path + ": " + std::strerror(err);
+  if (err == ENOENT || err == ENOTDIR) return Status::NotFound(msg);
+  return Status::Internal(msg);
+}
+
+// Directory part of `path` ("." when there is no slash).
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", dir, errno);
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir", dir, err);
+  return Status::Ok();
+}
+
+// Writes all of `bytes` to `fd` (retrying short writes) and fsyncs.
+Status WriteAndSync(int fd, const std::string& path, std::string_view bytes) {
+  const char* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path, errno);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) return ErrnoStatus("fsync", path, errno);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  std::string out;
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    out.reserve(static_cast<size_t>(st.st_size));
+  }
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view bytes) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  Status s = WriteAndSync(fd, path, bytes);
+  if (::close(fd) != 0 && s.ok()) s = ErrnoStatus("close", path, errno);
+  if (!s.ok()) ::unlink(path.c_str());
+  return s;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  // The temp file must live in the target directory: rename() is atomic
+  // only within one filesystem, and the directory fsync below covers both
+  // the unlink of the old name and the link of the new one.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  Status s = WriteFileDurable(tmp, bytes);
+  if (!s.ok()) return s;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("rename", path, err);
+  }
+  return SyncDir(DirName(path));
+}
+
+Status CreateDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir", path, errno);
+  }
+  return Status::Ok();
+}
+
+Status RenameDurable(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", to, errno);
+  }
+  return SyncDir(DirName(to));
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::lstat(path.c_str(), &st) == 0;
+}
+
+Result<int64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return ErrnoStatus("stat", path, errno);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  return static_cast<int64_t>(st.st_size);
+}
+
+Status RemoveAll(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::Ok();
+    return ErrnoStatus("lstat", path, errno);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    Result<std::vector<std::string>> entries = ListDir(path);
+    if (!entries.ok()) return entries.status();
+    for (const std::string& name : *entries) {
+      Status s = RemoveAll(path + "/" + name);
+      if (!s.ok()) return s;
+    }
+    if (::rmdir(path.c_str()) != 0) {
+      return ErrnoStatus("rmdir", path, errno);
+    }
+    return Status::Ok();
+  }
+  if (::unlink(path.c_str()) != 0) {
+    return ErrnoStatus("unlink", path, errno);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tiebreak

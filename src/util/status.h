@@ -23,6 +23,9 @@ enum class StatusCode {
   kInternal,            ///< Invariant violation surfaced as an error.
   kDeadlineExceeded,    ///< ExecutionContext wall-clock deadline passed.
   kCancelled,           ///< Cooperative cancellation was requested.
+  kDataLoss,            ///< Persistent state is corrupt or unreadable
+                        ///< (failed checksum, torn write, truncated or
+                        ///< hostile snapshot bytes).
 };
 
 /// Returns a short stable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -61,6 +64,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -110,6 +116,7 @@ class Result {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 

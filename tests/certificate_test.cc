@@ -180,7 +180,7 @@ TEST(CertificateTest, RandomRunsAlwaysVerify) {
     options.num_rules = 3 + static_cast<int>(rng.Below(7));
     options.negation_probability = 0.45;
     Program program = RandomProgram(&rng, options);
-    Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+    Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
     const GroundingResult g = GroundOrDie(Instance{program, database});
     for (TieBreakingMode mode :
          {TieBreakingMode::kPure, TieBreakingMode::kWellFounded,

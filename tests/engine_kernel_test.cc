@@ -45,23 +45,23 @@ std::vector<NamedWorkload> AllWorkloads() {
   std::vector<NamedWorkload> workloads;
   {
     Program program = TransitiveClosureProgram();
-    Database db = ChainDatabase(&program, "e", 64);
+    Database db = *ChainDatabase(&program, "e", 64);
     workloads.push_back({"tc_chain", std::move(program), std::move(db)});
   }
   {
     Program program = TransitiveClosureProgram();
-    Database db = CycleDatabase(&program, "e", 48);
+    Database db = *CycleDatabase(&program, "e", 48);
     workloads.push_back({"tc_cycle", std::move(program), std::move(db)});
   }
   {
     Program program = TransitiveClosureProgram();
     Rng rng(7);
-    Database db = RandomDigraphDatabase(&program, "e", 48, 144, &rng);
+    Database db = *RandomDigraphDatabase(&program, "e", 48, 144, &rng);
     workloads.push_back({"tc_random", std::move(program), std::move(db)});
   }
   {
     Program program = TransitiveClosureProgram();
-    Database db = WideGridDatabase(&program, "e", 32, 3);
+    Database db = *WideGridDatabase(&program, "e", 32, 3);
     workloads.push_back({"tc_wide_grid", std::move(program), std::move(db)});
   }
   {
@@ -69,7 +69,7 @@ std::vector<NamedWorkload> AllWorkloads() {
     // distinct sources, many edges each) even below the auto threshold.
     Program program = ReachabilityProgram();
     Rng rng(11);
-    Database db = LargeRandomDigraphDatabase(&program, "e", 500, 8000, &rng);
+    Database db = *LargeRandomDigraphDatabase(&program, "e", 500, 8000, &rng);
     const PredId start = program.LookupPredicate("start");
     const ConstId n0 = program.LookupConstant("n0");
     db.Insert(start, {n0});
@@ -77,13 +77,13 @@ std::vector<NamedWorkload> AllWorkloads() {
   }
   {
     Program program = SameGenerationProgram();
-    Database db = BalancedTreeDatabase(&program, 5);
+    Database db = *BalancedTreeDatabase(&program, 5);
     workloads.push_back({"same_generation", std::move(program),
                          std::move(db)});
   }
   {
     Program program = StratifiedTowerProgram(8);
-    Database db = UnarySetDatabase(&program, "e", 48);
+    Database db = *UnarySetDatabase(&program, "e", 48);
     workloads.push_back({"stratified_tower", std::move(program),
                          std::move(db)});
   }
@@ -127,7 +127,7 @@ TEST(KernelAgreementTest, MergeKernelActuallyTakesTheMergePath) {
   // sort-merge step — otherwise the suite above would be vacuous for it.
   Program program = ReachabilityProgram();
   Rng rng(3);
-  Database db = LargeRandomDigraphDatabase(&program, "e", 200, 4000, &rng);
+  Database db = *LargeRandomDigraphDatabase(&program, "e", 200, 4000, &rng);
   db.Insert(program.LookupPredicate("start"),
             {program.LookupConstant("n0")});
   EngineOptions options;
@@ -143,7 +143,7 @@ TEST(KernelAgreementTest, AutoMergeSelectionBySelectivity) {
   // threshold of 0 must disable it.
   Program program = ReachabilityProgram();
   Rng rng(5);
-  Database db = RandomDigraphDatabase(&program, "e", 120, 120'000, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 120, 120'000, &rng);
   db.Insert(program.LookupPredicate("start"),
             {program.LookupConstant("n0")});
   {
@@ -181,7 +181,7 @@ TEST(KernelAgreementTest, RandomStratifiedPrograms) {
     if (!CheckSafety(program).ok()) continue;
     if (!ComputeStrata(program).has_value()) continue;
 
-    Database db = RandomEdbDatabase(&program, 4, 0.4, &rng);
+    Database db = *RandomEdbDatabase(&program, 4, 0.4, &rng);
     EngineOptions reference_options;
     reference_options.kernel = JoinKernel::kRow;
     EngineStats reference_stats;

@@ -90,34 +90,34 @@ std::vector<NamedWorkload> AllWorkloads() {
   std::vector<NamedWorkload> workloads;
   {
     Program program = TransitiveClosureProgram();
-    Database db = ChainDatabase(&program, "e", 64);
+    Database db = *ChainDatabase(&program, "e", 64);
     workloads.push_back({"tc_chain", std::move(program), std::move(db)});
   }
   {
     Program program = TransitiveClosureProgram();
-    Database db = CycleDatabase(&program, "e", 48);
+    Database db = *CycleDatabase(&program, "e", 48);
     workloads.push_back({"tc_cycle", std::move(program), std::move(db)});
   }
   {
     Program program = TransitiveClosureProgram();
     Rng rng(7);
-    Database db = RandomDigraphDatabase(&program, "e", 48, 144, &rng);
+    Database db = *RandomDigraphDatabase(&program, "e", 48, 144, &rng);
     workloads.push_back({"tc_random", std::move(program), std::move(db)});
   }
   {
     Program program = TransitiveClosureProgram();
-    Database db = GridDatabase(&program, "e", 8, 8);
+    Database db = *GridDatabase(&program, "e", 8, 8);
     workloads.push_back({"tc_grid", std::move(program), std::move(db)});
   }
   {
     Program program = TransitiveClosureProgram();
-    Database db = WideGridDatabase(&program, "e", 32, 3);
+    Database db = *WideGridDatabase(&program, "e", 32, 3);
     workloads.push_back({"tc_wide_grid", std::move(program), std::move(db)});
   }
   {
     Program program = ReachabilityProgram();
     Rng rng(11);
-    Database db = LargeRandomDigraphDatabase(&program, "e", 500, 2000, &rng);
+    Database db = *LargeRandomDigraphDatabase(&program, "e", 500, 2000, &rng);
     const PredId start = program.LookupPredicate("start");
     const ConstId n0 = program.LookupConstant("n0");
     db.Insert(start, {n0});
@@ -125,12 +125,12 @@ std::vector<NamedWorkload> AllWorkloads() {
   }
   {
     Program program = SameGenerationProgram();
-    Database db = BalancedTreeDatabase(&program, 5);
+    Database db = *BalancedTreeDatabase(&program, 5);
     workloads.push_back({"same_generation", std::move(program), std::move(db)});
   }
   {
     Program program = StratifiedTowerProgram(8);
-    Database db = UnarySetDatabase(&program, "e", 48);
+    Database db = *UnarySetDatabase(&program, "e", 48);
     workloads.push_back({"stratified_tower", std::move(program),
                          std::move(db)});
   }
@@ -203,7 +203,7 @@ TEST(ParallelAgreementTest, RandomStratifiedPrograms) {
     if (!CheckSafety(program).ok()) continue;
     if (!ComputeStrata(program).has_value()) continue;
 
-    Database db = RandomEdbDatabase(&program, 4, 0.4, &rng);
+    Database db = *RandomEdbDatabase(&program, 4, 0.4, &rng);
     EngineOptions serial;
     EngineStats serial_stats;
     Result<Database> reference =
@@ -235,7 +235,7 @@ TEST(ParallelAgreementTest, RandomStratifiedPrograms) {
 
 TEST(PlanCacheTest, CachedPlansServeSteadyStateRounds) {
   Program program = TransitiveClosureProgram();
-  Database db = CycleDatabase(&program, "e", 64);
+  Database db = *CycleDatabase(&program, "e", 64);
   EngineOptions options;
   EngineStats stats;
   ASSERT_TRUE(EvaluateStratified(program, db, options, &stats).ok());
@@ -247,7 +247,7 @@ TEST(PlanCacheTest, CachedPlansServeSteadyStateRounds) {
 
 TEST(PlanCacheTest, ZeroDriftRecompilesEveryEvaluation) {
   Program program = TransitiveClosureProgram();
-  Database db = CycleDatabase(&program, "e", 64);
+  Database db = *CycleDatabase(&program, "e", 64);
   EngineOptions options;
   options.plan_refresh_drift = 0;  // pre-cache behavior
   EngineStats stats;
@@ -263,7 +263,7 @@ TEST(PlanCacheTest, ZeroDriftRecompilesEveryEvaluation) {
 
 TEST(EngineStatsTest, PerStratumTimingsCoverAllStrata) {
   Program program = StratifiedTowerProgram(6);
-  Database db = UnarySetDatabase(&program, "e", 32);
+  Database db = *UnarySetDatabase(&program, "e", 32);
   for (int32_t threads : kThreadCounts) {
     EngineOptions options;
     options.num_threads = threads;
@@ -288,7 +288,7 @@ TEST(EngineStatsTest, PerStratumTimingsCoverAllStrata) {
 TEST(EngineOptionsTest, TupleBudgetEnforcedInParallelMode) {
   Program program = TransitiveClosureProgram();
   Rng rng(5);
-  Database db = RandomDigraphDatabase(&program, "e", 30, 200, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 30, 200, &rng);
   EngineOptions options;
   options.max_tuples = 50;
   options.num_threads = 4;

@@ -263,7 +263,7 @@ TEST(EngineTest, TransitiveClosureMatchesFloydWarshall) {
     Program program = TransitiveClosureProgram();
     const int n = 2 + static_cast<int>(rng.Below(12));
     const int m = static_cast<int>(rng.Below(3 * n + 1));
-    Database db = RandomDigraphDatabase(&program, "e", n, m, &rng);
+    Database db = *RandomDigraphDatabase(&program, "e", n, m, &rng);
 
     Result<Database> result = EvaluateStratified(program, db);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -299,7 +299,7 @@ TEST(EngineTest, NaiveAndSemiNaiveAgree) {
   Rng rng(123);
   for (int round = 0; round < 15; ++round) {
     Program program = TransitiveClosureProgram();
-    Database db = RandomDigraphDatabase(&program, "e", 10, 25, &rng);
+    Database db = *RandomDigraphDatabase(&program, "e", 10, 25, &rng);
     EngineOptions semi, naive;
     naive.semi_naive = false;
     Result<Database> a = EvaluateStratified(program, db, semi);
@@ -330,7 +330,7 @@ TEST(EngineTest, NaiveAndSemiNaiveAgreeOnRandomStratifiedPrograms) {
     if (!CheckSafety(program).ok()) continue;
     if (!ComputeStrata(program).has_value()) continue;
 
-    Database db = RandomEdbDatabase(&program, 4, 0.4, &rng);
+    Database db = *RandomEdbDatabase(&program, 4, 0.4, &rng);
     EngineOptions semi, naive;
     naive.semi_naive = false;
     EngineStats semi_stats, naive_stats;
@@ -355,7 +355,7 @@ TEST(EngineTest, SemiNaiveDoesLessWork) {
   // be closed in one pass, so the classic delta argument applies.
   {
     Program program = TransitiveClosureProgram();
-    Database db = CycleDatabase(&program, "e", 30);
+    Database db = *CycleDatabase(&program, "e", 30);
     EngineOptions semi, naive;
     naive.semi_naive = false;
     EngineStats semi_stats, naive_stats;
@@ -367,7 +367,7 @@ TEST(EngineTest, SemiNaiveDoesLessWork) {
   {
     Program program = TransitiveClosureProgram();
     Rng rng(7);
-    Database db = RandomDigraphDatabase(&program, "e", 20, 50, &rng);
+    Database db = *RandomDigraphDatabase(&program, "e", 20, 50, &rng);
     EngineOptions semi, naive;
     naive.semi_naive = false;
     EngineStats semi_stats, naive_stats;
@@ -419,7 +419,7 @@ TEST(EngineTest, MatchesPerfectModelOnStratifiedPrograms) {
   Rng rng(31);
   for (int round = 0; round < 10; ++round) {
     Program program = StratifiedTowerProgram(3);
-    Database db = UnarySetDatabase(&program, "e", 4);
+    Database db = *UnarySetDatabase(&program, "e", 4);
     Result<Database> engine_result = EvaluateStratified(program, db);
     ASSERT_TRUE(engine_result.ok());
 
@@ -439,7 +439,7 @@ TEST(EngineTest, MatchesPerfectModelOnStratifiedPrograms) {
 TEST(EngineTest, MatchesWellFoundedOnStratifiedTC) {
   Rng rng(77);
   Program program = TransitiveClosureProgram();
-  Database db = RandomDigraphDatabase(&program, "e", 8, 16, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 8, 16, &rng);
   Result<Database> engine_result = EvaluateStratified(program, db);
   ASSERT_TRUE(engine_result.ok());
   const GroundingResult g = GroundOrDie(Instance{program, db});
@@ -508,7 +508,7 @@ TEST(EngineTest, UnsafeProgramRejected) {
 TEST(EngineTest, TupleBudgetEnforced) {
   Program program = TransitiveClosureProgram();
   Rng rng(5);
-  Database db = RandomDigraphDatabase(&program, "e", 30, 200, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 30, 200, &rng);
   EngineOptions options;
   options.max_tuples = 50;
   Result<Database> result = EvaluateStratified(program, db, options);
@@ -574,7 +574,7 @@ TEST(EngineTest, BorrowedEdbLargeBulkLoad) {
   // identical result, no intermediate copy (this is the grounder's route).
   Program program = TransitiveClosureProgram();
   Rng rng(11);
-  Database db = RandomDigraphDatabase(&program, "e", 200, 2000, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 200, 2000, &rng);
   const Result<Database> copied = EvaluateStratified(program, db);
   ASSERT_TRUE(copied.ok());
   std::vector<FactSpan> facts(program.num_predicates());
@@ -615,15 +615,15 @@ TEST(WorkloadTest, RandomProgramsParseAndValidate) {
 
 TEST(WorkloadTest, DatabaseGenerators) {
   Program program = WinMoveProgram();
-  Database chain = ChainDatabase(&program, "move", 5);
+  Database chain = *ChainDatabase(&program, "move", 5);
   EXPECT_EQ(chain.TotalFacts(), 4);
-  Database cycle = CycleDatabase(&program, "move", 5);
+  Database cycle = *CycleDatabase(&program, "move", 5);
   EXPECT_EQ(cycle.TotalFacts(), 5);
   Rng rng(3);
-  Database random = RandomDigraphDatabase(&program, "move", 10, 30, &rng);
+  Database random = *RandomDigraphDatabase(&program, "move", 10, 30, &rng);
   EXPECT_GT(random.TotalFacts(), 0);
   EXPECT_LE(random.TotalFacts(), 30);
-  Database edb = RandomEdbDatabase(&program, 3, 0.5, &rng);
+  Database edb = *RandomEdbDatabase(&program, 3, 0.5, &rng);
   EXPECT_LE(edb.TotalFacts(), 9);
 }
 
@@ -636,7 +636,7 @@ TEST(EngineGovernanceTest, StepBudgetTripsDeterministicallyAcrossThreads) {
   // semantics, so a too-small budget trips at every thread count.
   Program program = TransitiveClosureProgram();
   Rng rng(21);
-  Database db = RandomDigraphDatabase(&program, "e", 64, 256, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 64, 256, &rng);
   for (const int32_t threads : {1, 2, 8}) {
     ResourceLimits limits;
     limits.max_steps = 50;
@@ -660,7 +660,7 @@ TEST(EngineGovernanceTest, ByteBudgetDecisionIsThreadCountInvariant) {
   // every thread count.
   Program program = TransitiveClosureProgram();
   Rng rng(22);
-  Database db = RandomDigraphDatabase(&program, "e", 48, 128, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 48, 128, &rng);
   ExecutionContext probe;
   EngineOptions probe_options;
   probe_options.context = &probe;
@@ -693,7 +693,7 @@ TEST(EngineGovernanceTest, ByteBudgetDecisionIsThreadCountInvariant) {
 TEST(EngineGovernanceTest, ExpiredDeadlineAndCancelTripAcrossThreads) {
   Program program = TransitiveClosureProgram();
   Rng rng(23);
-  Database db = RandomDigraphDatabase(&program, "e", 32, 64, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 32, 64, &rng);
   for (const int32_t threads : {1, 2, 8}) {
     ResourceLimits limits;
     limits.deadline_seconds = 1e-9;
@@ -719,7 +719,7 @@ TEST(EngineGovernanceTest, ExpiredDeadlineAndCancelTripAcrossThreads) {
 TEST(EngineGovernanceTest, GenerousContextDoesNotPerturbResults) {
   Program program = TransitiveClosureProgram();
   Rng rng(24);
-  Database db = RandomDigraphDatabase(&program, "e", 48, 128, &rng);
+  Database db = *RandomDigraphDatabase(&program, "e", 48, 128, &rng);
   Result<Database> plain = EvaluateStratified(program, db);
   ASSERT_TRUE(plain.ok());
   ResourceLimits limits;

@@ -38,7 +38,7 @@ WfOutcome RunWellFoundedPipeline(ExecutionContext* context,
                                  int32_t num_threads) {
   Program program = WinMoveProgram();
   Rng rng(7);
-  Database database = RandomDigraphDatabase(&program, "move", 192, 576, &rng);
+  Database database = *RandomDigraphDatabase(&program, "move", 192, 576, &rng);
   GroundingOptions options;
   options.num_threads = num_threads;
   options.context = context;

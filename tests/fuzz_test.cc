@@ -11,6 +11,7 @@
 #include "gtest/gtest.h"
 #include "lang/parser.h"
 #include "lang/printer.h"
+#include "storage/snapshot.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -109,6 +110,71 @@ TEST(ParserFuzzTest, DatabaseFuzz) {
     if (db.ok()) {
       EXPECT_GE(db->TotalFacts(), 0);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot bytes: the storage loader shares the parser's contract — any
+// byte string either loads or returns a structured Status.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotFuzzTest, RandomBytesNeverCrashTheLoader) {
+  Rng rng(0xF026);
+  for (int round = 0; round < 1500; ++round) {
+    std::string input;
+    const int length = static_cast<int>(rng.Below(256));
+    for (int i = 0; i < length; ++i) {
+      input += static_cast<char>(rng.Below(256));
+    }
+    // Random bytes essentially never carry a valid magic + CRC; the point
+    // is that rejection is a Status, not a crash or sanitizer finding.
+    Result<storage::SnapshotContents> loaded =
+        storage::LoadSnapshotFromBuffer(input);
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+  }
+}
+
+TEST(SnapshotFuzzTest, MutatedValidSnapshotsNeverCrashTheLoader) {
+  Result<Program> program = ParseProgram(
+      "win(X) :- move(X, Y), not win(Y).\n");
+  ASSERT_TRUE(program.ok());
+  Result<Database> database =
+      ParseDatabase("move(a, b). move(b, c).", &*program);
+  ASSERT_TRUE(database.ok());
+  Result<GroundingResult> ground = Ground(*program, *database);
+  ASSERT_TRUE(ground.ok());
+  Result<std::string> bytes = storage::SerializeSnapshot(
+      *program, &*database, &ground->graph);
+  ASSERT_TRUE(bytes.ok());
+
+  Rng rng(0xF027);
+  for (int round = 0; round < 1500; ++round) {
+    std::string mutated = *bytes;
+    const int edits = 1 + static_cast<int>(rng.Below(6));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      switch (rng.Below(4)) {
+        case 0:
+          mutated[rng.Below(mutated.size())] =
+              static_cast<char>(rng.Below(256));
+          break;
+        case 1:
+          mutated.erase(rng.Below(mutated.size()), 1 + rng.Below(16));
+          break;
+        case 2:
+          mutated.insert(rng.Below(mutated.size() + 1), 1 + rng.Below(8),
+                         static_cast<char>(rng.Below(256)));
+          break;
+        default:
+          mutated.resize(rng.Below(mutated.size() + 1));
+          break;
+      }
+    }
+    storage::SnapshotReadOptions read;
+    read.program = &*program;
+    (void)storage::LoadSnapshotFromBuffer(mutated, read);  // must not crash
+    (void)storage::ReadSnapshotInfo(mutated);              // ditto
   }
 }
 

@@ -70,7 +70,7 @@ TEST(GameCorrespondenceTest, WellFoundedEqualsRetrogradeOnRandomBoards) {
     const int n = 2 + static_cast<int>(rng.Below(20));
     const int m = static_cast<int>(rng.Below(3 * n + 1));
     Program program = WinMoveProgram();
-    Database board = RandomDigraphDatabase(&program, "move", n, m, &rng);
+    Database board = *RandomDigraphDatabase(&program, "move", n, m, &rng);
 
     // Build the move lists over ALL n nodes (isolated ones included).
     std::vector<std::vector<int32_t>> moves(n);
@@ -116,7 +116,7 @@ TEST(GameCorrespondenceTest, TieBreakingOnlyTouchesDraws) {
     const int n = 4 + static_cast<int>(rng.Below(12));
     Program program = WinMoveProgram();
     Database board =
-        RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+        *RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
     const GroundingResult g = GroundOrDie(Instance{program, board});
     const InterpreterResult wf = WellFounded(program, board, g.graph);
     RandomChoicePolicy policy(round);

@@ -290,19 +290,19 @@ TEST(GroundCsrTest, ParallelMatchesSerialWorkloads) {
     Program program = WinMoveProgram();
     Rng rng(31);
     Database database =
-        RandomDigraphDatabase(&program, "move", 1024, 4096, &rng);
+        *RandomDigraphDatabase(&program, "move", 1024, 4096, &rng);
     ExpectParallelMatchesSerial(Instance{std::move(program),
                                          std::move(database)});
   }
   {
     Program program = SameGenerationProgram();
-    Database database = BalancedTreeDatabase(&program, 3);
+    Database database = *BalancedTreeDatabase(&program, 3);
     ExpectParallelMatchesSerial(Instance{std::move(program),
                                          std::move(database)});
   }
   {
     Program program = StratifiedTowerProgram(4);
-    Database database = UnarySetDatabase(&program, "e", 5);
+    Database database = *UnarySetDatabase(&program, "e", 5);
     ExpectParallelMatchesSerial(Instance{std::move(program),
                                          std::move(database)});
   }
@@ -318,7 +318,7 @@ TEST(GroundCsrTest, ParallelMatchesSerialRandomPrograms) {
     options.num_rules = 3 + static_cast<int>(rng.Below(5));
     options.negation_probability = 0.35;
     Program program = RandomProgram(&rng, options);
-    Database database = RandomEdbDatabase(
+    Database database = *RandomEdbDatabase(
         &program, options.arity == 1 ? 4 : 3, 0.4, &rng);
     ExpectParallelMatchesSerial(Instance{std::move(program),
                                          std::move(database)});
@@ -331,7 +331,7 @@ TEST(GroundCsrTest, ParallelRecordedBindingsReproduceInstances) {
   // still reproduce its instance's head under substitution.
   Program program = WinMoveProgram();
   Rng rng(13);
-  Database database = RandomDigraphDatabase(&program, "move", 48, 96, &rng);
+  Database database = *RandomDigraphDatabase(&program, "move", 48, 96, &rng);
   for (const int32_t threads : {2, 8}) {
     GroundingOptions options;
     options.num_threads = threads;
@@ -360,7 +360,7 @@ TEST(GroundCsrTest, ParallelBudgetExhausts) {
   // serial counter does: total work is fixed by the job list.
   Program program = WinMoveProgram();
   Rng rng(5);
-  Database database = RandomDigraphDatabase(&program, "move", 256, 512, &rng);
+  Database database = *RandomDigraphDatabase(&program, "move", 256, 512, &rng);
   for (const int32_t threads : {1, 2, 8}) {
     GroundingOptions options;
     options.num_threads = threads;
@@ -378,7 +378,7 @@ TEST(GroundCsrTest, ContextStepBudgetTripsAcrossThreadCounts) {
   // every thread count and surfaces the context's own Status.
   Program program = WinMoveProgram();
   Rng rng(5);
-  Database database = RandomDigraphDatabase(&program, "move", 256, 512, &rng);
+  Database database = *RandomDigraphDatabase(&program, "move", 256, 512, &rng);
   for (const int32_t threads : {1, 2, 8}) {
     ResourceLimits limits;
     limits.max_steps = 100;  // far below the pipeline's step total
@@ -401,7 +401,7 @@ TEST(GroundCsrTest, ExpiredDeadlineTripsGroundingAcrossThreadCounts) {
   // deterministically, before any parallel fan-out.
   Program program = WinMoveProgram();
   Rng rng(5);
-  Database database = RandomDigraphDatabase(&program, "move", 64, 128, &rng);
+  Database database = *RandomDigraphDatabase(&program, "move", 64, 128, &rng);
   for (const int32_t threads : {1, 2, 8}) {
     ResourceLimits limits;
     limits.deadline_seconds = 1e-9;
@@ -419,7 +419,7 @@ TEST(GroundCsrTest, ExpiredDeadlineTripsGroundingAcrossThreadCounts) {
 TEST(GroundCsrTest, PreCancelledContextTripsGroundingAcrossThreadCounts) {
   Program program = WinMoveProgram();
   Rng rng(5);
-  Database database = RandomDigraphDatabase(&program, "move", 64, 128, &rng);
+  Database database = *RandomDigraphDatabase(&program, "move", 64, 128, &rng);
   for (const int32_t threads : {1, 2, 8}) {
     ExecutionContext context;
     context.Cancel();
@@ -438,7 +438,7 @@ TEST(GroundCsrTest, GenerousContextDoesNotPerturbGrounding) {
   // same graph as the ungoverned run, and the charges are visible.
   Program program = WinMoveProgram();
   Rng rng(5);
-  Database database = RandomDigraphDatabase(&program, "move", 48, 96, &rng);
+  Database database = *RandomDigraphDatabase(&program, "move", 48, 96, &rng);
   const GroundingResult plain = Ground(program, database).value();
   ResourceLimits limits;
   limits.max_steps = 100'000'000;
@@ -590,19 +590,19 @@ TEST(GroundCsrTest, WorkloadFamilies) {
     Program program = WinMoveProgram();
     Rng rng(7);
     Database database =
-        RandomDigraphDatabase(&program, "move", 48, 96, &rng);
+        *RandomDigraphDatabase(&program, "move", 48, 96, &rng);
     ExpectEngineMatchesLegacy(Instance{std::move(program),
                                        std::move(database)});
   }
   {
     Program program = SameGenerationProgram();
-    Database database = BalancedTreeDatabase(&program, 3);
+    Database database = *BalancedTreeDatabase(&program, 3);
     ExpectEngineMatchesLegacy(Instance{std::move(program),
                                        std::move(database)});
   }
   {
     Program program = StratifiedTowerProgram(4);
-    Database database = UnarySetDatabase(&program, "e", 5);
+    Database database = *UnarySetDatabase(&program, "e", 5);
     ExpectEngineMatchesLegacy(Instance{std::move(program),
                                        std::move(database)});
   }
@@ -646,7 +646,7 @@ TEST(GroundCsrTest, RandomUnaryAndBinaryPrograms) {
     options.num_rules = 3 + static_cast<int>(rng.Below(5));
     options.negation_probability = 0.35;
     Program program = RandomProgram(&rng, options);
-    Database database = RandomEdbDatabase(
+    Database database = *RandomEdbDatabase(
         &program, options.arity == 1 ? 4 : 3, 0.4, &rng);
     ExpectEngineMatchesLegacy(Instance{std::move(program),
                                        std::move(database)});

@@ -94,7 +94,7 @@ TEST_P(WinMoveCycleProperty, GroundParityDecides) {
   const int n = GetParam();
   const bool even = n % 2 == 0;
   Program program = WinMoveProgram();
-  Database board = CycleDatabase(&program, "move", n);
+  Database board = *CycleDatabase(&program, "move", n);
   const GroundingResult g = GroundOrDie(Instance{program, board});
 
   const InterpreterResult wf = WellFounded(program, board, g.graph);
@@ -124,7 +124,7 @@ class WinMoveChainProperty : public ::testing::TestWithParam<int> {};
 TEST_P(WinMoveChainProperty, PositionsAlternateFromTheSink) {
   const int length = GetParam();
   Program program = WinMoveProgram();
-  Database board = ChainDatabase(&program, "move", length);
+  Database board = *ChainDatabase(&program, "move", length);
   Instance inst{program, board};
   const GroundingResult g = GroundOrDie(inst);
   const InterpreterResult wf = WellFounded(program, board, g.graph);
@@ -194,7 +194,7 @@ class StratifiedTowerProperty : public ::testing::TestWithParam<int> {};
 TEST_P(StratifiedTowerProperty, LevelsAlternate) {
   const int levels = GetParam();
   Program program = StratifiedTowerProgram(levels);
-  Database database = UnarySetDatabase(&program, "e", 3);
+  Database database = *UnarySetDatabase(&program, "e", 3);
   Instance inst{program, database};
 
   EXPECT_TRUE(IsStratified(program));
@@ -242,7 +242,7 @@ TEST_P(RandomSemanticsProperty, CrossImplementationInvariants) {
     options.num_rules = 3 + static_cast<int>(rng.Below(7));
     options.negation_probability = 0.2 + 0.1 * rng.Below(5);
     Program program = RandomProgram(&rng, options);
-    Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+    Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
     const GroundingResult g = GroundOrDie(Instance{program, database});
 
     // (1) The alternating-fixpoint WFS agrees with the unfounded-set WFS.
@@ -301,7 +301,7 @@ TEST_P(GrounderEquivalenceProperty, ReducedMatchesFaithfulAfterClose) {
   options.num_rules = 4 + static_cast<int>(rng.Below(5));
   options.negation_probability = 0.35;
   Program program = RandomProgram(&rng, options);
-  Database database = RandomEdbDatabase(&program, 3, 0.4, &rng);
+  Database database = *RandomEdbDatabase(&program, 3, 0.4, &rng);
 
   GroundingOptions faithful_options;
   faithful_options.reduce_edb = false;

@@ -115,7 +115,7 @@ TEST(StressTest, CloseMatchesRandomOrderReference) {
     options.num_rules = 2 + static_cast<int>(rng.Below(10));
     options.negation_probability = 0.4;
     Program program = RandomProgram(&rng, options);
-    Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+    Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
     const GroundingResult g = GroundOrDie(Instance{program, database});
 
     CloseState state(program, database, g.graph);
@@ -138,7 +138,7 @@ TEST(StressTest, UnaryProgramsEndToEnd) {
     options.num_rules = 4 + static_cast<int>(rng.Below(5));
     options.negation_probability = 0.35;
     Program program = RandomProgram(&rng, options);
-    Database database = RandomEdbDatabase(&program, 4, 0.35, &rng);
+    Database database = *RandomEdbDatabase(&program, 4, 0.35, &rng);
     const GroundingResult g = GroundOrDie(Instance{program, database});
 
     const InterpreterResult wf = WellFounded(program, database, g.graph);
@@ -167,7 +167,7 @@ TEST(StressTest, LargerWinMoveBoardsStayConsistent) {
   for (int n : {50, 120, 250}) {
     Program program = WinMoveProgram();
     Database board =
-        RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+        *RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
     const GroundingResult g = GroundOrDie(Instance{program, board});
     const InterpreterResult wf = WellFounded(program, board, g.graph);
     const InterpreterResult wftb = TieBreaking(
@@ -194,7 +194,7 @@ TEST(StressTest, FixpointEnumerationTerminatesAndValidates) {
     options.num_rules = 3 + static_cast<int>(rng.Below(6));
     options.negation_probability = 0.5;
     Program program = RandomProgram(&rng, options);
-    Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+    Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
     const GroundingResult g = GroundOrDie(Instance{program, database});
     FixpointSearch search(program, database, g.graph);
     std::set<std::vector<Truth>> seen;

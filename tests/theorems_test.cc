@@ -46,7 +46,7 @@ void ForRandomInstances(uint64_t seed, int num_programs, double neg_prob,
     if (!filter(program)) continue;
     ++accepted;
     for (int db_round = 0; db_round < 3; ++db_round) {
-      Database database = RandomEdbDatabase(&program, 1, 0.5, &rng);
+      Database database = *RandomEdbDatabase(&program, 1, 0.5, &rng);
       body(program, database);
     }
   }
@@ -106,7 +106,7 @@ TEST(GireTheoremTest, WfTotalIffUniqueStableModel) {
           ProgramToString(ring) + "top :- p0, not e0.\nside :- not p1.")
           .value();
       ASSERT_TRUE(IsCallConsistent(composite));
-      Database database = RandomEdbDatabase(&composite, 1, 0.5, &rng);
+      Database database = *RandomEdbDatabase(&composite, 1, 0.5, &rng);
       check(composite, database);
     }
   }

@@ -108,7 +108,7 @@ TEST(MergeTest, MergePreservesSkeletonUnion) {
 
 TEST(GroundCallConsistencyTest, EvenBoardsAreGroundConsistent) {
   Program program = WinMoveProgram();
-  Database even_board = CycleDatabase(&program, "move", 4);
+  Database even_board = *CycleDatabase(&program, "move", 4);
   const GroundingResult g = GroundOrDie(Instance{program, even_board});
   // The program is NOT call-consistent, but this instance is.
   EXPECT_FALSE(IsCallConsistent(program));
@@ -123,14 +123,14 @@ TEST(GroundCallConsistencyTest, EvenBoardsAreGroundConsistent) {
 
 TEST(GroundCallConsistencyTest, OddBoardsAreNot) {
   Program program = WinMoveProgram();
-  Database odd_board = CycleDatabase(&program, "move", 5);
+  Database odd_board = *CycleDatabase(&program, "move", 5);
   const GroundingResult g = GroundOrDie(Instance{program, odd_board});
   EXPECT_FALSE(IsGroundCallConsistent(g.graph));
 }
 
 TEST(GroundCallConsistencyTest, LocallyStratifiedImpliesGroundConsistent) {
   Program program = WinMoveProgram();
-  Database chain = ChainDatabase(&program, "move", 6);
+  Database chain = *ChainDatabase(&program, "move", 6);
   const GroundingResult g = GroundOrDie(Instance{program, chain});
   EXPECT_TRUE(IsLocallyStratified(program, chain, g.graph));
   EXPECT_TRUE(IsGroundCallConsistent(g.graph));

@@ -1,10 +1,13 @@
 // Tests for the util substrate: Status/Result, the deterministic PRNG,
-// string helpers and the wall timer.
+// string helpers, the wall timer, CRC32C, and the durable file helpers.
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/crc32c.h"
+#include "util/file_io.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -35,9 +38,17 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled, StatusCode::kDataLoss}) {
     EXPECT_NE(std::string(StatusCodeName(code)), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, DataLossFactory) {
+  Status s = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: checksum mismatch");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -57,6 +68,118 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
   std::vector<int> v = std::move(r).value();
   EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, RvalueDerefMovesOut) {
+  std::vector<int> v = *Result<std::vector<int>>(std::vector<int>{4, 5});
+  EXPECT_EQ(v, (std::vector<int>{4, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C.
+// ---------------------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors for CRC32C (Castagnoli).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog, repeatedly and at "
+      "odd alignments 0123456789";
+  const uint32_t whole = Crc32c(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32c(0, data.data(), split);
+    crc = Crc32c(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  std::string data = "snapshot payload bytes";
+  const uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size() * 8; ++i) {
+    data[i / 8] ^= static_cast<char>(1 << (i % 8));
+    EXPECT_NE(Crc32c(data), base) << "flip of bit " << i << " undetected";
+    data[i / 8] ^= static_cast<char>(1 << (i % 8));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File I/O.
+// ---------------------------------------------------------------------------
+
+std::string TestTempDir(const std::string& leaf) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir =
+      std::string(base != nullptr ? base : "/tmp") + "/" + leaf;
+  EXPECT_TRUE(RemoveAll(dir).ok());
+  EXPECT_TRUE(CreateDir(dir).ok());
+  return dir;
+}
+
+TEST(FileIoTest, WriteReadRoundTrip) {
+  const std::string dir = TestTempDir("tiebreak_file_io_rt");
+  const std::string path = dir + "/data.bin";
+  std::string payload("binary\0payload", 14);
+  payload.push_back('\0');
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  Result<int64_t> size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, static_cast<int64_t>(payload.size()));
+  EXPECT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(FileIoTest, AtomicWriteReplacesAndLeavesNoTemp) {
+  const std::string dir = TestTempDir("tiebreak_file_io_replace");
+  const std::string path = dir + "/data.bin";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "new");
+  Result<std::vector<std::string>> names = ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, std::vector<std::string>{"data.bin"});
+  EXPECT_TRUE(RemoveAll(dir).ok());
+}
+
+TEST(FileIoTest, MissingPathsAreNotFound) {
+  const std::string missing = "/nonexistent-tiebreak-path/x";
+  EXPECT_EQ(ReadFileToString(missing).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ListDir(missing).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(FileSize(missing).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(PathExists(missing));
+}
+
+TEST(FileIoTest, RemoveAllHandlesTreesAndAbsentPaths) {
+  const std::string dir = TestTempDir("tiebreak_file_io_tree");
+  ASSERT_TRUE(CreateDir(dir + "/sub").ok());
+  ASSERT_TRUE(WriteFileDurable(dir + "/sub/a", "a").ok());
+  ASSERT_TRUE(WriteFileDurable(dir + "/b", "b").ok());
+  EXPECT_TRUE(RemoveAll(dir).ok());
+  EXPECT_FALSE(PathExists(dir));
+  EXPECT_TRUE(RemoveAll(dir).ok());  // already gone: still OK
+}
+
+TEST(FileIoTest, ListDirSortsNames) {
+  const std::string dir = TestTempDir("tiebreak_file_io_sort");
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(WriteFileDurable(dir + "/" + name, name).ok());
+  }
+  Result<std::vector<std::string>> names = ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  EXPECT_TRUE(RemoveAll(dir).ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,95 @@
+// Regression tests for workload generator argument validation: hostile or
+// nonsensical parameters must surface as kInvalidArgument, never abort the
+// process (these generators sit behind driver-facing tools and benches).
+#include "workload/databases.h"
+
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "lang/program.h"
+#include "util/random.h"
+
+namespace tiebreak {
+namespace {
+
+TEST(WorkloadValidationTest, NonPositiveSizesAreInvalidArgument) {
+  Program program;
+  Rng rng(1);
+  EXPECT_EQ(RandomDigraphDatabase(&program, "move", 0, 4, &rng)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RandomDigraphDatabase(&program, "move", 4, -1, &rng)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ChainDatabase(&program, "move", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CycleDatabase(&program, "move", -3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(UnarySetDatabase(&program, "e", -1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GridDatabase(&program, "e", 0, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WideGridDatabase(&program, "e", 5, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      LargeRandomDigraphDatabase(&program, "e", 0, 10, &rng).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(BalancedTreeDatabase(&program, -1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RandomEdbDatabase(&program, 0, 0.5, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadValidationTest, OverflowingSizesAreInvalidArgument) {
+  Program program;
+  // 70k x 70k cells would overflow the int32 node count.
+  EXPECT_EQ(GridDatabase(&program, "e", 70'000, 70'000).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WideGridDatabase(&program, "e", 1'000'000, 3'000).status().code(),
+            StatusCode::kInvalidArgument);
+  // Depth 30 would need 2^31 - 1 + 1 nodes.
+  EXPECT_EQ(BalancedTreeDatabase(&program, 30).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadValidationTest, DensityOutsideUnitIntervalIsInvalidArgument) {
+  Program program;
+  Rng rng(2);
+  EXPECT_EQ(RandomEdbDatabase(&program, 2, -0.1, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RandomEdbDatabase(&program, 2, 1.5, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(RandomEdbDatabase(&program, 2, nan, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadValidationTest, ArityClashIsInvalidArgument) {
+  Program program;
+  program.DeclarePredicate("move", 3);
+  EXPECT_EQ(ChainDatabase(&program, "move", 4).status().code(),
+            StatusCode::kInvalidArgument);
+  program.DeclarePredicate("e", 2);
+  EXPECT_EQ(UnarySetDatabase(&program, "e", 4).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadValidationTest, ValidArgumentsStillGenerate) {
+  Program program;
+  Rng rng(3);
+  Result<Database> chain = ChainDatabase(&program, "move", 5);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->TotalFacts(), 4);
+  Result<Database> edb = RandomEdbDatabase(&program, 2, 1.0, &rng);
+  ASSERT_TRUE(edb.ok());
+  EXPECT_EQ(edb->NumFacts(0), 4);  // move/2 over two constants, density 1
+  // Zero-size unary set: allowed, empty.
+  Result<Database> empty = UnarySetDatabase(&program, "e", 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->TotalFacts(), 0);
+}
+
+}  // namespace
+}  // namespace tiebreak
