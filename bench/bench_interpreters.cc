@@ -30,19 +30,23 @@
 namespace tiebreak {
 namespace {
 
-// Recorded nodes/sec of the PR 3 interpreters (per-rule vector hops,
-// per-atom Database::Contains in CloseState construction), re-measured on
-// this container at PR 4 so the speedup column reports the CSR/bulk-init
-// delta. For reference, the PR 2 record for close_winmove_chain_8192 was
-// 104.9M nodes/sec — PR 3's per-atom Contains with a freshly materialized
-// Tuple had regressed it to the value below; the CSR port restores it
-// above the PR 2 mark. 0 = no baseline recorded.
+// Recorded nodes/sec measured on this container before the SCC-scheduler
+// PR, so the speedup column reports its delta. The headline entry is
+// wftb_negation_ring_1024: the old FindBottomTies materialized a LiveGraph
+// (nodes, edges, id maps) every interpreter round and ran the generic
+// Digraph Tarjan plus an unordered_map-based tie BFS over it, which capped
+// WFTB at ~9.5M nodes/sec against close's ~78M — the CSR-direct SCC/tie
+// passes (ground/ground_scc.h) remove the per-round materialization. The
+// *_400k entries are new at this PR (million-node multi-SCC boards, serial
+// reference baselines recorded below after first measurement).
 constexpr benchutil::BaselineEntry kBaseline[] = {
     {"close_winmove_chain_8192", 77702366.0},
     {"wf_winmove_random_4096", 45679737.0},
     {"wftb_winmove_random_4096", 37823412.0},
     {"puretb_winmove_random_4096", 41073968.0},
     {"wftb_negation_ring_1024", 9531034.0},
+    {"close_winmove_random_400k", 18089736.0},
+    {"wf_winmove_random_400k", 16489333.0},
 };
 
 struct Board {
@@ -62,6 +66,18 @@ Board MakeRandomBoard(int n, uint64_t seed) {
   Program program = WinMoveProgram();
   Rng rng(seed);
   Database database = *RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+  GroundingResult ground = Ground(program, database).value();
+  return Board{std::move(program), std::move(database), std::move(ground)};
+}
+
+// A million-node board: ~n win atoms + ~2n ground rules, with the random
+// digraph's many nontrivial SCCs driving the wave schedule. Bulk-loaded
+// EDB so board construction does not dominate the harness.
+Board MakeLargeRandomBoard(int n, uint64_t seed) {
+  Program program = WinMoveProgram();
+  Rng rng(seed);
+  Database database =
+      *LargeRandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
   GroundingResult ground = Ground(program, database).value();
   return Board{std::move(program), std::move(database), std::move(ground)};
 }
@@ -118,6 +134,25 @@ int Main(int argc, char** argv) {
         [](const Board& b) {
           TieBreaking(b.program, b.database, b.ground.graph,
                       TieBreakingMode::kPure);
+        },
+        3));
+  }
+  {
+    // Million-node multi-SCC workloads: serial reference numbers for the
+    // SCC-scheduled interpreters (num_threads = 1 is the bit-identical
+    // serial path, and this container is single-core).
+    const Board board = MakeLargeRandomBoard(400000, 23);
+    results.push_back(Measure("close_winmove_random_400k", board,
+                              [](const Board& b) {
+                                CloseState close(b.program, b.database,
+                                                 b.ground.graph);
+                                TIEBREAK_CHECK(!close.IsTotal());
+                              },
+                              3));
+    results.push_back(Measure(
+        "wf_winmove_random_400k", board,
+        [](const Board& b) {
+          WellFounded(b.program, b.database, b.ground.graph);
         },
         3));
   }

@@ -8,15 +8,20 @@
 #   scripts/check.sh --tsan       builds with -DTIEBREAK_SANITIZE=thread
 #                                 into build-tsan/ and runs the concurrency
 #                                 surface — the engine (engine_test,
-#                                 engine_parallel_test, engine_kernel_test)
-#                                 and the parallel grounder (ground_test,
-#                                 ground_csr_test) — under ThreadSanitizer
+#                                 engine_parallel_test, engine_kernel_test),
+#                                 the parallel grounder (ground_test,
+#                                 ground_csr_test) and the SCC-scheduled
+#                                 parallel interpreters' atomic worklist
+#                                 (interpreter_parallel_test) — under
+#                                 ThreadSanitizer
 #   scripts/check.sh --asan       builds with -DTIEBREAK_SANITIZE=address
 #                                 into build-asan/ and runs the grounding
 #                                 pipeline surface (ground_test,
 #                                 ground_csr_test, core_semantics_test)
 #                                 plus the fault-injection sweep
-#                                 (fault_injection_test) under
+#                                 (fault_injection_test) and the parallel-
+#                                 interpreter agreement matrix
+#                                 (interpreter_parallel_test) under
 #                                 AddressSanitizer — the CSR arenas and
 #                                 span accessors live or die by their
 #                                 offset arithmetic, and every truncation
@@ -28,7 +33,8 @@
 #   scripts/check.sh --ubsan      builds with -DTIEBREAK_SANITIZE=undefined
 #                                 into build-ubsan/ and runs the resource-
 #                                 governance surface (fault sweep, context
-#                                 unit tests, engine, grounding, reductions)
+#                                 unit tests, engine, grounding, parallel
+#                                 interpreters, reductions)
 #                                 and the snapshot corruption sweep under
 #                                 UndefinedBehaviorSanitizer — the bytewise
 #                                 codec must stay free of misaligned loads
@@ -126,12 +132,12 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=thread
   cmake --build "$build" -j "$(nproc)" \
     --target engine_test engine_parallel_test engine_kernel_test \
-             ground_test ground_csr_test
+             ground_test ground_csr_test interpreter_parallel_test
   # TSan aborts with a non-zero exit on the first data race; halt_on_error
   # keeps the report readable.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
     --output-on-failure \
-    -R '^(engine_(parallel_|kernel_)?test|ground_(csr_)?test)$'
+    -R '^(engine_(parallel_|kernel_)?test|ground_(csr_)?test|interpreter_parallel_test)$'
   echo "check.sh: tsan green"
   exit 0
 fi
@@ -141,11 +147,11 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=address
   cmake --build "$build" -j "$(nproc)" \
     --target ground_test ground_csr_test core_semantics_test \
-             fault_injection_test storage_test storage_corruption_test \
-             workload_test
+             fault_injection_test interpreter_parallel_test storage_test \
+             storage_corruption_test workload_test
   ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
     --output-on-failure \
-    -R '^(ground_(csr_)?test|core_semantics_test|fault_injection_test|storage_(corruption_)?test|workload_test)$'
+    -R '^(ground_(csr_)?test|core_semantics_test|fault_injection_test|interpreter_parallel_test|storage_(corruption_)?test|workload_test)$'
   echo "check.sh: asan green"
   exit 0
 fi
@@ -155,11 +161,12 @@ if [[ "${1:-}" == "--ubsan" ]]; then
   cmake -B "$build" -S "$repo" -DTIEBREAK_SANITIZE=undefined
   cmake --build "$build" -j "$(nproc)" \
     --target fault_injection_test execution_context_test engine_test \
-             ground_test ground_csr_test reductions_test storage_test \
-             storage_corruption_test workload_test
+             ground_test ground_csr_test interpreter_parallel_test \
+             reductions_test storage_test storage_corruption_test \
+             workload_test
   UBSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
     --output-on-failure \
-    -R '^(fault_injection_test|execution_context_test|engine_test|ground_(csr_)?test|reductions_test|storage_(corruption_)?test|workload_test)$'
+    -R '^(fault_injection_test|execution_context_test|engine_test|ground_(csr_)?test|interpreter_parallel_test|reductions_test|storage_(corruption_)?test|workload_test)$'
   echo "check.sh: ubsan green"
   exit 0
 fi

@@ -1,16 +1,32 @@
 #include "core/completion.h"
 
+#include <algorithm>
+
 #include "core/stable.h"
 #include "util/execution_context.h"
+#include "util/thread_pool.h"
 
 namespace tiebreak {
+
+namespace {
+// Rule instances per parallel encoding task; blocks are replayed in order,
+// so the block size affects scheduling only, never the clause database.
+constexpr int32_t kEncodeRuleBlock = 4096;
+}  // namespace
 
 FixpointSearch::FixpointSearch(const Program& program,
                                const Database& database,
                                const GroundGraph& graph,
                                ExecutionContext* context)
-    : graph_(&graph), context_(context) {
-  solver_.SetExecutionContext(context);
+    : FixpointSearch(program, database, graph,
+                     InterpreterOptions{1, context}) {}
+
+FixpointSearch::FixpointSearch(const Program& program,
+                               const Database& database,
+                               const GroundGraph& graph,
+                               const InterpreterOptions& options)
+    : graph_(&graph), context_(options.context) {
+  solver_.SetExecutionContext(context_);
   TIEBREAK_CHECK(graph.finalized());
   atom_var_.resize(graph.num_atoms());
   for (AtomId a = 0; a < graph.num_atoms(); ++a) {
@@ -18,20 +34,60 @@ FixpointSearch::FixpointSearch(const Program& program,
   }
   // One auxiliary "body" variable per rule instance:
   //   d_r <-> conjunction of body literals.
+  // All variables are numbered up front (atoms, then d_r = num_atoms + r),
+  // which matches the historical interleaved numbering exactly — clause
+  // additions never created variables.
   std::vector<int32_t> body_var(graph.num_rules());
   for (int32_t r = 0; r < graph.num_rules(); ++r) {
-    const int32_t d = solver_.NewVar();
-    body_var[r] = d;
-    std::vector<SatLit> back{PosLit(d)};  // (l1 & ... & lk) -> d
-    for (AtomId a : graph.PositiveBody(r)) {
-      solver_.AddBinary(NegLit(d), PosLit(atom_var_[a]));  // d -> a
-      back.push_back(NegLit(atom_var_[a]));
+    body_var[r] = solver_.NewVar();
+  }
+  const int32_t threads = ThreadPool::EffectiveThreads(options.num_threads);
+  if (threads == 1) {
+    for (int32_t r = 0; r < graph.num_rules(); ++r) {
+      const int32_t d = body_var[r];
+      std::vector<SatLit> back{PosLit(d)};  // (l1 & ... & lk) -> d
+      for (AtomId a : graph.PositiveBody(r)) {
+        solver_.AddBinary(NegLit(d), PosLit(atom_var_[a]));  // d -> a
+        back.push_back(NegLit(atom_var_[a]));
+      }
+      for (AtomId a : graph.NegativeBody(r)) {
+        solver_.AddBinary(NegLit(d), NegLit(atom_var_[a]));  // d -> !a
+        back.push_back(PosLit(atom_var_[a]));
+      }
+      solver_.AddClause(std::move(back));
     }
-    for (AtomId a : graph.NegativeBody(r)) {
-      solver_.AddBinary(NegLit(d), NegLit(atom_var_[a]));  // d -> !a
-      back.push_back(PosLit(atom_var_[a]));
+  } else {
+    // Parallel build: each block buffers its clauses in rule order, the
+    // replay walks blocks in order — the clause sequence is bit-identical
+    // to the serial branch (AddBinary is AddClause of two literals).
+    const int32_t num_rules = graph.num_rules();
+    const int32_t num_blocks =
+        (num_rules + kEncodeRuleBlock - 1) / kEncodeRuleBlock;
+    std::vector<std::vector<std::vector<SatLit>>> block_clauses(num_blocks);
+    ThreadPool pool(threads);
+    pool.ParallelFor(num_blocks, [&](int32_t block, int32_t) {
+      const int32_t begin = block * kEncodeRuleBlock;
+      const int32_t end = std::min(num_rules, begin + kEncodeRuleBlock);
+      std::vector<std::vector<SatLit>>& out = block_clauses[block];
+      for (int32_t r = begin; r < end; ++r) {
+        const int32_t d = body_var[r];
+        std::vector<SatLit> back{PosLit(d)};
+        for (AtomId a : graph.PositiveBody(r)) {
+          out.push_back({NegLit(d), PosLit(atom_var_[a])});
+          back.push_back(NegLit(atom_var_[a]));
+        }
+        for (AtomId a : graph.NegativeBody(r)) {
+          out.push_back({NegLit(d), NegLit(atom_var_[a])});
+          back.push_back(PosLit(atom_var_[a]));
+        }
+        out.push_back(std::move(back));
+      }
+    });
+    for (std::vector<std::vector<SatLit>>& clauses : block_clauses) {
+      for (std::vector<SatLit>& clause : clauses) {
+        solver_.AddClause(std::move(clause));
+      }
     }
-    solver_.AddClause(std::move(back));
   }
   // Per-atom completion.
   const std::vector<char> delta_mask = DeltaAtomMask(database, graph.atoms());

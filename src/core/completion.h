@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/interpreter_options.h"
 #include "ground/ground_graph.h"
 #include "ground/truth.h"
 #include "lang/database.h"
@@ -37,6 +38,14 @@ class FixpointSearch {
   FixpointSearch(const Program& program, const Database& database,
                  const GroundGraph& graph,
                  ExecutionContext* context = nullptr);
+
+  /// Options overload: `num_threads > 1` builds the per-rule body-variable
+  /// clauses in parallel rule blocks and replays the buffered clauses in
+  /// block order, producing a clause database bit-identical to the serial
+  /// build (variable numbering is fixed up front; AddBinary is AddClause).
+  /// Solving itself stays serial.
+  FixpointSearch(const Program& program, const Database& database,
+                 const GroundGraph& graph, const InterpreterOptions& options);
 
   /// Returns the next fixpoint (total model, Truth per AtomId) or nullopt
   /// when all fixpoints have been enumerated. Each call adds a blocking

@@ -1,0 +1,26 @@
+// Shared knobs for the ground-graph interpreters in src/core/.
+#ifndef TIEBREAK_CORE_INTERPRETER_OPTIONS_H_
+#define TIEBREAK_CORE_INTERPRETER_OPTIONS_H_
+
+#include <cstdint>
+
+namespace tiebreak {
+
+class ExecutionContext;
+
+/// Options accepted by every interpreter entry point that evaluates a
+/// ground graph. `num_threads == 1` (the default) runs the bit-identical
+/// serial reference implementation; `> 1` schedules SCC components of the
+/// condensation across a thread pool (see ground/parallel_close.h);
+/// `<= 0` means hardware concurrency. The context, when non-null, governs
+/// the run through amortized checkpoints exactly as the serial paths do —
+/// the truncation contract (decided atoms agree with the full model, the
+/// rest are kUndef) is thread-count independent.
+struct InterpreterOptions {
+  int32_t num_threads = 1;
+  ExecutionContext* context = nullptr;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_CORE_INTERPRETER_OPTIONS_H_

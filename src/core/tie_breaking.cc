@@ -3,40 +3,67 @@
 #include <utility>
 #include <vector>
 
-#include "graph/scc.h"
-#include "graph/tie.h"
-#include "ground/live_graph.h"
+#include "ground/ground_scc.h"
+#include "ground/parallel_close.h"
+#include "util/execution_context.h"
+#include "util/thread_pool.h"
 
 namespace tiebreak {
 
-std::vector<TieView> FindBottomTies(const CloseState& state) {
+namespace {
+
+// Bottom ties of the live subgraph described by `live`, straight off the
+// CSR spans. Component enumeration order and Lemma-1 side orientation match
+// the old BuildLiveGraph + ComputeScc + CheckTie route exactly (same
+// Tarjan ids, same member order; ground/ground_scc.h documents the
+// contract), so default-policy choice sequences are unchanged.
+std::vector<TieView> FindBottomTiesImpl(const GroundGraph& graph,
+                                        const GroundLiveness& live) {
   std::vector<TieView> ties;
-  const LiveGraph live = BuildLiveGraph(state);
-  if (live.graph.num_nodes() == 0) return ties;
-  const SccResult scc = ComputeScc(live.graph);
-  const Condensation cond = CondenseScc(live.graph, scc);
+  const SccResult scc = ComputeGroundScc(graph, live);
+  if (scc.num_components == 0) return ties;
+  const Condensation cond = CondenseGroundScc(graph, scc, live);
+  std::vector<int32_t> scratch(graph.num_atoms() + graph.num_rules(), -1);
+  const int32_t num_atoms = graph.num_atoms();
   for (int32_t comp = 0; comp < scc.num_components; ++comp) {
     if (cond.external_in_degree[comp] != 0) continue;  // not bottom
     if (!cond.has_internal_edge[comp]) continue;       // isolated node
-    const TieCheckResult check =
-        CheckTie(live.graph, scc.members[comp], scc.component, comp);
+    const GroundTieCheck check =
+        CheckGroundTie(graph, scc, comp, live, &scratch);
     if (!check.is_tie) continue;
     TieView tie;
     for (size_t i = 0; i < scc.members[comp].size(); ++i) {
       const int32_t node = scc.members[comp][i];
-      const AtomId atom = live.node_atom[node];
-      if (atom < 0) continue;  // rule node
-      (check.side[i] == 0 ? tie.side0 : tie.side1).push_back(atom);
+      if (node >= num_atoms) continue;  // rule node
+      (check.side[i] == 0 ? tie.side0 : tie.side1).push_back(node);
     }
     ties.push_back(std::move(tie));
   }
   return ties;
 }
 
+}  // namespace
+
+std::vector<TieView> FindBottomTies(const CloseState& state) {
+  return FindBottomTiesImpl(
+      state.graph(),
+      GroundLiveness{state.values().data(), state.rule_dead().data()});
+}
+
+std::vector<TieView> FindBottomTies(const ParallelCloseState& state) {
+  // Snapshots keep the liveness pointers valid for the duration of the
+  // pass; the state is quiescent between SetAndClose calls.
+  const std::vector<Truth> values = state.values();
+  const std::vector<char> dead = state.rule_dead();
+  return FindBottomTiesImpl(state.graph(),
+                            GroundLiveness{values.data(), dead.data()});
+}
+
 namespace {
 
 // Applies one tie break: K's atoms true, L's atoms false, then close.
-void BreakTie(const TieView& tie, ChoicePolicy* policy, CloseState* state,
+template <typename State>
+void BreakTie(const TieView& tie, ChoicePolicy* policy, State* state,
               Certificate* certificate) {
   const std::vector<AtomId>* k_side;  // true side
   const std::vector<AtomId>* l_side;  // false side
@@ -66,19 +93,21 @@ void BreakTie(const TieView& tie, ChoicePolicy* policy, CloseState* state,
   state->SetAndClose(assignments);
 }
 
-}  // namespace
-
-InterpreterResult TieBreaking(const Program& program, const Database& database,
-                              const GroundGraph& graph, TieBreakingMode mode,
-                              ChoicePolicy* policy,
-                              Certificate* certificate) {
-  FirstChoicePolicy default_policy;
-  if (policy == nullptr) policy = &default_policy;
-
-  CloseState state(program, database, graph);
+// The Section 3 interpreter loop over either close-state flavor. The
+// stopped() guards matter for truncation soundness: after a trip the
+// unfounded-set simulation returns {} over a possibly half-propagated
+// state, and breaking a "tie" of that state could assign atoms the full
+// run decides differently — so a tripped run stops choosing and reports
+// the partially-propagated prefix.
+template <typename State>
+InterpreterResult RunTieBreaking(State& state, TieBreakingMode mode,
+                                 ChoicePolicy* policy,
+                                 Certificate* certificate,
+                                 ExecutionContext* context) {
   InterpreterResult result;
 
-  auto falsify_unfounded = [&state, &result, certificate]() {
+  auto falsify_unfounded = [&state, &result, certificate, context]() {
+    if (context != nullptr && context->stopped()) return false;
     const std::vector<AtomId> unfounded = state.LargestUnfoundedSet();
     if (unfounded.empty()) return false;
     ++result.unfounded_rounds;
@@ -94,7 +123,8 @@ InterpreterResult TieBreaking(const Program& program, const Database& database,
     state.SetAndClose(assignments);
     return true;
   };
-  auto break_a_tie = [&state, &result, policy, certificate]() {
+  auto break_a_tie = [&state, &result, policy, certificate, context]() {
+    if (context != nullptr && context->stopped()) return false;
     const std::vector<TieView> ties = FindBottomTies(state);
     if (ties.empty()) return false;
     const size_t pick = policy->ChooseTie(ties.size());
@@ -106,6 +136,10 @@ InterpreterResult TieBreaking(const Program& program, const Database& database,
 
   while (true) {
     ++result.iterations;
+    if (context != nullptr &&
+        !context->Checkpoint("tie_breaking", 1).ok()) {
+      break;
+    }
     switch (mode) {
       case TieBreakingMode::kPure:
         if (break_a_tie()) continue;
@@ -122,8 +156,40 @@ InterpreterResult TieBreaking(const Program& program, const Database& database,
     break;
   }
   result.values = state.values();
-  result.total = state.IsTotal();
+  if (context != nullptr && context->stopped()) {
+    result.truncation = context->status();
+    result.total = false;
+  } else {
+    result.total = state.IsTotal();
+  }
   return result;
+}
+
+}  // namespace
+
+InterpreterResult TieBreaking(const Program& program, const Database& database,
+                              const GroundGraph& graph, TieBreakingMode mode,
+                              ChoicePolicy* policy,
+                              Certificate* certificate) {
+  return TieBreaking(program, database, graph, mode, InterpreterOptions{},
+                     policy, certificate);
+}
+
+InterpreterResult TieBreaking(const Program& program, const Database& database,
+                              const GroundGraph& graph, TieBreakingMode mode,
+                              const InterpreterOptions& options,
+                              ChoicePolicy* policy, Certificate* certificate) {
+  FirstChoicePolicy default_policy;
+  if (policy == nullptr) policy = &default_policy;
+
+  const int32_t threads = ThreadPool::EffectiveThreads(options.num_threads);
+  if (threads == 1) {
+    CloseState state(program, database, graph, options.context);
+    return RunTieBreaking(state, mode, policy, certificate, options.context);
+  }
+  ThreadPool pool(threads);
+  ParallelCloseState state(program, database, graph, &pool, options.context);
+  return RunTieBreaking(state, mode, policy, certificate, options.context);
 }
 
 Result<InterpreterResult> TieBreaking(const Program& program,

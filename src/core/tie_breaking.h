@@ -20,6 +20,7 @@
 #define TIEBREAK_CORE_TIE_BREAKING_H_
 
 #include "core/choice_policy.h"
+#include "core/interpreter_options.h"
 #include "core/interpreter_result.h"
 #include "ground/close.h"
 #include "ground/grounder.h"
@@ -27,6 +28,8 @@
 #include "lang/program.h"
 
 namespace tiebreak {
+
+class ParallelCloseState;
 
 /// Which variant of Section 3's interpreter to run. kTieFirst is *not* in
 /// the paper: it is the ablation of the paper's ordering decision — it
@@ -67,9 +70,31 @@ InterpreterResult TieBreaking(const Program& program, const Database& database,
                               ChoicePolicy* policy = nullptr,
                               Certificate* certificate = nullptr);
 
+/// Options overload: `num_threads > 1` closes wave-parallel between
+/// choices (ground/parallel_close.h); the choice sequence itself stays
+/// serial and deterministic given the policy, so every thread count
+/// reproduces the same model for the same policy. A non-null context
+/// checkpoints once per interpreter round (tag "tie_breaking") on top of
+/// the close/unfounded checkpoints; after a trip no further ties are
+/// broken, so a truncated run is a partially-propagated prefix of the full
+/// run's step sequence and every decided atom agrees with the full model
+/// under the same policy.
+InterpreterResult TieBreaking(const Program& program, const Database& database,
+                              const GroundGraph& graph, TieBreakingMode mode,
+                              const InterpreterOptions& options,
+                              ChoicePolicy* policy = nullptr,
+                              Certificate* certificate = nullptr);
+
 /// The bottom ties of `state`'s live graph, atoms split by Lemma-1 side.
-/// Exposed for certificate verification and diagnostics.
+/// Exposed for certificate verification and diagnostics. Runs SCC +
+/// condensation + Lemma-1 checks directly over the ground graph's CSR
+/// spans restricted to the live subgraph — no per-round graph
+/// materialization — with tie order and side orientation identical to the
+/// historical materialized-live-graph implementation (see
+/// ground/ground_scc.h for why).
 std::vector<TieView> FindBottomTies(const CloseState& state);
+/// Same, over a quiescent parallel close state.
+std::vector<TieView> FindBottomTies(const ParallelCloseState& state);
 
 /// Convenience overload: grounds (reduced mode) and interprets.
 Result<InterpreterResult> TieBreaking(const Program& program,

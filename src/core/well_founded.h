@@ -4,6 +4,7 @@
 #ifndef TIEBREAK_CORE_WELL_FOUNDED_H_
 #define TIEBREAK_CORE_WELL_FOUNDED_H_
 
+#include "core/interpreter_options.h"
 #include "core/interpreter_result.h"
 #include "ground/grounder.h"
 #include "lang/database.h"
@@ -23,6 +24,16 @@ class ExecutionContext;
 InterpreterResult WellFounded(const Program& program, const Database& database,
                               const GroundGraph& graph,
                               ExecutionContext* context = nullptr);
+
+/// Options overload: `options.num_threads == 1` is the serial reference
+/// above; `> 1` drains SCC components of the ground graph's condensation
+/// wave-parallel on a thread pool (ground/parallel_close.h). Close and the
+/// unfounded-set falsification are confluent, so every thread count
+/// computes the identical well-founded model; the truncation contract is
+/// unchanged.
+InterpreterResult WellFounded(const Program& program, const Database& database,
+                              const GroundGraph& graph,
+                              const InterpreterOptions& options);
 
 /// Convenience overload: grounds (reduced mode) and interprets. `context`
 /// governs both phases: a trip during grounding returns its Status, a trip

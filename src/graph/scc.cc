@@ -1,77 +1,31 @@
 #include "graph/scc.h"
 
-#include <algorithm>
-
 namespace tiebreak {
 
 namespace {
 
-// Iterative Tarjan state per DFS frame.
-struct Frame {
-  int32_t node;
-  size_t next_edge;  // index into OutEdges(node)
+// Adjacency adapter over a finalized SignedDigraph: neighbors in OutEdges
+// order (= edge insertion order; Finalize's counting scatter is stable).
+struct DigraphAdjacency {
+  const SignedDigraph* graph;
+
+  using Cursor = size_t;  // index into OutEdges(node)
+
+  int32_t num_nodes() const { return graph->num_nodes(); }
+  bool Alive(int32_t) const { return true; }
+  Cursor FirstEdge(int32_t) const { return 0; }
+  int32_t NextNeighbor(int32_t node, Cursor& cursor) const {
+    const auto out = graph->OutEdges(node);
+    if (cursor >= out.size()) return -1;
+    return graph->edge(out[cursor++]).to;
+  }
 };
 
 }  // namespace
 
 SccResult ComputeScc(const SignedDigraph& graph) {
   TIEBREAK_CHECK(graph.finalized());
-  const int32_t n = graph.num_nodes();
-  SccResult result;
-  result.component.assign(n, -1);
-
-  constexpr int32_t kUnvisited = -1;
-  std::vector<int32_t> index(n, kUnvisited);
-  std::vector<int32_t> lowlink(n, 0);
-  std::vector<char> on_stack(n, 0);
-  std::vector<int32_t> tarjan_stack;
-  std::vector<Frame> call_stack;
-  int32_t next_index = 0;
-
-  for (int32_t root = 0; root < n; ++root) {
-    if (index[root] != kUnvisited) continue;
-    call_stack.push_back(Frame{root, 0});
-    index[root] = lowlink[root] = next_index++;
-    tarjan_stack.push_back(root);
-    on_stack[root] = 1;
-
-    while (!call_stack.empty()) {
-      Frame& frame = call_stack.back();
-      const int32_t v = frame.node;
-      auto out = graph.OutEdges(v);
-      if (frame.next_edge < out.size()) {
-        const int32_t w = graph.edge(out[frame.next_edge++]).to;
-        if (index[w] == kUnvisited) {
-          index[w] = lowlink[w] = next_index++;
-          tarjan_stack.push_back(w);
-          on_stack[w] = 1;
-          call_stack.push_back(Frame{w, 0});
-        } else if (on_stack[w]) {
-          lowlink[v] = std::min(lowlink[v], index[w]);
-        }
-      } else {
-        call_stack.pop_back();
-        if (!call_stack.empty()) {
-          const int32_t parent = call_stack.back().node;
-          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
-        }
-        if (lowlink[v] == index[v]) {
-          // v roots a component; pop it off the Tarjan stack.
-          const int32_t comp = result.num_components++;
-          result.members.emplace_back();
-          while (true) {
-            const int32_t w = tarjan_stack.back();
-            tarjan_stack.pop_back();
-            on_stack[w] = 0;
-            result.component[w] = comp;
-            result.members[comp].push_back(w);
-            if (w == v) break;
-          }
-        }
-      }
-    }
-  }
-  return result;
+  return ComputeSccOver(DigraphAdjacency{&graph});
 }
 
 Condensation CondenseScc(const SignedDigraph& graph, const SccResult& scc) {

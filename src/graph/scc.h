@@ -2,9 +2,18 @@
 // statistics. The tie-breaking interpreters use bottom components (no
 // incoming edges from other components) of the live ground graph; the
 // structural analyses use SCCs of the program graph.
+//
+// The Tarjan core is a template over an adjacency adapter so the same
+// traversal runs over a materialized SignedDigraph (ComputeScc) or directly
+// over GroundGraph CSR spans with no digraph copy (ground/ground_scc.h).
+// Both adapters enumerate neighbors in the same deterministic order, so
+// component ids, member order and therefore every downstream tie
+// orientation are identical across representations (asserted by
+// interpreter_parallel_test.cc).
 #ifndef TIEBREAK_GRAPH_SCC_H_
 #define TIEBREAK_GRAPH_SCC_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -17,11 +26,83 @@ namespace tiebreak {
 /// component B (A != B), then B's id is smaller than A's id.
 struct SccResult {
   int32_t num_components = 0;
-  /// node id -> component id.
+  /// node id -> component id (-1 for nodes the adjacency reports dead).
   std::vector<int32_t> component;
-  /// component id -> member node ids.
+  /// component id -> member node ids, in Tarjan-stack pop order (front is
+  /// the last-discovered member, back is the component's DFS root).
   std::vector<std::vector<int32_t>> members;
 };
+
+/// Iterative Tarjan over any adjacency adapter. The adapter supplies:
+///   int32_t num_nodes() const;
+///   bool Alive(int32_t node) const;           // dead nodes are skipped
+///   Cursor FirstEdge(int32_t node) const;     // per-node iteration state
+///   int32_t NextNeighbor(int32_t node, Cursor& c) const;
+///     // next *alive* out-neighbor, or -1 when exhausted
+/// Neighbor enumeration order determines DFS order and therefore member
+/// order; adapters that must agree (digraph vs CSR) enumerate identically.
+template <typename Adjacency>
+SccResult ComputeSccOver(const Adjacency& adj) {
+  const int32_t n = adj.num_nodes();
+  SccResult result;
+  result.component.assign(n, -1);
+
+  constexpr int32_t kUnvisited = -1;
+  std::vector<int32_t> index(n, kUnvisited);
+  std::vector<int32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int32_t> tarjan_stack;
+  struct Frame {
+    int32_t node;
+    typename Adjacency::Cursor cursor;
+  };
+  std::vector<Frame> call_stack;
+  int32_t next_index = 0;
+
+  for (int32_t root = 0; root < n; ++root) {
+    if (!adj.Alive(root) || index[root] != kUnvisited) continue;
+    call_stack.push_back(Frame{root, adj.FirstEdge(root)});
+    index[root] = lowlink[root] = next_index++;
+    tarjan_stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const int32_t v = frame.node;
+      const int32_t w = adj.NextNeighbor(v, frame.cursor);
+      if (w >= 0) {
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          tarjan_stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back(Frame{w, adj.FirstEdge(w)});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const int32_t parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v roots a component; pop it off the Tarjan stack.
+          const int32_t comp = result.num_components++;
+          result.members.emplace_back();
+          while (true) {
+            const int32_t u = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            on_stack[u] = 0;
+            result.component[u] = comp;
+            result.members[comp].push_back(u);
+            if (u == v) break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
 
 /// Computes strongly connected components of a finalized graph.
 SccResult ComputeScc(const SignedDigraph& graph);

@@ -1,5 +1,6 @@
 #include "ground/close.h"
 
+#include "ground/unfounded.h"
 #include "util/execution_context.h"
 
 namespace tiebreak {
@@ -178,82 +179,13 @@ std::vector<int32_t> CloseState::LiveRules() const {
 }
 
 std::vector<AtomId> CloseState::LargestUnfoundedSet() const {
-  // Simulate close over the positive-edge subgraph of the live graph.
-  // States: 0 = open, 1 = "founded" (deleted as true), 2 = deleted as false.
-  const int32_t n = graph_->num_atoms();
-  std::vector<char> state(n, 0);
-  std::vector<char> dead(rule_dead_.begin(), rule_dead_.end());
-  std::vector<int32_t> pending(graph_->num_rules(), 0);
-  std::vector<int32_t> support(atom_support_.begin(), atom_support_.end());
-  std::vector<AtomId> queue;
-
-  auto mark = [&](AtomId a, char s) {
-    state[a] = s;
-    queue.push_back(a);
-  };
-
-  for (int32_t r = 0; r < graph_->num_rules(); ++r) {
-    if (dead[r]) continue;
-    int32_t live_pos = 0;
-    for (AtomId a : graph_->PositiveBody(r)) {
-      if (value_[a] == Truth::kUndef) ++live_pos;
-    }
-    pending[r] = live_pos;
-    if (live_pos == 0) {
-      // Source rule node in G+: its head is founded.
-      dead[r] = 1;
-      const AtomId head = graph_->HeadOf(r);
-      if (value_[head] == Truth::kUndef && state[head] == 0) mark(head, 1);
-      --support[head];
-    }
-  }
-  for (AtomId a = 0; a < n; ++a) {
-    if (value_[a] == Truth::kUndef && state[a] == 0 && support[a] <= 0) {
-      mark(a, 2);
-    }
-  }
-
-  int32_t drained = 0;
-  while (!queue.empty()) {
-    // A partial simulation proves nothing about which atoms are unfounded,
-    // so a trip abandons it and reports the empty set — the caller's loop
-    // terminates and reads the trip from the context.
-    if (exec_ != nullptr && (++drained & (kClosePollBlock - 1)) == 0 &&
-        !exec_->Checkpoint("close", kClosePollBlock).ok()) {
-      return {};
-    }
-    const AtomId atom = queue.back();
-    queue.pop_back();
-    const bool founded = state[atom] == 1;
-    for (int32_t r : graph_->PositiveConsumers(atom)) {
-      if (dead[r]) continue;
-      if (founded) {
-        if (--pending[r] > 0) continue;
-        dead[r] = 1;
-        const AtomId head = graph_->HeadOf(r);
-        if (value_[head] == Truth::kUndef && state[head] == 0) mark(head, 1);
-        --support[head];
-        if (support[head] <= 0 && value_[head] == Truth::kUndef &&
-            state[head] == 0) {
-          mark(head, 2);
-        }
-      } else {
-        dead[r] = 1;
-        const AtomId head = graph_->HeadOf(r);
-        --support[head];
-        if (support[head] <= 0 && value_[head] == Truth::kUndef &&
-            state[head] == 0) {
-          mark(head, 2);
-        }
-      }
-    }
-  }
-
-  std::vector<AtomId> unfounded;
-  for (AtomId a = 0; a < n; ++a) {
-    if (value_[a] == Truth::kUndef && state[a] == 0) unfounded.push_back(a);
-  }
-  return unfounded;
+  // close over G+ is confluent, so the shared batched simulation returns
+  // the same (unique) set the original in-place loop did, with the same
+  // number of queue pops and therefore the same checkpoint count.
+  return SimulateUnfoundedSet(
+      *graph_, [this](AtomId a) { return value_[a]; },
+      [this](int32_t r) { return rule_dead_[r] != 0; },
+      [this](AtomId a) { return atom_support_[a]; }, exec_);
 }
 
 }  // namespace tiebreak

@@ -95,6 +95,10 @@ class CloseState {
   /// The full assignment so far (by AtomId).
   const std::vector<Truth>& values() const { return value_; }
 
+  /// Per-rule deleted flags (1 = node removed from the graph). Borrowed by
+  /// GroundLiveness to restrict SCC/tie passes to the live subgraph.
+  const std::vector<char>& rule_dead() const { return rule_dead_; }
+
   const GroundGraph& graph() const { return *graph_; }
 
  private:

@@ -1,0 +1,252 @@
+#include "ground/parallel_close.h"
+
+#include "ground/unfounded.h"
+#include "util/execution_context.h"
+
+namespace tiebreak {
+
+namespace {
+// Worklist pops between resource checkpoints in a component drain (same
+// cadence as the serial CloseState::Drain).
+constexpr int32_t kClosePollBlock = 256;
+}  // namespace
+
+ParallelCloseState::ParallelCloseState(const GroundGraph& graph,
+                                       ThreadPool* pool,
+                                       ExecutionContext* context)
+    : graph_(&graph), pool_(pool), exec_(context) {
+  TIEBREAK_CHECK(graph.finalized());
+  TIEBREAK_CHECK(pool != nullptr);
+  schedule_ = BuildSccSchedule(graph);
+  const int32_t n = graph.num_atoms();
+  const int32_t m = graph.num_rules();
+  value_ = std::make_unique<AtomicTruth[]>(n);
+  propagated_ = std::make_unique<std::atomic<char>[]>(n);
+  rule_dead_ = std::make_unique<std::atomic<char>[]>(m);
+  rule_pending_ = std::make_unique<std::atomic<int32_t>[]>(m);
+  atom_support_ = std::make_unique<std::atomic<int32_t>[]>(n);
+  for (AtomId a = 0; a < n; ++a) {
+    propagated_[a].store(0, std::memory_order_relaxed);
+    atom_support_[a].store(0, std::memory_order_relaxed);
+  }
+  for (int32_t r = 0; r < m; ++r) {
+    rule_dead_[r].store(0, std::memory_order_relaxed);
+    rule_pending_[r].store(graph.BodySize(r), std::memory_order_relaxed);
+    atom_support_[graph.HeadOf(r)].fetch_add(1, std::memory_order_relaxed);
+  }
+  scratch_.resize(pool->num_threads());
+}
+
+ParallelCloseState::ParallelCloseState(const Program& program,
+                                       const Database& database,
+                                       const GroundGraph& graph,
+                                       ThreadPool* pool,
+                                       ExecutionContext* context)
+    : ParallelCloseState(graph, pool, context) {
+  // M0(Δ), exactly as CloseState builds it (see close.cc). Values are
+  // stored with the propagated flags clear; the first RunWaves seed scans
+  // pick every assigned atom up in its own component.
+  const std::vector<char> in_delta = DeltaAtomMask(database, graph.atoms());
+  std::vector<char> is_edb(program.num_predicates(), 0);
+  for (PredId p = 0; p < program.num_predicates(); ++p) {
+    is_edb[p] = program.IsEdb(p) ? 1 : 0;
+  }
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (in_delta[a]) {
+      value_[a].StoreRelaxed(Truth::kTrue);
+    } else if (is_edb[graph.atoms().PredicateOf(a)]) {
+      value_[a].StoreRelaxed(Truth::kFalse);
+    } else {
+      continue;
+    }
+    num_assigned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RunWaves();
+}
+
+ParallelCloseState::ParallelCloseState(const GroundGraph& graph,
+                                       const std::vector<Truth>& initial,
+                                       ThreadPool* pool,
+                                       ExecutionContext* context)
+    : ParallelCloseState(graph, pool, context) {
+  TIEBREAK_CHECK_EQ(static_cast<int32_t>(initial.size()), graph.num_atoms());
+  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+    if (initial[a] == Truth::kUndef) continue;
+    value_[a].StoreRelaxed(initial[a]);
+    num_assigned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RunWaves();
+}
+
+void ParallelCloseState::SetAndClose(
+    const std::vector<std::pair<AtomId, bool>>& assignments) {
+  for (const auto& [atom, value] : assignments) {
+    const bool won =
+        value_[atom].TrySet(value ? Truth::kTrue : Truth::kFalse);
+    TIEBREAK_CHECK(won) << "atom " << atom << " assigned twice";
+    num_assigned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RunWaves();
+}
+
+void ParallelCloseState::RunWaves() {
+  for (int32_t w = 0; w < schedule_.num_waves(); ++w) {
+    if (exec_ != nullptr && exec_->stopped()) return;
+    const int32_t begin = schedule_.wave_offset[w];
+    const int32_t count = schedule_.wave_offset[w + 1] - begin;
+    if (count == 0) continue;
+    pool_->ParallelFor(
+        count,
+        [&](int32_t task, int32_t worker) {
+          // Claiming a component is itself a checkpoint: components are the
+          // scheduling grain, so a trip between claims stops a wave without
+          // waiting for a drain to poll.
+          if (exec_ != nullptr &&
+              !exec_->Checkpoint("close_scc", 1).ok()) {
+            return;
+          }
+          ProcessComponent(schedule_.order[begin + task], &scratch_[worker]);
+        },
+        exec_);
+  }
+}
+
+void ParallelCloseState::ProcessComponent(int32_t comp,
+                                          std::vector<AtomId>* worklist) {
+  worklist->clear();
+  const int32_t num_atoms = graph_->num_atoms();
+  // Seed scan: schedule atoms assigned by earlier waves / initial values /
+  // interpreter batches (flag exchange keeps each consumer walk unique),
+  // fire live empty-body rules, and falsify unsupported undefined atoms —
+  // together subsuming the serial InitialClose for this component.
+  for (int32_t node : schedule_.scc.members[comp]) {
+    if (node < num_atoms) {
+      const AtomId a = node;
+      if (value_[a].load() != Truth::kUndef) {
+        if (propagated_[a].exchange(1, std::memory_order_relaxed) == 0) {
+          worklist->push_back(a);
+        }
+      } else if (atom_support_[a].load(std::memory_order_relaxed) <= 0) {
+        if (value_[a].TrySet(Truth::kFalse)) DidAssign(a, comp, worklist);
+      }
+    } else {
+      const int32_t r = node - num_atoms;
+      if (rule_dead_[r].load(std::memory_order_relaxed) == 0 &&
+          rule_pending_[r].load(std::memory_order_relaxed) == 0) {
+        FireRule(r, comp, worklist);
+      }
+    }
+  }
+  Drain(comp, worklist);
+}
+
+void ParallelCloseState::Drain(int32_t comp, std::vector<AtomId>* worklist) {
+  int32_t drained = 0;
+  while (!worklist->empty()) {
+    // Same trip semantics as the serial Drain: stop between pops, keep
+    // every assigned value (each was forced), abandon the rest of the
+    // walk. The cleared worklist keeps the scratch reusable.
+    if (exec_ != nullptr && (++drained & (kClosePollBlock - 1)) == 0 &&
+        !exec_->Checkpoint("close", kClosePollBlock).ok()) {
+      worklist->clear();
+      return;
+    }
+    const AtomId atom = worklist->back();
+    worklist->pop_back();
+    const bool is_true = value_[atom].load() == Truth::kTrue;
+    for (int32_t r : graph_->PositiveConsumers(atom)) {
+      if (is_true) {
+        DecPending(r, comp, worklist);
+      } else {
+        KillRule(r, comp, worklist);
+      }
+    }
+    for (int32_t r : graph_->NegativeConsumers(atom)) {
+      if (is_true) {
+        KillRule(r, comp, worklist);
+      } else {
+        DecPending(r, comp, worklist);
+      }
+    }
+  }
+}
+
+void ParallelCloseState::DidAssign(AtomId atom, int32_t comp,
+                                   std::vector<AtomId>* worklist) {
+  num_assigned_.fetch_add(1, std::memory_order_relaxed);
+  if (ComponentOfAtom(atom) == comp) {
+    // In-component: this worker owns the walk; flag-at-push keeps the seed
+    // scan (which already ran, but SetAndClose replays it) from re-pushing.
+    propagated_[atom].store(1, std::memory_order_relaxed);
+    worklist->push_back(atom);
+  }
+  // Cross-component: the flag stays clear; the owning component's seed
+  // scan — a strictly later wave — claims the walk.
+}
+
+void ParallelCloseState::FireRule(int32_t rule, int32_t comp,
+                                  std::vector<AtomId>* worklist) {
+  if (rule_dead_[rule].exchange(1, std::memory_order_acq_rel) != 0) return;
+  const AtomId head = graph_->HeadOf(rule);
+  if (value_[head].TrySet(Truth::kTrue)) {
+    DidAssign(head, comp, worklist);
+  } else {
+    TIEBREAK_CHECK(value_[head].load() == Truth::kTrue)
+        << "fired rule for an atom already false";
+  }
+  DecSupport(head, comp, worklist);
+}
+
+void ParallelCloseState::KillRule(int32_t rule, int32_t comp,
+                                  std::vector<AtomId>* worklist) {
+  if (rule_dead_[rule].exchange(1, std::memory_order_acq_rel) != 0) return;
+  DecSupport(graph_->HeadOf(rule), comp, worklist);
+}
+
+void ParallelCloseState::DecPending(int32_t rule, int32_t comp,
+                                    std::vector<AtomId>* worklist) {
+  if (rule_dead_[rule].load(std::memory_order_relaxed) != 0) return;
+  if (rule_pending_[rule].fetch_sub(1, std::memory_order_acq_rel) - 1 > 0) {
+    return;
+  }
+  // Exactly one decrement observes 0 (each body arc is decremented at most
+  // once, because each atom's consumer walk runs exactly once); the dead
+  // exchange in FireRule resolves the race against a concurrent kill.
+  FireRule(rule, comp, worklist);
+}
+
+void ParallelCloseState::DecSupport(AtomId atom, int32_t comp,
+                                    std::vector<AtomId>* worklist) {
+  if (atom_support_[atom].fetch_sub(1, std::memory_order_acq_rel) - 1 > 0) {
+    return;
+  }
+  if (value_[atom].TrySet(Truth::kFalse)) DidAssign(atom, comp, worklist);
+}
+
+std::vector<Truth> ParallelCloseState::values() const {
+  std::vector<Truth> out(graph_->num_atoms());
+  for (AtomId a = 0; a < graph_->num_atoms(); ++a) out[a] = value_[a].load();
+  return out;
+}
+
+std::vector<char> ParallelCloseState::rule_dead() const {
+  std::vector<char> out(graph_->num_rules());
+  for (int32_t r = 0; r < graph_->num_rules(); ++r) {
+    out[r] = rule_dead_[r].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<AtomId> ParallelCloseState::LargestUnfoundedSet() const {
+  return SimulateUnfoundedSet(
+      *graph_, [this](AtomId a) { return value_[a].load(); },
+      [this](int32_t r) {
+        return rule_dead_[r].load(std::memory_order_relaxed) != 0;
+      },
+      [this](AtomId a) {
+        return atom_support_[a].load(std::memory_order_relaxed);
+      },
+      exec_);
+}
+
+}  // namespace tiebreak

@@ -1,0 +1,158 @@
+// Wave-parallel close(M, G): the SCC condensation of the ground graph is
+// leveled into topological waves (ground/ground_scc.h) and each wave's
+// components drain on the thread pool concurrently. Close is confluent
+// ("these are uniquely determined, independent of the order"), so any
+// schedule reaches the same fixpoint as ground/close.h — the parallel state
+// exists purely to split the worklist across components safely.
+//
+// Scheme:
+//  * One component is always drained by one worker (components are the task
+//    unit), so intra-component propagation needs no synchronization beyond
+//    the atomics themselves.
+//  * Every cross-component edge points to a strictly later wave, so effects
+//    an assignment has on other components — rule kills, pending and
+//    support decrements, head assignments — are applied *eagerly* with
+//    atomic RMWs (fetch_sub for counters, exchange for rule death, CAS for
+//    atom values); the touched component is either in a later wave (its
+//    worker starts after the barrier and sees everything) or is being
+//    drained by exactly the current worker.
+//  * The *consumer walk* of an assigned atom runs only inside the atom's
+//    own component: a per-atom `propagated` flag is set at push time by the
+//    in-component assigner, while cross-component assigners leave it clear
+//    and the owning component's seed scan picks the atom up (flag exchange)
+//    when its wave arrives. The seed scan also fires live empty-body rules
+//    and falsifies unsupported undefined atoms, subsuming the serial
+//    InitialClose.
+//  * SetAndClose applies a batch of assignments (CAS, flag clear) and
+//    replays the wave schedule; already-propagated atoms are skipped by
+//    their flags, so each pass costs O(schedule) plus the new propagation.
+//
+// Resource governance mirrors CloseState, with one extra site: a
+// "close_scc" checkpoint when a worker claims a component, plus the usual
+// "close" checkpoint per 256 worklist pops inside a drain. On a trip the
+// local worklist is abandoned (assigned values stay sound — each was
+// forced), later waves are not dispatched, and callers read the trip from
+// the context.
+//
+// This type is the num_threads > 1 engine behind the interpreters in
+// src/core/; num_threads == 1 callers keep using CloseState, which remains
+// the bit-identical serial reference.
+#ifndef TIEBREAK_GROUND_PARALLEL_CLOSE_H_
+#define TIEBREAK_GROUND_PARALLEL_CLOSE_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/ground_scc.h"
+#include "ground/truth.h"
+#include "lang/database.h"
+#include "lang/program.h"
+#include "util/thread_pool.h"
+
+namespace tiebreak {
+
+class ExecutionContext;
+
+/// Persistent wave-parallel close(M, G) state over one ground graph. The
+/// pool and context are borrowed and must outlive the state; all reads
+/// (Value, values, LargestUnfoundedSet, ...) assume quiescence — call them
+/// between SetAndClose calls, never concurrently with one.
+class ParallelCloseState {
+ public:
+  /// M0(Δ) start, mirroring CloseState: Δ atoms true, EDB atoms outside Δ
+  /// false, IDB atoms undefined; then closes across the pool.
+  ParallelCloseState(const Program& program, const Database& database,
+                     const GroundGraph& graph, ThreadPool* pool,
+                     ExecutionContext* context = nullptr);
+
+  /// Explicit initial assignment (kUndef entries stay open), then closes.
+  ParallelCloseState(const GroundGraph& graph,
+                     const std::vector<Truth>& initial, ThreadPool* pool,
+                     ExecutionContext* context = nullptr);
+
+  /// Assigns a batch (all atoms must be live) and propagates to fixpoint by
+  /// replaying the wave schedule.
+  void SetAndClose(const std::vector<std::pair<AtomId, bool>>& assignments);
+
+  Truth Value(AtomId atom) const {
+    TIEBREAK_CHECK_GE(atom, 0);
+    TIEBREAK_CHECK_LT(atom, graph_->num_atoms());
+    return value_[atom].load();
+  }
+  bool AtomLive(AtomId atom) const { return Value(atom) == Truth::kUndef; }
+  bool RuleLive(int32_t rule) const {
+    return rule_dead_[rule].load(std::memory_order_relaxed) == 0;
+  }
+
+  int32_t num_live_atoms() const {
+    return graph_->num_atoms() -
+           num_assigned_.load(std::memory_order_relaxed);
+  }
+  bool IsTotal() const { return num_live_atoms() == 0; }
+
+  /// Snapshot of the full assignment (by AtomId).
+  std::vector<Truth> values() const;
+  /// Snapshot of the per-rule deleted flags (for GroundLiveness).
+  std::vector<char> rule_dead() const;
+
+  /// The largest unfounded set of the current (quiescent) state; same
+  /// contract as CloseState::LargestUnfoundedSet, including the empty
+  /// result on a context trip.
+  std::vector<AtomId> LargestUnfoundedSet() const;
+
+  const GroundGraph& graph() const { return *graph_; }
+  /// The wave schedule driving the drains (components of the *full* ground
+  /// graph; liveness never splits a component, so it stays valid for the
+  /// lifetime of the state).
+  const SccSchedule& schedule() const { return schedule_; }
+
+ private:
+  ParallelCloseState(const GroundGraph& graph, ThreadPool* pool,
+                     ExecutionContext* context);
+
+  /// Dispatches every wave in order; each component claims a "close_scc"
+  /// checkpoint, seed-scans its members, and drains its local worklist.
+  void RunWaves();
+  void ProcessComponent(int32_t comp, std::vector<AtomId>* worklist);
+  void Drain(int32_t comp, std::vector<AtomId>* worklist);
+
+  /// The close events, parameterized by the draining component: effects on
+  /// nodes of `comp` are pushed onto `worklist`; effects on other (always
+  /// later-wave) components are applied eagerly and left for that
+  /// component's seed scan.
+  void FireRule(int32_t rule, int32_t comp, std::vector<AtomId>* worklist);
+  void KillRule(int32_t rule, int32_t comp, std::vector<AtomId>* worklist);
+  void DecPending(int32_t rule, int32_t comp, std::vector<AtomId>* worklist);
+  void DecSupport(AtomId atom, int32_t comp, std::vector<AtomId>* worklist);
+  /// Records a won CAS on `atom`: bumps the assigned count and schedules
+  /// the consumer walk (push if `atom` is in `comp`, defer otherwise).
+  void DidAssign(AtomId atom, int32_t comp, std::vector<AtomId>* worklist);
+
+  int32_t ComponentOfAtom(AtomId a) const { return schedule_.scc.component[a]; }
+  int32_t ComponentOfRule(int32_t r) const {
+    return schedule_.scc.component[graph_->num_atoms() + r];
+  }
+
+  const GroundGraph* graph_;
+  ThreadPool* pool_;             // not owned
+  ExecutionContext* exec_;       // not owned; null = ungoverned
+  SccSchedule schedule_;
+
+  std::unique_ptr<AtomicTruth[]> value_;
+  /// 1 once the atom's consumer walk has been scheduled (pushed onto some
+  /// component worklist); guards against double propagation.
+  std::unique_ptr<std::atomic<char>[]> propagated_;
+  std::unique_ptr<std::atomic<char>[]> rule_dead_;
+  std::unique_ptr<std::atomic<int32_t>[]> rule_pending_;
+  std::unique_ptr<std::atomic<int32_t>[]> atom_support_;
+  std::atomic<int32_t> num_assigned_{0};
+  /// Per-worker local worklists, reused across components and waves.
+  std::vector<std::vector<AtomId>> scratch_;
+};
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_GROUND_PARALLEL_CLOSE_H_

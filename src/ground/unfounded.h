@@ -1,0 +1,143 @@
+// Shared largest-unfounded-set simulation: close over the positive-edge
+// subgraph of the live graph, as Section 2 defines Atoms[close(M, G+)].
+// Templated over value/dead/support accessors so CloseState (plain arrays)
+// and ParallelCloseState (atomic arrays, relaxed snapshot reads at a
+// quiescent barrier) share one implementation. The result is the unique
+// greatest unfounded set — a monotone closure, so processing order cannot
+// change it — which is what lets the queue drain in prefetched 64-atom
+// blocks (the PR 5 interning batch discipline) without touching semantics.
+#ifndef TIEBREAK_GROUND_UNFOUNDED_H_
+#define TIEBREAK_GROUND_UNFOUNDED_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "ground/ground_graph.h"
+#include "ground/truth.h"
+#include "util/execution_context.h"
+
+namespace tiebreak {
+
+namespace unfounded_internal {
+/// Queue pops per prefetch block: each popped atom's consumer span start is
+/// prefetched a block ahead of its scatter work.
+constexpr int32_t kUnfoundedPrefetchBlock = 64;
+/// Queue pops between resource checkpoints (matches close's drain cadence).
+constexpr int32_t kUnfoundedPollBlock = 256;
+}  // namespace unfounded_internal
+
+/// Simulates close over the positive-edge live subgraph and returns the
+/// atoms left without a value — the largest unfounded set of the state the
+/// accessors describe. `value(a)` is the atom's current Truth, `rule_dead(r)`
+/// whether the rule node was deleted, `support(a)` the number of live rules
+/// with head a. With a non-null tripping `exec` the partial simulation is
+/// abandoned and the empty set returned (it proves nothing about
+/// unfoundedness); callers read the trip from the context.
+template <typename ValueFn, typename RuleDeadFn, typename SupportFn>
+std::vector<AtomId> SimulateUnfoundedSet(const GroundGraph& graph,
+                                         ValueFn&& value,
+                                         RuleDeadFn&& rule_dead,
+                                         SupportFn&& support_of,
+                                         ExecutionContext* exec) {
+  using unfounded_internal::kUnfoundedPollBlock;
+  using unfounded_internal::kUnfoundedPrefetchBlock;
+  // States: 0 = open, 1 = "founded" (deleted as true), 2 = deleted as false.
+  const int32_t n = graph.num_atoms();
+  std::vector<char> state(n, 0);
+  std::vector<char> dead(graph.num_rules());
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    dead[r] = rule_dead(r) ? 1 : 0;
+  }
+  std::vector<int32_t> pending(graph.num_rules(), 0);
+  std::vector<int32_t> support(n);
+  for (AtomId a = 0; a < n; ++a) support[a] = support_of(a);
+  std::vector<AtomId> queue;
+
+  auto mark = [&](AtomId a, char s) {
+    state[a] = s;
+    queue.push_back(a);
+  };
+
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    if (dead[r]) continue;
+    int32_t live_pos = 0;
+    for (AtomId a : graph.PositiveBody(r)) {
+      if (value(a) == Truth::kUndef) ++live_pos;
+    }
+    pending[r] = live_pos;
+    if (live_pos == 0) {
+      // Source rule node in G+: its head is founded.
+      dead[r] = 1;
+      const AtomId head = graph.HeadOf(r);
+      if (value(head) == Truth::kUndef && state[head] == 0) mark(head, 1);
+      --support[head];
+    }
+  }
+  for (AtomId a = 0; a < n; ++a) {
+    if (value(a) == Truth::kUndef && state[a] == 0 && support[a] <= 0) {
+      mark(a, 2);
+    }
+  }
+
+  int32_t drained = 0;
+  AtomId batch[kUnfoundedPrefetchBlock];
+  while (!queue.empty()) {
+    // Pop a block off the queue tail and prefetch every popped atom's
+    // positive-consumer span before scattering into any of them. New marks
+    // append behind the popped tail and wait for the next block.
+    const int32_t take = static_cast<int32_t>(
+        std::min<size_t>(kUnfoundedPrefetchBlock, queue.size()));
+    for (int32_t i = 0; i < take; ++i) {
+      batch[i] = queue[queue.size() - take + i];
+    }
+    queue.resize(queue.size() - take);
+    for (int32_t i = 0; i < take; ++i) {
+      __builtin_prefetch(graph.PositiveConsumers(batch[i]).data());
+    }
+    for (int32_t i = 0; i < take; ++i) {
+      // A partial simulation proves nothing about which atoms are
+      // unfounded, so a trip abandons it and reports the empty set — the
+      // caller's loop terminates and reads the trip from the context.
+      if (exec != nullptr && (++drained & (kUnfoundedPollBlock - 1)) == 0 &&
+          !exec->Checkpoint("close", kUnfoundedPollBlock).ok()) {
+        return {};
+      }
+      const AtomId atom = batch[i];
+      const bool founded = state[atom] == 1;
+      for (int32_t r : graph.PositiveConsumers(atom)) {
+        if (dead[r]) continue;
+        if (founded) {
+          if (--pending[r] > 0) continue;
+          dead[r] = 1;
+          const AtomId head = graph.HeadOf(r);
+          if (value(head) == Truth::kUndef && state[head] == 0) {
+            mark(head, 1);
+          }
+          --support[head];
+          if (support[head] <= 0 && value(head) == Truth::kUndef &&
+              state[head] == 0) {
+            mark(head, 2);
+          }
+        } else {
+          dead[r] = 1;
+          const AtomId head = graph.HeadOf(r);
+          --support[head];
+          if (support[head] <= 0 && value(head) == Truth::kUndef &&
+              state[head] == 0) {
+            mark(head, 2);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<AtomId> unfounded;
+  for (AtomId a = 0; a < n; ++a) {
+    if (value(a) == Truth::kUndef && state[a] == 0) unfounded.push_back(a);
+  }
+  return unfounded;
+}
+
+}  // namespace tiebreak
+
+#endif  // TIEBREAK_GROUND_UNFOUNDED_H_

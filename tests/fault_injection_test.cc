@@ -33,9 +33,12 @@ struct WfOutcome {
 // Grounds win/move over a random digraph and runs the well-founded
 // interpreter, all under `context`. Exercises the engine (grounding
 // bindings), the grounder's emission, close, unfounded sets and the
-// alternating fixpoint.
+// alternating fixpoint. `interpreter_threads > 1` runs the SCC-scheduled
+// parallel interpreter (ground/parallel_close.h), whose checkpoints add
+// the per-component "close_scc" sites to the sweep.
 WfOutcome RunWellFoundedPipeline(ExecutionContext* context,
-                                 int32_t num_threads) {
+                                 int32_t num_threads,
+                                 int32_t interpreter_threads = 1) {
   Program program = WinMoveProgram();
   Rng rng(7);
   Database database = *RandomDigraphDatabase(&program, "move", 192, 576, &rng);
@@ -50,7 +53,8 @@ WfOutcome RunWellFoundedPipeline(ExecutionContext* context,
     return outcome;
   }
   const InterpreterResult wf =
-      WellFounded(program, database, ground->graph, context);
+      WellFounded(program, database, ground->graph,
+                  InterpreterOptions{interpreter_threads, context});
   outcome.values = wf.values;
   outcome.truncation = wf.truncation;
   outcome.total = wf.total;
@@ -116,6 +120,63 @@ TEST(FaultInjectionTest, WellFoundedPipelineSurvivesTripAtEveryCheckpoint) {
   // model exactly (no injected trip leaked state anywhere).
   ExecutionContext rerun_context;
   const WfOutcome rerun = RunWellFoundedPipeline(&rerun_context, 2);
+  ASSERT_FALSE(rerun.errored);
+  EXPECT_TRUE(rerun.truncation.ok());
+  EXPECT_EQ(rerun.values, clean.values);
+}
+
+// Same sweep with the whole pipeline fanned out on 8 threads: 8-way
+// grounding into the shared context, then the SCC-scheduled parallel
+// well-founded interpreter. Any worker's checkpoint can be the one that
+// trips while its siblings are mid-drain, so this exercises the
+// barrier-consistent unwind of ParallelFor plus the worklist-clearing trip
+// path of the parallel close (and, under TSan, the cross-thread
+// publication of the trip flag).
+TEST(FaultInjectionTest,
+     ParallelWellFoundedPipelineSurvivesTripAtEveryCheckpoint) {
+  fault_injection::CountCheckpoints();
+  ExecutionContext count_context;
+  const WfOutcome clean = RunWellFoundedPipeline(&count_context, 8, 8);
+  const int64_t checkpoints = fault_injection::CheckpointsObserved();
+  fault_injection::Disarm();
+  ASSERT_FALSE(clean.errored);
+  ASSERT_TRUE(clean.truncation.ok());
+  ASSERT_GT(checkpoints, 0);
+
+  // The serial reference model: the parallel clean run must already match
+  // it (close and unfounded falsification are confluent).
+  ExecutionContext serial_context;
+  const WfOutcome serial = RunWellFoundedPipeline(&serial_context, 1, 1);
+  ASSERT_FALSE(serial.errored);
+  ASSERT_EQ(clean.values, serial.values);
+
+  for (int64_t n = 0; n < checkpoints; ++n) {
+    fault_injection::TripAtCheckpoint(n);
+    ExecutionContext context;
+    const WfOutcome tripped = RunWellFoundedPipeline(&context, 8, 8);
+    fault_injection::Disarm();
+    ASSERT_TRUE(context.stopped()) << "checkpoint " << n;
+    EXPECT_EQ(context.status().code(), StatusCode::kCancelled)
+        << "checkpoint " << n;
+    if (tripped.errored) {
+      EXPECT_EQ(tripped.code, StatusCode::kCancelled) << "checkpoint " << n;
+    } else {
+      ASSERT_FALSE(tripped.truncation.ok()) << "checkpoint " << n;
+      EXPECT_EQ(tripped.truncation.code(), StatusCode::kCancelled)
+          << "checkpoint " << n;
+      EXPECT_FALSE(tripped.total) << "checkpoint " << n;
+      ASSERT_EQ(tripped.values.size(), clean.values.size())
+          << "checkpoint " << n;
+      for (size_t a = 0; a < tripped.values.size(); ++a) {
+        if (tripped.values[a] == Truth::kUndef) continue;
+        EXPECT_EQ(tripped.values[a], clean.values[a])
+            << "checkpoint " << n << " atom " << a;
+      }
+    }
+  }
+
+  ExecutionContext rerun_context;
+  const WfOutcome rerun = RunWellFoundedPipeline(&rerun_context, 8, 8);
   ASSERT_FALSE(rerun.errored);
   EXPECT_TRUE(rerun.truncation.ok());
   EXPECT_EQ(rerun.values, clean.values);

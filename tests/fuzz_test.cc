@@ -7,13 +7,17 @@
 #include <vector>
 
 #include "core/well_founded.h"
+#include "ground/close.h"
+#include "ground/ground_scc.h"
 #include "ground/grounder.h"
+#include "ground/parallel_close.h"
 #include "gtest/gtest.h"
 #include "lang/parser.h"
 #include "lang/printer.h"
 #include "storage/snapshot.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace tiebreak {
 namespace {
@@ -175,6 +179,170 @@ TEST(SnapshotFuzzTest, MutatedValidSnapshotsNeverCrashTheLoader) {
     read.program = &*program;
     (void)storage::LoadSnapshotFromBuffer(mutated, read);  // must not crash
     (void)storage::ReadSnapshotInfo(mutated);              // ditto
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SCC scheduler over hostile ground graphs: hand-built rule structures
+// (cyclic negation, self-loops, empty components, duplicate rules) and
+// random mutations must neither crash nor hang the wave scheduler, and the
+// parallel close must agree with the serial close exactly.
+// ---------------------------------------------------------------------------
+
+// A graph of `num_atoms` nullary atoms (one per predicate id).
+std::vector<AtomId> InternAtoms(GroundGraph* graph, int32_t num_atoms) {
+  std::vector<AtomId> atoms(num_atoms);
+  for (int32_t i = 0; i < num_atoms; ++i) {
+    atoms[i] = graph->atoms().Intern(static_cast<PredId>(i), nullptr, 0);
+  }
+  return atoms;
+}
+
+// Schedule invariants that must hold for *any* finalized graph: every node
+// in exactly one component, `order` a permutation of the components, every
+// cross-component edge pointing to a strictly later wave.
+void ExpectScheduleWellFormed(const GroundGraph& graph) {
+  const SccSchedule schedule = BuildSccSchedule(graph);
+  const SccResult& scc = schedule.scc;
+  const int32_t num_nodes = graph.num_atoms() + graph.num_rules();
+  std::vector<int32_t> seen(num_nodes, 0);
+  for (int32_t comp = 0; comp < scc.num_components; ++comp) {
+    for (int32_t node : scc.members[comp]) {
+      ASSERT_EQ(scc.component[node], comp);
+      ++seen[node];
+    }
+  }
+  for (int32_t node = 0; node < num_nodes; ++node) {
+    ASSERT_EQ(seen[node], 1) << "node " << node;
+  }
+  ASSERT_EQ(static_cast<int32_t>(schedule.order.size()), scc.num_components);
+  auto check_edge = [&](int32_t from, int32_t to) {
+    if (scc.component[from] == scc.component[to]) return;
+    ASSERT_LT(schedule.wave[scc.component[from]],
+              schedule.wave[scc.component[to]]);
+  };
+  for (int32_t r = 0; r < graph.num_rules(); ++r) {
+    const int32_t rule_node = graph.num_atoms() + r;
+    for (AtomId a : graph.PositiveBody(r)) check_edge(a, rule_node);
+    for (AtomId a : graph.NegativeBody(r)) check_edge(a, rule_node);
+    check_edge(rule_node, graph.HeadOf(r));
+  }
+}
+
+// Runs serial and parallel close from `initial` and asserts exact
+// agreement on values, rule liveness and the largest unfounded set.
+void ExpectParallelCloseAgrees(const GroundGraph& graph,
+                               const std::vector<Truth>& initial) {
+  CloseState serial(graph, initial);
+  const std::vector<AtomId> serial_unfounded = serial.LargestUnfoundedSet();
+  for (const int32_t threads : {2, 8}) {
+    ThreadPool pool(threads);
+    ParallelCloseState parallel(graph, initial, &pool);
+    ASSERT_EQ(parallel.values(), serial.values()) << "threads=" << threads;
+    ASSERT_EQ(parallel.rule_dead(), serial.rule_dead())
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.LargestUnfoundedSet(), serial_unfounded)
+        << "threads=" << threads;
+  }
+}
+
+TEST(SccSchedulerFuzzTest, HandBuiltAdversarialGraphs) {
+  std::vector<GroundGraph> graphs;
+
+  {  // Empty graph: no atoms, no rules.
+    GroundGraph graph;
+    graph.Finalize();
+    graphs.push_back(std::move(graph));
+  }
+  {  // Isolated atoms only: every component empty of rules.
+    GroundGraph graph;
+    InternAtoms(&graph, 5);
+    graph.Finalize();
+    graphs.push_back(std::move(graph));
+  }
+  {  // Negative self-loop (p :- not p) and positive self-loop (q :- q).
+    GroundGraph graph;
+    const std::vector<AtomId> a = InternAtoms(&graph, 2);
+    graph.AppendRule(0, a[0], nullptr, 0, &a[0], 1, nullptr, 0);
+    graph.AppendRule(1, a[1], &a[1], 1, nullptr, 0, nullptr, 0);
+    graph.Finalize();
+    graphs.push_back(std::move(graph));
+  }
+  {  // Odd and even negation rings plus an isolated atom between them.
+    GroundGraph graph;
+    const std::vector<AtomId> a = InternAtoms(&graph, 8);
+    for (int32_t i = 0; i < 3; ++i) {  // odd ring over a[0..2]
+      const AtomId body = a[(i + 1) % 3];
+      graph.AppendRule(i, a[i], nullptr, 0, &body, 1, nullptr, 0);
+    }
+    for (int32_t i = 0; i < 4; ++i) {  // even ring over a[4..7]
+      const AtomId body = a[4 + (i + 1) % 4];
+      graph.AppendRule(3 + i, a[4 + i], nullptr, 0, &body, 1, nullptr, 0);
+    }
+    graph.Finalize();
+    graphs.push_back(std::move(graph));
+  }
+  {  // Duplicate rules, empty bodies, and a head that is its own positive
+     // and negative body atom at once.
+    GroundGraph graph;
+    const std::vector<AtomId> a = InternAtoms(&graph, 3);
+    graph.AppendRule(0, a[0], nullptr, 0, nullptr, 0, nullptr, 0);
+    graph.AppendRule(0, a[0], nullptr, 0, nullptr, 0, nullptr, 0);
+    graph.AppendRule(1, a[1], &a[1], 1, &a[1], 1, nullptr, 0);
+    graph.AppendRule(2, a[2], &a[0], 1, &a[1], 1, nullptr, 0);
+    graph.Finalize();
+    graphs.push_back(std::move(graph));
+  }
+
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    SCOPED_TRACE("graph " + std::to_string(i));
+    const GroundGraph& graph = graphs[i];
+    ExpectScheduleWellFormed(graph);
+    ExpectParallelCloseAgrees(
+        graph, std::vector<Truth>(graph.num_atoms(), Truth::kUndef));
+  }
+}
+
+TEST(SccSchedulerFuzzTest, RandomMutatedGroundGraphsAgreeWithSerial) {
+  Rng rng(0xF028);
+  for (int round = 0; round < 120; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    GroundGraph graph;
+    const int32_t num_atoms = 1 + static_cast<int32_t>(rng.Below(24));
+    const std::vector<AtomId> atoms = InternAtoms(&graph, num_atoms);
+    const int32_t num_rules = static_cast<int32_t>(rng.Below(40));
+    for (int32_t r = 0; r < num_rules; ++r) {
+      const AtomId head = atoms[rng.Below(atoms.size())];
+      std::vector<AtomId> pos;
+      std::vector<AtomId> neg;
+      const int32_t body = static_cast<int32_t>(rng.Below(4));
+      for (int32_t b = 0; b < body; ++b) {
+        // Self-loops (head in its own body) arise naturally here.
+        const AtomId atom = atoms[rng.Below(atoms.size())];
+        (rng.Chance(0.45) ? neg : pos).push_back(atom);
+      }
+      graph.AppendRule(r, head, pos.data(),
+                       static_cast<int32_t>(pos.size()), neg.data(),
+                       static_cast<int32_t>(neg.size()), nullptr, 0);
+    }
+    graph.Finalize();
+
+    ExpectScheduleWellFormed(graph);
+    const std::vector<Truth> open(graph.num_atoms(), Truth::kUndef);
+    ExpectParallelCloseAgrees(graph, open);
+
+    // Re-seeding with a random decided subset of the closure is consistent
+    // (close is monotone), so serial and parallel must still agree.
+    CloseState reference(graph, open);
+    std::vector<Truth> preset(graph.num_atoms(), Truth::kUndef);
+    bool any = false;
+    for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+      if (reference.values()[a] != Truth::kUndef && rng.Chance(0.5)) {
+        preset[a] = reference.values()[a];
+        any = true;
+      }
+    }
+    if (any) ExpectParallelCloseAgrees(graph, preset);
   }
 }
 
