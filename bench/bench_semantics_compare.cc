@@ -36,6 +36,19 @@ struct Row {
   int64_t fixpoint_exists = 0;
 };
 
+// Aggregated SAT-core statistics over every fixpoint query the table runs;
+// printed as a footer so semantics-vs-solver cost stays visible in one
+// place.
+struct SatTotals {
+  int64_t conflicts = 0;
+  int64_t propagations = 0;
+  int64_t restarts = 0;
+  int64_t learnt = 0;
+  int64_t reduced = 0;
+  int64_t arena_bytes = 0;
+};
+SatTotals sat_totals;
+
 void Account(const Program& program, const Database& database, Row* row) {
   const GroundingResult ground = Ground(program, database).value();
   ++row->instances;
@@ -52,7 +65,17 @@ void Account(const Program& program, const Database& database, Row* row) {
           .total) {
     ++row->wftb_total;
   }
-  if (HasFixpoint(program, database, ground.graph)) ++row->fixpoint_exists;
+  {
+    FixpointSearch search(program, database, ground.graph);
+    if (search.HasFixpoint()) ++row->fixpoint_exists;
+    const SatSolver& solver = search.solver();
+    sat_totals.conflicts += solver.num_conflicts();
+    sat_totals.propagations += solver.num_propagations();
+    sat_totals.restarts += solver.num_restarts();
+    sat_totals.learnt += solver.num_learnt();
+    sat_totals.reduced += solver.num_reduced();
+    sat_totals.arena_bytes += solver.arena_bytes();
+  }
   if (HasStableModel(program, database, ground.graph, /*limit=*/2000)) {
     ++row->stable_exists;
   }
@@ -151,5 +174,14 @@ int main() {
       "non-tie bottoms WF dissolves as unfounded sets, and it may\nreach "
       "non-stable fixpoints. Three-rule-style components keep stable/fixpt "
       "above WFTB.\n");
+  std::printf(
+      "\nSAT core totals over the fixpt column: conflicts=%lld "
+      "props=%lld restarts=%lld learnt=%lld reduced=%lld arena=%lldB\n",
+      static_cast<long long>(sat_totals.conflicts),
+      static_cast<long long>(sat_totals.propagations),
+      static_cast<long long>(sat_totals.restarts),
+      static_cast<long long>(sat_totals.learnt),
+      static_cast<long long>(sat_totals.reduced),
+      static_cast<long long>(sat_totals.arena_bytes));
   return 0;
 }

@@ -5,10 +5,14 @@
 // should stay flat as N grows.
 #include <benchmark/benchmark.h>
 
+#include "core/completion.h"
 #include "graph/digraph.h"
 #include "graph/scc.h"
 #include "graph/tie.h"
+#include "ground/grounder.h"
 #include "util/random.h"
+#include "workload/databases.h"
+#include "workload/programs.h"
 
 namespace tiebreak {
 namespace {
@@ -103,6 +107,40 @@ void BM_FindOddCycle_Random(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_edges());
 }
 BENCHMARK(BM_FindOddCycle_Random)->Range(1 << 8, 1 << 14);
+
+// Companion to the graph-side tie machinery: the SAT-backed fixpoint
+// enumeration over random win-move boards, with the CDCL core's
+// observability counters surfaced per run so solver behavior (conflicts,
+// learning, database reduction, arena footprint) is visible next to the
+// tie-check costs it complements.
+void BM_FixpointEnum_WinMove(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(0x71E);
+  Program program = WinMoveProgram();
+  Database board =
+      *RandomDigraphDatabase(&program, "move", n, 2 * n, &rng);
+  const GroundingResult ground = Ground(program, board).value();
+  int64_t conflicts = 0, propagations = 0, learnt = 0, restarts = 0;
+  int64_t arena_bytes = 0, models = 0;
+  for (auto _ : state) {
+    FixpointSearch search(program, board, ground.graph);
+    models += search.Count(/*limit=*/200);
+    const SatSolver& solver = search.solver();
+    conflicts += solver.num_conflicts();
+    propagations += solver.num_propagations();
+    learnt += solver.num_learnt();
+    restarts += solver.num_restarts();
+    arena_bytes = static_cast<int64_t>(solver.arena_bytes());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["conflicts"] = static_cast<double>(conflicts) / iters;
+  state.counters["props"] = static_cast<double>(propagations) / iters;
+  state.counters["learnt"] = static_cast<double>(learnt) / iters;
+  state.counters["restarts"] = static_cast<double>(restarts) / iters;
+  state.counters["arena_bytes"] = static_cast<double>(arena_bytes);
+  state.counters["models"] = static_cast<double>(models) / iters;
+}
+BENCHMARK(BM_FixpointEnum_WinMove)->Range(8, 64);
 
 }  // namespace
 }  // namespace tiebreak

@@ -29,7 +29,10 @@
 #                                 the snapshot corruption-injection sweep
 #                                 (storage_test, storage_corruption_test,
 #                                 workload_test): hostile bytes must fail
-#                                 with a Status, never an overread
+#                                 with a Status, never an overread — plus
+#                                 the CDCL clause arena (sat_test): watch
+#                                 rewiring, compacting GC and the
+#                                 preprocessor all index raw arena words
 #   scripts/check.sh --ubsan      builds with -DTIEBREAK_SANITIZE=undefined
 #                                 into build-ubsan/ and runs the resource-
 #                                 governance surface (fault sweep, context
@@ -38,7 +41,11 @@
 #                                 and the snapshot corruption sweep under
 #                                 UndefinedBehaviorSanitizer — the bytewise
 #                                 codec must stay free of misaligned loads
-#                                 and shift/overflow UB on hostile input
+#                                 and shift/overflow UB on hostile input —
+#                                 plus the CDCL core (sat_test): the arena
+#                                 header bit-packing, float activity
+#                                 punning and literal casts must stay
+#                                 UB-free
 #   scripts/check.sh --docs       only the docs checks: broken relative
 #                                 links in *.md, and public-header
 #                                 declarations without a doc comment
@@ -148,10 +155,10 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake --build "$build" -j "$(nproc)" \
     --target ground_test ground_csr_test core_semantics_test \
              fault_injection_test interpreter_parallel_test storage_test \
-             storage_corruption_test workload_test
+             storage_corruption_test workload_test sat_test
   ASAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
     --output-on-failure \
-    -R '^(ground_(csr_)?test|core_semantics_test|fault_injection_test|interpreter_parallel_test|storage_(corruption_)?test|workload_test)$'
+    -R '^(ground_(csr_)?test|core_semantics_test|fault_injection_test|interpreter_parallel_test|storage_(corruption_)?test|workload_test|sat_test)$'
   echo "check.sh: asan green"
   exit 0
 fi
@@ -163,10 +170,10 @@ if [[ "${1:-}" == "--ubsan" ]]; then
     --target fault_injection_test execution_context_test engine_test \
              ground_test ground_csr_test interpreter_parallel_test \
              reductions_test storage_test storage_corruption_test \
-             workload_test
+             workload_test sat_test
   UBSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" \
     --output-on-failure \
-    -R '^(fault_injection_test|execution_context_test|engine_test|ground_(csr_)?test|interpreter_parallel_test|reductions_test|storage_(corruption_)?test|workload_test)$'
+    -R '^(fault_injection_test|execution_context_test|engine_test|ground_(csr_)?test|interpreter_parallel_test|reductions_test|storage_(corruption_)?test|workload_test|sat_test)$'
   echo "check.sh: ubsan green"
   exit 0
 fi

@@ -28,6 +28,7 @@ FixpointSearch::FixpointSearch(const Program& program,
     : graph_(&graph), context_(options.context) {
   solver_.SetExecutionContext(context_);
   TIEBREAK_CHECK(graph.finalized());
+  solver_.Reserve(graph.num_atoms() + graph.num_rules());
   atom_var_.resize(graph.num_atoms());
   for (AtomId a = 0; a < graph.num_atoms(); ++a) {
     atom_var_[a] = solver_.NewVar();
@@ -43,9 +44,11 @@ FixpointSearch::FixpointSearch(const Program& program,
   }
   const int32_t threads = ThreadPool::EffectiveThreads(options.num_threads);
   if (threads == 1) {
+    std::vector<SatLit> back;  // reused across rules — no per-rule allocation
     for (int32_t r = 0; r < graph.num_rules(); ++r) {
       const int32_t d = body_var[r];
-      std::vector<SatLit> back{PosLit(d)};  // (l1 & ... & lk) -> d
+      back.clear();
+      back.push_back(PosLit(d));  // (l1 & ... & lk) -> d
       for (AtomId a : graph.PositiveBody(r)) {
         solver_.AddBinary(NegLit(d), PosLit(atom_var_[a]));  // d -> a
         back.push_back(NegLit(atom_var_[a]));
@@ -54,7 +57,7 @@ FixpointSearch::FixpointSearch(const Program& program,
         solver_.AddBinary(NegLit(d), NegLit(atom_var_[a]));  // d -> !a
         back.push_back(PosLit(atom_var_[a]));
       }
-      solver_.AddClause(std::move(back));
+      solver_.AddLits(back.data(), back.size());
     }
   } else {
     // Parallel build: each block buffers its clauses in rule order, the
@@ -91,6 +94,7 @@ FixpointSearch::FixpointSearch(const Program& program,
   }
   // Per-atom completion.
   const std::vector<char> delta_mask = DeltaAtomMask(database, graph.atoms());
+  std::vector<SatLit> forward;  // reused across atoms
   for (AtomId a = 0; a < graph.num_atoms(); ++a) {
     const PredId pred = graph.atoms().PredicateOf(a);
     const bool in_delta = delta_mask[a] != 0;
@@ -104,12 +108,13 @@ FixpointSearch::FixpointSearch(const Program& program,
       continue;
     }
     // a <-> ⋁ d_r over supporters.
-    std::vector<SatLit> forward{NegLit(atom_var_[a])};
+    forward.clear();
+    forward.push_back(NegLit(atom_var_[a]));
     for (int32_t r : graph.Supporters(a)) {
       solver_.AddBinary(NegLit(body_var[r]), PosLit(atom_var_[a]));  // d -> a
       forward.push_back(PosLit(body_var[r]));
     }
-    solver_.AddClause(std::move(forward));  // a -> some body
+    solver_.AddLits(forward.data(), forward.size());  // a -> some body
   }
 }
 
@@ -134,7 +139,9 @@ std::optional<std::vector<Truth>> FixpointSearch::SolveOne() {
   for (AtomId a = 0; a < graph_->num_atoms(); ++a) {
     values[a] = solver_.ModelValue(atom_var_[a]) ? Truth::kTrue : Truth::kFalse;
   }
-  solver_.BlockModel(atom_var_);
+  // kSat is in hand, and atom_var_ entries are all live solver variables,
+  // so blocking cannot fail.
+  TIEBREAK_CHECK(solver_.BlockModel(atom_var_).ok());
   return values;
 }
 

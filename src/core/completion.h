@@ -64,6 +64,10 @@ class FixpointSearch {
   /// incomplete) prefix of the fixpoint space.
   const Status& truncation() const { return truncation_; }
 
+  /// Read-only view of the backing solver, for observability: the bench
+  /// harnesses surface its conflict/propagation/restart/learnt counters.
+  const SatSolver& solver() const { return solver_; }
+
  private:
   /// Solves for one more model and immediately blocks it; nullopt when the
   /// space is exhausted.

@@ -1,5 +1,10 @@
-// A CDCL SAT solver (two-watched literals, 1UIP clause learning, VSIDS-style
-// activities with an indexed heap, geometric restarts, phase saving).
+// A modern CDCL SAT solver: flat clause arena with 32-bit references,
+// two-watched literals with blocking literals, inline binary-clause watch
+// lists with tagged binary reasons, 1UIP learning with recursive clause
+// minimization, LBD-scored learnt-clause database reduction with compacting
+// garbage collection, VSIDS-style activities on an indexed heap, phase
+// saving, Luby (or geometric) restarts, and bounded level-0 preprocessing
+// (occurrence-list subsumption + self-subsuming resolution).
 //
 // Why a SAT solver in a Datalog paper reproduction: fixpoints of Π on Δ are
 // exactly the models of the Clark completion of the ground instance
@@ -10,6 +15,13 @@
 // fixpoint existence is NP-complete [KP], so a real search engine is the
 // appropriate substrate.
 //
+// All transformations the solver applies (level-0 simplification,
+// subsumption, self-subsuming resolution, learnt clauses) are
+// equivalence-preserving over the original variables, so model ENUMERATION
+// (Solve/BlockModel loops) sees exactly the same model set regardless of
+// configuration — the randomized agreement suite in tests/sat_test.cc pins
+// this down.
+//
 // The solver supports incremental use: after Solve() returns kSat, callers
 // may AddClause() (e.g. a blocking clause) and Solve() again.
 #ifndef TIEBREAK_SAT_SOLVER_H_
@@ -19,6 +31,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace tiebreak {
 
@@ -45,25 +58,64 @@ enum class SatResult {
              ///< execution context tripped (SetExecutionContext)
 };
 
+/// Word offset of a clause inside the arena. 32 bits keep a watcher entry at
+/// 8 bytes; offsets are checked to stay below 2^31 so the high bit is free
+/// for the binary-reason tag.
+using ClauseRef = uint32_t;
+
 /// Conflict-driven clause-learning solver.
 class SatSolver {
  public:
+  /// Search-strategy switches. Every configuration decides the same
+  /// SAT/UNSAT answers and enumerates the same model sets; the switches only
+  /// trade search effort. Set before the first Solve().
+  struct Config {
+    bool luby_restarts = true;    ///< false = geometric (x1.5 from 100)
+    bool minimize_learnt = true;  ///< recursive learnt-clause minimization
+    bool reduce_db = true;        ///< periodic learnt-clause deletion
+    bool preprocess = true;       ///< bounded subsumption at first Solve()
+  };
+
   SatSolver() = default;
+
+  void SetConfig(const Config& config) { config_ = config; }
 
   /// Allocates a fresh variable and returns its index.
   int32_t NewVar();
+
+  /// Capacity hint: pre-sizes the per-variable bookkeeping (watch lists,
+  /// trail, heap) for `num_vars` variables. Purely an optimization for bulk
+  /// encoders that know the variable count up front.
+  void Reserve(int32_t num_vars);
 
   int32_t num_vars() const { return static_cast<int32_t>(assign_.size()); }
 
   /// Adds a clause (disjunction of literals). May be called before or
   /// between Solve() calls. Adding an empty (or all-false-at-level-0) clause
-  /// makes the instance permanently UNSAT.
-  void AddClause(std::vector<SatLit> lits);
+  /// makes the instance permanently UNSAT. Returns InvalidArgument — with
+  /// the solver unchanged — if any literal names a variable outside
+  /// [0, num_vars()); Ok otherwise.
+  Status AddClause(std::vector<SatLit> lits);
+
+  /// Allocation-free variant over a caller-owned span (the literals are
+  /// copied into an internal scratch buffer, so bulk encoders can reuse one
+  /// clause buffer across millions of additions). Same contract as
+  /// AddClause.
+  Status AddLits(const SatLit* lits, size_t n);
 
   /// Convenience single/binary/ternary clause helpers.
-  void AddUnit(SatLit a) { AddClause({a}); }
-  void AddBinary(SatLit a, SatLit b) { AddClause({a, b}); }
-  void AddTernary(SatLit a, SatLit b, SatLit c) { AddClause({a, b, c}); }
+  Status AddUnit(SatLit a) {
+    const SatLit lits[1] = {a};
+    return AddLits(lits, 1);
+  }
+  Status AddBinary(SatLit a, SatLit b) {
+    const SatLit lits[2] = {a, b};
+    return AddLits(lits, 2);
+  }
+  Status AddTernary(SatLit a, SatLit b, SatLit c) {
+    const SatLit lits[3] = {a, b, c};
+    return AddLits(lits, 3);
+  }
 
   /// Caps the number of conflicts in subsequent Solve() calls; 0 = no cap.
   void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
@@ -71,10 +123,10 @@ class SatSolver {
   /// Governs subsequent Solve() calls by `context` (not owned; null =
   /// ungoverned): conflicts charge the context's step budget at restart
   /// boundaries, deadlines are checked there too (an unconditional clock
-  /// read per restart — restarts are geometric, so rare), and every
-  /// conflict polls the cooperative stop flag (one relaxed load). On a
-  /// trip, Solve backtracks to level 0 — the solver stays valid and
-  /// incremental — and returns kUnknown; read the context for the cause.
+  /// read per restart), and every conflict polls the cooperative stop flag
+  /// (one relaxed load). On a trip, Solve backtracks to level 0 — the
+  /// solver stays valid and incremental — and returns kUnknown; read the
+  /// context for the cause.
   void SetExecutionContext(ExecutionContext* context) { context_ = context; }
 
   /// Runs the CDCL search.
@@ -89,72 +141,160 @@ class SatSolver {
   }
 
   /// Adds a clause excluding the last model restricted to `vars` (for model
-  /// enumeration over a projection).
-  void BlockModel(const std::vector<int32_t>& vars);
+  /// enumeration over a projection). Returns FailedPrecondition if the last
+  /// Solve() did not return kSat (there is no model to block — callers that
+  /// race past an exhausted or budget-tripped search would otherwise block
+  /// garbage), InvalidArgument on an out-of-range variable; Ok otherwise.
+  Status BlockModel(const std::vector<int32_t>& vars);
 
   int64_t num_conflicts() const { return stats_conflicts_; }
   int64_t num_decisions() const { return stats_decisions_; }
   int64_t num_propagations() const { return stats_propagations_; }
+  /// Restarts performed across all Solve() calls.
+  int64_t num_restarts() const { return stats_restarts_; }
+  /// Learnt clauses recorded across all Solve() calls (size >= 2; unit
+  /// learnts become level-0 assignments instead).
+  int64_t num_learnt() const { return stats_learnt_; }
+  /// Learnt clauses deleted by database reductions.
+  int64_t num_reduced() const { return stats_reduced_; }
+  /// Current clause-arena footprint (after garbage collection).
+  int64_t arena_bytes() const {
+    return static_cast<int64_t>(arena_.size()) * sizeof(uint32_t);
+  }
 
  private:
   enum : int8_t { kUndef = 0, kTrue = 1, kFalse = -1 };
 
-  struct Clause {
-    std::vector<SatLit> lits;
-    bool learnt = false;
+  static constexpr SatLit kLitUndef = -1;
+  /// Reason encoding per assigned variable: kReasonNone for decisions and
+  /// level-0 facts, (kBinaryReason | other_literal) for binary-clause
+  /// implications, otherwise the ClauseRef of the implying arena clause.
+  static constexpr uint32_t kReasonNone = 0xFFFFFFFFu;
+  static constexpr uint32_t kBinaryReason = 0x80000000u;
+
+  /// One entry in a long-clause watch list. `blocker` is some other literal
+  /// of the clause; if it is already true the clause is satisfied and the
+  /// arena line is never touched (the main cache win of the scheme).
+  struct Watcher {
+    ClauseRef ref;
+    SatLit blocker;
   };
+
+  // Arena clause layout (uint32_t words):
+  //   [0] header:  size << 2 | deleted << 1 | learnt
+  //   [1] LBD (learnt clauses; 0 for problem clauses)
+  //   [2] activity (float bits; learnt clauses)
+  //   [3..3+size) literals
+  uint32_t ClauseSize(ClauseRef ref) const { return arena_[ref] >> 2; }
+  bool ClauseLearnt(ClauseRef ref) const { return (arena_[ref] & 1u) != 0; }
+  bool ClauseDeleted(ClauseRef ref) const { return (arena_[ref] & 2u) != 0; }
+  void MarkDeleted(ClauseRef ref) { arena_[ref] |= 2u; }
+  void SetClauseSize(ClauseRef ref, uint32_t size) {
+    arena_[ref] = (size << 2) | (arena_[ref] & 3u);
+  }
+  uint32_t ClauseLbd(ClauseRef ref) const { return arena_[ref + 1]; }
+  float ClauseActivity(ClauseRef ref) const;
+  void SetClauseActivity(ClauseRef ref, float activity);
+  SatLit ClauseLit(ClauseRef ref, uint32_t i) const {
+    return static_cast<SatLit>(arena_[ref + 3 + i]);
+  }
+  ClauseRef AllocClause(const SatLit* lits, uint32_t size, bool learnt,
+                        uint32_t lbd);
 
   int8_t ValueOfLit(SatLit lit) const {
     const int8_t v = assign_[LitVar(lit)];
     if (v == kUndef) return kUndef;
     return LitIsNeg(lit) ? static_cast<int8_t>(-v) : v;
   }
+  uint32_t AbstractLevel(int32_t var) const {
+    return 1u << (level_[var] & 31);
+  }
 
-  void Enqueue(SatLit lit, int32_t reason);
-  /// Returns the index of a conflicting clause or -1.
-  int32_t Propagate();
-  /// 1UIP conflict analysis; fills `learnt` and returns the backtrack level.
-  int32_t Analyze(int32_t conflict_clause, std::vector<SatLit>* learnt);
+  void AttachBinary(SatLit a, SatLit b);
+  void Enqueue(SatLit lit, uint32_t reason);
+  /// Returns the ClauseRef of a conflicting clause (kReasonNone if no
+  /// conflict). Binary conflicts are materialized into bin_conflict_ and
+  /// reported as kBinaryReason.
+  uint32_t Propagate();
+  /// 1UIP conflict analysis + (configurable) recursive minimization; fills
+  /// `learnt` ([0] = asserting literal), computes the clause LBD, and
+  /// returns the backtrack level.
+  int32_t Analyze(uint32_t conflict, std::vector<SatLit>* learnt,
+                  uint32_t* lbd);
+  bool LitRedundant(SatLit lit, uint32_t abstract_levels);
+  uint32_t ComputeLbd(const std::vector<SatLit>& lits);
   void Backtrack(int32_t level);
   void BumpVar(int32_t var);
+  void BumpClause(ClauseRef ref);
   void DecayActivities();
   int32_t PickBranchVar();
-  void AttachClause(int32_t clause_index);
+
+  /// Deletes the worse half of the non-glue learnt clauses (sorted by LBD,
+  /// ties by activity) and garbage-collects. Level 0 only.
+  void ReduceDb();
+  /// Compacts the arena: drops deleted and level-0-satisfied clauses,
+  /// strips false-at-level-0 literals (demoting shrunk clauses to the
+  /// binary lists or the trail), remaps problems_/learnts_, and rebuilds
+  /// every long-clause watch list. Level 0 only.
+  void GarbageCollect();
+  void RebuildWatches();
+  /// Bounded one-shot preprocessing at the first Solve(): occurrence-list
+  /// subsumption and self-subsuming resolution over the problem clauses
+  /// (binary clauses do not participate), capped by an occurrence-list
+  /// ceiling and a global comparison budget.
+  void Preprocess();
 
   // Indexed max-heap over variable activities.
   void HeapInsert(int32_t var);
   void HeapPercolateUp(int32_t pos);
   void HeapPercolateDown(int32_t pos);
   int32_t HeapPopMax();
-  bool HeapContains(int32_t var) const {
-    return heap_position_[var] >= 0;
-  }
+  bool HeapContains(int32_t var) const { return heap_position_[var] >= 0; }
 
-  std::vector<Clause> clauses_;
-  std::vector<std::vector<int32_t>> watches_;  // literal -> clause indices
-  std::vector<int8_t> assign_;                 // variable -> kUndef/kTrue/kFalse
-  std::vector<int8_t> phase_;                  // saved phases
-  std::vector<int32_t> level_;                 // variable -> decision level
-  std::vector<int32_t> reason_;                // variable -> clause index / -1
+  Config config_;
+
+  std::vector<uint32_t> arena_;        // flat clause storage
+  std::vector<ClauseRef> problems_;    // live problem clauses (size >= 3)
+  std::vector<ClauseRef> learnts_;     // live learnt clauses (size >= 3)
+  std::vector<std::vector<Watcher>> watches_;  // literal -> long watchers
+  std::vector<std::vector<SatLit>> bin_watches_;  // literal -> other lit
+
+  std::vector<int8_t> assign_;   // variable -> kUndef/kTrue/kFalse
+  std::vector<int8_t> phase_;    // saved phases
+  std::vector<int32_t> level_;   // variable -> decision level
+  std::vector<uint32_t> reason_;  // variable -> tagged reason
   std::vector<SatLit> trail_;
-  std::vector<int32_t> trail_limits_;          // decision-level boundaries
+  std::vector<int32_t> trail_limits_;  // decision-level boundaries
   size_t propagate_head_ = 0;
+  SatLit bin_conflict_[2] = {kLitUndef, kLitUndef};  // binary conflict lits
 
   std::vector<double> activity_;
   std::vector<int32_t> heap_;           // heap of variables
   std::vector<int32_t> heap_position_;  // variable -> heap index or -1
   double activity_increment_ = 1.0;
+  double clause_activity_increment_ = 1.0;
   std::vector<int8_t> seen_;            // conflict-analysis scratch flags
+  std::vector<int32_t> to_clear_;       // seen_ vars to reset after Analyze
+  std::vector<SatLit> redundant_stack_;  // LitRedundant worklist
+  std::vector<uint32_t> lbd_stamp_;      // level -> stamp for LBD counting
+  uint32_t lbd_stamp_counter_ = 0;
+  std::vector<SatLit> scratch_;          // GC simplification buffer
+  std::vector<SatLit> add_scratch_;      // AddLits simplification buffer
 
   std::vector<int8_t> model_;
   bool unsat_ = false;
+  bool preprocessed_ = false;
   SatResult last_result_ = SatResult::kUnknown;
   int64_t conflict_budget_ = 0;
+  size_t reduce_threshold_ = 2000;  // learnt clauses that trigger ReduceDb
   ExecutionContext* context_ = nullptr;
 
   int64_t stats_conflicts_ = 0;
   int64_t stats_decisions_ = 0;
   int64_t stats_propagations_ = 0;
+  int64_t stats_restarts_ = 0;
+  int64_t stats_learnt_ = 0;
+  int64_t stats_reduced_ = 0;
 };
 
 }  // namespace tiebreak

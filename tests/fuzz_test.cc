@@ -14,6 +14,7 @@
 #include "gtest/gtest.h"
 #include "lang/parser.h"
 #include "lang/printer.h"
+#include "sat/solver.h"
 #include "storage/snapshot.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -343,6 +344,124 @@ TEST(SccSchedulerFuzzTest, RandomMutatedGroundGraphsAgreeWithSerial) {
       }
     }
     if (any) ExpectParallelCloseAgrees(graph, preset);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SAT solver under hostile clause streams: adversarial widths, duplicate
+// and tautological clauses, out-of-range literals (Status, never a crash),
+// and incremental Solve/AddClause/BlockModel interleavings. Differential
+// check: the full-featured solver and a bare solver (no Luby, minimization,
+// reduction, or preprocessing) must return identical verdicts.
+// ---------------------------------------------------------------------------
+
+TEST(SatSolverFuzzTest, AdversarialClauseStreamsNeverCrash) {
+  Rng rng(0xF029);
+  for (int round = 0; round < 300; ++round) {
+    SatSolver full;
+    SatSolver bare;
+    SatSolver::Config off;
+    off.luby_restarts = false;
+    off.minimize_learnt = false;
+    off.reduce_db = false;
+    off.preprocess = false;
+    bare.SetConfig(off);
+    const int n = 1 + static_cast<int>(rng.Below(16));
+    for (int v = 0; v < n; ++v) {
+      full.NewVar();
+      bare.NewVar();
+    }
+    const int m = static_cast<int>(rng.Below(6 * n + 1));
+    std::vector<std::vector<SatLit>> clauses;
+    for (int c = 0; c < m; ++c) {
+      std::vector<SatLit> clause;
+      // Width 0 (empty clause => UNSAT) through wide; duplicate literals
+      // and var/negation collisions (tautologies) arise naturally.
+      const int width = static_cast<int>(rng.Below(7));
+      for (int k = 0; k < width; ++k) {
+        clause.push_back(
+            MakeLit(static_cast<int>(rng.Below(n)), rng.Chance(0.5)));
+      }
+      if (rng.Chance(0.05)) {
+        // Out-of-range literal: both solvers must reject the whole clause
+        // with InvalidArgument and stay usable.
+        std::vector<SatLit> bad = clause;
+        bad.push_back(PosLit(n + static_cast<int>(rng.Below(3))));
+        EXPECT_EQ(full.AddClause(bad).code(), StatusCode::kInvalidArgument);
+        EXPECT_EQ(bare.AddClause(bad).code(), StatusCode::kInvalidArgument);
+      }
+      ASSERT_TRUE(full.AddClause(clause).ok());
+      ASSERT_TRUE(bare.AddClause(clause).ok());
+      clauses.push_back(std::move(clause));
+    }
+    const SatResult full_result = full.Solve();
+    const SatResult bare_result = bare.Solve();
+    ASSERT_NE(full_result, SatResult::kUnknown);
+    ASSERT_EQ(full_result, bare_result) << "round " << round;
+    if (full_result == SatResult::kSat) {
+      for (const auto& clause : clauses) {
+        bool sat = clause.empty();
+        for (SatLit lit : clause) {
+          if (full.ModelValue(LitVar(lit)) != LitIsNeg(lit)) sat = true;
+        }
+        EXPECT_TRUE(sat || clause.empty()) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(SatSolverFuzzTest, IncrementalInterleavingsNeverCrash) {
+  Rng rng(0xF02A);
+  for (int round = 0; round < 200; ++round) {
+    SatSolver solver;
+    const int n = 2 + static_cast<int>(rng.Below(10));
+    std::vector<int32_t> vars;
+    for (int v = 0; v < n; ++v) vars.push_back(solver.NewVar());
+    // BlockModel's precondition is that the *most recent Solve* returned
+    // kSat; AddClause and BlockModel calls in between do not reset it.
+    bool last_solve_sat = false;
+    for (int op = 0; op < 40; ++op) {
+      switch (rng.Below(4)) {
+        case 0: {  // add a random clause (may be empty => UNSAT from there)
+          std::vector<SatLit> clause;
+          const int width = static_cast<int>(rng.Below(4));
+          for (int k = 0; k < width; ++k) {
+            clause.push_back(
+                MakeLit(static_cast<int>(rng.Below(n)), rng.Chance(0.5)));
+          }
+          ASSERT_TRUE(solver.AddClause(std::move(clause)).ok());
+          break;
+        }
+        case 1: {  // solve
+          const SatResult result = solver.Solve();
+          ASSERT_NE(result, SatResult::kUnknown);
+          last_solve_sat = result == SatResult::kSat;
+          break;
+        }
+        case 2: {  // block the last model over a random var subset
+          std::vector<int32_t> subset;
+          for (int32_t v : vars) {
+            if (rng.Chance(0.6)) subset.push_back(v);
+          }
+          const Status status = solver.BlockModel(subset);
+          if (last_solve_sat) {
+            EXPECT_TRUE(status.ok());
+          } else {
+            EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+          }
+          break;
+        }
+        default: {  // query stats — always safe
+          (void)solver.num_conflicts();
+          (void)solver.num_learnt();
+          (void)solver.arena_bytes();
+          break;
+        }
+      }
+    }
+    // Whatever the interleaving did, a final Solve must still terminate
+    // with a definite answer.
+    ASSERT_NE(solver.Solve(), SatResult::kUnknown);
   }
 }
 

@@ -2,11 +2,14 @@
 // enumeration on random instances, plus structured SAT/UNSAT families and
 // model enumeration via blocking clauses.
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "sat/solver.h"
+#include "util/execution_context.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace tiebreak {
 namespace {
@@ -306,6 +309,213 @@ TEST(SatSolverTest, StatsAreTracked) {
   solver.AddBinary(NegLit(x), PosLit(y));
   ASSERT_EQ(solver.Solve(), SatResult::kSat);
   EXPECT_GE(solver.num_decisions() + solver.num_propagations(), 1);
+}
+
+// --- Status-contract regression tests -------------------------------------
+//
+// Misuse of the incremental API is reported through Status, never through a
+// crash, and never corrupts the clause database: the solver stays usable.
+
+TEST(SatSolverContractTest, BlockModelWithoutModelIsFailedPrecondition) {
+  SatSolver solver;
+  const int x = solver.NewVar();
+  // Before any Solve: no model to block.
+  Status status = solver.BlockModel({x});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // After an UNSAT Solve the last result is not kSat either.
+  solver.AddUnit(PosLit(x));
+  solver.AddUnit(NegLit(x));
+  ASSERT_EQ(solver.Solve(), SatResult::kUnsat);
+  status = solver.BlockModel({x});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SatSolverContractTest, BlockModelOutOfRangeVarIsInvalidArgument) {
+  SatSolver solver;
+  const int x = solver.NewVar();
+  solver.AddUnit(PosLit(x));
+  ASSERT_EQ(solver.Solve(), SatResult::kSat);
+  EXPECT_EQ(solver.BlockModel({x + 1}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(solver.BlockModel({-1}).code(), StatusCode::kInvalidArgument);
+  // The failed calls left the database untouched: blocking the real model
+  // still works and flips the instance to UNSAT.
+  EXPECT_TRUE(solver.BlockModel({x}).ok());
+  EXPECT_EQ(solver.Solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolverContractTest, AddClauseOutOfRangeLiteralIsInvalidArgument) {
+  SatSolver solver;
+  const int x = solver.NewVar();
+  const int y = solver.NewVar();
+  solver.AddBinary(PosLit(x), PosLit(y));
+  // A literal naming a variable that was never created is rejected before
+  // any mutation — including when it appears after valid literals.
+  EXPECT_EQ(solver.AddClause({PosLit(x), PosLit(2)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(solver.AddClause({SatLit{-3}}).code(),
+            StatusCode::kInvalidArgument);
+  // The rejected clauses are not partially applied: both models of
+  // (x | y) with both vars free minus nothing => 3 models remain.
+  std::vector<int32_t> all_vars{x, y};
+  int64_t models = 0;
+  while (solver.Solve() == SatResult::kSat) {
+    ++models;
+    ASSERT_TRUE(solver.BlockModel(all_vars).ok());
+  }
+  EXPECT_EQ(models, 3);
+}
+
+// --- Randomized agreement across solver configurations --------------------
+//
+// Every feature toggle (restart policy, minimization, clause-database
+// reduction, preprocessing) must preserve semantics exactly: the same
+// SAT/UNSAT verdicts and — because the enumeration loop is part of the
+// public contract — the same *set* of models under BlockModel enumeration.
+
+std::vector<SatSolver::Config> AllConfigs() {
+  SatSolver::Config geometric;
+  geometric.luby_restarts = false;
+  SatSolver::Config no_minimize;
+  no_minimize.minimize_learnt = false;
+  SatSolver::Config no_reduce;
+  no_reduce.reduce_db = false;
+  SatSolver::Config no_preprocess;
+  no_preprocess.preprocess = false;
+  SatSolver::Config bare;
+  bare.luby_restarts = false;
+  bare.minimize_learnt = false;
+  bare.reduce_db = false;
+  bare.preprocess = false;
+  return {SatSolver::Config{}, geometric,     no_minimize,
+          no_reduce,           no_preprocess, bare};
+}
+
+Clauses Random3Sat(Rng* rng, int n, int m) {
+  Clauses clauses;
+  for (int c = 0; c < m; ++c) {
+    std::vector<SatLit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(
+          MakeLit(static_cast<int>(rng->Below(n)), rng->Chance(0.5)));
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+TEST(SatSolverConfigTest, ConfigsAgreeOnRandom3SatVerdicts) {
+  Rng rng(0xC0FFEE);
+  const std::vector<SatSolver::Config> configs = AllConfigs();
+  for (int round = 0; round < 120; ++round) {
+    const int n = 6 + static_cast<int>(rng.Below(9));  // 6..14 vars
+    const int m = static_cast<int>(4.3 * n);           // near threshold
+    const Clauses clauses = Random3Sat(&rng, n, m);
+    const bool expected = BruteForceSat(n, clauses);
+    for (size_t i = 0; i < configs.size(); ++i) {
+      SatSolver solver;
+      solver.SetConfig(configs[i]);
+      for (int v = 0; v < n; ++v) solver.NewVar();
+      for (const auto& clause : clauses) {
+        ASSERT_TRUE(solver.AddClause(clause).ok());
+      }
+      const SatResult result = solver.Solve();
+      ASSERT_NE(result, SatResult::kUnknown);
+      EXPECT_EQ(result == SatResult::kSat, expected)
+          << "round " << round << " config " << i;
+      if (result == SatResult::kSat) {
+        EXPECT_TRUE(ModelSatisfies(solver, clauses))
+            << "round " << round << " config " << i;
+      }
+    }
+  }
+}
+
+TEST(SatSolverConfigTest, ConfigsEnumerateIdenticalModelSets) {
+  Rng rng(0xBEE5);
+  const std::vector<SatSolver::Config> configs = AllConfigs();
+  for (int round = 0; round < 40; ++round) {
+    const int n = 5 + static_cast<int>(rng.Below(6));  // 5..10 vars
+    const int m = 2 * n;
+    const Clauses clauses = Random3Sat(&rng, n, m);
+    int64_t expected_count = 0;
+    BruteForceSat(n, clauses, &expected_count);
+    std::vector<int32_t> all_vars;
+    for (int v = 0; v < n; ++v) all_vars.push_back(v);
+
+    std::set<std::vector<bool>> reference;
+    for (size_t i = 0; i < configs.size(); ++i) {
+      SatSolver solver;
+      solver.SetConfig(configs[i]);
+      for (int v = 0; v < n; ++v) solver.NewVar();
+      for (const auto& clause : clauses) {
+        ASSERT_TRUE(solver.AddClause(clause).ok());
+      }
+      std::set<std::vector<bool>> models;
+      while (solver.Solve() == SatResult::kSat) {
+        std::vector<bool> model;
+        for (int v = 0; v < n; ++v) model.push_back(solver.ModelValue(v));
+        ASSERT_TRUE(models.insert(std::move(model)).second)
+            << "config " << i << " repeated a model in round " << round;
+        ASSERT_TRUE(solver.BlockModel(all_vars).ok());
+      }
+      EXPECT_EQ(static_cast<int64_t>(models.size()), expected_count)
+          << "round " << round << " config " << i;
+      if (i == 0) {
+        reference = std::move(models);
+      } else {
+        EXPECT_EQ(models, reference)
+            << "round " << round << " config " << i
+            << " enumerated a different model set";
+      }
+    }
+  }
+}
+
+// --- Governance soundness --------------------------------------------------
+
+TEST(SatSolverGovernanceTest, StepBudgetTripReturnsUnknownMidSearch) {
+  // A pigeonhole instance large enough to need thousands of conflicts; a
+  // tiny step budget must trip mid-search. kUnknown is the only sound
+  // answer — the solver must not claim either verdict.
+  constexpr int kPigeons = 9, kHoles = 8;
+  ResourceLimits limits;
+  limits.max_steps = 50;
+  ExecutionContext context(limits);
+  SatSolver solver;
+  solver.SetExecutionContext(&context);
+  std::vector<std::vector<int>> var(kPigeons, std::vector<int>(kHoles));
+  for (int p = 0; p < kPigeons; ++p) {
+    for (int h = 0; h < kHoles; ++h) var[p][h] = solver.NewVar();
+  }
+  for (int p = 0; p < kPigeons; ++p) {
+    std::vector<SatLit> clause;
+    for (int h = 0; h < kHoles; ++h) clause.push_back(PosLit(var[p][h]));
+    solver.AddClause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h) {
+    for (int p1 = 0; p1 < kPigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < kPigeons; ++p2) {
+        solver.AddBinary(NegLit(var[p1][h]), NegLit(var[p2][h]));
+      }
+    }
+  }
+  EXPECT_EQ(solver.Solve(), SatResult::kUnknown);
+  EXPECT_TRUE(context.stopped());
+  EXPECT_EQ(context.status().code(), StatusCode::kResourceExhausted);
+  // Once tripped, the context keeps the solver at kUnknown.
+  EXPECT_EQ(solver.Solve(), SatResult::kUnknown);
+}
+
+TEST(SatSolverGovernanceTest, CancelTripsAtConflictPoll) {
+  SatSolver solver;
+  ExecutionContext context;
+  solver.SetExecutionContext(&context);
+  const int x = solver.NewVar();
+  solver.AddUnit(PosLit(x));
+  // An already-cancelled context trips at the entry checkpoint.
+  context.Cancel();
+  EXPECT_EQ(solver.Solve(), SatResult::kUnknown);
+  EXPECT_EQ(context.status().code(), StatusCode::kCancelled);
 }
 
 }  // namespace
