@@ -1,5 +1,7 @@
 #include "core/query.h"
 
+#include <algorithm>
+
 #include "lang/parser.h"
 #include "util/execution_context.h"
 
@@ -15,41 +17,76 @@ Result<QueryResult> EvaluateQuery(Program* program, const GroundGraph& graph,
   const Atom& atom = pattern->atom;
   const int32_t num_vars =
       static_cast<int32_t>(pattern->variable_names.size());
+  const int32_t arity = static_cast<int32_t>(atom.args.size());
 
   QueryResult result;
   result.variables = pattern->variable_names;
-  constexpr int32_t kQueryPollBlock = 1024;
-  for (AtomId a = 0; a < graph.num_atoms(); ++a) {
-    if (context != nullptr && (a & (kQueryPollBlock - 1)) == 0 &&
-        !context->Checkpoint("query", kQueryPollBlock).ok()) {
-      // Partial answers survive the trip: everything scanned so far is
-      // reported, tagged with the trip status.
+
+  // Fully-bound pattern: the answer is one dedupe-table probe (packed-exact
+  // key for arity <= 2), no scan at all.
+  if (num_vars == 0) {
+    if (context != nullptr && !context->Checkpoint("query", 1).ok()) {
       result.truncation = context->status();
       return result;
     }
-    if (graph.atoms().PredicateOf(a) != atom.predicate) continue;
-    if (values[a] == Truth::kFalse) continue;
-    const Tuple& tuple = graph.atoms().TupleOf(a);
-    Tuple binding(num_vars, -1);
-    bool match = true;
-    for (size_t i = 0; i < atom.args.size(); ++i) {
+    Tuple probe(arity, 0);
+    for (int32_t i = 0; i < arity; ++i) probe[i] = atom.args[i].index;
+    const AtomId a = graph.atoms().Lookup(atom.predicate, probe);
+    if (a >= 0 && values[a] != Truth::kFalse) {
+      (values[a] == Truth::kTrue ? result.true_bindings
+                                 : result.undefined_bindings)
+          .push_back(Tuple{});
+    }
+    return result;
+  }
+
+  // Scan only the pattern predicate's atoms (the per-predicate index built
+  // at Finalize), with one scratch binding tuple reused across candidates —
+  // a fresh Tuple is allocated only for rows that actually match. The
+  // pre-index linear scan over the whole store survives solely for
+  // unfinalized graphs.
+  Tuple scratch(num_vars, -1);
+  auto match_atom = [&](AtomId a) {
+    if (values[a] == Truth::kFalse) return;
+    const IdSpan args = graph.atoms().ArgsOf(a);
+    std::fill(scratch.begin(), scratch.end(), -1);
+    for (int32_t i = 0; i < arity; ++i) {
       const Term& term = atom.args[i];
       if (term.is_constant()) {
-        if (term.index != tuple[i]) {
-          match = false;
-          break;
-        }
-      } else if (binding[term.index] < 0) {
-        binding[term.index] = tuple[i];
-      } else if (binding[term.index] != tuple[i]) {
-        match = false;  // repeated variable bound to different constants
-        break;
+        if (term.index != args[i]) return;
+      } else if (scratch[term.index] < 0) {
+        scratch[term.index] = args[i];
+      } else if (scratch[term.index] != args[i]) {
+        return;  // repeated variable bound to different constants
       }
     }
-    if (!match) continue;
     (values[a] == Truth::kTrue ? result.true_bindings
                                : result.undefined_bindings)
-        .push_back(std::move(binding));
+        .push_back(scratch);
+  };
+  constexpr int64_t kQueryPollBlock = 1024;
+  if (graph.atoms().has_predicate_index()) {
+    const IdSpan atoms = graph.atoms().AtomsOfPredicate(atom.predicate);
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (context != nullptr && (i & (kQueryPollBlock - 1)) == 0 &&
+          !context->Checkpoint("query", kQueryPollBlock).ok()) {
+        // Partial answers survive the trip: everything scanned so far is
+        // reported, tagged with the trip status.
+        result.truncation = context->status();
+        return result;
+      }
+      match_atom(atoms[i]);
+    }
+  } else {
+    for (AtomId a = 0; a < graph.num_atoms(); ++a) {
+      if (context != nullptr && (a & (kQueryPollBlock - 1)) == 0 &&
+          !context->Checkpoint("query", kQueryPollBlock).ok()) {
+        result.truncation = context->status();
+        return result;
+      }
+      if (graph.atoms().PredicateOf(a) != atom.predicate) continue;
+      match_atom(a);
+    }
   }
   return result;
 }

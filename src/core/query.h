@@ -42,10 +42,16 @@ struct QueryResult {
 /// are not reported. EDB patterns under reduced grounding therefore query Δ
 /// content only through rules — query the database directly for raw EDB
 /// facts. Mutates `program` only by interning constants in the pattern.
-/// With a non-null `context`, the atom scan checkpoints every 1024 atoms;
-/// a trip returns OK with QueryResult::truncation set and the bindings
-/// found so far (partial answers stay available instead of vanishing
-/// behind an error).
+///
+/// Cost: a fully-bound pattern is answered by one dedupe-table probe of the
+/// atom store (the packed-exact key for arity <= 2); patterns with
+/// variables scan only the pattern predicate's atoms through the
+/// per-predicate index a finalized graph carries — never the whole store.
+/// With a non-null `context`, the scan checkpoints every 1024 atoms; a trip
+/// returns OK with QueryResult::truncation set and the bindings found so
+/// far (partial answers stay available instead of vanishing behind an
+/// error). For demand-driven serving that also avoids grounding the full
+/// universe, see core/query_plan.h.
 Result<QueryResult> EvaluateQuery(Program* program, const GroundGraph& graph,
                                   const std::vector<Truth>& values,
                                   std::string_view pattern,

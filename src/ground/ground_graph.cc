@@ -98,6 +98,28 @@ AtomId GroundAtomStore::Lookup(PredId predicate, const ConstId* args,
   }
 }
 
+void GroundAtomStore::BuildPredicateIndex() {
+  const int32_t atoms = size();
+  PredId max_pred = -1;
+  for (const PredId p : pred_) max_pred = p > max_pred ? p : max_pred;
+  by_pred_offset_.assign(static_cast<size_t>(max_pred + 1) + 1, 0);
+  for (const PredId p : pred_) ++by_pred_offset_[p + 1];
+  for (size_t p = 1; p < by_pred_offset_.size(); ++p) {
+    by_pred_offset_[p] += by_pred_offset_[p - 1];
+  }
+  by_pred_atoms_.resize(static_cast<size_t>(atoms));
+  // Scatter with the offsets as cursors, then shift back (the same
+  // no-temporary trick as GroundGraph::Finalize).
+  for (AtomId a = 0; a < atoms; ++a) {
+    by_pred_atoms_[by_pred_offset_[pred_[a]]++] = a;
+  }
+  for (size_t p = by_pred_offset_.size() - 1; p > 0; --p) {
+    by_pred_offset_[p] = by_pred_offset_[p - 1];
+  }
+  by_pred_offset_[0] = 0;
+  by_pred_atom_count_ = atoms;
+}
+
 void GroundAtomStore::Reserve(int64_t num_atoms, int64_t num_args) {
   pred_.reserve(static_cast<size_t>(num_atoms));
   offset_.reserve(static_cast<size_t>(num_atoms) + 1);
@@ -421,6 +443,7 @@ void GroundGraph::Finalize(ThreadPool* pool) {
     pos_offset_[0] = 0;
     neg_offset_[0] = 0;
   }
+  atoms_.BuildPredicateIndex();
   finalized_ = true;
 }
 

@@ -128,6 +128,34 @@ class GroundAtomStore {
   /// Number of interned atoms.
   int32_t size() const { return static_cast<int32_t>(pred_.size()); }
 
+  /// Builds the per-predicate atom index consumed by AtomsOfPredicate: one
+  /// counting pass over the per-atom predicate array, a prefix sum, and a
+  /// scatter — atom ids land ascending within each predicate's span.
+  /// GroundGraph::Finalize calls this; a store mutated afterwards must be
+  /// re-indexed before AtomsOfPredicate is used again.
+  void BuildPredicateIndex();
+
+  /// True once BuildPredicateIndex has run and no atom was interned since.
+  bool has_predicate_index() const {
+    return by_pred_atom_count_ == static_cast<int64_t>(pred_.size());
+  }
+
+  /// The ids of every atom of `predicate`, ascending — the point-query scan
+  /// range that replaces testing PredicateOf(a) across the whole store.
+  /// Requires has_predicate_index(); predicates beyond the indexed range
+  /// (possible when the shaping program declared more predicates than were
+  /// ever interned) get an empty span.
+  IdSpan AtomsOfPredicate(PredId predicate) const {
+    TIEBREAK_CHECK(has_predicate_index());
+    TIEBREAK_CHECK_GE(predicate, 0);
+    if (predicate + 1 >= static_cast<PredId>(by_pred_offset_.size())) {
+      return IdSpan(nullptr, 0);
+    }
+    return IdSpan(by_pred_atoms_.data() + by_pred_offset_[predicate],
+                  static_cast<size_t>(by_pred_offset_[predicate + 1] -
+                                      by_pred_offset_[predicate]));
+  }
+
   /// Total argument-arena entries across all atoms (for pre-sizing a merge
   /// target's Reserve).
   int64_t num_args() const { return offset_.back(); }
@@ -210,6 +238,14 @@ class GroundAtomStore {
   std::vector<int64_t> offset_{0};  // per atom + 1: argument arena offsets
   std::vector<ConstId> args_;     // flat argument arena
   std::vector<PredTable> tables_; // per predicate, grown on demand
+
+  // Per-predicate atom index (BuildPredicateIndex): by_pred_atoms_ holds
+  // every atom id grouped by predicate, by_pred_offset_[p, p+1) bounds
+  // predicate p's group. by_pred_atom_count_ records the store size the
+  // index was built at; a mismatch means the index is stale.
+  std::vector<int64_t> by_pred_offset_;
+  std::vector<AtomId> by_pred_atoms_;
+  int64_t by_pred_atom_count_ = -1;
 };
 
 /// One rule node: the instantiation of `rule_index` under `binding` (the

@@ -80,6 +80,15 @@ class Database {
   /// Convenience for zero-arity predicates.
   void InsertProposition(PredId predicate) { Insert(predicate, Tuple{}); }
 
+  /// Removes every fact of `predicate`'s relation (arity unchanged), making
+  /// the next BulkLoadFlat a plain buffer move — the clear-and-reload cycle
+  /// the query planner runs on a plan's magic relations per request.
+  void ClearRelation(PredId predicate) {
+    CheckPredicate(predicate);
+    num_rows_[predicate] = 0;
+    rows_[predicate].clear();
+  }
+
   /// True iff the fact is present (binary search over the flat rows).
   bool Contains(PredId predicate, const Tuple& tuple) const;
 

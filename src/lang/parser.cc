@@ -306,7 +306,19 @@ Result<AtomPattern> ParseAtomPattern(std::string_view text,
   Status s = Tokenize(text, &tokens);
   if (!s.ok()) return s;
 
-  const int32_t predicates_before = program->num_predicates();
+  // Reject unknown predicates before ParseAtom runs: ParseAtom declares
+  // predicates on first use (the program-parsing behavior), and a pattern
+  // must never mutate the caller's predicate table — especially not on an
+  // error path.
+  if (tokens.empty() || tokens.front().kind != Token::Kind::kIdent) {
+    return Status::InvalidArgument("expected a predicate name in pattern: " +
+                                   std::string(text));
+  }
+  if (program->LookupPredicate(tokens.front().text) < 0) {
+    return Status::InvalidArgument("unknown predicate '" +
+                                   tokens.front().text +
+                                   "' in query pattern: " + std::string(text));
+  }
   Parser parser(std::move(tokens), program);
   AtomPattern pattern;
   std::unordered_map<std::string, int32_t> variables;
@@ -316,10 +328,6 @@ Result<AtomPattern> ParseAtomPattern(std::string_view text,
   if (parser.Peek().kind == Token::Kind::kPeriod) parser.Take();
   if (parser.Peek().kind != Token::Kind::kEnd) {
     return parser.Fail("end of pattern");
-  }
-  if (program->num_predicates() != predicates_before) {
-    return Status::NotFound("unknown predicate in query pattern: " +
-                            std::string(text));
   }
   return pattern;
 }

@@ -47,8 +47,12 @@ struct AtomPattern {
 };
 
 /// Parses one atom such as "win(X)", "t(a, Y)" or "p" (optionally ending in
-/// '.'). The predicate must already be declared in `program` (NOT_FOUND
-/// otherwise); constants are interned.
+/// '.'). Every malformed input — unknown predicate, arity mismatch, bad
+/// token, trailing garbage — fails with INVALID_ARGUMENT; no CHECK is
+/// reachable from pattern text. The predicate must already be declared in
+/// `program`; an unknown predicate is rejected before parsing, so the
+/// error path never declares it. Mutates `program` only by interning the
+/// pattern's constants.
 Result<AtomPattern> ParseAtomPattern(std::string_view text, Program* program);
 
 }  // namespace tiebreak

@@ -1,12 +1,48 @@
-// Program transformation utilities: predicate renaming and program merging.
-// These are the user-facing tools for constructing alphabetic variants and
-// composite programs (the witness builders in core/witness.h construct
-// variants directly; these helpers serve downstream experimentation).
+// Program transformation utilities: predicate renaming, program merging,
+// and the magic-set / demand transformation behind demand-driven query
+// serving (core/query_plan.h).
+//
+// The magic-set transform, in this codebase's shape. Given a query
+// predicate q and a binding adornment ('b'ound / 'f'ree per argument), the
+// transform derives one merged adornment per reachable IDB predicate (the
+// greatest fixpoint under per-position AND across all body occurrences,
+// seeded from the query pattern — one magic predicate per IDB predicate
+// keeps the phase-2 program linear in the original) and emits two programs:
+//
+//  * `demand` — phase 1, evaluated bottom-up by the relational engine. For
+//    each relevant IDB predicate p it declares `$magic_<p>` with one
+//    argument per bound position of p's adornment, plus an EDB `$seed`
+//    predicate holding the query's bound constants. Demand flows from a
+//    rule's head to every IDB body occurrence — through positive AND
+//    negated occurrences, because under the well-founded semantics an
+//    atom's value depends on its full backward cone through both edge
+//    signs — guarded by the rule's EDB literals (positive ones always;
+//    negated ones only when their variables are bound, so the program
+//    stays safe). Only EDB predicates and magic predicates appear in
+//    `demand` bodies, so it is positive-in-IDB, hence always stratified.
+//
+//  * `guarded` — phase 2, fed to the reduced grounder. The original
+//    predicates and constants keep their ids; each original rule of a
+//    relevant predicate is copied with one extra positive body literal
+//    `$magic_<p>(bound head args)` prepended. Magic predicates head no
+//    rule here, so they are EDB: loading phase 1's magic relations as
+//    facts makes the reduced grounder resolve the guards during binding
+//    enumeration — rule instances whose head was never demanded are never
+//    created. Rules of unreachable predicates are dropped entirely.
+//
+// Soundness: the demanded cone is support-closed — every rule instance
+// whose head is demanded has all its body atoms demanded (the magic rules
+// re-derive exactly that closure), so the well-founded model of the
+// guarded grounding agrees with the full model on every demanded atom
+// (true, false, AND undefined), including unstratified programs like
+// win/move. See docs/architecture.md "Demand-driven query serving".
 #ifndef TIEBREAK_LANG_TRANSFORM_H_
 #define TIEBREAK_LANG_TRANSFORM_H_
 
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "lang/program.h"
 #include "util/status.h"
@@ -23,6 +59,49 @@ Result<Program> RenamePredicates(const Program& program,
 /// name requires same arity — INVALID_ARGUMENT otherwise), constants by
 /// name, and the rule lists are concatenated (a's rules first).
 Result<Program> MergePrograms(const Program& a, const Program& b);
+
+/// Output of MagicSetTransform; see the file comment for the two-phase
+/// execution model. Predicate ids 0..P-1 of both programs are the original
+/// program's predicates (same names, same order); magic predicates follow
+/// at identical ids in both, and `seed` exists only in `demand` (declared
+/// last).
+struct DemandTransform {
+  /// Phase 1: the stratified demand program (magic rules + seed rule).
+  Program demand;
+  /// Phase 2: guarded copies of the relevant original rules.
+  Program guarded;
+  /// The EDB seed predicate of `demand`; its single relation holds the
+  /// query's constants at the bound positions (0-ary flag when none).
+  PredId seed = -1;
+  /// Per original predicate: the merged adornment ('b'/'f' per argument)
+  /// the fixpoint settled on. Empty string for predicates the query never
+  /// reaches (note zero-arity relevant predicates also have an empty
+  /// adornment — consult `magic` for relevance).
+  std::vector<std::string> adornments;
+  /// Per original predicate: its magic predicate's id (same in both
+  /// programs), or -1 for EDB / unreachable predicates.
+  std::vector<PredId> magic;
+  /// Per original predicate: 1 iff `demand` rule bodies read this EDB
+  /// relation — the spans phase 1 actually needs; every other predicate
+  /// can be handed an empty span.
+  std::vector<char> edb_used;
+  /// Argument positions of the query predicate that remained bound in the
+  /// final adornment, ascending — the positions whose pattern constants
+  /// form the seed fact.
+  std::vector<int32_t> seed_positions;
+};
+
+/// Builds the magic-set / demand transformation of `program` for queries
+/// against `query_pred` under `adornment` (one 'b' or 'f' per argument;
+/// bound positions are the ones the query fixes to a constant). The
+/// program must Validate() and `query_pred` must be IDB — INVALID_ARGUMENT
+/// otherwise. Always succeeds on such inputs; both returned programs
+/// Validate(), `demand` is stratified and safe by construction (callers
+/// re-check defensively and fall back to full grounding with a reason —
+/// see QueryPlanner).
+Result<DemandTransform> MagicSetTransform(const Program& program,
+                                          PredId query_pred,
+                                          std::string_view adornment);
 
 }  // namespace tiebreak
 

@@ -6,7 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "core/query_plan.h"
+#include "core/stratification.h"
 #include "core/well_founded.h"
+#include "engine/evaluation.h"
 #include "ground/close.h"
 #include "ground/ground_scc.h"
 #include "ground/grounder.h"
@@ -14,11 +17,13 @@
 #include "gtest/gtest.h"
 #include "lang/parser.h"
 #include "lang/printer.h"
+#include "lang/transform.h"
 #include "sat/solver.h"
 #include "storage/snapshot.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
+#include "workload/programs.h"
 
 namespace tiebreak {
 namespace {
@@ -462,6 +467,97 @@ TEST(SatSolverFuzzTest, IncrementalInterleavingsNeverCrash) {
     // Whatever the interleaving did, a final Solve must still terminate
     // with a definite answer.
     ASSERT_NE(solver.Solve(), SatResult::kUnknown);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Magic-set transform under random programs: for every valid (predicate,
+// adornment) input the transform must succeed and uphold its invariants —
+// both programs Validate, the demand program is stratified and safe — and
+// for every invalid input it must return INVALID_ARGUMENT, never crash.
+// ---------------------------------------------------------------------------
+
+TEST(MagicSetFuzzTest, RandomProgramsUpholdTransformInvariants) {
+  Rng rng(0xF02B);
+  for (int round = 0; round < 200; ++round) {
+    RandomProgramOptions options;
+    options.num_idb = 1 + static_cast<int32_t>(rng.Below(5));
+    options.num_edb = 1 + static_cast<int32_t>(rng.Below(3));
+    options.num_rules = 1 + static_cast<int32_t>(rng.Below(12));
+    options.negation_probability = 0.1 * static_cast<double>(rng.Below(8));
+    options.arity = static_cast<int32_t>(rng.Below(3));
+    Program program = RandomProgram(&rng, options);
+    for (PredId p = 0; p < program.num_predicates(); ++p) {
+      const int32_t arity = program.predicate(p).arity;
+      std::string adornment(arity, 'f');
+      for (int32_t i = 0; i < arity; ++i) {
+        if (rng.Chance(0.5)) adornment[i] = 'b';
+      }
+      Result<DemandTransform> t = MagicSetTransform(program, p, adornment);
+      if (program.IsEdb(p)) {
+        EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+        continue;
+      }
+      ASSERT_TRUE(t.ok()) << t.status().ToString();
+      EXPECT_TRUE(t->demand.Validate().ok());
+      EXPECT_TRUE(t->guarded.Validate().ok());
+      EXPECT_TRUE(IsStratified(t->demand));
+      EXPECT_TRUE(CheckSafety(t->demand).ok());
+      // Adornment lengths match arities wherever a magic predicate exists.
+      for (PredId q = 0; q < program.num_predicates(); ++q) {
+        if (t->magic[q] < 0) continue;
+        EXPECT_EQ(static_cast<int32_t>(t->adornments[q].size()),
+                  program.predicate(q).arity);
+      }
+      // Malformed adornments on the same predicate are a clean rejection.
+      EXPECT_EQ(
+          MagicSetTransform(program, p, adornment + "b").status().code(),
+          StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(MagicSetFuzzTest, MutatedProgramsSurviveThePlanner) {
+  const std::string base =
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "t(X, Y) :- move(X, Y).\nt(X, Z) :- move(X, Y), t(Y, Z).\n";
+  Rng rng(0xF02C);
+  for (int round = 0; round < 150; ++round) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.Below(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.Below(mutated.size());
+      switch (rng.Below(3)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, "XYtw(),.!"[rng.Below(9)]);
+          break;
+        default:
+          mutated[pos] = "XYtw(),.!"[rng.Below(9)];
+          break;
+      }
+    }
+    Result<Program> program = ParseProgram(mutated);
+    if (!program.ok()) continue;
+    Database database(*program);
+    QueryPlanner planner(*program, database);
+    // Random pattern text against whatever parsed: every response is a
+    // QueryResult or a structured Status, regardless of mode.
+    const std::string patterns[] = {"win(X)", "win(a)", "t(X, Y)", "t(a, b)",
+                                    "move(X, Y)", "zz(", ""};
+    for (const std::string& pattern : patterns) {
+      for (const QueryMode mode : {QueryMode::kDemand,
+                                   QueryMode::kFullGround}) {
+        QueryOptions options;
+        options.mode = mode;
+        Result<QueryResult> result = planner.Execute(pattern, options);
+        if (!result.ok()) {
+          EXPECT_FALSE(result.status().message().empty());
+        }
+      }
+    }
   }
 }
 

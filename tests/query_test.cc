@@ -41,8 +41,53 @@ TEST(ParseAtomPatternTest, BasicShapes) {
   EXPECT_TRUE(p2->atom.args[0].is_constant());
   auto p3 = ParseAtomPattern("nosuch(X)", &inst.program);
   ASSERT_FALSE(p3.ok());
-  EXPECT_EQ(p3.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(p3.status().code(), StatusCode::kInvalidArgument);
   EXPECT_FALSE(ParseAtomPattern("win(X) extra", &inst.program).ok());
+}
+
+TEST(ParseAtomPatternTest, UnknownPredicateDoesNotMutateProgram) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  const int32_t predicates_before = inst.program.num_predicates();
+  for (const char* pattern : {"nosuch(X)", "nosuch(a, b)", "nosuch"}) {
+    auto p = ParseAtomPattern(pattern, &inst.program);
+    ASSERT_FALSE(p.ok()) << pattern;
+    EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument) << pattern;
+  }
+  // The error path must not have declared 'nosuch' — a leaked declaration
+  // would silently change the program's EDB set.
+  EXPECT_EQ(inst.program.num_predicates(), predicates_before);
+  EXPECT_LT(inst.program.LookupPredicate("nosuch"), 0);
+}
+
+TEST(ParseAtomPatternTest, ArityMismatchIsInvalidArgument) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  for (const char* pattern : {"win(X, Y)", "win", "move(X)", "move(a, b, c)"}) {
+    auto p = ParseAtomPattern(pattern, &inst.program);
+    ASSERT_FALSE(p.ok()) << pattern;
+    EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument) << pattern;
+  }
+}
+
+TEST(ParseAtomPatternTest, MalformedInputIsInvalidArgument) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  for (const char* pattern :
+       {"", ".", "win(", "win)", "win(X,", "win(X", "win(,X)", "win()",
+        "win(a#)", "(X)", "not", "win(X)) ", ":-", "win :- move"}) {
+    auto p = ParseAtomPattern(pattern, &inst.program);
+    ASSERT_FALSE(p.ok()) << "'" << pattern << "'";
+    EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument)
+        << "'" << pattern << "'";
+  }
+}
+
+TEST(ParseAtomPatternTest, RepeatedVariablePatternsParse) {
+  Instance inst = ParseInstance(
+      "t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z).");
+  auto p = ParseAtomPattern("t(X, X)", &inst.program);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->variable_names, (std::vector<std::string>{"X"}));
+  ASSERT_EQ(p->atom.args.size(), 2u);
+  EXPECT_EQ(p->atom.args[0], p->atom.args[1]);
 }
 
 TEST(QueryTest, WinnersOnAChain) {

@@ -6,6 +6,7 @@
 #include "core/exploration.h"
 #include "core/perfect_model.h"
 #include "core/stratification.h"
+#include "engine/evaluation.h"
 #include "core/tie_breaking.h"
 #include "gtest/gtest.h"
 #include "lang/printer.h"
@@ -100,6 +101,128 @@ TEST(MergeTest, MergePreservesSkeletonUnion) {
   ASSERT_TRUE(merged.ok());
   const Skeleton sk = SkeletonOf(*merged);
   EXPECT_EQ(sk.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// MagicSetTransform.
+// ---------------------------------------------------------------------------
+
+TEST(MagicSetTest, WinMoveBoundQueryShape) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  const PredId win = inst.program.LookupPredicate("win");
+  const PredId move = inst.program.LookupPredicate("move");
+  Result<DemandTransform> t = MagicSetTransform(inst.program, win, "b");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // Original predicates keep their ids and names in both programs.
+  EXPECT_EQ(t->demand.predicate_name(win), "win");
+  EXPECT_EQ(t->guarded.predicate_name(move), "move");
+  // win gets a unary magic predicate; the EDB relation move does not.
+  ASSERT_GE(t->magic[win], 0);
+  EXPECT_EQ(t->magic[move], -1);
+  EXPECT_EQ(t->demand.predicate(t->magic[win]).arity, 1);
+  EXPECT_EQ(t->demand.predicate_name(t->magic[win]),
+            t->guarded.predicate_name(t->magic[win]));
+  EXPECT_EQ(t->adornments[win], "b");
+  EXPECT_EQ(t->seed_positions, (std::vector<int32_t>{0}));
+  EXPECT_EQ(t->edb_used[move], 1);
+  // The demand program is stratified and safe by construction: the seed
+  // rule plus one magic rule per IDB body occurrence (demand flows through
+  // the NEGATED win occurrence — required for well-founded agreement).
+  EXPECT_TRUE(IsStratified(t->demand));
+  EXPECT_TRUE(CheckSafety(t->demand).ok());
+  EXPECT_EQ(t->demand.num_rules(), 2);
+  // Every guarded rule leads with its positive magic guard.
+  ASSERT_EQ(t->guarded.num_rules(), 1);
+  const Rule& guarded = t->guarded.rule(0);
+  ASSERT_EQ(guarded.body.size(), 3u);
+  EXPECT_TRUE(guarded.body[0].positive);
+  EXPECT_EQ(guarded.body[0].atom.predicate, t->magic[win]);
+  EXPECT_TRUE(t->demand.Validate().ok());
+  EXPECT_TRUE(t->guarded.Validate().ok());
+}
+
+TEST(MagicSetTest, FreeQueryHasZeroAryMagic) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  const PredId win = inst.program.LookupPredicate("win");
+  Result<DemandTransform> t = MagicSetTransform(inst.program, win, "f");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->demand.predicate(t->magic[win]).arity, 0);
+  EXPECT_TRUE(t->seed_positions.empty());
+  EXPECT_EQ(t->demand.predicate(t->seed).arity, 0);
+  EXPECT_TRUE(IsStratified(t->demand));
+  EXPECT_TRUE(CheckSafety(t->demand).ok());
+}
+
+TEST(MagicSetTest, AdornmentsMergeAcrossOccurrences) {
+  // Via q, t is called as t(a, X) — adornment bf — both directly and
+  // through its own recursion (head X bound, e(X, Y) binds Y). One merged
+  // adornment per predicate: bf.
+  Instance consistent = ParseInstance(
+      "q(X) :- t(a, X).\n"
+      "t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z).");
+  const PredId q1 = consistent.program.LookupPredicate("q");
+  const PredId t1 = consistent.program.LookupPredicate("t");
+  Result<DemandTransform> first = MagicSetTransform(consistent.program, q1, "f");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->adornments[t1], "bf");
+  EXPECT_EQ(first->demand.predicate(first->magic[t1]).arity, 1);
+
+  // Adding a second call site t(X, b) with the first position free forces
+  // the merge to ff (per-position AND over all occurrences).
+  Instance mixed = ParseInstance(
+      "q(X) :- t(a, X).\nq(X) :- r(X).\nr(X) :- t(X, b).\n"
+      "t(X, Y) :- e(X, Y).\nt(X, Z) :- e(X, Y), t(Y, Z).");
+  const PredId q2 = mixed.program.LookupPredicate("q");
+  const PredId t2 = mixed.program.LookupPredicate("t");
+  Result<DemandTransform> merged = MagicSetTransform(mixed.program, q2, "f");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->adornments[t2], "ff");
+  EXPECT_EQ(merged->demand.predicate(merged->magic[t2]).arity, 0);
+}
+
+TEST(MagicSetTest, UnreachableRulesDropped) {
+  Instance inst = ParseInstance(
+      "p(X) :- e(X).\n"
+      "island(X) :- e(X), not p(X).");
+  const PredId p = inst.program.LookupPredicate("p");
+  const PredId island = inst.program.LookupPredicate("island");
+  Result<DemandTransform> t = MagicSetTransform(inst.program, p, "b");
+  ASSERT_TRUE(t.ok());
+  // island does not support p: no magic predicate, no guarded rule.
+  EXPECT_EQ(t->magic[island], -1);
+  EXPECT_TRUE(t->adornments[island].empty());
+  EXPECT_EQ(t->guarded.num_rules(), 1);
+}
+
+TEST(MagicSetTest, DemandFlowsThroughNegatedIdb) {
+  Instance inst = ParseInstance(
+      "p(X) :- e(X), not q(X).\nq(X) :- f(X).");
+  const PredId p = inst.program.LookupPredicate("p");
+  const PredId q = inst.program.LookupPredicate("q");
+  Result<DemandTransform> t = MagicSetTransform(inst.program, p, "b");
+  ASSERT_TRUE(t.ok());
+  // The negated q occurrence still generates demand — dropping it would
+  // leave q's cone unevaluated and mis-read undefined atoms as false.
+  EXPECT_GE(t->magic[q], 0);
+  EXPECT_EQ(t->adornments[q], "b");
+  EXPECT_EQ(t->guarded.num_rules(), 2);
+}
+
+TEST(MagicSetTest, InvalidInputsRejected) {
+  Instance inst = ParseInstance("win(X) :- move(X, Y), not win(Y).");
+  const PredId win = inst.program.LookupPredicate("win");
+  const PredId move = inst.program.LookupPredicate("move");
+  // EDB query predicate.
+  EXPECT_EQ(MagicSetTransform(inst.program, move, "bb").status().code(),
+            StatusCode::kInvalidArgument);
+  // Wrong adornment length and alphabet.
+  EXPECT_EQ(MagicSetTransform(inst.program, win, "bb").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MagicSetTransform(inst.program, win, "x").status().code(),
+            StatusCode::kInvalidArgument);
+  // Out-of-range predicate.
+  EXPECT_EQ(MagicSetTransform(inst.program, 99, "b").status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
